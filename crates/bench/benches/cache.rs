@@ -1,0 +1,60 @@
+//! Criterion micro-benches for the block cache: per-policy get/insert
+//! throughput and the heat-map update path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsm_cache::{CacheKey, CachePolicy, HeatMap, ShardedCache};
+
+fn bench_cache_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_get_hit");
+    for policy in CachePolicy::ALL {
+        let cache: ShardedCache<u64> = ShardedCache::new(policy, 1 << 20, 8);
+        for i in 0..1000u64 {
+            cache.insert(CacheKey::new(1, i), i, 512);
+        }
+        group.bench_function(policy.label(), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 7919) % 1000;
+                cache.get(&CacheKey::new(1, i))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cache_insert_evict");
+    for policy in CachePolicy::ALL {
+        let cache: ShardedCache<u64> = ShardedCache::new(policy, 256 << 10, 8);
+        group.bench_function(policy.label(), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                cache.insert(CacheKey::new(2, i), i, 512);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_heat_map(c: &mut Criterion) {
+    let mut heat = HeatMap::new(1024, 100_000);
+    c.bench_function("heat_record", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B97F4A7C15);
+            heat.record(i);
+        })
+    });
+    for i in 0..100_000u64 {
+        heat.record(i.wrapping_mul(0x9E3779B97F4A7C15));
+    }
+    c.bench_function("heat_range_query", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1 << 54);
+            heat.range_heat(i, i.wrapping_add(1 << 53))
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache_ops, bench_heat_map);
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! Criterion micro-benches for the engine's hot paths: block
+//! encode/decode, memtable operations, the k-way merge, point lookups,
+//! and learned-index prediction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lsm_core::entry::ValueKind;
+use lsm_core::memtable::Memtable;
+use lsm_core::sstable::{BlockBuilder, BlockIter};
+use lsm_core::{Db, LsmConfig};
+use lsm_index::{BlockLocator, FencePointers, PlaIndex};
+
+fn bench_block_codec(c: &mut Criterion) {
+    let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..64)
+        .map(|i| {
+            (
+                format!("user{i:012}").into_bytes(),
+                format!("value-payload-{i:08}").into_bytes(),
+            )
+        })
+        .collect();
+    c.bench_function("block_encode_64_entries", |b| {
+        b.iter(|| {
+            let mut builder = BlockBuilder::new(16, false);
+            for (k, v) in &entries {
+                builder.add(k, 1, ValueKind::Put, v);
+            }
+            builder.finish()
+        })
+    });
+    let mut builder = BlockBuilder::new(16, false);
+    for (k, v) in &entries {
+        builder.add(k, 1, ValueKind::Put, v);
+    }
+    let block = builder.finish();
+    c.bench_function("block_decode_64_entries", |b| {
+        b.iter(|| {
+            let mut it = BlockIter::new(block.as_slice()).unwrap();
+            let mut n = 0;
+            while it.next_entry().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    c.bench_function("block_seek", |b| {
+        b.iter(|| {
+            let mut it = BlockIter::new(block.as_slice()).unwrap();
+            it.seek(b"user000000000032").map(|e| e.seqno)
+        })
+    });
+}
+
+fn bench_memtable(c: &mut Criterion) {
+    // FloDB's two-level buffer wins on *hot-key updates against a large
+    // sorted level*: the hash front absorbs them in O(1) and (since
+    // replacements don't grow it) never spills. Unique-key ingest is the
+    // counter-case where the front is pure overhead.
+    let mut group = c.benchmark_group("memtable_hot_updates_vs_100k");
+    for (name, front) in [("single_level", 0usize), ("two_level", 64 << 10)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut m = Memtable::with_front(front);
+                    for i in 0..100_000u32 {
+                        m.insert(
+                            format!("key{i:08}").into_bytes(),
+                            i as u64,
+                            ValueKind::Put,
+                            vec![0u8; 32],
+                        );
+                    }
+                    if front > 0 {
+                        m.drain_into_sorted_for_bench();
+                    }
+                    m
+                },
+                |mut m| {
+                    // 4k updates over 64 hot keys
+                    for i in 0..4096u32 {
+                        let hot = (i * 7919) % 64;
+                        m.insert(
+                            format!("key{hot:08}").into_bytes(),
+                            1_000_000 + i as u64,
+                            ValueKind::Put,
+                            vec![1u8; 32],
+                        );
+                    }
+                    m
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+    c.bench_function("memtable_insert_1k", |b| {
+        b.iter_batched(
+            Memtable::new,
+            |mut m| {
+                for i in 0..1000u32 {
+                    m.insert(
+                        format!("key{i:08}").into_bytes(),
+                        i as u64,
+                        ValueKind::Put,
+                        vec![0u8; 64],
+                    );
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut m = Memtable::new();
+    for i in 0..10_000u32 {
+        m.insert(
+            format!("key{i:08}").into_bytes(),
+            i as u64,
+            ValueKind::Put,
+            vec![0u8; 64],
+        );
+    }
+    c.bench_function("memtable_get", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            m.get(format!("key{i:08}").as_bytes())
+        })
+    });
+}
+
+fn bench_engine_ops(c: &mut Criterion) {
+    let cfg = LsmConfig {
+        wal: false,
+        ..LsmConfig::default()
+    };
+    let db = Db::open_in_memory(cfg).unwrap();
+    for i in 0..100_000u64 {
+        db.put(
+            format!("user{i:012}").into_bytes(),
+            format!("value-{i:08}").into_bytes(),
+        )
+        .unwrap();
+    }
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    group.bench_function("get_present_cached", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 48271) % 100_000;
+            db.get(format!("user{i:012}").as_bytes()).unwrap()
+        })
+    });
+    group.bench_function("get_absent", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 48271) % 100_000;
+            db.get(format!("user{i:012}?").as_bytes()).unwrap()
+        })
+    });
+    group.bench_function("scan_100", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 48271) % 90_000;
+            db.scan(
+                format!("user{i:012}").into_bytes()..format!("user{:012}", i + 1000).into_bytes(),
+                100,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("put", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            db.put(
+                format!("user{:012}", i % 100_000).into_bytes(),
+                vec![1u8; 32],
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_learned_index(c: &mut Criterion) {
+    let fences: Vec<Vec<u8>> = (0..10_000u64)
+        .map(|i| format!("user{:012}", i * 50 + 49).into_bytes())
+        .collect();
+    let fence_idx = FencePointers::new(b"user000000000000".to_vec(), fences.clone());
+    let pla_idx = PlaIndex::build(&fences, 8);
+    let mut group = c.benchmark_group("block_locate");
+    group.bench_function("fence_pointers", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 48271) % 500_000;
+            fence_idx.locate(format!("user{i:012}").as_bytes())
+        })
+    });
+    group.bench_function("pla", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 48271) % 500_000;
+            pla_idx.locate(format!("user{i:012}").as_bytes())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_block_codec,
+    bench_memtable,
+    bench_engine_ops,
+    bench_learned_index
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion micro-benches: filter construction and probe throughput
+//! (supports experiment E4 with statistically-rigorous timings).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lsm_filters::{FilterKind, RangeFilterKind};
+
+fn keys(n: usize) -> Vec<Vec<u8>> {
+    (0..n).map(|i| format!("user{i:012}").into_bytes()).collect()
+}
+
+fn bench_point_filters(c: &mut Criterion) {
+    let owned = keys(50_000);
+    let key_refs: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+    let mut group = c.benchmark_group("filter_build_50k");
+    group.sample_size(10);
+    for kind in FilterKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| kind.build_refs(&key_refs, 10.0).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("filter_probe");
+    for kind in FilterKind::ALL {
+        let filter = kind.build_refs(&key_refs, 10.0).unwrap();
+        let probes: Vec<Vec<u8>> = (0..1024)
+            .map(|i| format!("user{:012}", i * 97).into_bytes())
+            .collect();
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for p in &probes {
+                    if filter.may_contain(p) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_filters(c: &mut Criterion) {
+    let owned: Vec<Vec<u8>> = (1..=20_000u64).map(|i| (i << 16).to_be_bytes().to_vec()).collect();
+    let key_refs: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+    let mut group = c.benchmark_group("range_filter_probe");
+    group.sample_size(10);
+    for kind in [
+        RangeFilterKind::PrefixBloom { prefix_len: 7 },
+        RangeFilterKind::Surf { suffix_bits: 8 },
+        RangeFilterKind::Rosetta,
+        RangeFilterKind::Snarf,
+    ] {
+        let filter = kind.build(&key_refs, 16.0).unwrap();
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for t in 0..256u64 {
+                    let lo = ((t % 20_000) + 1) << 16 | 512;
+                    let hi = lo + 128;
+                    let lo_k = lo.to_be_bytes();
+                    let hi_k = hi.to_be_bytes();
+                    if filter.may_overlap(
+                        std::ops::Bound::Included(&lo_k[..]),
+                        std::ops::Bound::Included(&hi_k[..]),
+                    ) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_monkey_allocation(c: &mut Criterion) {
+    let sizes = lsm_filters::monkey::geometric_level_sizes(100_000, 10, 7);
+    c.bench_function("monkey_allocation_7_levels", |b| {
+        b.iter_batched(
+            || sizes.clone(),
+            |s| lsm_filters::monkey_allocation(&s, 10.0 * s.iter().sum::<u64>() as f64),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_point_filters,
+    bench_range_filters,
+    bench_monkey_allocation
+);
+criterion_main!(benches);

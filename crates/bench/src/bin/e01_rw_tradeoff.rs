@@ -1,0 +1,63 @@
+//! E1 — The read/write tradeoff (tutorial Module I.2).
+//!
+//! Sweeps merge policy × size ratio and reports write amplification,
+//! zero-result point-lookup I/O, present-key lookup I/O, and short-scan
+//! I/O. Expected shape: leveling reads cheap / writes dear; tiering the
+//! reverse; larger T moves each policy along its own curve in opposite
+//! directions.
+
+use lsm_bench::*;
+use lsm_core::{Db, MergeLayout};
+
+fn main() {
+    let n = DEFAULT_N;
+    println!("E1: read/write tradeoff — {n} keys, 64 B values\n");
+    let t = TablePrinter::new(&[
+        "layout",
+        "T",
+        "runs",
+        "write-amp",
+        "space-amp",
+        "0-result IO",
+        "point IO",
+        "scan IO",
+    ]);
+    for layout in [
+        MergeLayout::Leveled,
+        MergeLayout::Tiered,
+        MergeLayout::LazyLeveled,
+    ] {
+        for size_ratio in [2usize, 4, 6, 8, 10] {
+            let mut cfg = base_config();
+            cfg.layout = layout.clone();
+            cfg.size_ratio = size_ratio;
+            let db = Db::open_in_memory(cfg).unwrap();
+            fill_scattered(&db, n, 64);
+            // update churn: half the keys again, so obsolete versions
+            // accumulate (tiering retains them until its lazy merges)
+            fill_scattered(&db, n / 2, 64);
+            let wa = write_amp(&db);
+            // space amplification: live device bytes over unique logical data
+            let logical = n as f64 * (16.0 + 64.0);
+            let sa = db.device().live_blocks() as f64 * db.config().block_size as f64 / logical;
+            let empty = measure_empty_gets(&db, n, 2000);
+            let present = measure_present_gets(&db, n, 2000);
+            let scan = measure_scans(&db, n, 300, 32);
+            t.print(&[
+                layout.label().to_string(),
+                size_ratio.to_string(),
+                db.total_runs().to_string(),
+                f2(wa),
+                f2(sa),
+                f3(empty.data_blocks_per_op),
+                f3(present.data_blocks_per_op),
+                f2(scan.data_blocks_per_op),
+            ]);
+        }
+    }
+    println!("\nexpected shape: tiering minimizes write-amp and maximizes read");
+    println!("cost and space-amp (overlapping runs retain obsolete versions);");
+    println!("leveling the reverse; lazy leveling sits between on writes");
+    println!("while keeping leveled-like scans. Larger T lowers leveled read");
+    println!("cost (fewer levels) but raises leveled write-amp.");
+}

@@ -1,0 +1,83 @@
+//! E2 — Bloom filters bound point-lookup cost (tutorial Module II.2).
+//!
+//! Sweeps bits/key and reports zero-result and present-key lookup I/O plus
+//! the measured filter footprint. Expected shape: zero-result I/O decays
+//! exponentially with bits/key (≈ runs × 0.6185^bits); present-key cost
+//! converges to ~1 data block.
+
+use lsm_bench::*;
+use lsm_core::{Db, FilterKind, MergeLayout};
+
+fn main() {
+    let n = DEFAULT_N;
+    println!("E2: bits-per-key sweep — {n} keys, tiered layout (many runs)\n");
+    let t = TablePrinter::new(&[
+        "bits/key",
+        "runs",
+        "filter MiB",
+        "0-result IO",
+        "prunes/op",
+        "point IO",
+    ]);
+    for bits in [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0] {
+        let mut cfg = base_config();
+        cfg.layout = MergeLayout::Tiered;
+        cfg.bits_per_key = bits;
+        cfg.filter = if bits == 0.0 {
+            FilterKind::None
+        } else {
+            FilterKind::Bloom
+        };
+        let db = Db::open_in_memory(cfg).unwrap();
+        fill_scattered(&db, n, 64);
+        let empty = measure_empty_gets(&db, n, 3000);
+        let present = measure_present_gets(&db, n, 2000);
+        t.print(&[
+            format!("{bits:.0}"),
+            db.total_runs().to_string(),
+            f2(db.total_filter_bits() as f64 / 8.0 / 1048576.0),
+            f3(empty.data_blocks_per_op),
+            f2(empty.prunes_per_op),
+            f3(present.data_blocks_per_op),
+        ]);
+    }
+    println!("\nexpected shape: zero-result I/O falls ~exponentially with");
+    println!("bits/key and saturates near zero by ~10 bits (the production");
+    println!("default); present-key I/O stays ≈1 block throughout.");
+    println!();
+
+    // Part B: partitioned filters (RocksDB partitioned index/filter).
+    // Same pruning power, but partitions are fetched through the block
+    // cache on demand instead of pinned per table.
+    println!("E2b: monolithic vs partitioned filters (10 bits/key, 4 MiB cache)\n");
+    let t = TablePrinter::new(&[
+        "filters",
+        "resident KiB",
+        "0-result IO",
+        "prunes/op",
+        "point IO",
+    ]);
+    for partitioned in [false, true] {
+        let mut cfg = base_config();
+        cfg.layout = MergeLayout::Tiered;
+        cfg.partitioned_filters = partitioned;
+        cfg.cache_bytes = 4 << 20;
+        let db = Db::open_in_memory(cfg).unwrap();
+        fill_scattered(&db, n, 64);
+        // warm the partition working set
+        measure_empty_gets(&db, n, 2000);
+        let empty = measure_empty_gets(&db, n, 3000);
+        let present = measure_present_gets(&db, n, 2000);
+        t.print(&[
+            if partitioned { "partitioned" } else { "monolithic" }.to_string(),
+            f2(db.total_filter_bits() as f64 / 8.0 / 1024.0),
+            f3(empty.data_blocks_per_op),
+            f2(empty.prunes_per_op),
+            f3(present.data_blocks_per_op),
+        ]);
+    }
+    println!("\nexpected shape: identical pruning (same prunes/op and data");
+    println!("I/O) with zero resident filter memory — the partitions live in");
+    println!("the cache, admitted at block granularity like Module II.1's");
+    println!("partitioned index/filter design.");
+}

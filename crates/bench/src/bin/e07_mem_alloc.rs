@@ -1,0 +1,67 @@
+//! E7 — Buffer-vs-filter memory split (tutorial Module II.5; Monkey's
+//! second knob, Luo & Carey's memory walls).
+//!
+//! A fixed memory budget is split between the write buffer and the Bloom
+//! filters; the same mixed workload runs at every split. Expected shape:
+//! a U-curve — all-buffer starves the filters (lookups probe every run),
+//! all-filter starves the buffer (more levels, more merging); the optimum
+//! sits in between and shifts with the workload's read share.
+
+use lsm_bench::*;
+use lsm_core::Db;
+use lsm_workload::encode_key;
+
+fn run_split(frac_buffer: f64, total_bytes: u64, n: u64, read_share: f64) -> (f64, f64, f64) {
+    let mut cfg = base_config();
+    cfg.buffer_bytes = ((total_bytes as f64 * frac_buffer) as usize).max(cfg.block_size * 4);
+    let filter_bits = (total_bytes as f64 * (1.0 - frac_buffer)) * 8.0;
+    cfg.bits_per_key = (filter_bits / n as f64).max(0.0);
+    let db = Db::open_simulated(cfg, lsm_storage::DeviceProfile::nvme_ssd()).unwrap();
+    fill_scattered(&db, n, 64);
+    let t0 = db.device().latency().clock().now_ns();
+    let io0 = db.io_stats();
+    let ops = 20_000u64;
+    for i in 0..ops {
+        let r = (i as f64 * 0.61803398875) % 1.0;
+        if r < read_share {
+            // half the reads hit, half miss
+            let id = i.wrapping_mul(48271) % n;
+            if i % 2 == 0 {
+                db.get(&encode_key(id)).unwrap();
+            } else {
+                let mut k = encode_key(id);
+                k.push(b'!');
+                db.get(&k).unwrap();
+            }
+        } else {
+            let id = i.wrapping_mul(2654435761) % n;
+            db.put(encode_key(id), value_of(id, 64)).unwrap();
+        }
+    }
+    let sim_us_per_op =
+        (db.device().latency().clock().now_ns() - t0) as f64 / ops as f64 / 1000.0;
+    let io = db.io_stats().delta_since(&io0);
+    (
+        sim_us_per_op,
+        io.total_read_blocks() as f64 / ops as f64,
+        io.total_written_blocks() as f64 / ops as f64,
+    )
+}
+
+fn main() {
+    let n = 60_000u64;
+    let total = 192u64 << 10; // tight budget so the split matters
+    println!("E7: buffer-vs-filter split — {n} keys, {} KiB total memory\n", total >> 10);
+    for (wl, read_share) in [("read-heavy (80% reads)", 0.8), ("write-heavy (20% reads)", 0.2)] {
+        println!("workload: {wl}");
+        let t = TablePrinter::new(&["buffer %", "sim µs/op", "read blk/op", "write blk/op"]);
+        for pct_buf in [5u32, 15, 30, 50, 70, 90] {
+            let (us, r, w) = run_split(pct_buf as f64 / 100.0, total, n, read_share);
+            t.print(&[format!("{pct_buf}%"), f2(us), f3(r), f3(w)]);
+        }
+        println!();
+    }
+    println!("expected shape: a U-curve in sim time per op; the read-heavy");
+    println!("optimum allocates more to filters, the write-heavy optimum");
+    println!("more to the buffer — Monkey/Luo&Carey's memory tuning result.");
+}

@@ -1,0 +1,52 @@
+//! E9 — Hybrid shapes: the Dostoevsky cost triangle (tutorial Modules I.2
+//! and II.4).
+//!
+//! Measures all four cost dimensions for leveled, tiered, lazy-leveled,
+//! and an explicit hybrid shape. Expected shape: lazy leveling keeps
+//! tiering-like write cost while retaining leveling-like point and long
+//! range costs — dominating pure tiering for mixed workloads.
+
+use lsm_bench::*;
+use lsm_core::{Db, MergeLayout};
+
+fn main() {
+    let n = DEFAULT_N;
+    println!("E9: the cost triangle — {n} keys, T=6\n");
+    let t = TablePrinter::new(&[
+        "layout",
+        "write-amp",
+        "0-result IO",
+        "point IO",
+        "short-scan IO",
+        "long-scan IO",
+    ]);
+    for layout in [
+        MergeLayout::Leveled,
+        MergeLayout::Tiered,
+        MergeLayout::LazyLeveled,
+        MergeLayout::Hybrid(vec![5, 3, 1]),
+    ] {
+        let mut cfg = base_config();
+        cfg.layout = layout.clone();
+        cfg.size_ratio = 6;
+        let db = Db::open_in_memory(cfg).unwrap();
+        fill_scattered(&db, n, 64);
+        let wa = write_amp(&db);
+        let empty = measure_empty_gets(&db, n, 2000);
+        let present = measure_present_gets(&db, n, 2000);
+        let short = measure_scans(&db, n, 300, 8);
+        let long = measure_scans(&db, n, 60, 2000);
+        t.print(&[
+            layout.label().to_string(),
+            f2(wa),
+            f3(empty.data_blocks_per_op),
+            f3(present.data_blocks_per_op),
+            f2(short.data_blocks_per_op),
+            f2(long.data_blocks_per_op),
+        ]);
+    }
+    println!("\nexpected shape: tiered wins writes but pays on every read");
+    println!("metric; leveled the reverse; lazy-leveled ≈ tiered writes with");
+    println!("≈ leveled long scans and point reads (its last level is one");
+    println!("run) — the Dostoevsky result. The hybrid interpolates.");
+}

@@ -1,0 +1,53 @@
+//! E10 — Fence pointers vs learned indexes (tutorial Module II.4; the
+//! Google production study, Bourbon, RadixSpline).
+//!
+//! Same engine, four block-index families. Expected shape: learned
+//! indexes shrink index memory by 5-50× at equal lookup I/O (ε small);
+//! sparse fences shrink memory linearly but pay a widening I/O window.
+
+use lsm_bench::*;
+use lsm_core::{Db, IndexKind};
+
+fn main() {
+    let n = DEFAULT_N;
+    println!("E10: block-index families — {n} keys, leveled T=4\n");
+    let t = TablePrinter::new(&[
+        "index",
+        "index KiB",
+        "point IO",
+        "0-result IO",
+        "get wall ns",
+    ]);
+    let kinds: Vec<(String, IndexKind)> = vec![
+        ("fence".into(), IndexKind::Fence),
+        ("sparse r=4".into(), IndexKind::Sparse { rate: 4 }),
+        ("sparse r=16".into(), IndexKind::Sparse { rate: 16 }),
+        ("pla ε=2".into(), IndexKind::Pla { epsilon: 2 }),
+        ("pla ε=8".into(), IndexKind::Pla { epsilon: 8 }),
+        (
+            "radix-spline ε=2".into(),
+            IndexKind::RadixSpline {
+                radix_bits: 12,
+                epsilon: 2,
+            },
+        ),
+    ];
+    for (name, index) in kinds {
+        let mut cfg = base_config();
+        cfg.index = index;
+        let db = Db::open_in_memory(cfg).unwrap();
+        fill_scattered(&db, n, 64);
+        let present = measure_present_gets(&db, n, 3000);
+        let empty = measure_empty_gets(&db, n, 3000);
+        t.print(&[
+            name,
+            f2(db.total_index_bits() as f64 / 8.0 / 1024.0),
+            f3(present.data_blocks_per_op),
+            f3(empty.data_blocks_per_op),
+            format!("{:.0}", present.wall_ns_per_op),
+        ]);
+    }
+    println!("\nexpected shape: learned indexes use a small fraction of fence");
+    println!("memory at nearly the same I/O for small ε; sparse fences trade");
+    println!("memory for extra candidate blocks per lookup (window = rate).");
+}

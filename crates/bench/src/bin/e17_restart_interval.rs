@@ -1,0 +1,55 @@
+//! E17 (ablation) — restart interval: prefix compression vs in-block CPU.
+//!
+//! Expected shape: a larger restart interval compresses shared key
+//! prefixes harder (smaller files) but makes the in-block search walk a
+//! longer run of delta-encoded entries (more CPU per lookup); interval 1
+//! stores full keys — largest files, cheapest in-block search.
+
+use lsm_bench::*;
+use lsm_core::{Db, LsmConfig};
+
+fn main() {
+    let n = 60_000u64;
+    println!("E17: restart-interval ablation — {n} keys with 12-byte shared prefixes\n");
+    let t = TablePrinter::new(&[
+        "interval",
+        "data KiB",
+        "bytes/entry",
+        "warm get ns",
+    ]);
+    for interval in [1usize, 4, 16, 64] {
+        let cfg = LsmConfig {
+            restart_interval: interval,
+            cache_bytes: 64 << 20, // warm cache: isolate in-block CPU
+            wal: false,
+            buffer_bytes: 64 << 10,
+            size_ratio: 4,
+            block_size: 4096,
+            target_table_bytes: 256 << 10,
+            ..LsmConfig::default()
+        };
+        let db = Db::open_in_memory(cfg).unwrap();
+        fill_scattered(&db, n, 24);
+        db.major_compact().unwrap();
+        // warm
+        measure_present_gets(&db, n, n);
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let c = measure_present_gets(&db, n, 20_000);
+            best = best.min(c.wall_ns_per_op);
+        }
+        let data_bytes = db.device().live_blocks() * db.config().block_size as u64;
+        t.print(&[
+            interval.to_string(),
+            f2(data_bytes as f64 / 1024.0),
+            f2(data_bytes as f64 / n as f64),
+            format!("{best:.0}"),
+        ]);
+    }
+    println!("\nexpected shape: storage per entry falls as the interval grows");
+    println!("(prefix compression amortizes over more entries) while warm-get");
+    println!("CPU is U-shaped: interval 1 pays a deep restart binary search");
+    println!("(every entry is a restart), large intervals pay long delta-decode");
+    println!("walks; the sweet spot sits at small intervals, which is why");
+    println!("production engines default to ~16.");
+}

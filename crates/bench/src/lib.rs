@@ -1,0 +1,247 @@
+//! # lsm-bench
+//!
+//! The experiment harness. One binary per experiment in DESIGN.md's index
+//! (`cargo run -p lsm-bench --release --bin e01_rw_tradeoff`, …); each
+//! regenerates one tradeoff curve from the tutorial and prints the series
+//! as an aligned table. Criterion micro-benches live in `benches/`.
+//!
+//! The shared helpers here load engines with deterministic workloads and
+//! measure the quantities the tutorial's cost models are stated in:
+//! blocks read per lookup, write amplification, hit rates, and simulated
+//! device time.
+
+use lsm_core::{Db, LsmConfig};
+use lsm_storage::IoCategory;
+use lsm_workload::{encode_key, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard experiment scale: enough data for a 3-4 level tree with the
+/// default experiment config, small enough that a full sweep runs in
+/// seconds.
+pub const DEFAULT_N: u64 = 80_000;
+
+/// A baseline engine configuration shared by experiments (each experiment
+/// overrides the axis it sweeps).
+pub fn base_config() -> LsmConfig {
+    LsmConfig {
+        block_size: 1024,
+        buffer_bytes: 64 << 10,
+        size_ratio: 4,
+        l0_run_cap: 4,
+        target_table_bytes: 64 << 10,
+        cache_bytes: 0, // experiments measure raw I/O unless stated
+        wal: false,     // WAL traffic would blur write-amp attribution
+        ..LsmConfig::default()
+    }
+}
+
+/// Deterministic value payload.
+pub fn value_of(id: u64, len: usize) -> Vec<u8> {
+    lsm_workload::keyspace::make_value(id, len)
+}
+
+/// Loads `n` keys in scattered (hash) order with `value_len`-byte values.
+pub fn fill_scattered(db: &Db, n: u64, value_len: usize) {
+    for i in 0..n {
+        let id = i.wrapping_mul(2654435761) % n;
+        db.put(encode_key(id), value_of(id, value_len)).unwrap();
+    }
+}
+
+/// Write amplification so far: device bytes written / user bytes ingested.
+pub fn write_amp(db: &Db) -> f64 {
+    let written = db.io_stats().total_written_blocks() as f64 * db.config().block_size as f64;
+    let ingested = db.stats().snapshot().bytes_ingested as f64;
+    if ingested == 0.0 {
+        0.0
+    } else {
+        written / ingested
+    }
+}
+
+/// Measured read cost of a batch of operations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReadCost {
+    /// Data + filter + index blocks read per operation.
+    pub blocks_per_op: f64,
+    /// Data blocks only.
+    pub data_blocks_per_op: f64,
+    /// Sorted runs probed per operation.
+    pub runs_per_op: f64,
+    /// Filter prunes per operation.
+    pub prunes_per_op: f64,
+    /// Simulated device nanoseconds per operation (0 with a free profile).
+    pub sim_ns_per_op: f64,
+    /// Wall-clock nanoseconds per operation.
+    pub wall_ns_per_op: f64,
+}
+
+/// Runs `ops` operations through `f`, measuring per-op read cost.
+pub fn measure_reads(db: &Db, ops: u64, mut f: impl FnMut(u64)) -> ReadCost {
+    let io0 = db.io_stats();
+    let s0 = db.stats().snapshot();
+    let t0 = db.device().latency().clock().now_ns();
+    let w0 = std::time::Instant::now();
+    for i in 0..ops {
+        f(i);
+    }
+    let wall = w0.elapsed().as_nanos() as f64;
+    let io = db.io_stats().delta_since(&io0);
+    let s = db.stats().snapshot().delta_since(&s0);
+    let t = db.device().latency().clock().now_ns() - t0;
+    let n = ops.max(1) as f64;
+    ReadCost {
+        blocks_per_op: io.total_read_blocks() as f64 / n,
+        data_blocks_per_op: io.category(IoCategory::Data).read_blocks as f64 / n,
+        runs_per_op: s.runs_probed as f64 / n,
+        prunes_per_op: s.filter_prunes as f64 / n,
+        sim_ns_per_op: t as f64 / n,
+        wall_ns_per_op: wall / n,
+    }
+}
+
+/// Zero-result point lookups: present-looking keys that were never
+/// inserted (inside the key range, so fences cannot prune them).
+pub fn measure_empty_gets(db: &Db, n_keyspace: u64, probes: u64) -> ReadCost {
+    measure_reads(db, probes, |i| {
+        let id = i.wrapping_mul(48271) % n_keyspace;
+        let mut k = encode_key(id);
+        k.push(b'!'); // just after a real key, never inserted
+        db.get(&k).unwrap();
+    })
+}
+
+/// Present-key point lookups, uniform over the key space.
+pub fn measure_present_gets(db: &Db, n_keyspace: u64, probes: u64) -> ReadCost {
+    measure_reads(db, probes, |i| {
+        let id = i.wrapping_mul(48271) % n_keyspace;
+        let got = db.get(&encode_key(id)).unwrap();
+        assert!(got.is_some(), "present key lost");
+    })
+}
+
+/// Zipfian present-key lookups (for cache experiments).
+pub fn measure_zipf_gets(db: &Db, n_keyspace: u64, probes: u64, theta: f64, seed: u64) -> ReadCost {
+    let zipf = ZipfSampler::new(n_keyspace, theta);
+    let mut rng = StdRng::seed_from_u64(seed);
+    measure_reads(db, probes, |_| {
+        let rank = zipf.sample(&mut rng);
+        let id = rank.wrapping_mul(2654435761) % n_keyspace;
+        db.get(&encode_key(id)).unwrap();
+    })
+}
+
+/// Short range scans starting at existing keys.
+pub fn measure_scans(db: &Db, n_keyspace: u64, probes: u64, scan_len: usize) -> ReadCost {
+    measure_reads(db, probes, |i| {
+        let id = i.wrapping_mul(48271) % n_keyspace;
+        let start = encode_key(id);
+        let mut end = encode_key(n_keyspace.saturating_mul(2));
+        end.extend_from_slice(b"zzz");
+        db.scan(start..end, scan_len).unwrap();
+    })
+}
+
+/// Prints an aligned table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Prints a table with a header, auto-widths, and a rule.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Prints the header and remembers column widths.
+    pub fn new(header: &[&str]) -> Self {
+        let widths: Vec<usize> = header.iter().map(|h| h.len().max(9)).collect();
+        let line = row(
+            &header.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+            &widths,
+        );
+        println!("{line}");
+        println!("{}", "-".repeat(line.len()));
+        TablePrinter { widths }
+    }
+
+    /// Prints one row.
+    pub fn print(&self, cells: &[String]) {
+        println!("{}", row(cells, &self.widths));
+    }
+}
+
+/// Format helper: fixed-point, two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format helper: 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format helper: percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Generates `n` keys that are definitely absent from an id-encoded key
+/// space (used by standalone filter experiments).
+pub fn absent_byte_keys(n: usize) -> Vec<Vec<u8>> {
+    (0..n).map(|i| format!("absent-{i:012}").into_bytes()).collect()
+}
+
+/// Deterministic seed derived from a label.
+pub fn seed_for(label: &str) -> u64 {
+    label.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// Uniform random u64 sampler with a fixed seed (shared by experiments).
+pub fn uniform_ids(n: usize, max: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..max)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_roundtrip() {
+        let db = Db::open_in_memory(base_config()).unwrap();
+        fill_scattered(&db, 2000, 32);
+        let present = measure_present_gets(&db, 2000, 200);
+        assert!(present.runs_per_op > 0.0);
+        let empty = measure_empty_gets(&db, 2000, 200);
+        assert!(empty.runs_per_op >= 0.0);
+        // part of the data may still sit in the memtable, so the floor is
+        // below 1.0 at this tiny scale
+        assert!(write_amp(&db) > 0.5, "write amp {}", write_amp(&db));
+    }
+
+    #[test]
+    fn scans_measure() {
+        let db = Db::open_in_memory(base_config()).unwrap();
+        fill_scattered(&db, 2000, 32);
+        let c = measure_scans(&db, 2000, 50, 20);
+        assert!(c.blocks_per_op > 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f3(0.1234), "0.123");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_ne!(seed_for("a"), seed_for("b"));
+        assert_eq!(uniform_ids(5, 100, 1), uniform_ids(5, 100, 1));
+    }
+}

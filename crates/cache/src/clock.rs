@@ -1,0 +1,211 @@
+//! CLOCK (second-chance) shard: an LRU approximation that replaces the
+//! linked list with a circular scan over reference bits — cheaper
+//! bookkeeping per hit (one bit set) at the cost of approximate recency.
+
+use std::collections::HashMap;
+
+use crate::traits::{CacheKey, CacheShard};
+
+struct Slot<V> {
+    key: CacheKey,
+    value: V,
+    charge: usize,
+    referenced: bool,
+    occupied: bool,
+}
+
+/// A CLOCK cache shard.
+pub struct ClockShard<V> {
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Slot<V>>,
+    hand: usize,
+    used: usize,
+    capacity: usize,
+}
+
+impl<V: Clone + Send> ClockShard<V> {
+    /// Shard with the given capacity in charge units.
+    pub fn new(capacity: usize) -> Self {
+        ClockShard {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            hand: 0,
+            used: 0,
+            capacity,
+        }
+    }
+
+    fn evict_one(&mut self) -> bool {
+        if self.map.is_empty() {
+            return false;
+        }
+        // sweep: clear reference bits until an unreferenced occupied slot
+        // is found (guaranteed within two passes)
+        for _ in 0..(2 * self.slots.len().max(1)) {
+            if self.slots.is_empty() {
+                return false;
+            }
+            let i = self.hand % self.slots.len();
+            self.hand = (self.hand + 1) % self.slots.len();
+            let slot = &mut self.slots[i];
+            if !slot.occupied {
+                continue;
+            }
+            if slot.referenced {
+                slot.referenced = false;
+            } else {
+                slot.occupied = false;
+                self.used -= slot.charge;
+                self.map.remove(&slot.key);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn alloc_slot(&mut self, key: CacheKey, value: V, charge: usize) -> usize {
+        // reuse a vacant slot if any
+        for (i, s) in self.slots.iter().enumerate() {
+            if !s.occupied {
+                self.slots[i] = Slot {
+                    key,
+                    value,
+                    charge,
+                    referenced: false,
+                    occupied: true,
+                };
+                return i;
+            }
+        }
+        self.slots.push(Slot {
+            key,
+            value,
+            charge,
+            referenced: false,
+            occupied: true,
+        });
+        self.slots.len() - 1
+    }
+}
+
+impl<V: Clone + Send> CacheShard<V> for ClockShard<V> {
+    fn get(&mut self, key: &CacheKey) -> Option<V> {
+        let &idx = self.map.get(key)?;
+        self.slots[idx].referenced = true;
+        Some(self.slots[idx].value.clone())
+    }
+
+    fn insert(&mut self, key: CacheKey, value: V, charge: usize) {
+        if charge > self.capacity {
+            self.remove(&key);
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.used = self.used - self.slots[idx].charge + charge;
+            self.slots[idx].value = value;
+            self.slots[idx].charge = charge;
+            self.slots[idx].referenced = true;
+        } else {
+            let idx = self.alloc_slot(key, value, charge);
+            self.map.insert(key, idx);
+            self.used += charge;
+        }
+        while self.used > self.capacity {
+            if !self.evict_one() {
+                break;
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &CacheKey) -> bool {
+        match self.map.remove(key) {
+            Some(idx) => {
+                self.slots[idx].occupied = false;
+                self.used -= self.slots[idx].charge;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn used(&self) -> usize {
+        self.used
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u64) -> CacheKey {
+        CacheKey::new(0, i)
+    }
+
+    #[test]
+    fn basic_roundtrip() {
+        let mut c = ClockShard::new(10);
+        c.insert(k(1), "x", 3);
+        assert_eq!(c.get(&k(1)), Some("x"));
+        assert_eq!(c.get(&k(9)), None);
+    }
+
+    #[test]
+    fn referenced_entries_get_second_chance() {
+        let mut c = ClockShard::new(3);
+        c.insert(k(1), 1, 1);
+        c.insert(k(2), 2, 1);
+        c.insert(k(3), 3, 1);
+        c.get(&k(1)); // reference 1
+        c.insert(k(4), 4, 1);
+        // 1 was referenced; the victim must be 2 or 3
+        assert!(c.get(&k(1)).is_some(), "referenced entry evicted");
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = ClockShard::new(20);
+        for i in 0..100 {
+            c.insert(k(i), i, 3);
+            assert!(c.used() <= 20);
+        }
+    }
+
+    #[test]
+    fn remove_then_slot_reused() {
+        let mut c = ClockShard::new(5);
+        c.insert(k(1), 1, 2);
+        c.insert(k(2), 2, 2);
+        assert!(c.remove(&k(1)));
+        c.insert(k(3), 3, 2);
+        assert_eq!(c.slots.len(), 2, "vacant slot must be reused");
+        assert!(c.get(&k(3)).is_some());
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let mut c = ClockShard::new(5);
+        c.insert(k(1), 1, 6);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn full_churn_terminates() {
+        let mut c = ClockShard::new(4);
+        for i in 0..1000 {
+            c.insert(k(i % 16), i, 1);
+            if i % 3 == 0 {
+                c.get(&k(i % 16));
+            }
+        }
+        assert!(c.used() <= 4);
+        assert!(c.len() <= 4);
+    }
+}

@@ -1,0 +1,146 @@
+//! Key-range heat map: the access-frequency signal behind hotness-aware
+//! optimizations (ElasticBF's filter rebalancing, Leaper's prefetching).
+//!
+//! The u64-mapped key space is split into fixed-width buckets; accesses
+//! increment a bucket counter and counters decay exponentially on a
+//! configurable epoch so the map tracks the *current* working set.
+
+/// Exponentially-decayed access counts over key-space buckets.
+#[derive(Clone, Debug)]
+pub struct HeatMap {
+    buckets: Vec<f64>,
+    /// Domain is partitioned as `[i * width, (i+1) * width)`.
+    width: u64,
+    accesses_since_decay: u64,
+    decay_period: u64,
+    decay_factor: f64,
+}
+
+impl HeatMap {
+    /// Map with `num_buckets` over the full u64 domain; counters halve
+    /// every `decay_period` recorded accesses.
+    pub fn new(num_buckets: usize, decay_period: u64) -> Self {
+        let n = num_buckets.max(1);
+        HeatMap {
+            buckets: vec![0.0; n],
+            width: (u64::MAX / n as u64).saturating_add(1),
+            accesses_since_decay: 0,
+            decay_period: decay_period.max(1),
+            decay_factor: 0.5,
+        }
+    }
+
+    fn bucket_of(&self, key: u64) -> usize {
+        ((key / self.width) as usize).min(self.buckets.len() - 1)
+    }
+
+    /// Records one access to `key` (u64-mapped).
+    pub fn record(&mut self, key: u64) {
+        let b = self.bucket_of(key);
+        self.buckets[b] += 1.0;
+        self.accesses_since_decay += 1;
+        if self.accesses_since_decay >= self.decay_period {
+            self.accesses_since_decay = 0;
+            for v in &mut self.buckets {
+                *v *= self.decay_factor;
+            }
+        }
+    }
+
+    /// Current heat of the bucket containing `key`.
+    pub fn heat(&self, key: u64) -> f64 {
+        self.buckets[self.bucket_of(key)]
+    }
+
+    /// Mean heat of buckets overlapping `[lo, hi]`.
+    pub fn range_heat(&self, lo: u64, hi: u64) -> f64 {
+        if lo > hi {
+            return 0.0;
+        }
+        let (b_lo, b_hi) = (self.bucket_of(lo), self.bucket_of(hi));
+        let slice = &self.buckets[b_lo..=b_hi];
+        slice.iter().sum::<f64>() / slice.len() as f64
+    }
+
+    /// Heat value at the given hotness percentile (e.g. 0.9 → the heat of
+    /// the 90th-percentile bucket); used as a prefetch threshold.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let mut sorted: Vec<f64> = self.buckets.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_range_registers() {
+        let mut h = HeatMap::new(64, 1_000_000);
+        for _ in 0..100 {
+            h.record(u64::MAX / 2);
+        }
+        assert!(h.heat(u64::MAX / 2) >= 100.0 - 1e-9);
+        assert_eq!(h.heat(0), 0.0);
+    }
+
+    #[test]
+    fn decay_halves_counts() {
+        let mut h = HeatMap::new(4, 10);
+        for _ in 0..10 {
+            h.record(0);
+        }
+        // the 10th access triggered decay: 10 * 0.5
+        assert!((h.heat(0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_heat_averages() {
+        let mut h = HeatMap::new(4, 1_000_000);
+        let quarter = u64::MAX / 4;
+        for _ in 0..8 {
+            h.record(0); // bucket 0
+        }
+        for _ in 0..4 {
+            h.record(quarter + 10); // bucket 1
+        }
+        let avg = h.range_heat(0, quarter + 10);
+        assert!((avg - 6.0).abs() < 1e-9, "avg {avg}");
+        assert_eq!(h.range_heat(10, 5), 0.0, "inverted range");
+    }
+
+    #[test]
+    fn percentile_finds_threshold() {
+        let mut h = HeatMap::new(10, 1_000_000);
+        // one very hot bucket
+        for _ in 0..100 {
+            h.record(0);
+        }
+        assert_eq!(h.percentile(0.0), 0.0);
+        assert!(h.percentile(1.0) >= 100.0 - 1e-9);
+    }
+
+    #[test]
+    fn extreme_keys_do_not_panic() {
+        let mut h = HeatMap::new(7, 100);
+        h.record(u64::MAX);
+        h.record(0);
+        assert!(h.heat(u64::MAX) > 0.0);
+        let _ = h.range_heat(0, u64::MAX);
+    }
+
+    #[test]
+    fn single_bucket_map() {
+        let mut h = HeatMap::new(1, 100);
+        h.record(42);
+        h.record(u64::MAX / 2);
+        assert!((h.heat(7) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,241 @@
+//! LFU shard with aging: evicts the entry with the lowest access
+//! frequency, breaking ties by insertion age. Periodic halving of all
+//! counters ("aging") keeps once-hot-now-cold blocks from squatting — the
+//! standard fix for LFU's main pathology.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::traits::{CacheKey, CacheShard};
+
+struct Entry<V> {
+    value: V,
+    charge: usize,
+    freq: u64,
+    tick: u64,
+}
+
+/// A least-frequently-used cache shard with counter aging.
+pub struct LfuShard<V> {
+    map: HashMap<CacheKey, Entry<V>>,
+    /// Eviction order: (freq, tick, key).
+    order: BTreeSet<(u64, u64, CacheKey)>,
+    used: usize,
+    capacity: usize,
+    tick: u64,
+    ops_since_aging: u64,
+    aging_period: u64,
+}
+
+impl<V: Clone + Send> LfuShard<V> {
+    /// Shard with the given capacity; counters halve every
+    /// `4 * capacity_entries_estimate` operations by default.
+    pub fn new(capacity: usize) -> Self {
+        LfuShard {
+            map: HashMap::new(),
+            order: BTreeSet::new(),
+            used: 0,
+            capacity,
+            tick: 0,
+            ops_since_aging: 0,
+            aging_period: 8192,
+        }
+    }
+
+    /// Overrides the aging period (operations between counter halvings).
+    pub fn with_aging_period(mut self, period: u64) -> Self {
+        self.aging_period = period.max(1);
+        self
+    }
+
+    fn bump(&mut self, key: CacheKey) {
+        if let Some(e) = self.map.get_mut(&key) {
+            self.order.remove(&(e.freq, e.tick, key));
+            e.freq += 1;
+            self.order.insert((e.freq, e.tick, key));
+        }
+    }
+
+    fn maybe_age(&mut self) {
+        self.ops_since_aging += 1;
+        if self.ops_since_aging < self.aging_period {
+            return;
+        }
+        self.ops_since_aging = 0;
+        let mut rebuilt = BTreeSet::new();
+        for (key, e) in self.map.iter_mut() {
+            e.freq /= 2;
+            rebuilt.insert((e.freq, e.tick, *key));
+        }
+        self.order = rebuilt;
+    }
+
+    fn evict_one(&mut self) -> bool {
+        let Some(&(freq, tick, key)) = self.order.iter().next() else {
+            return false;
+        };
+        self.order.remove(&(freq, tick, key));
+        if let Some(e) = self.map.remove(&key) {
+            self.used -= e.charge;
+        }
+        true
+    }
+}
+
+impl<V: Clone + Send> CacheShard<V> for LfuShard<V> {
+    fn get(&mut self, key: &CacheKey) -> Option<V> {
+        self.maybe_age();
+        let v = self.map.get(key)?.value.clone();
+        self.bump(*key);
+        Some(v)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: V, charge: usize) {
+        self.maybe_age();
+        if charge > self.capacity {
+            self.remove(&key);
+            return;
+        }
+        self.tick += 1;
+        if let Some(e) = self.map.get_mut(&key) {
+            self.used = self.used - e.charge + charge;
+            let old = (e.freq, e.tick, key);
+            e.value = value;
+            e.charge = charge;
+            e.freq += 1;
+            self.order.remove(&old);
+            let freq = e.freq;
+            let tick = e.tick;
+            self.order.insert((freq, tick, key));
+        } else {
+            self.map.insert(
+                key,
+                Entry {
+                    value,
+                    charge,
+                    freq: 1,
+                    tick: self.tick,
+                },
+            );
+            self.order.insert((1, self.tick, key));
+            self.used += charge;
+        }
+        while self.used > self.capacity {
+            if !self.evict_one() {
+                break;
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &CacheKey) -> bool {
+        match self.map.remove(key) {
+            Some(e) => {
+                self.order.remove(&(e.freq, e.tick, *key));
+                self.used -= e.charge;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn used(&self) -> usize {
+        self.used
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u64) -> CacheKey {
+        CacheKey::new(0, i)
+    }
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut c = LfuShard::new(3);
+        c.insert(k(1), 1, 1);
+        c.insert(k(2), 2, 1);
+        c.insert(k(3), 3, 1);
+        // heat up 1 and 3
+        for _ in 0..5 {
+            c.get(&k(1));
+            c.get(&k(3));
+        }
+        c.insert(k(4), 4, 1); // evicts 2 (freq 1)
+        assert_eq!(c.get(&k(2)), None);
+        assert!(c.get(&k(1)).is_some());
+        assert!(c.get(&k(3)).is_some());
+    }
+
+    #[test]
+    fn tie_breaks_by_age() {
+        let mut c = LfuShard::new(2);
+        c.insert(k(1), 1, 1);
+        c.insert(k(2), 2, 1);
+        c.insert(k(3), 3, 1); // both freq 1: evict the older (1)
+        assert_eq!(c.get(&k(1)), None);
+        assert!(c.get(&k(2)).is_some());
+    }
+
+    #[test]
+    fn capacity_respected_with_varied_charges() {
+        let mut c = LfuShard::new(100);
+        for i in 0..50 {
+            c.insert(k(i), i, 7 + (i as usize % 13));
+            assert!(c.used() <= 100);
+        }
+    }
+
+    #[test]
+    fn aging_lets_new_entries_displace_stale_hot_ones() {
+        let mut c = LfuShard::new(2).with_aging_period(8);
+        c.insert(k(1), 1, 1);
+        for _ in 0..100 {
+            c.get(&k(1)); // very hot... long ago (ages along the way)
+        }
+        c.insert(k(2), 2, 1);
+        // access 2 repeatedly; aging halves 1's stale count
+        for _ in 0..40 {
+            c.get(&k(2));
+        }
+        c.insert(k(3), 3, 1);
+        // 1's aged frequency should have decayed below 2's fresh one
+        assert!(c.get(&k(2)).is_some(), "fresh-hot entry must survive");
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let mut c = LfuShard::new(10);
+        c.insert(k(1), 1, 5);
+        assert!(c.remove(&k(1)));
+        assert_eq!(c.used(), 0);
+        c.insert(k(1), 9, 5);
+        assert_eq!(c.get(&k(1)), Some(9));
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let mut c = LfuShard::new(4);
+        c.insert(k(1), 1, 5);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn replace_bumps_frequency() {
+        let mut c = LfuShard::new(2);
+        c.insert(k(1), 1, 1);
+        c.insert(k(1), 2, 1); // freq 2 now
+        c.insert(k(2), 9, 1); // freq 1
+        c.insert(k(3), 9, 1); // evicts 2, not 1
+        assert!(c.get(&k(1)).is_some());
+        assert_eq!(c.get(&k(2)), None);
+    }
+}

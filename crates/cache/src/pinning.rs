@@ -1,0 +1,164 @@
+//! Pinned tier for filter and index blocks.
+//!
+//! Production engines (RocksDB's `pin_l0_filter_and_index_blocks`,
+//! `cache_index_and_filter_blocks`) treat filter/index blocks differently
+//! from data blocks: they are small, touched on *every* lookup, and
+//! catastrophically expensive to miss. The pinned tier holds them under
+//! its own budget and never evicts while the owning file is live.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::traits::CacheKey;
+
+/// A never-evicting (budgeted) block tier keyed like the main cache.
+pub struct PinnedTier<V: Clone> {
+    map: RwLock<HashMap<CacheKey, (V, usize)>>,
+    budget: usize,
+    used: RwLock<usize>,
+}
+
+impl<V: Clone> PinnedTier<V> {
+    /// Tier with a byte budget; pins past the budget are refused (the
+    /// caller falls back to the evicting cache).
+    pub fn new(budget: usize) -> Self {
+        PinnedTier {
+            map: RwLock::new(HashMap::new()),
+            budget,
+            used: RwLock::new(0),
+        }
+    }
+
+    /// Attempts to pin; returns whether the entry is now resident.
+    pub fn pin(&self, key: CacheKey, value: V, charge: usize) -> bool {
+        let mut used = self.used.write();
+        let mut map = self.map.write();
+        if let Some((_, old)) = map.get(&key) {
+            // replace in place
+            let old = *old;
+            if *used - old + charge > self.budget {
+                return false;
+            }
+            *used = *used - old + charge;
+            map.insert(key, (value, charge));
+            return true;
+        }
+        if *used + charge > self.budget {
+            return false;
+        }
+        *used += charge;
+        map.insert(key, (value, charge));
+        true
+    }
+
+    /// Reads a pinned entry.
+    pub fn get(&self, key: &CacheKey) -> Option<V> {
+        self.map.read().get(key).map(|(v, _)| v.clone())
+    }
+
+    /// Unpins one entry (when its file dies).
+    pub fn unpin(&self, key: &CacheKey) -> bool {
+        let mut used = self.used.write();
+        match self.map.write().remove(key) {
+            Some((_, charge)) => {
+                *used -= charge;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Unpins every entry belonging to `file`; returns how many.
+    pub fn unpin_file(&self, file: u64) -> usize {
+        let mut used = self.used.write();
+        let mut map = self.map.write();
+        let victims: Vec<CacheKey> = map.keys().filter(|k| k.file == file).copied().collect();
+        for k in &victims {
+            if let Some((_, charge)) = map.remove(k) {
+                *used -= charge;
+            }
+        }
+        victims.len()
+    }
+
+    /// Bytes currently pinned.
+    pub fn used(&self) -> usize {
+        *self.used.read()
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of pinned entries.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether nothing is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(f: u64, b: u64) -> CacheKey {
+        CacheKey::new(f, b)
+    }
+
+    #[test]
+    fn pin_get_unpin() {
+        let t: PinnedTier<String> = PinnedTier::new(100);
+        assert!(t.pin(k(1, 0), "filter".into(), 40));
+        assert_eq!(t.get(&k(1, 0)), Some("filter".into()));
+        assert!(t.unpin(&k(1, 0)));
+        assert_eq!(t.get(&k(1, 0)), None);
+        assert_eq!(t.used(), 0);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let t: PinnedTier<u8> = PinnedTier::new(100);
+        assert!(t.pin(k(1, 0), 0, 60));
+        assert!(!t.pin(k(1, 1), 0, 60), "over budget must refuse");
+        assert_eq!(t.len(), 1);
+        assert!(t.pin(k(1, 2), 0, 40));
+        assert_eq!(t.used(), 100);
+    }
+
+    #[test]
+    fn replacement_adjusts_used() {
+        let t: PinnedTier<u8> = PinnedTier::new(100);
+        assert!(t.pin(k(1, 0), 1, 50));
+        assert!(t.pin(k(1, 0), 2, 80));
+        assert_eq!(t.used(), 80);
+        assert_eq!(t.get(&k(1, 0)), Some(2));
+        // replacement that would exceed budget is refused, old stays
+        assert!(!t.pin(k(1, 0), 3, 120));
+        assert_eq!(t.get(&k(1, 0)), Some(2));
+    }
+
+    #[test]
+    fn unpin_file_drops_only_that_file() {
+        let t: PinnedTier<u8> = PinnedTier::new(1000);
+        t.pin(k(1, 0), 0, 10);
+        t.pin(k(1, 1), 0, 10);
+        t.pin(k(2, 0), 0, 10);
+        assert_eq!(t.unpin_file(1), 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.used(), 10);
+        assert!(t.get(&k(2, 0)).is_some());
+    }
+
+    #[test]
+    fn unpin_missing_is_false() {
+        let t: PinnedTier<u8> = PinnedTier::new(10);
+        assert!(!t.unpin(&k(9, 9)));
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Leaper-style post-compaction prefetch planning (Yang et al., VLDB '20;
+//! tutorial Module II.1).
+//!
+//! Compaction rewrites hot data into new files, invalidating their cached
+//! blocks; until queries fault the new blocks back in, hit rate craters.
+//! Leaper predicts which *new* blocks correspond to hot key ranges and
+//! warms them into the cache immediately after the compaction commits.
+//! Where Leaper trains a gradient-boosted classifier, we use the key-range
+//! [`HeatMap`] directly — the same signal, the same
+//! code path (see DESIGN.md substitution table).
+
+use crate::heat::HeatMap;
+use crate::traits::CacheKey;
+
+/// A block of a newly-written file, described by its key range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefetchCandidate {
+    /// File the block belongs to.
+    pub file: u64,
+    /// Block index within the file.
+    pub block: u64,
+    /// Smallest u64-mapped key in the block.
+    pub min_key: u64,
+    /// Largest u64-mapped key in the block.
+    pub max_key: u64,
+}
+
+/// Selects which new blocks to warm: those whose key range's heat is at or
+/// above the `hot_percentile` threshold of the current heat map, capped at
+/// `max_blocks` (warming everything would just thrash the cache).
+/// Returns cache keys ordered hottest-first.
+pub fn plan_prefetch(
+    heat: &HeatMap,
+    candidates: &[PrefetchCandidate],
+    hot_percentile: f64,
+    max_blocks: usize,
+) -> Vec<CacheKey> {
+    let threshold = heat.percentile(hot_percentile);
+    let mut scored: Vec<(f64, &PrefetchCandidate)> = candidates
+        .iter()
+        .map(|c| (heat.range_heat(c.min_key, c.max_key), c))
+        .filter(|(h, _)| *h >= threshold && *h > 0.0)
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    scored
+        .into_iter()
+        .take(max_blocks)
+        .map(|(_, c)| CacheKey::new(c.file, c.block))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(file: u64, block: u64, min_key: u64, max_key: u64) -> PrefetchCandidate {
+        PrefetchCandidate {
+            file,
+            block,
+            min_key,
+            max_key,
+        }
+    }
+
+    fn heated(hot_lo: u64, hot_hi: u64, hits: usize) -> HeatMap {
+        let mut h = HeatMap::new(64, 1_000_000);
+        let step = ((hot_hi - hot_lo) / hits as u64).max(1);
+        let mut k = hot_lo;
+        for _ in 0..hits {
+            h.record(k);
+            k = k.saturating_add(step).min(hot_hi);
+        }
+        h
+    }
+
+    #[test]
+    fn hot_blocks_selected_cold_skipped() {
+        let hot_span = u64::MAX / 64; // one bucket
+        let heat = heated(0, hot_span - 1, 200);
+        let cands = vec![
+            candidate(10, 0, 0, hot_span / 2),               // hot
+            candidate(10, 1, u64::MAX / 2, u64::MAX / 2 + 5), // cold
+        ];
+        let plan = plan_prefetch(&heat, &cands, 0.9, 16);
+        assert_eq!(plan, vec![CacheKey::new(10, 0)]);
+    }
+
+    #[test]
+    fn hottest_first_and_capped() {
+        let bucket = u64::MAX / 64;
+        let mut heat = HeatMap::new(64, 10_000_000);
+        for _ in 0..100 {
+            heat.record(0);
+        }
+        for _ in 0..50 {
+            heat.record(bucket + 1);
+        }
+        for _ in 0..10 {
+            heat.record(2 * bucket + 1);
+        }
+        let cands = vec![
+            candidate(1, 0, 2 * bucket + 1, 2 * bucket + 2),
+            candidate(1, 1, 0, 1),
+            candidate(1, 2, bucket + 1, bucket + 2),
+        ];
+        let plan = plan_prefetch(&heat, &cands, 0.0, 2);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0], CacheKey::new(1, 1), "hottest first");
+        assert_eq!(plan[1], CacheKey::new(1, 2));
+    }
+
+    #[test]
+    fn cold_map_prefetches_nothing() {
+        let heat = HeatMap::new(64, 100);
+        let cands = vec![candidate(1, 0, 0, 100)];
+        assert!(plan_prefetch(&heat, &cands, 0.5, 10).is_empty());
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let heat = heated(0, 1000, 50);
+        assert!(plan_prefetch(&heat, &[], 0.5, 10).is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Thread-safe sharded cache front with hit/miss accounting.
+//!
+//! Keys are spread across shards by hash so concurrent readers rarely
+//! contend on one mutex — the same structure RocksDB's block cache uses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::clock::ClockShard;
+use crate::fifo::FifoShard;
+use crate::lfu::LfuShard;
+use crate::lru::LruShard;
+use crate::traits::{CacheKey, CachePolicy, CacheShard};
+
+/// Hit/miss counters for a cache.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl CacheStats {
+    /// Lookups that found the block.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Insert operations.
+    pub fn inserts(&self) -> u64 {
+        self.inserts.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate in `[0, 1]`; zero if no lookups yet.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A sharded, thread-safe block cache with a pluggable eviction policy.
+pub struct ShardedCache<V: Clone + Send> {
+    shards: Vec<Mutex<Box<dyn CacheShard<V>>>>,
+    stats: CacheStats,
+    mask: u64,
+}
+
+impl<V: Clone + Send + 'static> ShardedCache<V> {
+    /// Cache of `capacity` charge units split across `num_shards`
+    /// (rounded up to a power of two) with the given policy.
+    pub fn new(policy: CachePolicy, capacity: usize, num_shards: usize) -> Self {
+        let shards_pow2 = num_shards.max(1).next_power_of_two();
+        let per_shard = capacity / shards_pow2;
+        let shards = (0..shards_pow2)
+            .map(|_| {
+                let shard: Box<dyn CacheShard<V>> = match policy {
+                    CachePolicy::Lru => Box::new(LruShard::new(per_shard)),
+                    CachePolicy::Lfu => Box::new(LfuShard::new(per_shard)),
+                    CachePolicy::Clock => Box::new(ClockShard::new(per_shard)),
+                    CachePolicy::Fifo => Box::new(FifoShard::new(per_shard)),
+                };
+                Mutex::new(shard)
+            })
+            .collect();
+        ShardedCache {
+            shards,
+            stats: CacheStats::default(),
+            mask: shards_pow2 as u64 - 1,
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        // mix file and block so consecutive blocks spread across shards
+        let h = key
+            .file
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(key.block.wrapping_mul(0xC2B2AE3D27D4EB4F));
+        ((h >> 32) & self.mask) as usize
+    }
+
+    /// Looks up a block, counting the hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<V> {
+        let res = self.shards[self.shard_of(key)].lock().get(key);
+        if res.is_some() {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        res
+    }
+
+    /// Inserts a block.
+    pub fn insert(&self, key: CacheKey, value: V, charge: usize) {
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        self.shards[self.shard_of(&key)].lock().insert(key, value, charge);
+    }
+
+    /// Removes one block.
+    pub fn remove(&self, key: &CacheKey) -> bool {
+        self.shards[self.shard_of(key)].lock().remove(key)
+    }
+
+    /// Removes every cached block of `file` — called when compaction
+    /// deletes the file. Returns how many entries were dropped. This is
+    /// the *cache invalidation by compaction* effect Leaper addresses.
+    pub fn invalidate_file(&self, file: u64, max_block: u64) -> usize {
+        let mut dropped = 0;
+        for block in 0..=max_block {
+            let key = CacheKey::new(file, block);
+            if self.shards[self.shard_of(&key)].lock().remove(&key) {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Total resident entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total charge used.
+    pub fn used(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().used()).sum()
+    }
+
+    /// Total configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().capacity()).sum()
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn k(f: u64, b: u64) -> CacheKey {
+        CacheKey::new(f, b)
+    }
+
+    #[test]
+    fn all_policies_roundtrip() {
+        for policy in CachePolicy::ALL {
+            let c: ShardedCache<u64> = ShardedCache::new(policy, 1024, 4);
+            for i in 0..100 {
+                c.insert(k(1, i), i, 8);
+            }
+            let mut hits = 0;
+            for i in 0..100 {
+                if c.get(&k(1, i)).is_some() {
+                    hits += 1;
+                }
+            }
+            assert!(hits > 50, "{}: only {hits} hits", policy.label());
+            assert!(c.used() <= c.capacity(), "{}", policy.label());
+        }
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let c: ShardedCache<u64> = ShardedCache::new(CachePolicy::Lru, 1024, 2);
+        c.insert(k(0, 0), 7, 8);
+        assert_eq!(c.get(&k(0, 0)), Some(7));
+        assert_eq!(c.get(&k(0, 1)), None);
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.stats().misses(), 1);
+        assert_eq!(c.stats().inserts(), 1);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+        c.stats().reset();
+        assert_eq!(c.stats().hits(), 0);
+    }
+
+    #[test]
+    fn invalidate_file_drops_all_its_blocks() {
+        let c: ShardedCache<u64> = ShardedCache::new(CachePolicy::Lru, 4096, 4);
+        for b in 0..20 {
+            c.insert(k(7, b), b, 8);
+            c.insert(k(8, b), b, 8);
+        }
+        let dropped = c.invalidate_file(7, 19);
+        assert_eq!(dropped, 20);
+        for b in 0..20 {
+            assert_eq!(c.get(&k(7, b)), None);
+            assert!(c.get(&k(8, b)).is_some(), "other file untouched");
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_counted() {
+        let c: Arc<ShardedCache<u64>> = Arc::new(ShardedCache::new(CachePolicy::Lru, 8192, 8));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        c.insert(k(t, i), i, 4);
+                        c.get(&k(t, i));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.stats().inserts(), 2000);
+        assert!(c.stats().hits() + c.stats().misses() == 2000);
+        assert!(c.used() <= c.capacity());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let c: ShardedCache<u8> = ShardedCache::new(CachePolicy::Fifo, 64, 3);
+        assert_eq!(c.shards.len(), 4);
+    }
+}

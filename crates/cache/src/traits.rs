@@ -1,0 +1,102 @@
+//! Cache abstractions shared by all eviction policies.
+
+/// Cache key: a block address `(file_id, block_index)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// File the block belongs to.
+    pub file: u64,
+    /// Block index within the file.
+    pub block: u64,
+}
+
+impl CacheKey {
+    /// Convenience constructor.
+    pub fn new(file: u64, block: u64) -> Self {
+        CacheKey { file, block }
+    }
+}
+
+/// A single-threaded cache shard with byte-charged capacity.
+///
+/// Contract: `used() <= capacity()` after every call; `get` returns a clone
+/// of the cached value and may update recency/frequency state.
+pub trait CacheShard<V: Clone>: Send {
+    /// Looks up a key, updating replacement state on hit.
+    fn get(&mut self, key: &CacheKey) -> Option<V>;
+
+    /// Inserts (or replaces) an entry with the given charge, evicting as
+    /// needed. Entries larger than the whole capacity are not admitted.
+    fn insert(&mut self, key: CacheKey, value: V, charge: usize);
+
+    /// Removes an entry; returns whether it was present. Used when a
+    /// compaction deletes a file.
+    fn remove(&mut self, key: &CacheKey) -> bool;
+
+    /// Number of resident entries.
+    fn len(&self) -> usize;
+
+    /// Whether the shard is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of charges of resident entries.
+    fn used(&self) -> usize;
+
+    /// Configured capacity in charge units.
+    fn capacity(&self) -> usize;
+}
+
+/// Which eviction policy a [`crate::ShardedCache`] uses — one axis of the
+/// design space (tutorial Module II.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CachePolicy {
+    /// Least-recently-used (the RocksDB default).
+    Lru,
+    /// Least-frequently-used with aging.
+    Lfu,
+    /// CLOCK (second chance): LRU approximation with cheaper bookkeeping.
+    Clock,
+    /// First-in-first-out: no recency tracking at all (baseline).
+    Fifo,
+}
+
+impl CachePolicy {
+    /// All policies, for experiment sweeps.
+    pub const ALL: [CachePolicy; 4] = [
+        CachePolicy::Lru,
+        CachePolicy::Lfu,
+        CachePolicy::Clock,
+        CachePolicy::Fifo,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CachePolicy::Lru => "lru",
+            CachePolicy::Lfu => "lfu",
+            CachePolicy::Clock => "clock",
+            CachePolicy::Fifo => "fifo",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_key_ordering_groups_by_file() {
+        let a = CacheKey::new(1, 99);
+        let b = CacheKey::new(2, 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let mut labels: Vec<_> = CachePolicy::ALL.iter().map(|p| p.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), CachePolicy::ALL.len());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based invariants for the cache layer: capacity is never
+//! exceeded, removal really removes, and a cached value is always the last
+//! value inserted for its key — for every eviction policy.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use lsm_cache::{CacheKey, CachePolicy, PinnedTier, ShardedCache};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u8, u8, u8),
+    Get(u8, u8),
+    Remove(u8, u8),
+    InvalidateFile(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u8>(), any::<u8>(), 1u8..32).prop_map(|(f, b, c)| Op::Insert(f % 4, b, c)),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(f, b)| Op::Get(f % 4, b)),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(f, b)| Op::Remove(f % 4, b)),
+        1 => any::<u8>().prop_map(|f| Op::InvalidateFile(f % 4)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_invariants_hold_for_all_policies(
+        ops in vec(arb_op(), 1..400),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = CachePolicy::ALL[policy_idx];
+        let cache: ShardedCache<(u8, u8, u8)> = ShardedCache::new(policy, 512, 2);
+        let mut last: std::collections::HashMap<CacheKey, (u8, u8, u8)> =
+            std::collections::HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Insert(f, b, c) => {
+                    let k = CacheKey::new(*f as u64, *b as u64);
+                    cache.insert(k, (*f, *b, *c), *c as usize);
+                    last.insert(k, (*f, *b, *c));
+                }
+                Op::Get(f, b) => {
+                    let k = CacheKey::new(*f as u64, *b as u64);
+                    if let Some(v) = cache.get(&k) {
+                        // a hit must return the last inserted value
+                        prop_assert_eq!(Some(&v), last.get(&k));
+                    }
+                }
+                Op::Remove(f, b) => {
+                    let k = CacheKey::new(*f as u64, *b as u64);
+                    cache.remove(&k);
+                    last.remove(&k);
+                }
+                Op::InvalidateFile(f) => {
+                    cache.invalidate_file(*f as u64, 255);
+                    last.retain(|k, _| k.file != *f as u64);
+                }
+            }
+            prop_assert!(
+                cache.used() <= cache.capacity(),
+                "{}: used {} > capacity {}",
+                policy.label(),
+                cache.used(),
+                cache.capacity()
+            );
+        }
+        // after an invalidate_file, nothing from that file remains
+        cache.invalidate_file(0, 255);
+        for b in 0..=255u8 {
+            prop_assert!(cache.get(&CacheKey::new(0, b as u64)).is_none());
+        }
+    }
+
+    #[test]
+    fn pinned_tier_never_exceeds_budget(
+        pins in vec((any::<u8>(), any::<u8>(), 1u8..40), 1..100),
+    ) {
+        let tier: PinnedTier<u8> = PinnedTier::new(256);
+        for (f, b, c) in &pins {
+            let _ = tier.pin(CacheKey::new(*f as u64, *b as u64), *f, *c as usize);
+            prop_assert!(tier.used() <= tier.budget());
+        }
+        // unpinning everything returns to zero
+        for (f, b, _) in &pins {
+            tier.unpin(&CacheKey::new(*f as u64, *b as u64));
+        }
+        prop_assert_eq!(tier.used(), 0);
+        prop_assert!(tier.is_empty());
+    }
+}

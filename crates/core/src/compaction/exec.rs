@@ -1,0 +1,201 @@
+//! Merge execution: sort-merges input tables into new partitioned tables,
+//! garbage-collecting obsolete versions and (when allowed) tombstones —
+//! the mechanics of tutorial Module I.1's `compaction` operation.
+
+use std::sync::Arc;
+
+use lsm_index::IndexKind;
+use lsm_storage::{StorageDevice, StorageResult};
+
+use crate::config::LsmConfig;
+use crate::iter::{MergingIter, Source};
+use crate::sstable::{Table, TableBuilder};
+
+/// Outcome of one merge.
+pub struct MergeResult {
+    /// New tables, in key order, partitioned at `target_table_bytes`.
+    pub tables: Vec<Arc<Table>>,
+    /// Entries written to the new tables.
+    pub entries_written: u64,
+    /// Tombstones garbage-collected.
+    pub tombstones_dropped: u64,
+    /// Obsolete (shadowed) versions dropped by the merge.
+    pub versions_dropped: u64,
+}
+
+/// Sort-merges `inputs` (ordered youngest first; tables within one run may
+/// be supplied in any relative order since their ranges are disjoint) into
+/// new tables on `device`.
+///
+/// `bits_per_key` is the filter budget for the output level.
+/// `drop_tombstones` enables tombstone GC (only sound at the last level —
+/// the caller checks [`crate::compaction::may_drop_tombstones`]).
+pub fn merge_tables(
+    device: &Arc<dyn StorageDevice>,
+    cfg: &LsmConfig,
+    index_kind: IndexKind,
+    bits_per_key: f64,
+    inputs_young_first: &[Arc<Table>],
+    drop_tombstones: bool,
+) -> StorageResult<MergeResult> {
+    let entries_in: u64 = inputs_young_first.iter().map(|t| t.meta().num_entries).sum();
+    let mut sources = Vec::with_capacity(inputs_young_first.len());
+    for t in inputs_young_first {
+        sources.push(Source::Table(t.iter_from(b"", None)?));
+    }
+    let mut merger = MergingIter::new(sources, true)?;
+    let mut out_tables = Vec::new();
+    let mut builder: Option<TableBuilder> = None;
+    let mut entries_written = 0u64;
+    let mut tombstones_dropped = 0u64;
+    while let Some(e) = merger.next_visible()? {
+        if drop_tombstones && e.is_tombstone() {
+            tombstones_dropped += 1;
+            continue;
+        }
+        let b = match &mut builder {
+            Some(b) => b,
+            None => {
+                builder = Some(TableBuilder::new(Arc::clone(device), cfg, bits_per_key)?);
+                builder.as_mut().unwrap()
+            }
+        };
+        b.add(&e.key, e.seqno, e.kind, &e.value)?;
+        entries_written += 1;
+        if b.estimated_file_bytes() >= cfg.target_table_bytes {
+            let full = builder.take().unwrap();
+            let (file, _meta) = full.finish()?;
+            out_tables.push(Table::open(file, index_kind)?);
+        }
+    }
+    if let Some(b) = builder {
+        if !b.is_empty() {
+            let (file, _meta) = b.finish()?;
+            out_tables.push(Table::open(file, index_kind)?);
+        }
+    }
+    let versions_dropped = entries_in
+        .saturating_sub(entries_written)
+        .saturating_sub(tombstones_dropped);
+    Ok(MergeResult {
+        tables: out_tables,
+        entries_written,
+        tombstones_dropped,
+        versions_dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::ValueKind;
+    use lsm_storage::{DeviceProfile, MemDevice};
+
+    fn device() -> Arc<dyn StorageDevice> {
+        Arc::new(MemDevice::new(512, DeviceProfile::free()))
+    }
+
+    fn cfg() -> LsmConfig {
+        LsmConfig {
+            block_size: 512,
+            target_table_bytes: 4 << 10,
+            ..LsmConfig::small_for_tests()
+        }
+    }
+
+    fn build(dev: &Arc<dyn StorageDevice>, entries: &[(&str, u64, ValueKind, &str)]) -> Arc<Table> {
+        let mut b = TableBuilder::new(Arc::clone(dev), &cfg(), 10.0).unwrap();
+        for (k, s, kind, v) in entries {
+            b.add(k.as_bytes(), *s, *kind, v.as_bytes()).unwrap();
+        }
+        let (f, _) = b.finish().unwrap();
+        Table::open(f, IndexKind::Fence).unwrap()
+    }
+
+    #[test]
+    fn merge_dedups_versions() {
+        let dev = device();
+        let newer = build(&dev, &[("a", 10, ValueKind::Put, "new"), ("b", 11, ValueKind::Put, "b")]);
+        let older = build(&dev, &[("a", 1, ValueKind::Put, "old"), ("c", 2, ValueKind::Put, "c")]);
+        let r = merge_tables(&dev, &cfg(), IndexKind::Fence, 10.0, &[newer, older], false).unwrap();
+        assert_eq!(r.entries_written, 3);
+        assert_eq!(r.versions_dropped, 1);
+        assert_eq!(r.tables.len(), 1);
+        let t = &r.tables[0];
+        let hit = t.get(b"a", None).unwrap().entry.unwrap();
+        assert_eq!(hit.value, b"new".to_vec());
+        assert_eq!(hit.seqno, 10);
+    }
+
+    #[test]
+    fn tombstone_gc_only_when_allowed() {
+        let dev = device();
+        let newer = build(&dev, &[("a", 10, ValueKind::Delete, "")]);
+        let older = build(&dev, &[("a", 1, ValueKind::Put, "old")]);
+        // without GC: tombstone kept, old version dropped
+        let keep = merge_tables(
+            &dev,
+            &cfg(),
+            IndexKind::Fence,
+            10.0,
+            &[newer.clone(), older.clone()],
+            false,
+        )
+        .unwrap();
+        assert_eq!(keep.entries_written, 1);
+        assert_eq!(keep.tombstones_dropped, 0);
+        assert_eq!(keep.tables[0].get(b"a", None).unwrap().entry.unwrap().kind, ValueKind::Delete);
+        // with GC: key vanishes entirely
+        let gc = merge_tables(&dev, &cfg(), IndexKind::Fence, 10.0, &[newer, older], true).unwrap();
+        assert_eq!(gc.entries_written, 0);
+        assert_eq!(gc.tombstones_dropped, 1);
+        assert!(gc.tables.is_empty());
+    }
+
+    #[test]
+    fn output_partitioned_at_target_size() {
+        let dev = device();
+        let mut b = TableBuilder::new(Arc::clone(&dev), &cfg(), 10.0).unwrap();
+        for i in 0..2000u32 {
+            b.add(format!("key{i:06}").as_bytes(), i as u64, ValueKind::Put, &[7u8; 64])
+                .unwrap();
+        }
+        let (f, _) = b.finish().unwrap();
+        let big = Table::open(f, IndexKind::Fence).unwrap();
+        let r = merge_tables(&dev, &cfg(), IndexKind::Fence, 10.0, &[big], false).unwrap();
+        assert!(r.tables.len() > 2, "{} output tables", r.tables.len());
+        // outputs are disjoint and ordered
+        for w in r.tables.windows(2) {
+            assert!(w[0].meta().max_key < w[1].meta().min_key);
+        }
+        assert_eq!(r.entries_written, 2000);
+        // every key still readable
+        for i in (0..2000u32).step_by(97) {
+            let key = format!("key{i:06}");
+            let found = r
+                .tables
+                .iter()
+                .any(|t| t.get(key.as_bytes(), None).unwrap().entry.is_some());
+            assert!(found, "{key} lost in merge");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_produce_no_tables() {
+        let dev = device();
+        let r = merge_tables(&dev, &cfg(), IndexKind::Fence, 10.0, &[], false).unwrap();
+        assert!(r.tables.is_empty());
+        assert_eq!(r.entries_written, 0);
+    }
+
+    #[test]
+    fn disjoint_run_tables_merge_in_order() {
+        let dev = device();
+        let t1 = build(&dev, &[("a", 1, ValueKind::Put, "1"), ("b", 2, ValueKind::Put, "2")]);
+        let t2 = build(&dev, &[("x", 3, ValueKind::Put, "3"), ("z", 4, ValueKind::Put, "4")]);
+        let r = merge_tables(&dev, &cfg(), IndexKind::Fence, 10.0, &[t2, t1], false).unwrap();
+        assert_eq!(r.entries_written, 4);
+        assert_eq!(r.tables[0].meta().min_key, b"a".to_vec());
+        assert_eq!(r.tables[0].meta().max_key, b"z".to_vec());
+    }
+}

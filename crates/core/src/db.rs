@@ -1,0 +1,1198 @@
+//! The public engine facade: `open → put/get/scan/delete → stats`.
+//!
+//! Maintenance (flush, compaction cascade, manifest rewrite, cache
+//! invalidation, optional prefetch) runs synchronously inside the write
+//! that triggers it, under one write lock — deterministic by design (see
+//! the crate docs). Reads share a read lock and a copy-on-write
+//! [`Version`] snapshot.
+
+use std::ops::{Bound, Range};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use lsm_cache::{plan_prefetch, HeatMap, PrefetchCandidate, ShardedCache};
+use lsm_filters::monkey_allocation;
+use lsm_storage::{
+    Block, DeviceProfile, FileId, IoStatsSnapshot, MemDevice, StorageDevice, StorageError,
+    StorageResult,
+};
+
+use crate::compaction::{self, exec::merge_tables, picker::pick_file, CompactionTask};
+use crate::config::{CompactionGranularity, FilterAllocation, LsmConfig};
+use crate::entry::{InternalEntry, ValueKind};
+use crate::kv_sep::{
+    decode_value, encode_inline, encode_pointer, read_pointer_from_device, ValueLog,
+};
+use crate::manifest::{find_manifest, write_manifest, ManifestState};
+use crate::memtable::Memtable;
+use crate::sstable::{Table, TableBuilder};
+use crate::stats::DbStats;
+use crate::version::{SortedRun, Version};
+use crate::wal::{self, Wal};
+
+/// Monotone map from byte keys to the heat-map domain.
+fn heat_key(key: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = key.len().min(8);
+    buf[..n].copy_from_slice(&key[..n]);
+    u64::from_be_bytes(buf)
+}
+
+struct Inner {
+    mem: Memtable,
+    version: Arc<Version>,
+    wal: Option<Wal>,
+    vlog: Option<ValueLog>,
+    next_seqno: u64,
+    manifest: Option<FileId>,
+    /// Round-robin partial-compaction cursors, one per level.
+    rr_cursors: Vec<usize>,
+}
+
+/// A configurable LSM-tree storage engine.
+pub struct Db {
+    device: Arc<dyn StorageDevice>,
+    cfg: LsmConfig,
+    cache: Option<Arc<ShardedCache<Block>>>,
+    stats: DbStats,
+    heat: Mutex<HeatMap>,
+    inner: RwLock<Inner>,
+    /// Outstanding [`crate::Snapshot`]s (blocks value-log GC).
+    snapshot_count: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl Db {
+    /// Opens (or recovers) an engine on `device`. The device's block size
+    /// must match `cfg.block_size`.
+    pub fn open(device: Arc<dyn StorageDevice>, cfg: LsmConfig) -> StorageResult<Db> {
+        cfg.validate().map_err(StorageError::Corruption)?;
+        if device.block_size() != cfg.block_size {
+            return Err(StorageError::Corruption(format!(
+                "device block size {} != configured {}",
+                device.block_size(),
+                cfg.block_size
+            )));
+        }
+        let cache = (cfg.cache_bytes > 0)
+            .then(|| Arc::new(ShardedCache::new(cfg.cache_policy, cfg.cache_bytes, 8)));
+        let mut inner = Inner {
+            mem: Memtable::with_front(cfg.buffer_front_bytes),
+            version: Arc::new(Version::new()),
+            wal: None,
+            vlog: None,
+            next_seqno: 1,
+            manifest: None,
+            rr_cursors: vec![0; 32],
+        };
+        let recovered = find_manifest(&device)?;
+        if let Some((mid, state)) = recovered {
+            inner.manifest = Some(mid);
+            inner.next_seqno = state.next_seqno.max(1);
+            let mut version = Version::new();
+            version.ensure_levels(state.levels.len());
+            for (i, level) in state.levels.iter().enumerate() {
+                for run_ids in level {
+                    let mut tables = Vec::with_capacity(run_ids.len());
+                    for &id in run_ids {
+                        let file = lsm_storage::ImmutableFile::open(Arc::clone(&device), FileId(id))?;
+                        tables.push(Table::open(file, cfg.index)?);
+                    }
+                    version.levels[i].runs.push(SortedRun::from_tables(tables));
+                }
+            }
+            inner.version = Arc::new(version);
+            // replay the WAL into a fresh memtable
+            if state.wal != 0 {
+                let records = wal::recover(Arc::clone(&device), FileId(state.wal))?;
+                for r in &records {
+                    inner.next_seqno = inner.next_seqno.max(r.seqno + 1);
+                    inner.mem.insert(r.key.clone(), r.seqno, r.kind, r.value.clone());
+                }
+                let _ = device.delete(FileId(state.wal));
+            }
+            // Old value logs stay readable via the device; new separated
+            // values go to a fresh log.
+        }
+        if cfg.wal {
+            let mut new_wal = Wal::create(Arc::clone(&device))?;
+            // re-log the replayed records so they stay durable
+            let mem_snapshot: Vec<InternalEntry> = inner
+                .mem
+                .range(Bound::Unbounded, Bound::Unbounded)
+                .collect();
+            for e in mem_snapshot {
+                new_wal.append(e.seqno, e.kind, &e.key, &e.value)?;
+            }
+            new_wal.sync()?;
+            inner.wal = Some(new_wal);
+        }
+        if cfg.kv_separation.is_some() {
+            inner.vlog = Some(ValueLog::create(Arc::clone(&device))?);
+        }
+        let db = Db {
+            device,
+            cfg,
+            cache,
+            stats: DbStats::default(),
+            heat: Mutex::new(HeatMap::new(1024, 100_000)),
+            inner: RwLock::new(inner),
+            snapshot_count: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+        };
+        {
+            let mut inner = db.inner.write();
+            db.persist_manifest(&mut inner)?;
+        }
+        Ok(db)
+    }
+
+    /// Opens on a fresh in-memory device with a free latency profile — the
+    /// default substrate for tests and experiments.
+    pub fn open_in_memory(cfg: LsmConfig) -> StorageResult<Db> {
+        let device: Arc<dyn StorageDevice> =
+            Arc::new(MemDevice::new(cfg.block_size, DeviceProfile::free()));
+        Db::open(device, cfg)
+    }
+
+    /// Opens on a fresh in-memory device with a latency profile, so
+    /// experiments can report simulated time.
+    pub fn open_simulated(cfg: LsmConfig, profile: DeviceProfile) -> StorageResult<Db> {
+        let device: Arc<dyn StorageDevice> =
+            Arc::new(MemDevice::new(cfg.block_size, profile));
+        Db::open(device, cfg)
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &LsmConfig {
+        &self.cfg
+    }
+
+    /// The storage device (for I/O statistics and simulated time).
+    pub fn device(&self) -> &Arc<dyn StorageDevice> {
+        &self.device
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    /// Device I/O counters.
+    pub fn io_stats(&self) -> IoStatsSnapshot {
+        self.device.stats().snapshot()
+    }
+
+    /// Block-cache counters, when caching is enabled.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.as_ref().map(|c| (c.stats().hits(), c.stats().misses()))
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Inserts or updates a key.
+    pub fn put(&self, key: Vec<u8>, value: Vec<u8>) -> StorageResult<()> {
+        DbStats::bump(&self.stats.puts);
+        self.stats
+            .add(&self.stats.bytes_ingested, (key.len() + value.len()) as u64);
+        self.write(key, ValueKind::Put, value)
+    }
+
+    /// Deletes a key (writes a tombstone).
+    pub fn delete(&self, key: Vec<u8>) -> StorageResult<()> {
+        DbStats::bump(&self.stats.deletes);
+        self.stats.add(&self.stats.bytes_ingested, key.len() as u64);
+        self.write(key, ValueKind::Delete, Vec::new())
+    }
+
+    fn write(&self, key: Vec<u8>, kind: ValueKind, value: Vec<u8>) -> StorageResult<()> {
+        let mut inner = self.inner.write();
+        let seqno = inner.next_seqno;
+        inner.next_seqno += 1;
+        // key-value separation
+        let stored = match (self.cfg.kv_separation, kind) {
+            (Some(sep), ValueKind::Put) => {
+                if value.len() >= sep.min_value_bytes {
+                    let vlog = inner.vlog.as_mut().expect("vlog exists when separation on");
+                    let ptr = vlog.append(&key, &value)?;
+                    DbStats::bump(&self.stats.vlog_values);
+                    encode_pointer(ptr)
+                } else {
+                    encode_inline(&value)
+                }
+            }
+            (Some(_), ValueKind::Delete) => Vec::new(),
+            (None, _) => value,
+        };
+        if let Some(wal) = &mut inner.wal {
+            wal.append(seqno, kind, &key, &stored)?;
+        }
+        inner.mem.insert(key, seqno, kind, stored);
+        if inner.mem.bytes() >= self.cfg.buffer_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Forces a memtable flush (and any resulting compaction cascade).
+    pub fn flush(&self) -> StorageResult<()> {
+        let mut inner = self.inner.write();
+        self.flush_locked(&mut inner)
+    }
+
+    /// Runs the compaction cascade to quiescence without flushing.
+    pub fn compact(&self) -> StorageResult<()> {
+        let mut inner = self.inner.write();
+        self.maybe_compact_locked(&mut inner)
+    }
+
+    /// Major compaction: flushes, then merges *everything* into a single
+    /// run at the bottom level, garbage-collecting all tombstones and
+    /// obsolete versions. The classic "full compaction" maintenance knob.
+    pub fn major_compact(&self) -> StorageResult<()> {
+        let mut inner = self.inner.write();
+        self.flush_locked(&mut inner)?;
+        let version = (*inner.version).clone();
+        let Some(last) = version.last_occupied_level() else {
+            return Ok(());
+        };
+        let mut inputs: Vec<Arc<Table>> = Vec::new();
+        for level in &version.levels {
+            for run in &level.runs {
+                inputs.extend(run.tables.iter().cloned());
+            }
+        }
+        if inputs.len() <= 1 && version.total_runs() <= 1 {
+            return Ok(());
+        }
+        let bits = self.bits_for_level(&version, last);
+        let result = merge_tables(&self.device, &self.cfg, self.cfg.index, bits, &inputs, true)?;
+        let mut new_version = Version::new();
+        new_version.ensure_levels(last + 1);
+        if !result.tables.is_empty() {
+            new_version.levels[last].runs = vec![SortedRun::from_tables(result.tables)];
+        }
+        DbStats::bump(&self.stats.compactions);
+        self.stats
+            .add(&self.stats.compaction_entries, result.entries_written);
+        self.stats
+            .add(&self.stats.tombstones_dropped, result.tombstones_dropped);
+        self.stats
+            .add(&self.stats.versions_dropped, result.versions_dropped);
+        inner.version = Arc::new(new_version);
+        self.persist_manifest(&mut inner)?;
+        for t in &inputs {
+            if let Some(cache) = &self.cache {
+                let max_block = t.meta().data_blocks.len().saturating_sub(1) as u64;
+                cache.invalidate_file(t.id(), max_block);
+            }
+            t.mark_obsolete();
+        }
+        Ok(())
+    }
+
+    /// Forces the WAL tail to the device (group commit / `fsync`). Writes
+    /// issued before `sync` returns survive a crash; unsynced tail records
+    /// may be lost (standard torn-tail semantics).
+    pub fn sync(&self) -> StorageResult<()> {
+        let mut inner = self.inner.write();
+        if let Some(wal) = &mut inner.wal {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Point lookup: the newest visible value for `key`.
+    pub fn get(&self, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        DbStats::bump(&self.stats.gets);
+        self.heat.lock().record(heat_key(key));
+        let inner = self.inner.read();
+        if let Some(e) = inner.mem.get(key) {
+            return match e.kind {
+                ValueKind::Delete => Ok(None),
+                ValueKind::Put => {
+                    let v = self.resolve_value(&inner, e.value)?;
+                    DbStats::bump(&self.stats.gets_found);
+                    Ok(Some(v))
+                }
+            };
+        }
+        let version = Arc::clone(&inner.version);
+        for level in &version.levels {
+            for run in &level.runs {
+                let Some(table) = run.table_for(key) else {
+                    DbStats::bump(&self.stats.range_prunes);
+                    continue;
+                };
+                DbStats::bump(&self.stats.runs_probed);
+                let got = table.get(key, self.cache.as_deref())?;
+                if got.filter_pruned {
+                    DbStats::bump(&self.stats.filter_prunes);
+                }
+                self.stats
+                    .add(&self.stats.blocks_examined, got.blocks_examined as u64);
+                if let Some(e) = got.entry {
+                    return match e.kind {
+                        ValueKind::Delete => Ok(None),
+                        ValueKind::Put => {
+                            let v = self.resolve_value(&inner, e.value)?;
+                            DbStats::bump(&self.stats.gets_found);
+                            Ok(Some(v))
+                        }
+                    };
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn resolve_value(&self, inner: &Inner, raw: Vec<u8>) -> StorageResult<Vec<u8>> {
+        if self.cfg.kv_separation.is_none() {
+            return Ok(raw);
+        }
+        match decode_value(&raw) {
+            Some(Ok(inline)) => Ok(inline.to_vec()),
+            Some(Err(ptr)) => {
+                DbStats::bump(&self.stats.vlog_resolves);
+                match &inner.vlog {
+                    Some(active) if active.id() == ptr.file => active.read(ptr),
+                    _ => read_pointer_from_device(&self.device, ptr),
+                }
+            }
+            None => Err(StorageError::Corruption("bad separated value".into())),
+        }
+    }
+
+    /// Range scan: up to `limit` live entries with `range.start ≤ key <
+    /// range.end`, in key order, over a consistent snapshot.
+    pub fn scan(&self, range: Range<Vec<u8>>, limit: usize) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        DbStats::bump(&self.stats.scans);
+        if range.start >= range.end {
+            return Ok(Vec::new());
+        }
+        let inner = self.inner.read();
+        let start = range.start.as_slice();
+        let end = range.end.as_slice();
+        let mut sources = Vec::new();
+        // memtable snapshot (rank 0 = youngest)
+        let mem_entries: Vec<InternalEntry> = inner
+            .mem
+            .range(Bound::Included(start), Bound::Excluded(end))
+            .collect();
+        sources.push(crate::iter::Source::Mem(mem_entries.into_iter()));
+        // sorted runs, youngest level/run first; range-filter pruning is an
+        // in-memory probe, so it happens up front, while data blocks are
+        // only read lazily as the merge reaches each table
+        let version = Arc::clone(&inner.version);
+        for level in &version.levels {
+            for run in &level.runs {
+                let tables: Vec<_> = run
+                    .overlapping(start, end)
+                    .iter()
+                    .filter(|table| {
+                        let keep = table
+                            .range_may_overlap(Bound::Included(start), Bound::Excluded(end));
+                        if !keep {
+                            DbStats::bump(&self.stats.range_filter_prunes);
+                        }
+                        keep
+                    })
+                    .cloned()
+                    .collect();
+                if !tables.is_empty() {
+                    sources.push(crate::iter::Source::Run(crate::iter::RunIterator::new(
+                        tables,
+                        start.to_vec(),
+                        self.cache.clone(),
+                    )));
+                }
+            }
+        }
+        let mut merger = crate::iter::MergingIter::new(sources, false)?;
+        let entries = merger.collect_until(Some(end), false, limit)?;
+        self.stats
+            .add(&self.stats.scan_entries, entries.len() as u64);
+        entries
+            .into_iter()
+            .map(|e| Ok((e.key, self.resolve_value(&inner, e.value)?)))
+            .collect()
+    }
+
+    /// Takes a long-lived point-in-time snapshot. Unlike
+    /// [`Db::iter_range`], the snapshot holds no lock: writers and
+    /// compactions proceed freely, and the snapshot's files stay alive
+    /// (deletion is deferred to the last reference) until it is dropped.
+    ///
+    /// The memtable is copied (O(buffer size)); with key-value separation
+    /// the value-log tail is synced first so pointer reads need no access
+    /// to engine internals.
+    pub fn snapshot(&self) -> StorageResult<crate::snapshot::Snapshot> {
+        let mut inner = self.inner.write();
+        if let Some(vlog) = &mut inner.vlog {
+            vlog.sync()?;
+        }
+        Ok(crate::snapshot::Snapshot {
+            mem: inner.mem.clone(),
+            version: Arc::clone(&inner.version),
+            cache: self.cache.clone(),
+            device: Arc::clone(&self.device),
+            kv_separation: self.cfg.kv_separation.is_some(),
+            pin: crate::snapshot::SnapshotPin::new(Arc::clone(&self.snapshot_count)),
+        })
+    }
+
+    /// A streaming iterator over live entries with `start ≤ key < end`
+    /// (unbounded end when `end` is `None`), over a consistent snapshot.
+    ///
+    /// The iterator holds a read lock on the engine for its lifetime:
+    /// reads proceed concurrently, writes block until it is dropped — the
+    /// deterministic analogue of production engines' snapshot pinning.
+    pub fn iter_range(
+        &self,
+        start: Vec<u8>,
+        end: Option<Vec<u8>>,
+    ) -> StorageResult<DbIterator<'_>> {
+        DbStats::bump(&self.stats.scans);
+        if let Some(e) = &end {
+            if start >= *e {
+                // empty range: an iterator that yields nothing
+                let guard = self.inner.read();
+                return Ok(DbIterator {
+                    db: self,
+                    _guard: guard,
+                    merger: crate::iter::MergingIter::new(Vec::new(), false)?,
+                    end,
+                });
+            }
+        }
+        let guard = self.inner.read();
+        let hi_bound = match &end {
+            Some(e) => Bound::Excluded(e.as_slice()),
+            None => Bound::Unbounded,
+        };
+        let mut sources = Vec::new();
+        let mem_entries: Vec<InternalEntry> = guard
+            .mem
+            .range(Bound::Included(start.as_slice()), hi_bound)
+            .collect();
+        sources.push(crate::iter::Source::Mem(mem_entries.into_iter()));
+        let version = Arc::clone(&guard.version);
+        for level in &version.levels {
+            for run in &level.runs {
+                let overlapping = match &end {
+                    Some(e) => run.overlapping(&start, e),
+                    None => {
+                        let idx = run
+                            .tables
+                            .partition_point(|t| t.meta().max_key.as_slice() < start.as_slice());
+                        &run.tables[idx..]
+                    }
+                };
+                let tables: Vec<_> = overlapping.to_vec();
+                if !tables.is_empty() {
+                    sources.push(crate::iter::Source::Run(crate::iter::RunIterator::new(
+                        tables,
+                        start.clone(),
+                        self.cache.clone(),
+                    )));
+                }
+            }
+        }
+        let merger = crate::iter::MergingIter::new(sources, false)?;
+        Ok(DbIterator {
+            db: self,
+            _guard: guard,
+            merger,
+            end,
+        })
+    }
+
+    /// Scan helper: first `limit` live entries with key ≥ `start`.
+    pub fn scan_from(&self, start: Vec<u8>, limit: usize) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        // an unbounded scan is a scan to the key-space maximum
+        let mut end = start.clone();
+        end.resize(64, 0xFF);
+        end.fill(0xFF);
+        self.scan(start..end, limit)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Per-level `(runs, bytes, entries)` summary.
+    pub fn level_summary(&self) -> Vec<(usize, u64, u64)> {
+        let inner = self.inner.read();
+        inner
+            .version
+            .levels
+            .iter()
+            .map(|l| {
+                (
+                    l.runs.iter().filter(|r| !r.is_empty()).count(),
+                    l.bytes(),
+                    l.num_entries(),
+                )
+            })
+            .collect()
+    }
+
+    /// Total sorted runs a lookup may probe.
+    pub fn total_runs(&self) -> usize {
+        self.inner.read().version.total_runs()
+    }
+
+    /// Total in-memory filter bits across live tables.
+    pub fn total_filter_bits(&self) -> usize {
+        let inner = self.inner.read();
+        inner
+            .version
+            .levels
+            .iter()
+            .flat_map(|l| &l.runs)
+            .flat_map(|r| &r.tables)
+            .map(|t| t.filter_size_bits())
+            .sum()
+    }
+
+    /// Total in-memory block-index bits across live tables.
+    pub fn total_index_bits(&self) -> usize {
+        let inner = self.inner.read();
+        inner
+            .version
+            .levels
+            .iter()
+            .flat_map(|l| &l.runs)
+            .flat_map(|r| &r.tables)
+            .map(|t| t.index_size_bits())
+            .sum()
+    }
+
+    /// Debug helper: for each table whose range covers `key`, reports the
+    /// table id, its key range, and what the lookup found. Used by tests
+    /// diagnosing locator issues.
+    pub fn debug_probe(&self, key: &[u8]) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut out = Vec::new();
+        for (li, level) in inner.version.levels.iter().enumerate() {
+            for (ri, run) in level.runs.iter().enumerate() {
+                for t in &run.tables {
+                    if t.meta().key_in_range(key) {
+                        let got = t.get(key, None);
+                        out.push(format!(
+                            "L{li} run{ri} table{} [{}..{}] blocks={} -> {:?}",
+                            t.id(),
+                            String::from_utf8_lossy(&t.meta().min_key),
+                            String::from_utf8_lossy(&t.meta().max_key),
+                            t.meta().data_blocks.len(),
+                            got.map(|g| (g.entry.is_some(), g.filter_pruned, g.blocks_examined))
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Live entries visible to readers (excluding shadowed versions).
+    pub fn approximate_entries(&self) -> u64 {
+        let inner = self.inner.read();
+        inner.version.total_entries() + inner.mem.len() as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    fn bits_for_level(&self, version: &Version, level: usize) -> f64 {
+        match self.cfg.filter_allocation {
+            FilterAllocation::Uniform => self.cfg.bits_per_key,
+            FilterAllocation::Monkey => {
+                let mut counts = version.entries_per_level();
+                if counts.len() <= level {
+                    counts.resize(level + 1, 0);
+                }
+                let total: u64 = counts.iter().sum();
+                if total == 0 {
+                    return self.cfg.bits_per_key;
+                }
+                // project sizes for currently-empty levels from the tree's
+                // geometry, so a fresh L0 table still receives the high
+                // bits/key Monkey assigns small levels
+                let last = counts.iter().rposition(|&c| c > 0).unwrap_or(level);
+                let bottom = counts[last].max(1);
+                let t = self.cfg.size_ratio.max(2) as u64;
+                for (i, c) in counts.iter_mut().enumerate() {
+                    if *c == 0 {
+                        let depth = last.abs_diff(i) as u32;
+                        *c = (bottom / t.saturating_pow(depth)).max(1);
+                    }
+                }
+                let budget = self.cfg.bits_per_key * total as f64;
+                let alloc = monkey_allocation(&counts, budget);
+                alloc
+                    .bits_per_key
+                    .get(level)
+                    .copied()
+                    .unwrap_or(self.cfg.bits_per_key)
+            }
+        }
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> StorageResult<()> {
+        if inner.mem.is_empty() {
+            return Ok(());
+        }
+        let entries = inner.mem.drain_sorted();
+        debug_assert!(inner.mem.is_empty());
+        let bits = self.bits_for_level(&inner.version, 0);
+        let mut builder = TableBuilder::new(Arc::clone(&self.device), &self.cfg, bits)?;
+        for e in &entries {
+            builder.add(&e.key, e.seqno, e.kind, &e.value)?;
+        }
+        let (file, _meta) = builder.finish()?;
+        let table = Table::open(file, self.cfg.index)?;
+        let mut version = (*inner.version).clone();
+        version.ensure_levels(1);
+        version.levels[0].runs.insert(0, SortedRun::single(table));
+        inner.version = Arc::new(version);
+        DbStats::bump(&self.stats.flushes);
+        // rotate the WAL: the flushed entries are durable in the table now
+        if self.cfg.wal {
+            if let Some(old) = inner.wal.take() {
+                let old_file = old.seal()?;
+                old_file.delete()?;
+            }
+            inner.wal = Some(Wal::create(Arc::clone(&self.device))?);
+        }
+        self.persist_manifest(inner)?;
+        self.maybe_compact_locked(inner)
+    }
+
+    fn maybe_compact_locked(&self, inner: &mut Inner) -> StorageResult<()> {
+        // a generous bound: each step strictly reduces pressure, so hitting
+        // it means a planner bug, not a big workload
+        for _ in 0..10_000 {
+            let Some(task) = compaction::plan(&inner.version, &self.cfg) else {
+                return Ok(());
+            };
+            self.execute_task(inner, task)?;
+        }
+        Err(StorageError::Corruption(
+            "compaction cascade failed to converge".into(),
+        ))
+    }
+
+    fn execute_task(&self, inner: &mut Inner, task: CompactionTask) -> StorageResult<()> {
+        let version = (*inner.version).clone();
+        let level = task.level();
+        let target = match task {
+            CompactionTask::MergeInPlace { .. } => level,
+            _ => level + 1,
+        };
+        let index_kind = self.cfg.index;
+        let bits = self.bits_for_level(&version, target);
+
+        // gather inputs (young first) and compute the replacement version
+        let mut new_version = version.clone();
+        new_version.ensure_levels(target + 1);
+        let mut inputs: Vec<Arc<Table>> = Vec::new();
+        let mut keep_left: Vec<Arc<Table>> = Vec::new();
+        let mut keep_right: Vec<Arc<Table>> = Vec::new();
+        let drop_tombstones;
+        enum Apply {
+            ReplaceTargetRun,
+            AppendRun,
+            InPlace,
+        }
+        let apply;
+        match task {
+            CompactionTask::MergeIntoNext { .. } => {
+                for run in &version.levels[level].runs {
+                    inputs.extend(run.tables.iter().cloned());
+                }
+                let lo = inputs
+                    .iter()
+                    .map(|t| t.meta().min_key.clone())
+                    .min()
+                    .unwrap_or_default();
+                let hi = inputs
+                    .iter()
+                    .map(|t| t.meta().max_key.clone())
+                    .max()
+                    .unwrap_or_default();
+                let target_runs = &version.levels.get(target).map(|l| l.runs.clone()).unwrap_or_default();
+                if target_runs.len() <= 1 {
+                    if let Some(run) = target_runs.first() {
+                        for t in &run.tables {
+                            if t.meta().max_key.as_slice() < lo.as_slice() {
+                                keep_left.push(Arc::clone(t));
+                            } else if t.meta().min_key.as_slice() > hi.as_slice() {
+                                keep_right.push(Arc::clone(t));
+                            } else {
+                                inputs.push(Arc::clone(t));
+                            }
+                        }
+                    }
+                } else {
+                    // transient multi-run target: fold everything in
+                    for run in target_runs {
+                        inputs.extend(run.tables.iter().cloned());
+                    }
+                }
+                drop_tombstones = compaction::may_drop_tombstones(&version, target, true);
+                new_version.levels[level].runs.clear();
+                apply = Apply::ReplaceTargetRun;
+            }
+            CompactionTask::AppendToNext { .. } => {
+                for run in &version.levels[level].runs {
+                    inputs.extend(run.tables.iter().cloned());
+                }
+                drop_tombstones = compaction::may_drop_tombstones(&version, target, false)
+                    && version.levels.get(target).is_none_or(|l| l.is_empty());
+                new_version.levels[level].runs.clear();
+                apply = Apply::AppendRun;
+            }
+            CompactionTask::MergeInPlace { .. } => {
+                for run in &version.levels[level].runs {
+                    inputs.extend(run.tables.iter().cloned());
+                }
+                drop_tombstones = compaction::may_drop_tombstones(&version, level, true);
+                new_version.levels[level].runs.clear();
+                apply = Apply::InPlace;
+            }
+            CompactionTask::PartialIntoNext { .. } => {
+                let CompactionGranularity::Partial(picker) = self.cfg.granularity else {
+                    return Err(StorageError::Corruption(
+                        "partial task without partial granularity".into(),
+                    ));
+                };
+                let run = version.levels[level]
+                    .runs
+                    .first()
+                    .cloned()
+                    .unwrap_or_default();
+                if run.tables.is_empty() {
+                    return Ok(());
+                }
+                if inner.rr_cursors.len() <= level {
+                    inner.rr_cursors.resize(level + 1, 0);
+                }
+                let next_run = version
+                    .levels
+                    .get(target)
+                    .and_then(|l| l.runs.first())
+                    .cloned();
+                let idx = pick_file(picker, &run, next_run.as_ref(), &mut inner.rr_cursors[level]);
+                let victim = Arc::clone(&run.tables[idx]);
+                let (lo, hi) = (victim.meta().min_key.clone(), victim.meta().max_key.clone());
+                inputs.push(victim.clone());
+                if let Some(trun) = &next_run {
+                    for t in &trun.tables {
+                        if t.meta().max_key.as_slice() < lo.as_slice() {
+                            keep_left.push(Arc::clone(t));
+                        } else if t.meta().min_key.as_slice() > hi.as_slice() {
+                            keep_right.push(Arc::clone(t));
+                        } else {
+                            inputs.push(Arc::clone(t));
+                        }
+                    }
+                }
+                drop_tombstones = compaction::may_drop_tombstones(&version, target, true);
+                // remove the victim from the source run
+                let mut source_tables = run.tables.clone();
+                source_tables.remove(idx);
+                new_version.levels[level].runs = if source_tables.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![SortedRun::from_tables(source_tables)]
+                };
+                apply = Apply::ReplaceTargetRun;
+            }
+        }
+
+        let result = merge_tables(
+            &self.device,
+            &self.cfg,
+            index_kind,
+            bits,
+            &inputs,
+            drop_tombstones,
+        )?;
+
+        // splice the outputs into the new version
+        match apply {
+            Apply::ReplaceTargetRun => {
+                let mut tables = keep_left;
+                tables.extend(result.tables.iter().cloned());
+                tables.extend(keep_right);
+                tables.sort_by(|a, b| a.meta().min_key.cmp(&b.meta().min_key));
+                new_version.levels[target].runs = if tables.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![SortedRun::from_tables(tables)]
+                };
+            }
+            Apply::AppendRun => {
+                if !result.tables.is_empty() {
+                    new_version.levels[target]
+                        .runs
+                        .insert(0, SortedRun::from_tables(result.tables.clone()));
+                }
+            }
+            Apply::InPlace => {
+                new_version.levels[level].runs = if result.tables.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![SortedRun::from_tables(result.tables.clone())]
+                };
+            }
+        }
+
+        // bookkeeping
+        DbStats::bump(&self.stats.compactions);
+        self.stats
+            .add(&self.stats.compaction_entries, result.entries_written);
+        self.stats
+            .add(&self.stats.tombstones_dropped, result.tombstones_dropped);
+        self.stats
+            .add(&self.stats.versions_dropped, result.versions_dropped);
+        DbStats::record_max(
+            &self.stats.largest_compaction_entries,
+            result.entries_written,
+        );
+
+        inner.version = Arc::new(new_version);
+        self.persist_manifest(inner)?;
+
+        // invalidate cached blocks of consumed tables and mark them
+        // obsolete: their files are physically deleted when the last
+        // reference (a snapshot or an in-flight iterator) drops
+        for t in &inputs {
+            if let Some(cache) = &self.cache {
+                let max_block = t.meta().data_blocks.len().saturating_sub(1) as u64;
+                cache.invalidate_file(t.id(), max_block);
+            }
+            t.mark_obsolete();
+        }
+
+        // Leaper-style prefetch: re-admit hot blocks of the new tables
+        if self.cfg.prefetch_after_compaction {
+            if let Some(cache) = &self.cache {
+                let mut candidates = Vec::new();
+                for t in &result.tables {
+                    let meta = t.meta();
+                    let mut prev_fence: Option<&[u8]> = None;
+                    for (i, fence) in meta.fences.iter().enumerate() {
+                        let min_key = prev_fence.unwrap_or(meta.min_key.as_slice());
+                        candidates.push(PrefetchCandidate {
+                            file: t.id(),
+                            block: i as u64,
+                            min_key: heat_key(min_key),
+                            max_key: heat_key(fence),
+                        });
+                        prev_fence = Some(fence.as_slice());
+                    }
+                }
+                let plan = {
+                    let heat = self.heat.lock();
+                    plan_prefetch(&heat, &candidates, 0.90, 256)
+                };
+                for key in plan {
+                    if let Some(t) = result.tables.iter().find(|t| t.id() == key.file) {
+                        t.read_data_block(key.block as usize, Some(cache))?;
+                        DbStats::bump(&self.stats.prefetched_blocks);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn persist_manifest(&self, inner: &mut Inner) -> StorageResult<()> {
+        let state = ManifestState {
+            levels: inner
+                .version
+                .levels
+                .iter()
+                .map(|l| {
+                    l.runs
+                        .iter()
+                        .map(|r| r.tables.iter().map(|t| t.id()).collect())
+                        .collect()
+                })
+                .collect(),
+            wal: inner.wal.as_ref().map_or(0, |w| w.id().0),
+            vlog: inner.vlog.as_ref().map_or(0, |v| v.id().0),
+            next_seqno: inner.next_seqno,
+        };
+        inner.manifest = Some(write_manifest(&self.device, &state, inner.manifest)?);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Value-log GC (key-value separation extension)
+    // ------------------------------------------------------------------
+
+    /// Garbage-collects the active value log: rewrites live values through
+    /// the normal write path and destroys the old log. Returns
+    /// `(live_rewritten, dead_dropped)`.
+    ///
+    /// Refuses to run while snapshots are outstanding: their pointers may
+    /// reference the log this call would destroy.
+    pub fn gc_value_log(&self) -> StorageResult<(u64, u64)> {
+        if self.cfg.kv_separation.is_none() {
+            return Ok((0, 0));
+        }
+        if self.snapshot_count.load(std::sync::atomic::Ordering::Acquire) > 0 {
+            return Err(StorageError::Corruption(
+                "value-log GC refused: outstanding snapshots reference the log".into(),
+            ));
+        }
+        // swap in a fresh log
+        let old = {
+            let mut inner = self.inner.write();
+            let fresh = ValueLog::create(Arc::clone(&self.device))?;
+            let old = inner.vlog.replace(fresh);
+            self.persist_manifest(&mut inner)?;
+            old
+        };
+        let Some(old) = old else { return Ok((0, 0)) };
+        let records = old.scan_all()?;
+        let mut live = 0u64;
+        let mut dead = 0u64;
+        for (key, value, ptr) in records {
+            // the record is live iff the engine's current raw value still
+            // points at it
+            let is_live = {
+                let inner = self.inner.read();
+                self.raw_stored_value(&inner, &key)?
+                    .and_then(|raw| decode_value(&raw).and_then(|d| d.err()))
+                    .is_some_and(|p| p == ptr)
+            };
+            if is_live {
+                self.put(key, value)?;
+                live += 1;
+            } else {
+                dead += 1;
+            }
+        }
+        old.destroy()?;
+        Ok((live, dead))
+    }
+
+    /// Newest raw (unresolved) engine value for `key`, if any and live.
+    fn raw_stored_value(&self, inner: &Inner, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        if let Some(e) = inner.mem.get(key) {
+            return Ok(match e.kind {
+                ValueKind::Delete => None,
+                ValueKind::Put => Some(e.value),
+            });
+        }
+        for level in &inner.version.levels {
+            for run in &level.runs {
+                let Some(table) = run.table_for(key) else { continue };
+                let got = table.get(key, self.cache.as_deref())?;
+                if let Some(e) = got.entry {
+                    return Ok(match e.kind {
+                        ValueKind::Delete => None,
+                        ValueKind::Put => Some(e.value),
+                    });
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// A streaming snapshot iterator over live entries (see
+/// [`Db::iter_range`]). Yields `(key, value)` pairs in ascending key
+/// order; I/O errors surface as `Err` items and end the iteration.
+pub struct DbIterator<'a> {
+    db: &'a Db,
+    _guard: parking_lot::RwLockReadGuard<'a, Inner>,
+    merger: crate::iter::MergingIter,
+    end: Option<Vec<u8>>,
+}
+
+impl DbIterator<'_> {
+    /// Next live entry, with errors surfaced explicitly.
+    pub fn try_next(&mut self) -> StorageResult<Option<(Vec<u8>, Vec<u8>)>> {
+        let Some(e) = self.merger.next_visible()? else {
+            return Ok(None);
+        };
+        if let Some(end) = &self.end {
+            if e.key.as_slice() >= end.as_slice() {
+                return Ok(None);
+            }
+        }
+        DbStats::bump(&self.db.stats.scan_entries);
+        let value = self.db.resolve_value(&self._guard, e.value)?;
+        Ok(Some((e.key, value)))
+    }
+}
+
+impl Iterator for DbIterator<'_> {
+    type Item = StorageResult<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.try_next().transpose()
+    }
+}
+
+impl Drop for Db {
+    /// Clean shutdown: pad the WAL tail so every acknowledged write is on
+    /// the device. Crash semantics (torn tails) are exercised by dropping
+    /// the device instead of the `Db`.
+    fn drop(&mut self) {
+        let mut inner = self.inner.write();
+        if let Some(wal) = &mut inner.wal {
+            let _ = wal.sync();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LsmConfig {
+        LsmConfig::small_for_tests()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let db = Db::open_in_memory(small()).unwrap();
+        db.put(b"hello".to_vec(), b"world".to_vec()).unwrap();
+        assert_eq!(db.get(b"hello").unwrap(), Some(b"world".to_vec()));
+        assert_eq!(db.get(b"missing").unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_returns_newest() {
+        let db = Db::open_in_memory(small()).unwrap();
+        db.put(b"k".to_vec(), b"v1".to_vec()).unwrap();
+        db.put(b"k".to_vec(), b"v2".to_vec()).unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn delete_hides_older_versions_across_flushes() {
+        let db = Db::open_in_memory(small()).unwrap();
+        db.put(b"k".to_vec(), b"v".to_vec()).unwrap();
+        db.flush().unwrap();
+        db.delete(b"k".to_vec()).unwrap();
+        assert_eq!(db.get(b"k").unwrap(), None);
+        db.flush().unwrap();
+        assert_eq!(db.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn many_writes_trigger_flush_and_compaction() {
+        let db = Db::open_in_memory(small()).unwrap();
+        for i in 0..3000u32 {
+            db.put(
+                format!("key{i:06}").as_bytes().to_vec(),
+                format!("value{i:06}").into_bytes(),
+            )
+            .unwrap();
+        }
+        let s = db.stats().snapshot();
+        assert!(s.flushes > 0, "no flush happened");
+        assert!(s.compactions > 0, "no compaction happened");
+        // everything still readable
+        for i in (0..3000u32).step_by(113) {
+            let key = format!("key{i:06}");
+            assert_eq!(
+                db.get(key.as_bytes()).unwrap(),
+                Some(format!("value{i:06}").into_bytes()),
+                "{key}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_merges_memtable_and_tables() {
+        let db = Db::open_in_memory(small()).unwrap();
+        for i in 0..500u32 {
+            db.put(format!("key{i:04}").into_bytes(), format!("v{i}").into_bytes())
+                .unwrap();
+        }
+        db.flush().unwrap();
+        // overwrite a few in the memtable
+        db.put(b"key0100".to_vec(), b"NEW".to_vec()).unwrap();
+        db.delete(b"key0101".to_vec()).unwrap();
+        let got = db.scan(b"key0099".to_vec()..b"key0103".to_vec(), 100).unwrap();
+        let keys: Vec<_> = got.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(
+            keys,
+            vec![b"key0099".to_vec(), b"key0100".to_vec(), b"key0102".to_vec()]
+        );
+        assert_eq!(got[1].1, b"NEW".to_vec());
+    }
+
+    #[test]
+    fn streaming_iterator_matches_scan() {
+        let db = Db::open_in_memory(small()).unwrap();
+        for i in 0..800u32 {
+            db.put(format!("key{i:04}").into_bytes(), format!("v{i}").into_bytes())
+                .unwrap();
+        }
+        db.delete(b"key0100".to_vec()).unwrap();
+        let scanned = db.scan(b"key0050".to_vec()..b"key0150".to_vec(), usize::MAX).unwrap();
+        let streamed: Vec<_> = db
+            .iter_range(b"key0050".to_vec(), Some(b"key0150".to_vec()))
+            .unwrap()
+            .collect::<StorageResult<Vec<_>>>()
+            .unwrap();
+        assert_eq!(scanned, streamed);
+        assert_eq!(streamed.len(), 99, "100 keys minus one delete");
+    }
+
+    #[test]
+    fn streaming_iterator_unbounded_reaches_the_end() {
+        let db = Db::open_in_memory(small()).unwrap();
+        for i in 0..300u32 {
+            db.put(format!("key{i:04}").into_bytes(), b"v".to_vec()).unwrap();
+        }
+        db.flush().unwrap();
+        let n = db.iter_range(b"key0250".to_vec(), None).unwrap().count();
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn inverted_and_empty_ranges_are_empty_not_panicking() {
+        let db = Db::open_in_memory(small()).unwrap();
+        for i in 0..100u32 {
+            db.put(format!("k{i:03}").into_bytes(), b"v".to_vec()).unwrap();
+        }
+        assert!(db.scan(b"k050".to_vec()..b"k010".to_vec(), 10).unwrap().is_empty());
+        assert!(db.scan(b"k050".to_vec()..b"k050".to_vec(), 10).unwrap().is_empty());
+        let n = db
+            .iter_range(b"k050".to_vec(), Some(b"k010".to_vec()))
+            .unwrap()
+            .count();
+        assert_eq!(n, 0);
+        let snap = db.snapshot().unwrap();
+        assert!(snap.scan(b"z".to_vec()..b"a".to_vec(), 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scan_respects_limit_and_order() {
+        let db = Db::open_in_memory(small()).unwrap();
+        for i in (0..1000u32).rev() {
+            db.put(format!("key{i:04}").into_bytes(), b"v".to_vec()).unwrap();
+        }
+        let got = db.scan(b"key0000".to_vec()..b"key9999".to_vec(), 17).unwrap();
+        assert_eq!(got.len(), 17);
+        for w in got.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert_eq!(got[0].0, b"key0000".to_vec());
+    }
+}

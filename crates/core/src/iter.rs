@@ -1,0 +1,301 @@
+//! Merging iterators: the scan path (tutorial Module I.1's `scan`).
+//!
+//! A scan assigns one iterator per qualifying source (memtable + every
+//! sorted run), merges them in key order, keeps only the newest version of
+//! each key (sources are ranked youngest-first), and suppresses tombstoned
+//! keys. Compaction reuses the same merge with tombstone retention.
+
+use std::sync::Arc;
+
+use lsm_cache::ShardedCache;
+use lsm_storage::{Block, StorageResult};
+
+use crate::entry::{InternalEntry, ValueKind};
+use crate::sstable::{Table, TableIterator};
+
+/// Lazily chains the iterators of a run's key-ordered, disjoint tables:
+/// a table is opened (and its first block read) only when the scan
+/// actually reaches its key range — a 10-entry scan over a 100-table run
+/// touches one or two tables, not all of them.
+pub struct RunIterator {
+    tables: std::vec::IntoIter<Arc<Table>>,
+    cache: Option<Arc<ShardedCache<Block>>>,
+    start: Vec<u8>,
+    current: Option<TableIterator>,
+    first: bool,
+}
+
+impl RunIterator {
+    /// Iterator over `tables` (key-ordered, disjoint) from `start`.
+    pub fn new(
+        tables: Vec<Arc<Table>>,
+        start: Vec<u8>,
+        cache: Option<Arc<ShardedCache<Block>>>,
+    ) -> Self {
+        RunIterator {
+            tables: tables.into_iter(),
+            cache,
+            start,
+            current: None,
+            first: true,
+        }
+    }
+
+    fn next_entry(&mut self) -> StorageResult<Option<crate::sstable::BlockEntry>> {
+        loop {
+            if let Some(it) = &mut self.current {
+                if let Some(e) = it.next_entry()? {
+                    return Ok(Some(e));
+                }
+                self.current = None;
+            }
+            let Some(table) = self.tables.next() else {
+                return Ok(None);
+            };
+            // only the first table needs to seek; later tables start past
+            // `start` by disjointness
+            let from: &[u8] = if self.first { &self.start } else { b"" };
+            self.first = false;
+            self.current = Some(table.iter_from(from, self.cache.clone())?);
+        }
+    }
+}
+
+/// A source of key-ordered entries.
+pub enum Source {
+    /// Drained memtable entries (already key-ordered).
+    Mem(std::vec::IntoIter<InternalEntry>),
+    /// A table iterator.
+    Table(TableIterator),
+    /// A lazy iterator over one sorted run.
+    Run(RunIterator),
+}
+
+struct PeekedSource {
+    source: Source,
+    head: Option<InternalEntry>,
+}
+
+impl PeekedSource {
+    fn new(mut source: Source) -> StorageResult<Self> {
+        let head = Self::pull(&mut source)?;
+        Ok(PeekedSource { source, head })
+    }
+
+    fn pull(source: &mut Source) -> StorageResult<Option<InternalEntry>> {
+        let convert = |e: crate::sstable::BlockEntry| InternalEntry {
+            key: e.key,
+            seqno: e.seqno,
+            kind: e.kind,
+            value: e.value,
+        };
+        match source {
+            Source::Mem(it) => Ok(it.next()),
+            Source::Table(it) => Ok(it.next_entry()?.map(convert)),
+            Source::Run(it) => Ok(it.next_entry()?.map(convert)),
+        }
+    }
+
+    fn advance(&mut self) -> StorageResult<()> {
+        self.head = Self::pull(&mut self.source)?;
+        Ok(())
+    }
+}
+
+/// K-way merge with newest-version-wins semantics.
+///
+/// Sources must be supplied **youngest first**: on equal keys the
+/// lowest-index source provides the visible version (its seqno is
+/// necessarily the highest, by the LSM invariant).
+pub struct MergingIter {
+    sources: Vec<PeekedSource>,
+    /// Keep tombstones in the output (compaction into non-last levels).
+    keep_tombstones: bool,
+}
+
+impl MergingIter {
+    /// Builds the merge; pulls the first entry of every source.
+    pub fn new(sources: Vec<Source>, keep_tombstones: bool) -> StorageResult<Self> {
+        let sources = sources
+            .into_iter()
+            .map(PeekedSource::new)
+            .collect::<StorageResult<Vec<_>>>()?;
+        Ok(MergingIter {
+            sources,
+            keep_tombstones,
+        })
+    }
+
+    /// Next visible entry in ascending key order.
+    ///
+    /// With `keep_tombstones`, tombstones are emitted (newest version per
+    /// key, including `Delete` kinds); without it, tombstoned keys are
+    /// silently skipped — the read-path behaviour.
+    pub fn next_visible(&mut self) -> StorageResult<Option<InternalEntry>> {
+        loop {
+            // find the smallest head key; among equals, the youngest source
+            let mut best: Option<usize> = None;
+            for (i, s) in self.sources.iter().enumerate() {
+                let Some(h) = &s.head else { continue };
+                match best {
+                    None => best = Some(i),
+                    Some(b) => {
+                        let bh = self.sources[b].head.as_ref().unwrap();
+                        if h.key < bh.key {
+                            best = Some(i);
+                        }
+                    }
+                }
+            }
+            let Some(winner) = best else {
+                return Ok(None);
+            };
+            let entry = self.sources[winner].head.take().unwrap();
+            self.sources[winner].advance()?;
+            // drop older versions of the same key from every source
+            for s in &mut self.sources {
+                while s
+                    .head
+                    .as_ref()
+                    .is_some_and(|h| h.key == entry.key)
+                {
+                    debug_assert!(
+                        s.head.as_ref().unwrap().seqno <= entry.seqno,
+                        "older source carried a newer seqno"
+                    );
+                    s.advance()?;
+                }
+            }
+            if entry.kind == ValueKind::Delete && !self.keep_tombstones {
+                continue;
+            }
+            return Ok(Some(entry));
+        }
+    }
+
+    /// Collects up to `limit` visible entries with key ≤ `end` (inclusive
+    /// when `Some`).
+    pub fn collect_until(
+        &mut self,
+        end: Option<&[u8]>,
+        end_inclusive: bool,
+        limit: usize,
+    ) -> StorageResult<Vec<InternalEntry>> {
+        let mut out = Vec::new();
+        while out.len() < limit {
+            let Some(e) = self.next_visible()? else { break };
+            if let Some(end) = end {
+                let past = if end_inclusive {
+                    e.key.as_slice() > end
+                } else {
+                    e.key.as_slice() >= end
+                };
+                if past {
+                    break;
+                }
+            }
+            out.push(e);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(entries: Vec<(&str, u64, ValueKind, &str)>) -> Source {
+        Source::Mem(
+            entries
+                .into_iter()
+                .map(|(k, s, kind, v)| InternalEntry {
+                    key: k.as_bytes().to_vec(),
+                    seqno: s,
+                    kind,
+                    value: v.as_bytes().to_vec(),
+                })
+                .collect::<Vec<_>>()
+                .into_iter(),
+        )
+    }
+
+    #[test]
+    fn merges_in_key_order() {
+        let a = mem(vec![("a", 1, ValueKind::Put, "1"), ("c", 2, ValueKind::Put, "3")]);
+        let b = mem(vec![("b", 3, ValueKind::Put, "2"), ("d", 4, ValueKind::Put, "4")]);
+        let mut m = MergingIter::new(vec![a, b], false).unwrap();
+        let keys: Vec<Vec<u8>> = std::iter::from_fn(|| m.next_visible().unwrap())
+            .map(|e| e.key)
+            .collect();
+        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+    }
+
+    #[test]
+    fn youngest_source_wins_on_duplicates() {
+        let newer = mem(vec![("k", 9, ValueKind::Put, "new")]);
+        let older = mem(vec![("k", 3, ValueKind::Put, "old")]);
+        let mut m = MergingIter::new(vec![newer, older], false).unwrap();
+        let e = m.next_visible().unwrap().unwrap();
+        assert_eq!(e.value, b"new".to_vec());
+        assert_eq!(e.seqno, 9);
+        assert!(m.next_visible().unwrap().is_none());
+    }
+
+    #[test]
+    fn tombstones_suppress_older_versions() {
+        let newer = mem(vec![("k", 9, ValueKind::Delete, "")]);
+        let older = mem(vec![("k", 3, ValueKind::Put, "old")]);
+        let mut m = MergingIter::new(vec![newer, older], false).unwrap();
+        assert!(m.next_visible().unwrap().is_none(), "deleted key invisible");
+    }
+
+    #[test]
+    fn compaction_mode_keeps_tombstones() {
+        let newer = mem(vec![("k", 9, ValueKind::Delete, "")]);
+        let older = mem(vec![("k", 3, ValueKind::Put, "old")]);
+        let mut m = MergingIter::new(vec![newer, older], true).unwrap();
+        let e = m.next_visible().unwrap().unwrap();
+        assert_eq!(e.kind, ValueKind::Delete);
+        assert_eq!(e.seqno, 9);
+        assert!(m.next_visible().unwrap().is_none(), "old version still dropped");
+    }
+
+    #[test]
+    fn collect_until_respects_end_and_limit() {
+        let src = mem(vec![
+            ("a", 1, ValueKind::Put, ""),
+            ("b", 2, ValueKind::Put, ""),
+            ("c", 3, ValueKind::Put, ""),
+            ("d", 4, ValueKind::Put, ""),
+        ]);
+        let mut m = MergingIter::new(vec![src], false).unwrap();
+        let got = m.collect_until(Some(b"c"), false, 100).unwrap();
+        assert_eq!(got.len(), 2, "exclusive end");
+        let src = mem(vec![
+            ("a", 1, ValueKind::Put, ""),
+            ("b", 2, ValueKind::Put, ""),
+            ("c", 3, ValueKind::Put, ""),
+        ]);
+        let mut m = MergingIter::new(vec![src], false).unwrap();
+        let got = m.collect_until(Some(b"c"), true, 2).unwrap();
+        assert_eq!(got.len(), 2, "limit");
+    }
+
+    #[test]
+    fn empty_sources() {
+        let mut m = MergingIter::new(vec![], false).unwrap();
+        assert!(m.next_visible().unwrap().is_none());
+        let mut m = MergingIter::new(vec![mem(vec![])], false).unwrap();
+        assert!(m.next_visible().unwrap().is_none());
+    }
+
+    #[test]
+    fn three_way_version_chain() {
+        let s1 = mem(vec![("k", 30, ValueKind::Put, "v3")]);
+        let s2 = mem(vec![("k", 20, ValueKind::Delete, "")]);
+        let s3 = mem(vec![("k", 10, ValueKind::Put, "v1")]);
+        let mut m = MergingIter::new(vec![s1, s2, s3], false).unwrap();
+        let e = m.next_visible().unwrap().unwrap();
+        assert_eq!(e.value, b"v3".to_vec(), "newest put wins over older tombstone");
+    }
+}

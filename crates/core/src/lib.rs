@@ -1,0 +1,68 @@
+//! # lsm-core
+//!
+//! A from-scratch LSM-tree storage engine in which every design dimension
+//! the tutorial surveys is a first-class configuration axis ([`LsmConfig`]):
+//! merge policy (leveling / tiering / lazy-leveling / hybrid per-level run
+//! caps), size ratio, compaction granularity and file-picking policy,
+//! point-filter family and memory allocation (uniform vs Monkey), range
+//! filters, block index family (fence pointers / sparse / learned), block
+//! cache policy with post-compaction prefetching, and WiscKey-style
+//! key-value separation.
+//!
+//! Design notes:
+//!
+//! - **Synchronous maintenance.** Flushes and compactions run inline with
+//!   the write that triggers them, so experiments are deterministic and
+//!   I/O attribution is exact. Production engines run them in background
+//!   threads; the costs are identical, only the interleaving differs.
+//! - **I/O accounting.** Every storage access is charged to the shared
+//!   [`lsm_storage::IoStats`] with a category (data/filter/index/WAL),
+//!   which is what the experiment suite reports.
+//! - **Immutability.** Sorted runs are immutable SSTables; versions are
+//!   copy-on-write snapshots, so scans see a consistent view while
+//!   compactions replace files underneath.
+//!
+//! ## Example
+//!
+//! ```
+//! use lsm_core::{Db, LsmConfig};
+//!
+//! let db = Db::open_in_memory(LsmConfig::small_for_tests()).unwrap();
+//! for i in 0..100u32 {
+//!     db.put(format!("key{i:04}").into_bytes(), vec![i as u8]).unwrap();
+//! }
+//! assert_eq!(db.get(b"key0042").unwrap(), Some(vec![42]));
+//! let scan = db.scan(b"key0010".to_vec()..b"key0015".to_vec(), 100).unwrap();
+//! assert_eq!(scan.len(), 5);
+//! ```
+
+pub mod compaction;
+pub mod config;
+pub mod db;
+pub mod entry;
+pub mod iter;
+pub mod kv_sep;
+pub mod manifest;
+pub mod memtable;
+pub mod partitioned;
+pub mod snapshot;
+pub mod sstable;
+pub mod stats;
+pub mod version;
+pub mod wal;
+
+pub use config::{
+    CompactionGranularity, FilePicker, FilterAllocation, LsmConfig, MergeLayout,
+};
+pub use db::{Db, DbIterator};
+pub use partitioned::PartitionedDb;
+pub use snapshot::Snapshot;
+pub use entry::{InternalEntry, ValueKind};
+pub use stats::DbStats;
+pub use version::{SortedRun, Version};
+
+// Re-export the configuration enums that come from substrate crates, so
+// users configure everything through `lsm_core`.
+pub use lsm_cache::CachePolicy;
+pub use lsm_filters::{FilterKind, RangeFilterKind};
+pub use lsm_index::IndexKind;

@@ -1,0 +1,239 @@
+//! The manifest: durable description of the current version.
+//!
+//! Rewritten atomically (new file, then delete the old) on every flush and
+//! compaction. Recovery scans the device for the newest file carrying the
+//! manifest magic, reopens the tables it lists, and replays the WAL it
+//! points at.
+
+use std::sync::Arc;
+
+use lsm_storage::{FileId, IoCategory, StorageDevice, StorageResult, WritableFile};
+
+use crate::entry::{get_varint, put_varint};
+
+/// Magic marking a manifest file's first bytes.
+pub const MANIFEST_MAGIC: u64 = 0x4C_53_4D_4D_41_4E_0A; // "LSM MAN\n"
+
+/// Serializable manifest state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ManifestState {
+    /// Table file ids: `levels[i][j]` = the j-th (youngest-first) run of
+    /// level i, as a list of file ids in key order.
+    pub levels: Vec<Vec<Vec<u64>>>,
+    /// Current WAL file id (0 = none).
+    pub wal: u64,
+    /// Current value-log file id (0 = none).
+    pub vlog: u64,
+    /// Next sequence number to assign.
+    pub next_seqno: u64,
+}
+
+impl ManifestState {
+    /// Serializes with the leading magic.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        put_varint(&mut out, self.wal);
+        put_varint(&mut out, self.vlog);
+        put_varint(&mut out, self.next_seqno);
+        put_varint(&mut out, self.levels.len() as u64);
+        for level in &self.levels {
+            put_varint(&mut out, level.len() as u64);
+            for run in level {
+                put_varint(&mut out, run.len() as u64);
+                for &id in run {
+                    put_varint(&mut out, id);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes; `None` when the magic or framing is wrong.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 8 || u64::from_le_bytes(bytes[0..8].try_into().ok()?) != MANIFEST_MAGIC {
+            return None;
+        }
+        let mut off = 8usize;
+        let next = |off: &mut usize| -> Option<u64> {
+            let (v, n) = get_varint(bytes.get(*off..)?)?;
+            *off += n;
+            Some(v)
+        };
+        let wal = next(&mut off)?;
+        let vlog = next(&mut off)?;
+        let next_seqno = next(&mut off)?;
+        let n_levels = next(&mut off)? as usize;
+        if n_levels > 64 {
+            return None;
+        }
+        let mut levels = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            let n_runs = next(&mut off)? as usize;
+            if n_runs > 1 << 20 {
+                return None;
+            }
+            let mut runs = Vec::with_capacity(n_runs);
+            for _ in 0..n_runs {
+                let n_tables = next(&mut off)? as usize;
+                if n_tables > 1 << 24 {
+                    return None;
+                }
+                let mut tables = Vec::with_capacity(n_tables);
+                for _ in 0..n_tables {
+                    tables.push(next(&mut off)?);
+                }
+                runs.push(tables);
+            }
+            levels.push(runs);
+        }
+        Some(ManifestState {
+            levels,
+            wal,
+            vlog,
+            next_seqno,
+        })
+    }
+
+    /// Every table file id the manifest references.
+    pub fn referenced_files(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .levels
+            .iter()
+            .flat_map(|l| l.iter())
+            .flat_map(|r| r.iter())
+            .copied()
+            .collect();
+        if self.wal != 0 {
+            out.push(self.wal);
+        }
+        if self.vlog != 0 {
+            out.push(self.vlog);
+        }
+        out
+    }
+}
+
+/// Writes a new manifest file and deletes the previous one. Returns the
+/// new manifest's file id.
+pub fn write_manifest(
+    device: &Arc<dyn StorageDevice>,
+    state: &ManifestState,
+    previous: Option<FileId>,
+) -> StorageResult<FileId> {
+    let mut f = WritableFile::create(Arc::clone(device), IoCategory::Misc)?;
+    f.append(&state.to_bytes())?;
+    let file = f.seal()?;
+    let id = file.id();
+    if let Some(prev) = previous {
+        // best effort: a missing previous manifest is not fatal
+        let _ = device.delete(prev);
+    }
+    Ok(id)
+}
+
+/// Scans the device for the newest parseable manifest. Returns it with its
+/// file id.
+pub fn find_manifest(
+    device: &Arc<dyn StorageDevice>,
+) -> StorageResult<Option<(FileId, ManifestState)>> {
+    let mut best: Option<(FileId, ManifestState)> = None;
+    for id in device.live_files() {
+        let len = device.len_blocks(id)?;
+        if len == 0 {
+            continue;
+        }
+        let first = device.read(id, 0, len, IoCategory::Misc)?;
+        if let Some(state) = ManifestState::from_bytes(&first) {
+            if best.as_ref().is_none_or(|(b, _)| id.0 > b.0) {
+                best = Some((id, state));
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_storage::{DeviceProfile, MemDevice};
+
+    fn device() -> Arc<dyn StorageDevice> {
+        Arc::new(MemDevice::new(512, DeviceProfile::free()))
+    }
+
+    fn sample() -> ManifestState {
+        ManifestState {
+            levels: vec![
+                vec![vec![10], vec![9]],
+                vec![],
+                vec![vec![3, 4, 5]],
+            ],
+            wal: 42,
+            vlog: 0,
+            next_seqno: 12345,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        assert_eq!(ManifestState::from_bytes(&s.to_bytes()), Some(s));
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(ManifestState::from_bytes(b"nonsense").is_none());
+        let bytes = sample().to_bytes();
+        assert!(ManifestState::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn write_and_find() {
+        let dev = device();
+        let s = sample();
+        let id = write_manifest(&dev, &s, None).unwrap();
+        let (found_id, found) = find_manifest(&dev).unwrap().unwrap();
+        assert_eq!(found_id, id);
+        assert_eq!(found, s);
+    }
+
+    #[test]
+    fn rewrite_supersedes_and_deletes_old() {
+        let dev = device();
+        let id1 = write_manifest(&dev, &sample(), None).unwrap();
+        let mut s2 = sample();
+        s2.next_seqno = 99999;
+        let id2 = write_manifest(&dev, &s2, Some(id1)).unwrap();
+        let (found_id, found) = find_manifest(&dev).unwrap().unwrap();
+        assert_eq!(found_id, id2);
+        assert_eq!(found.next_seqno, 99999);
+        assert!(!dev.live_files().contains(&id1), "old manifest deleted");
+    }
+
+    #[test]
+    fn no_manifest_on_empty_device() {
+        assert!(find_manifest(&device()).unwrap().is_none());
+    }
+
+    #[test]
+    fn referenced_files_cover_everything() {
+        let refs = sample().referenced_files();
+        for id in [10, 9, 3, 4, 5, 42] {
+            assert!(refs.contains(&id), "{id} missing");
+        }
+        assert!(!refs.contains(&0), "vlog 0 means none");
+    }
+
+    #[test]
+    fn foreign_files_are_ignored_by_find() {
+        let dev = device();
+        // a non-manifest file
+        let mut w = WritableFile::create(dev.clone(), IoCategory::Data).unwrap();
+        w.append(&[0u8; 600]).unwrap();
+        w.seal().unwrap();
+        let id = write_manifest(&dev, &sample(), None).unwrap();
+        let (found_id, _) = find_manifest(&dev).unwrap().unwrap();
+        assert_eq!(found_id, id);
+    }
+}

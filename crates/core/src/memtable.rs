@@ -1,0 +1,367 @@
+//! The mutable in-memory write buffer (tutorial Module I.1).
+//!
+//! Keeps the newest version of each key in a sorted map; a flush drains it
+//! into one SSTable. Updates are absorbed in place (the LSM buffer's
+//! write-absorption effect), so the flushed run never carries two versions
+//! of one key.
+//!
+//! Optionally runs as a *two-level buffer* (FloDB, EuroSys '17; tutorial
+//! Module II.5): a small unsorted hash front absorbs writes in O(1) and
+//! spills into the sorted level in batches. The win is skewed updates
+//! against a large sorted level — hot keys are overwritten in the cheap
+//! hash and (since replacements don't grow the front) may never touch the
+//! tree; on unique-key ingest the front is overhead, which the criterion
+//! bench shows honestly.
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+use crate::entry::{InternalEntry, ValueKind};
+
+#[derive(Clone, Debug)]
+struct MemValue {
+    seqno: u64,
+    kind: ValueKind,
+    value: Vec<u8>,
+}
+
+/// A sorted, size-tracked write buffer with an optional hash front.
+#[derive(Clone, Debug, Default)]
+pub struct Memtable {
+    map: BTreeMap<Vec<u8>, MemValue>,
+    /// FloDB-style unsorted front (disabled when `front_budget == 0`).
+    front: HashMap<Vec<u8>, MemValue>,
+    front_bytes: usize,
+    front_budget: usize,
+    bytes: usize,
+}
+
+impl Memtable {
+    /// Empty single-level memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty two-level memtable: writes land in a hash front of
+    /// `front_budget` bytes and spill into the sorted level in batches.
+    pub fn with_front(front_budget: usize) -> Self {
+        Memtable {
+            front_budget,
+            ..Self::default()
+        }
+    }
+
+    fn entry_cost(key: &[u8], value: &[u8]) -> usize {
+        key.len() + value.len() + 24
+    }
+
+    /// Moves every front entry into the sorted level. Keys present in
+    /// both levels release the superseded sorted copy's cost.
+    fn spill_front(&mut self) {
+        for (k, v) in std::mem::take(&mut self.front) {
+            let key_len = k.len();
+            if let Some(old) = self.map.insert(k, v) {
+                let old_cost = key_len + old.value.len() + 24;
+                self.bytes = self.bytes.saturating_sub(old_cost);
+            }
+        }
+        self.front_bytes = 0;
+    }
+
+    /// Inserts a put or tombstone, replacing any older version.
+    pub fn insert(&mut self, key: Vec<u8>, seqno: u64, kind: ValueKind, value: Vec<u8>) {
+        if self.front_budget > 0 {
+            let new_cost = Self::entry_cost(&key, &value);
+            let key_len = key.len();
+            match self.front.insert(key, MemValue { seqno, kind, value }) {
+                Some(old) => {
+                    let old_cost = key_len + old.value.len() + 24;
+                    self.front_bytes = self.front_bytes + new_cost - old_cost;
+                    self.bytes = self.bytes + new_cost - old_cost;
+                }
+                None => {
+                    self.front_bytes += new_cost;
+                    self.bytes += new_cost;
+                }
+            }
+            if self.front_bytes >= self.front_budget {
+                self.spill_front();
+            }
+            return;
+        }
+        let key_len = key.len();
+        let new_cost = key_len + value.len() + 24;
+        match self.map.insert(key, MemValue { seqno, kind, value }) {
+            Some(old) => {
+                let old_cost = key_len + old.value.len() + 24;
+                self.bytes = self.bytes + new_cost - old_cost;
+            }
+            None => self.bytes += new_cost,
+        }
+    }
+
+    /// Current approximate footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of (latest-version) entries, including tombstones. With a
+    /// front active this may double-count keys present in both levels.
+    pub fn len(&self) -> usize {
+        self.map.len() + self.front.len()
+    }
+
+    /// Whether the buffer holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty() && self.front.is_empty()
+    }
+
+    /// Latest version of `key`, if buffered. The hash front is newer than
+    /// the sorted level, so it wins.
+    pub fn get(&self, key: &[u8]) -> Option<InternalEntry> {
+        self.front
+            .get(key)
+            .or_else(|| self.map.get(key))
+            .map(|v| InternalEntry {
+                key: key.to_vec(),
+                seqno: v.seqno,
+                kind: v.kind,
+                value: v.value.clone(),
+            })
+    }
+
+    /// Entries within the bound pair, ascending by key. With a hash front
+    /// active, its in-range entries are sorted and merged on the fly
+    /// (front entries shadow sorted ones) — the price FloDB pays on scans.
+    pub fn range(
+        &self,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+    ) -> impl Iterator<Item = InternalEntry> + '_ {
+        let in_bounds = |k: &[u8]| -> bool {
+            (match lo {
+                Bound::Included(b) => k >= b,
+                Bound::Excluded(b) => k > b,
+                Bound::Unbounded => true,
+            }) && (match hi {
+                Bound::Included(b) => k <= b,
+                Bound::Excluded(b) => k < b,
+                Bound::Unbounded => true,
+            })
+        };
+        let mut front: Vec<(&Vec<u8>, &MemValue)> = self
+            .front
+            .iter()
+            .filter(|(k, _)| in_bounds(k))
+            .collect();
+        front.sort_by(|a, b| a.0.cmp(b.0));
+        let mut front = front.into_iter().peekable();
+        let mut sorted = self.map.range::<[u8], _>((lo, hi)).peekable();
+        std::iter::from_fn(move || {
+            let take_front = match (front.peek(), sorted.peek()) {
+                (Some((fk, _)), Some((sk, _))) => {
+                    if fk == sk {
+                        sorted.next(); // front shadows the sorted copy
+                        true
+                    } else {
+                        fk < sk
+                    }
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return None,
+            };
+            let (k, v) = if take_front {
+                front.next().unwrap()
+            } else {
+                sorted.next().unwrap()
+            };
+            Some(InternalEntry {
+                key: k.clone(),
+                seqno: v.seqno,
+                kind: v.kind,
+                value: v.value.clone(),
+            })
+        })
+    }
+
+    /// Drains into a sorted entry list for flushing; the memtable is empty
+    /// afterwards.
+    pub fn drain_sorted(&mut self) -> Vec<InternalEntry> {
+        if !self.front.is_empty() {
+            for (k, v) in std::mem::take(&mut self.front) {
+                self.map.insert(k, v);
+            }
+        }
+        self.bytes = 0;
+        self.front_bytes = 0;
+        std::mem::take(&mut self.map)
+            .into_iter()
+            .map(|(k, v)| InternalEntry {
+                key: k,
+                seqno: v.seqno,
+                kind: v.kind,
+                value: v.value,
+            })
+            .collect()
+    }
+
+    /// Benchmark helper: force-spills the front into the sorted level so
+    /// a preloaded two-level memtable starts with an empty front.
+    #[doc(hidden)]
+    pub fn drain_into_sorted_for_bench(&mut self) {
+        self.spill_front();
+    }
+
+    /// Smallest and largest buffered keys.
+    pub fn key_range(&self) -> Option<(Vec<u8>, Vec<u8>)> {
+        let mut first = self.map.keys().next().cloned();
+        let mut last = self.map.keys().next_back().cloned();
+        for k in self.front.keys() {
+            if first.as_ref().is_none_or(|f| k < f) {
+                first = Some(k.clone());
+            }
+            if last.as_ref().is_none_or(|l| k > l) {
+                last = Some(k.clone());
+            }
+        }
+        Some((first?, last?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut m = Memtable::new();
+        m.insert(b"a".to_vec(), 1, ValueKind::Put, b"1".to_vec());
+        let e = m.get(b"a").unwrap();
+        assert_eq!(e.value, b"1");
+        assert_eq!(e.seqno, 1);
+        assert!(m.get(b"b").is_none());
+    }
+
+    #[test]
+    fn newer_version_replaces() {
+        let mut m = Memtable::new();
+        m.insert(b"a".to_vec(), 1, ValueKind::Put, b"old".to_vec());
+        m.insert(b"a".to_vec(), 2, ValueKind::Put, b"new".to_vec());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(b"a").unwrap().value, b"new");
+        assert_eq!(m.get(b"a").unwrap().seqno, 2);
+    }
+
+    #[test]
+    fn tombstone_shadows() {
+        let mut m = Memtable::new();
+        m.insert(b"a".to_vec(), 1, ValueKind::Put, b"v".to_vec());
+        m.insert(b"a".to_vec(), 2, ValueKind::Delete, vec![]);
+        let e = m.get(b"a").unwrap();
+        assert!(e.is_tombstone());
+    }
+
+    #[test]
+    fn bytes_grow_with_inserts() {
+        let mut m = Memtable::new();
+        assert_eq!(m.bytes(), 0);
+        m.insert(b"key1".to_vec(), 1, ValueKind::Put, vec![0u8; 100]);
+        let one = m.bytes();
+        assert!(one >= 104);
+        m.insert(b"key2".to_vec(), 2, ValueKind::Put, vec![0u8; 100]);
+        assert!(m.bytes() > one);
+    }
+
+    #[test]
+    fn drain_is_sorted_and_empties() {
+        let mut m = Memtable::new();
+        for k in ["c", "a", "b"] {
+            m.insert(k.as_bytes().to_vec(), 1, ValueKind::Put, vec![]);
+        }
+        let drained = m.drain_sorted();
+        assert_eq!(
+            drained.iter().map(|e| e.key.clone()).collect::<Vec<_>>(),
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]
+        );
+        assert!(m.is_empty());
+        assert_eq!(m.bytes(), 0);
+    }
+
+    #[test]
+    fn range_scans() {
+        let mut m = Memtable::new();
+        for i in 0..10u8 {
+            m.insert(vec![i], i as u64, ValueKind::Put, vec![i]);
+        }
+        let hits: Vec<_> = m
+            .range(Bound::Included(&[3][..]), Bound::Excluded(&[7][..]))
+            .collect();
+        assert_eq!(hits.len(), 4);
+        assert_eq!(hits[0].key, vec![3]);
+        assert_eq!(hits[3].key, vec![6]);
+    }
+
+    #[test]
+    fn two_level_front_absorbs_and_spills() {
+        let mut m = Memtable::with_front(200);
+        for i in 0..20u32 {
+            m.insert(format!("k{i:03}").into_bytes(), i as u64, ValueKind::Put, vec![i as u8; 8]);
+        }
+        // everything readable regardless of which level holds it
+        for i in 0..20u32 {
+            let e = m.get(format!("k{i:03}").as_bytes()).unwrap();
+            assert_eq!(e.value, vec![i as u8; 8]);
+        }
+        // newer front version shadows an older spilled one
+        m.insert(b"k005".to_vec(), 99, ValueKind::Put, b"newest".to_vec());
+        assert_eq!(m.get(b"k005").unwrap().value, b"newest".to_vec());
+        assert_eq!(m.get(b"k005").unwrap().seqno, 99);
+    }
+
+    #[test]
+    fn two_level_range_merges_front_and_sorted() {
+        let mut m = Memtable::with_front(10_000); // never spills
+        // interleave: evens via a pre-spilled path, odds stay in the front
+        for i in (0..20u32).step_by(2) {
+            m.insert(format!("k{i:03}").into_bytes(), i as u64, ValueKind::Put, vec![]);
+        }
+        m.drain_sorted(); // reset
+        let mut m = Memtable::with_front(10_000);
+        for i in 0..20u32 {
+            m.insert(format!("k{i:03}").into_bytes(), i as u64, ValueKind::Put, vec![i as u8]);
+        }
+        let got: Vec<_> = m
+            .range(Bound::Included(&b"k003"[..]), Bound::Excluded(&b"k015"[..]))
+            .collect();
+        assert_eq!(got.len(), 12);
+        for (j, e) in got.iter().enumerate() {
+            assert_eq!(e.key, format!("k{:03}", j + 3).into_bytes());
+        }
+    }
+
+    #[test]
+    fn two_level_drain_is_complete_and_sorted() {
+        let mut m = Memtable::with_front(150);
+        for i in (0..30u32).rev() {
+            m.insert(format!("k{i:03}").into_bytes(), i as u64, ValueKind::Put, vec![1u8; 4]);
+        }
+        let drained = m.drain_sorted();
+        assert_eq!(drained.len(), 30);
+        for w in drained.windows(2) {
+            assert!(w[0].key < w[1].key);
+        }
+        assert!(m.is_empty());
+        assert_eq!(m.bytes(), 0);
+    }
+
+    #[test]
+    fn key_range() {
+        let mut m = Memtable::new();
+        assert!(m.key_range().is_none());
+        m.insert(b"m".to_vec(), 1, ValueKind::Put, vec![]);
+        m.insert(b"a".to_vec(), 2, ValueKind::Put, vec![]);
+        m.insert(b"z".to_vec(), 3, ValueKind::Put, vec![]);
+        assert_eq!(m.key_range(), Some((b"a".to_vec(), b"z".to_vec())));
+    }
+}

@@ -1,0 +1,272 @@
+//! Key-space partitioning (tutorial Module I.2: "for better load
+//! balancing, some LSM engines partition the key space and store the
+//! partitions in separate trees" — LHAM, Nova-LSM, PebblesDB).
+//!
+//! A [`PartitionedDb`] splits the key space into contiguous ranges, each
+//! served by its own independent [`Db`]. Every tree is a fraction of the
+//! size, so its levels are shallower and its compactions proportionally
+//! smaller — which is precisely the stall-smoothing effect experiment E18
+//! measures. Scans stitch the partitions back together in key order.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use lsm_storage::{DeviceProfile, MemDevice, StorageDevice, StorageResult};
+
+use crate::config::LsmConfig;
+use crate::db::Db;
+use crate::stats::DbStatsSnapshot;
+
+/// A range-partitioned collection of LSM trees.
+pub struct PartitionedDb {
+    /// Exclusive upper bound of each partition except the last (which is
+    /// unbounded); ascending. `partitions.len() == bounds.len() + 1`.
+    bounds: Vec<Vec<u8>>,
+    partitions: Vec<Db>,
+}
+
+impl PartitionedDb {
+    /// Opens one in-memory tree per partition, split at `bounds`
+    /// (ascending, distinct). With `bounds = [m]`, keys `< m` go to
+    /// partition 0 and keys `≥ m` to partition 1.
+    pub fn open_in_memory(cfg: LsmConfig, bounds: Vec<Vec<u8>>) -> StorageResult<Self> {
+        Self::open_simulated(cfg, bounds, DeviceProfile::free())
+    }
+
+    /// Like [`PartitionedDb::open_in_memory`] with a device latency
+    /// profile per partition (each partition simulates its own device,
+    /// like the per-component disaggregation of Nova-LSM).
+    pub fn open_simulated(
+        cfg: LsmConfig,
+        bounds: Vec<Vec<u8>>,
+        profile: DeviceProfile,
+    ) -> StorageResult<Self> {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        let partitions = (0..=bounds.len())
+            .map(|_| {
+                let device: Arc<dyn StorageDevice> =
+                    Arc::new(MemDevice::new(cfg.block_size, profile));
+                Db::open(device, cfg.clone())
+            })
+            .collect::<StorageResult<Vec<_>>>()?;
+        Ok(PartitionedDb { bounds, partitions })
+    }
+
+    /// Sum of all partitions' simulated clocks; one operation only
+    /// advances its own partition, so deltas of this sum measure per-op
+    /// simulated latency.
+    pub fn sim_now_total_ns(&self) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| p.device().latency().clock().now_ns())
+            .sum()
+    }
+
+    /// Evenly splits a `user{id:012}` key space of `n` ids into `k`
+    /// partitions (the encoding of `lsm_workload::encode_key`).
+    pub fn open_uniform(cfg: LsmConfig, n: u64, k: usize) -> StorageResult<Self> {
+        let k = k.max(1);
+        let bounds = (1..k)
+            .map(|i| format!("user{:012}", n * i as u64 / k as u64).into_bytes())
+            .collect();
+        Self::open_in_memory(cfg, bounds)
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition serving `key`.
+    pub fn partition_of(&self, key: &[u8]) -> &Db {
+        let idx = self.bounds.partition_point(|b| b.as_slice() <= key);
+        &self.partitions[idx]
+    }
+
+    /// Inserts or updates a key.
+    pub fn put(&self, key: Vec<u8>, value: Vec<u8>) -> StorageResult<()> {
+        self.partition_of(&key).put(key, value)
+    }
+
+    /// Deletes a key.
+    pub fn delete(&self, key: Vec<u8>) -> StorageResult<()> {
+        self.partition_of(&key).delete(key)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        self.partition_of(key).get(key)
+    }
+
+    /// Range scan across partitions, stitched in key order.
+    pub fn scan(
+        &self,
+        range: Range<Vec<u8>>,
+        limit: usize,
+    ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        if range.start >= range.end {
+            return Ok(Vec::new());
+        }
+        let first = self.bounds.partition_point(|b| b.as_slice() <= range.start.as_slice());
+        let mut out = Vec::new();
+        for idx in first..self.partitions.len() {
+            // stop once the partition starts at or past the range end
+            if idx > first {
+                if let Some(lower) = self.bounds.get(idx - 1) {
+                    if lower.as_slice() >= range.end.as_slice() {
+                        break;
+                    }
+                }
+            }
+            let remaining = limit - out.len();
+            if remaining == 0 {
+                break;
+            }
+            let part = self
+                .partitions[idx]
+                .scan(range.start.clone()..range.end.clone(), remaining)?;
+            out.extend(part);
+        }
+        Ok(out)
+    }
+
+    /// Sum of the partitions' engine counters.
+    pub fn stats(&self) -> DbStatsSnapshot {
+        let mut total = DbStatsSnapshot::default();
+        for p in &self.partitions {
+            let s = p.stats().snapshot();
+            // delta_since(default) is the identity; add field-wise via the
+            // snapshot's own arithmetic
+            total = add_snapshots(&total, &s);
+        }
+        total
+    }
+
+    /// Largest single compaction across all partitions — each tree is a
+    /// fraction of the data, so this shrinks roughly by the partition
+    /// count (the load-balancing / stall-smoothing payoff).
+    pub fn largest_compaction_entries(&self) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| p.stats().snapshot().largest_compaction_entries)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-partition entry counts, for balance inspection.
+    pub fn partition_entries(&self) -> Vec<u64> {
+        self.partitions.iter().map(|p| p.approximate_entries()).collect()
+    }
+}
+
+fn add_snapshots(a: &DbStatsSnapshot, b: &DbStatsSnapshot) -> DbStatsSnapshot {
+    // delta_since is saturating subtraction; addition needs explicit code
+    DbStatsSnapshot {
+        puts: a.puts + b.puts,
+        deletes: a.deletes + b.deletes,
+        gets: a.gets + b.gets,
+        gets_found: a.gets_found + b.gets_found,
+        scans: a.scans + b.scans,
+        scan_entries: a.scan_entries + b.scan_entries,
+        bytes_ingested: a.bytes_ingested + b.bytes_ingested,
+        flushes: a.flushes + b.flushes,
+        compactions: a.compactions + b.compactions,
+        compaction_entries: a.compaction_entries + b.compaction_entries,
+        tombstones_dropped: a.tombstones_dropped + b.tombstones_dropped,
+        versions_dropped: a.versions_dropped + b.versions_dropped,
+        runs_probed: a.runs_probed + b.runs_probed,
+        filter_prunes: a.filter_prunes + b.filter_prunes,
+        blocks_examined: a.blocks_examined + b.blocks_examined,
+        range_prunes: a.range_prunes + b.range_prunes,
+        range_filter_prunes: a.range_filter_prunes + b.range_filter_prunes,
+        prefetched_blocks: a.prefetched_blocks + b.prefetched_blocks,
+        vlog_values: a.vlog_values + b.vlog_values,
+        vlog_resolves: a.vlog_resolves + b.vlog_resolves,
+        largest_compaction_entries: a.largest_compaction_entries.max(b.largest_compaction_entries),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("user{i:012}").into_bytes()
+    }
+
+    fn load(k: usize, n: u32) -> PartitionedDb {
+        let db = PartitionedDb::open_uniform(LsmConfig::small_for_tests(), n as u64, k).unwrap();
+        for i in 0..n {
+            let id = (i as u64 * 2654435761 % n as u64) as u32;
+            db.put(key(id), format!("v{id}").into_bytes()).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn partitioned_reads_match_writes() {
+        let db = load(4, 4000);
+        for i in (0..4000u32).step_by(13) {
+            assert_eq!(db.get(&key(i)).unwrap(), Some(format!("v{i}").into_bytes()));
+        }
+        assert_eq!(db.get(b"user_none").unwrap(), None);
+    }
+
+    #[test]
+    fn scans_stitch_partitions_in_order() {
+        let db = load(4, 4000);
+        // a range spanning partition boundaries (1000, 2000, 3000)
+        let got = db.scan(key(950)..key(3050), usize::MAX).unwrap();
+        assert_eq!(got.len(), 2100);
+        for w in got.windows(2) {
+            assert!(w[0].0 < w[1].0, "cross-partition order violated");
+        }
+        assert_eq!(got[0].0, key(950));
+        assert_eq!(got.last().unwrap().0, key(3049));
+        // limit respected across partitions
+        let limited = db.scan(key(950)..key(3050), 120).unwrap();
+        assert_eq!(limited.len(), 120);
+        assert_eq!(limited.last().unwrap().0, key(1069));
+    }
+
+    #[test]
+    fn partitions_balance_a_uniform_load() {
+        let db = load(4, 8000);
+        let entries = db.partition_entries();
+        assert_eq!(entries.len(), 4);
+        for (i, &e) in entries.iter().enumerate() {
+            assert!(
+                (1500..=2500).contains(&e),
+                "partition {i} unbalanced: {entries:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioning_shrinks_the_largest_compaction() {
+        let single = load(1, 12_000);
+        let sharded = load(4, 12_000);
+        let s1 = single.largest_compaction_entries();
+        let s4 = sharded.largest_compaction_entries();
+        assert!(
+            s4 * 2 < s1,
+            "partitioning should shrink the largest compaction: {s4} vs {s1}"
+        );
+    }
+
+    #[test]
+    fn deletes_route_to_the_right_partition() {
+        let db = load(3, 3000);
+        db.delete(key(2500)).unwrap();
+        assert_eq!(db.get(&key(2500)).unwrap(), None);
+        assert_eq!(db.get(&key(2501)).unwrap(), Some(b"v2501".to_vec()));
+    }
+
+    #[test]
+    fn single_partition_degenerates_to_plain_db() {
+        let db = PartitionedDb::open_uniform(LsmConfig::small_for_tests(), 100, 1).unwrap();
+        assert_eq!(db.num_partitions(), 1);
+        db.put(key(5), b"v".to_vec()).unwrap();
+        assert_eq!(db.get(&key(5)).unwrap(), Some(b"v".to_vec()));
+    }
+}

@@ -1,0 +1,514 @@
+//! Data block encoding: restart-point prefix compression (the
+//! LevelDB/RocksDB format) plus an optional in-block hash index
+//! (tutorial Module II.4's data-block hash index).
+//!
+//! Layout:
+//!
+//! ```text
+//! entry*: varint shared_key_len | varint unshared_key_len | varint value_len
+//!         | varint seqno | u8 kind | unshared_key_bytes | value_bytes
+//! [hash index bytes]
+//! restart_offset: u32 * num_restarts
+//! num_restarts: u32
+//! hash_index_len: u32      (0 = no hash index)
+//! checksum: u32            (FNV-1a over everything above)
+//! ```
+
+use lsm_index::block_hash::{BlockHashIndex, HashProbe};
+
+use crate::entry::{get_varint, put_varint, ValueKind};
+
+/// Maximum restart ordinal representable in the hash index.
+const MAX_HASH_RESTARTS: usize = 250;
+
+/// FNV-1a, truncated to 32 bits — the per-block integrity checksum.
+fn block_checksum(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// One decoded block entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// User key.
+    pub key: Vec<u8>,
+    /// Sequence number.
+    pub seqno: u64,
+    /// Put or tombstone.
+    pub kind: ValueKind,
+    /// Value bytes.
+    pub value: Vec<u8>,
+}
+
+/// Builds one prefix-compressed data block.
+pub struct BlockBuilder {
+    buf: Vec<u8>,
+    restarts: Vec<u32>,
+    restart_interval: usize,
+    count_since_restart: usize,
+    last_key: Vec<u8>,
+    num_entries: usize,
+    hash_entries: Vec<(Vec<u8>, u8)>,
+    with_hash_index: bool,
+}
+
+impl BlockBuilder {
+    /// New builder; `restart_interval` entries share each restart point.
+    pub fn new(restart_interval: usize, with_hash_index: bool) -> Self {
+        BlockBuilder {
+            buf: Vec::new(),
+            restarts: vec![0],
+            restart_interval: restart_interval.max(1),
+            count_since_restart: 0,
+            last_key: Vec::new(),
+            num_entries: 0,
+            hash_entries: Vec::new(),
+            with_hash_index,
+        }
+    }
+
+    /// Appends an entry; keys must arrive in ascending order.
+    pub fn add(&mut self, key: &[u8], seqno: u64, kind: ValueKind, value: &[u8]) {
+        debug_assert!(
+            self.num_entries == 0 || key > self.last_key.as_slice(),
+            "keys must be added in strictly ascending order"
+        );
+        let shared = if self.count_since_restart >= self.restart_interval {
+            self.restarts.push(self.buf.len() as u32);
+            self.count_since_restart = 0;
+            0
+        } else {
+            key.iter()
+                .zip(self.last_key.iter())
+                .take_while(|(a, b)| a == b)
+                .count()
+        };
+        put_varint(&mut self.buf, shared as u64);
+        put_varint(&mut self.buf, (key.len() - shared) as u64);
+        put_varint(&mut self.buf, value.len() as u64);
+        put_varint(&mut self.buf, seqno);
+        self.buf.push(kind.to_u8());
+        self.buf.extend_from_slice(&key[shared..]);
+        self.buf.extend_from_slice(value);
+        if self.with_hash_index {
+            let ordinal = (self.restarts.len() - 1).min(255) as u8;
+            self.hash_entries.push((key.to_vec(), ordinal));
+        }
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.count_since_restart += 1;
+        self.num_entries += 1;
+    }
+
+    /// Current encoded size estimate, including the trailer.
+    pub fn estimated_size(&self) -> usize {
+        self.buf.len() + self.restarts.len() * 4 + 12 + if self.with_hash_index {
+            self.hash_entries.len() * 2
+        } else {
+            0
+        }
+    }
+
+    /// Number of entries added.
+    pub fn num_entries(&self) -> usize {
+        self.num_entries
+    }
+
+    /// Whether nothing was added.
+    pub fn is_empty(&self) -> bool {
+        self.num_entries == 0
+    }
+
+    /// The last (largest) key added.
+    pub fn last_key(&self) -> &[u8] {
+        &self.last_key
+    }
+
+    /// Finishes the block, returning its bytes and resetting the builder.
+    pub fn finish(&mut self) -> Vec<u8> {
+        let mut out = std::mem::take(&mut self.buf);
+        // hash index (skipped when too many restarts for u8 ordinals)
+        let hash_bytes = if self.with_hash_index
+            && !self.hash_entries.is_empty()
+            && self.restarts.len() <= MAX_HASH_RESTARTS
+        {
+            BlockHashIndex::build(
+                self.hash_entries.iter().map(|(k, o)| (k.as_slice(), *o)),
+                self.hash_entries.len(),
+                0.75,
+            )
+            .to_bytes()
+        } else {
+            Vec::new()
+        };
+        out.extend_from_slice(&hash_bytes);
+        for r in &self.restarts {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.restarts.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(hash_bytes.len() as u32).to_le_bytes());
+        let sum = block_checksum(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        // reset
+        self.restarts = vec![0];
+        self.count_since_restart = 0;
+        self.last_key.clear();
+        self.num_entries = 0;
+        self.hash_entries.clear();
+        out
+    }
+}
+
+/// Iterates a decoded block. Generic over the backing storage so it can
+/// borrow a slice (tests, merges) or own a cached block (table scans).
+pub struct BlockIter<D: AsRef<[u8]>> {
+    entries_end: usize,
+    data: D,
+    restarts: Vec<u32>,
+    /// Byte range of the serialized hash index (empty = none); probed
+    /// zero-copy, so opening an iterator never allocates for it.
+    hash_range: std::ops::Range<usize>,
+    /// Byte offset of the next entry to decode.
+    offset: usize,
+    current_key: Vec<u8>,
+}
+
+impl<D: AsRef<[u8]>> BlockIter<D> {
+    /// Parses a block produced by [`BlockBuilder::finish`].
+    pub fn new(data: D) -> Option<Self> {
+        let (entries_end, restarts, hash_range) = {
+            let d = data.as_ref();
+            if d.len() < 16 {
+                return None;
+            }
+            // integrity first: a corrupt block must never decode silently
+            let stored = u32::from_le_bytes(d[d.len() - 4..].try_into().ok()?);
+            if block_checksum(&d[..d.len() - 4]) != stored {
+                return None;
+            }
+            let d = &d[..d.len() - 4];
+            let hash_len = u32::from_le_bytes(d[d.len() - 4..].try_into().ok()?) as usize;
+            let n_restarts =
+                u32::from_le_bytes(d[d.len() - 8..d.len() - 4].try_into().ok()?) as usize;
+            let restarts_off = d.len().checked_sub(8 + n_restarts * 4)?;
+            let hash_off = restarts_off.checked_sub(hash_len)?;
+            let mut restarts = Vec::with_capacity(n_restarts);
+            for i in 0..n_restarts {
+                let off = restarts_off + i * 4;
+                restarts.push(u32::from_le_bytes(d[off..off + 4].try_into().ok()?));
+            }
+            (hash_off, restarts, hash_off..hash_off + hash_len)
+        };
+        Some(BlockIter {
+            entries_end,
+            data,
+            restarts,
+            hash_range,
+            offset: 0,
+            current_key: Vec::new(),
+        })
+    }
+
+    /// Positions at the first entry.
+    pub fn seek_to_first(&mut self) {
+        self.offset = 0;
+        self.current_key.clear();
+    }
+
+    /// Decodes the entry at the current offset and advances. `None` when
+    /// the entries are exhausted or the block is corrupt.
+    pub fn next_entry(&mut self) -> Option<BlockEntry> {
+        if self.offset >= self.entries_end {
+            return None;
+        }
+        let d = &self.data.as_ref()[self.offset..self.entries_end];
+        let mut at = 0usize;
+        let (shared, n) = get_varint(&d[at..])?;
+        at += n;
+        let (unshared, n) = get_varint(&d[at..])?;
+        at += n;
+        let (vlen, n) = get_varint(&d[at..])?;
+        at += n;
+        let (seqno, n) = get_varint(&d[at..])?;
+        at += n;
+        let kind = ValueKind::from_u8(*d.get(at)?)?;
+        at += 1;
+        let (shared, unshared, vlen) = (shared as usize, unshared as usize, vlen as usize);
+        if shared > self.current_key.len() || at + unshared + vlen > d.len() {
+            return None;
+        }
+        self.current_key.truncate(shared);
+        self.current_key.extend_from_slice(&d[at..at + unshared]);
+        at += unshared;
+        let value = d[at..at + vlen].to_vec();
+        at += vlen;
+        self.offset += at;
+        Some(BlockEntry {
+            key: self.current_key.clone(),
+            seqno,
+            kind,
+            value,
+        })
+    }
+
+    /// Restart-point full key at ordinal `r` (restart entries always have
+    /// `shared == 0`).
+    fn restart_key(&self, r: usize) -> Option<Vec<u8>> {
+        let off = self.restarts[r] as usize;
+        let d = &self.data.as_ref()[off..self.entries_end];
+        let mut at = 0usize;
+        let (_shared, n) = get_varint(&d[at..])?;
+        at += n;
+        let (unshared, n) = get_varint(&d[at..])?;
+        at += n;
+        let (_vlen, n) = get_varint(&d[at..])?;
+        at += n;
+        let (_seq, n) = get_varint(&d[at..])?;
+        at += n;
+        at += 1; // kind
+        let unshared = unshared as usize;
+        d.get(at..at + unshared).map(|k| k.to_vec())
+    }
+
+    fn seek_to_restart(&mut self, r: usize) {
+        self.offset = self.restarts[r] as usize;
+        self.current_key.clear();
+    }
+
+    /// Positions at the first entry with key ≥ `target`; returns it.
+    pub fn seek(&mut self, target: &[u8]) -> Option<BlockEntry> {
+        // binary search over restart points: last restart whose key ≤ target
+        let (mut lo, mut hi) = (0usize, self.restarts.len());
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            match self.restart_key(mid) {
+                Some(k) if k.as_slice() <= target => lo = mid,
+                _ => hi = mid,
+            }
+        }
+        self.seek_to_restart(lo);
+        while let Some(e) = self.next_entry() {
+            if e.key.as_slice() >= target {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Point lookup using the hash index when available: O(1) restart
+    /// location instead of binary search. Returns `(entry, used_hash)`.
+    pub fn get(&mut self, target: &[u8]) -> (Option<BlockEntry>, bool) {
+        if !self.hash_range.is_empty() {
+            let probe = BlockHashIndex::probe_raw(
+                &self.data.as_ref()[self.hash_range.clone()],
+                target,
+            )
+            .unwrap_or(HashProbe::Fallback);
+            match probe {
+                HashProbe::Absent => return (None, true),
+                HashProbe::Restart(r) if (r as usize) < self.restarts.len() => {
+                    self.seek_to_restart(r as usize);
+                    while let Some(e) = self.next_entry() {
+                        if e.key.as_slice() == target {
+                            return (Some(e), true);
+                        }
+                        if e.key.as_slice() > target {
+                            return (None, true);
+                        }
+                    }
+                    return (None, true);
+                }
+                _ => {} // collision or corrupt ordinal: fall back
+            }
+        }
+        match self.seek(target) {
+            Some(e) if e.key == target => (Some(e), false),
+            _ => (None, false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_block(n: usize, interval: usize, hash: bool) -> Vec<u8> {
+        let mut b = BlockBuilder::new(interval, hash);
+        for i in 0..n {
+            let key = format!("key{i:05}");
+            let value = format!("value-{i}");
+            b.add(key.as_bytes(), i as u64, ValueKind::Put, value.as_bytes());
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_all_entries() {
+        let data = build_block(100, 16, false);
+        let mut it = BlockIter::new(&data).unwrap();
+        it.seek_to_first();
+        for i in 0..100 {
+            let e = it.next_entry().unwrap();
+            assert_eq!(e.key, format!("key{i:05}").into_bytes());
+            assert_eq!(e.value, format!("value-{i}").into_bytes());
+            assert_eq!(e.seqno, i as u64);
+            assert_eq!(e.kind, ValueKind::Put);
+        }
+        assert!(it.next_entry().is_none());
+    }
+
+    #[test]
+    fn seek_finds_exact_and_successor() {
+        let data = build_block(100, 8, false);
+        let mut it = BlockIter::new(&data).unwrap();
+        let e = it.seek(b"key00050").unwrap();
+        assert_eq!(e.key, b"key00050".to_vec());
+        let e = it.seek(b"key00050x").unwrap();
+        assert_eq!(e.key, b"key00051".to_vec());
+        let e = it.seek(b"").unwrap();
+        assert_eq!(e.key, b"key00000".to_vec());
+        assert!(it.seek(b"zzz").is_none());
+    }
+
+    #[test]
+    fn seek_then_next_continues() {
+        let data = build_block(50, 4, false);
+        let mut it = BlockIter::new(&data).unwrap();
+        it.seek(b"key00030").unwrap();
+        let e = it.next_entry().unwrap();
+        assert_eq!(e.key, b"key00031".to_vec());
+    }
+
+    #[test]
+    fn get_with_hash_index() {
+        let data = build_block(100, 8, true);
+        let mut it = BlockIter::new(&data).unwrap();
+        // every present key must be found; most (all but hash collisions)
+        // through the hash path
+        let mut hash_hits = 0;
+        for i in 0..100 {
+            let key = format!("key{i:05}");
+            let (e, used_hash) = it.get(key.as_bytes());
+            assert_eq!(e.unwrap().value, format!("value-{i}").into_bytes());
+            if used_hash {
+                hash_hits += 1;
+            }
+        }
+        assert!(hash_hits > 50, "only {hash_hits} hash-path hits");
+        let (none, _) = it.get(b"key99999");
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn get_without_hash_index() {
+        let data = build_block(100, 8, false);
+        let mut it = BlockIter::new(&data).unwrap();
+        let (e, used_hash) = it.get(b"key00042");
+        assert_eq!(e.unwrap().value, b"value-42".to_vec());
+        assert!(!used_hash);
+    }
+
+    #[test]
+    fn restart_interval_one_disables_sharing() {
+        let data1 = build_block(50, 1, false);
+        let data16 = build_block(50, 16, false);
+        // interval 1 stores full keys: bigger
+        assert!(data1.len() > data16.len());
+        // both decode identically
+        let mut a = BlockIter::new(&data1).unwrap();
+        let mut b = BlockIter::new(&data16).unwrap();
+        loop {
+            match (a.next_entry(), b.next_entry()) {
+                (Some(x), Some(y)) => assert_eq!(x, y),
+                (None, None) => break,
+                _ => panic!("length mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn tombstones_roundtrip() {
+        let mut b = BlockBuilder::new(4, false);
+        b.add(b"a", 1, ValueKind::Put, b"v");
+        b.add(b"b", 2, ValueKind::Delete, b"");
+        let data = b.finish();
+        let mut it = BlockIter::new(&data).unwrap();
+        it.next_entry().unwrap();
+        let t = it.next_entry().unwrap();
+        assert_eq!(t.kind, ValueKind::Delete);
+    }
+
+    #[test]
+    fn builder_resets_after_finish() {
+        let mut b = BlockBuilder::new(4, false);
+        b.add(b"x", 1, ValueKind::Put, b"1");
+        let first = b.finish();
+        assert!(b.is_empty());
+        b.add(b"a", 2, ValueKind::Put, b"2");
+        let second = b.finish();
+        let mut it = BlockIter::new(&second).unwrap();
+        assert_eq!(it.next_entry().unwrap().key, b"a".to_vec());
+        let mut it1 = BlockIter::new(&first).unwrap();
+        assert_eq!(it1.next_entry().unwrap().key, b"x".to_vec());
+    }
+
+    #[test]
+    fn corrupt_blocks_are_rejected_not_panicking() {
+        assert!(BlockIter::new(&[]).is_none());
+        assert!(BlockIter::new(&[0u8; 4]).is_none());
+        let data = build_block(10, 4, false);
+        // truncation breaks the checksum
+        let mut trunc = data.clone();
+        trunc.truncate(data.len() - 1);
+        assert!(BlockIter::new(trunc.as_slice()).is_none());
+    }
+
+    #[test]
+    fn single_bit_flips_are_detected_anywhere() {
+        let data = build_block(30, 8, true);
+        for pos in (0..data.len()).step_by(37) {
+            let mut corrupt = data.clone();
+            corrupt[pos] ^= 0x10;
+            assert!(
+                BlockIter::new(corrupt.as_slice()).is_none(),
+                "bit flip at byte {pos} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn estimated_size_tracks_actual() {
+        let mut b = BlockBuilder::new(8, false);
+        for i in 0..20 {
+            b.add(format!("k{i:03}").as_bytes(), i, ValueKind::Put, b"vvvv");
+        }
+        let est = b.estimated_size();
+        let actual = b.finish().len();
+        assert!((est as i64 - actual as i64).unsigned_abs() < 32, "{est} vs {actual}");
+    }
+
+    #[test]
+    fn single_entry_block() {
+        let mut b = BlockBuilder::new(16, true);
+        b.add(b"only", 7, ValueKind::Put, b"value");
+        let data = b.finish();
+        let mut it = BlockIter::new(&data).unwrap();
+        let (e, _) = it.get(b"only");
+        assert_eq!(e.unwrap().seqno, 7);
+    }
+
+    #[test]
+    fn binary_keys_with_zero_bytes() {
+        let mut b = BlockBuilder::new(4, false);
+        b.add(&[0, 0, 1], 1, ValueKind::Put, &[0xFF, 0x00]);
+        b.add(&[0, 1, 0], 2, ValueKind::Put, &[]);
+        let data = b.finish();
+        let mut it = BlockIter::new(&data).unwrap();
+        let e = it.seek(&[0, 0, 1]).unwrap();
+        assert_eq!(e.value, vec![0xFF, 0x00]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based model checking: arbitrary operation sequences against a
+//! `BTreeMap` reference model, across several engine configurations. The
+//! engine must agree with the model on every get and scan, for every
+//! layout and granularity.
+
+use std::collections::BTreeMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use lsm_core::{
+    CompactionGranularity, Db, FilePicker, FilterKind, IndexKind, LsmConfig, MergeLayout,
+};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Get(u16),
+    Scan(u16, u16, usize),
+    Flush,
+    Compact,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 512, v)),
+        1 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+        3 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        1 => (any::<u16>(), any::<u16>(), 1usize..40).prop_map(|(a, b, l)| Op::Scan(a % 512, b % 512, l)),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+    ]
+}
+
+fn key(i: u16) -> Vec<u8> {
+    format!("k{i:05}").into_bytes()
+}
+
+fn value(v: u8) -> Vec<u8> {
+    vec![v; 3 + (v as usize % 5)]
+}
+
+fn run_against_model(cfg: LsmConfig, ops: &[Op]) {
+    let db = Db::open_in_memory(cfg).unwrap();
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    // halfway through, pin a snapshot and remember the model state; the
+    // snapshot must still serve that exact state after all remaining ops
+    type Pinned = (lsm_core::Snapshot, BTreeMap<Vec<u8>, Vec<u8>>);
+    let mut pinned: Option<Pinned> = None;
+    let half = ops.len() / 2;
+    for (i, op) in ops.iter().enumerate() {
+        if i == half {
+            pinned = Some((db.snapshot().unwrap(), model.clone()));
+        }
+        match op {
+            Op::Put(k, v) => {
+                db.put(key(*k), value(*v)).unwrap();
+                model.insert(key(*k), value(*v));
+            }
+            Op::Delete(k) => {
+                db.delete(key(*k)).unwrap();
+                model.remove(&key(*k));
+            }
+            Op::Get(k) => {
+                assert_eq!(
+                    db.get(&key(*k)).unwrap(),
+                    model.get(&key(*k)).cloned(),
+                    "get({k}) diverged"
+                );
+            }
+            Op::Scan(a, b, limit) => {
+                let (lo, hi) = if a <= b { (*a, *b) } else { (*b, *a) };
+                let got = db.scan(key(lo)..key(hi), *limit).unwrap();
+                let expect: Vec<(Vec<u8>, Vec<u8>)> = model
+                    .range(key(lo)..key(hi))
+                    .take(*limit)
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                assert_eq!(got, expect, "scan({lo}..{hi}, {limit}) diverged");
+            }
+            Op::Flush => db.flush().unwrap(),
+            Op::Compact => db.compact().unwrap(),
+        }
+    }
+    if let Some((snap, snap_model)) = pinned {
+        for k in (0..512u16).step_by(3) {
+            assert_eq!(
+                snap.get(&key(k)).unwrap(),
+                snap_model.get(&key(k)).cloned(),
+                "snapshot get({k}) diverged"
+            );
+        }
+        let got = snap.scan(key(0)..key(u16::MAX), usize::MAX).unwrap();
+        let expect: Vec<(Vec<u8>, Vec<u8>)> =
+            snap_model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(got, expect, "snapshot scan diverged");
+    }
+    // final full audit
+    for k in 0..512u16 {
+        assert_eq!(db.get(&key(k)).unwrap(), model.get(&key(k)).cloned());
+    }
+    let got = db.scan(key(0)..key(u16::MAX), usize::MAX).unwrap();
+    let expect: Vec<(Vec<u8>, Vec<u8>)> =
+        model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    assert_eq!(got, expect, "final full scan diverged");
+}
+
+fn tiny(layout: MergeLayout, granularity: CompactionGranularity) -> LsmConfig {
+    LsmConfig {
+        layout,
+        granularity,
+        buffer_bytes: 1 << 10, // tiny buffer: lots of flushes/compactions
+        block_size: 256,
+        target_table_bytes: 1 << 10,
+        size_ratio: 3,
+        l0_run_cap: 2,
+        cache_bytes: 16 << 10,
+        ..LsmConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn leveled_matches_model(ops in vec(arb_op(), 1..250)) {
+        run_against_model(
+            tiny(MergeLayout::Leveled, CompactionGranularity::Full),
+            &ops,
+        );
+    }
+
+    #[test]
+    fn tiered_matches_model(ops in vec(arb_op(), 1..250)) {
+        run_against_model(
+            tiny(MergeLayout::Tiered, CompactionGranularity::Full),
+            &ops,
+        );
+    }
+
+    #[test]
+    fn lazy_leveled_matches_model(ops in vec(arb_op(), 1..250)) {
+        run_against_model(
+            tiny(MergeLayout::LazyLeveled, CompactionGranularity::Full),
+            &ops,
+        );
+    }
+
+    #[test]
+    fn partial_compaction_matches_model(ops in vec(arb_op(), 1..250)) {
+        run_against_model(
+            tiny(
+                MergeLayout::Leveled,
+                CompactionGranularity::Partial(FilePicker::MinOverlap),
+            ),
+            &ops,
+        );
+    }
+
+    #[test]
+    fn learned_index_matches_model(ops in vec(arb_op(), 1..200)) {
+        let mut cfg = tiny(MergeLayout::Leveled, CompactionGranularity::Full);
+        cfg.index = IndexKind::Pla { epsilon: 2 };
+        run_against_model(cfg, &ops);
+    }
+
+    #[test]
+    fn cuckoo_filter_matches_model(ops in vec(arb_op(), 1..200)) {
+        let mut cfg = tiny(MergeLayout::Tiered, CompactionGranularity::Full);
+        cfg.filter = FilterKind::Cuckoo;
+        run_against_model(cfg, &ops);
+    }
+
+    #[test]
+    fn partitioned_filters_match_model(ops in vec(arb_op(), 1..200)) {
+        let mut cfg = tiny(MergeLayout::Leveled, CompactionGranularity::Full);
+        cfg.partitioned_filters = true;
+        run_against_model(cfg, &ops);
+    }
+
+    #[test]
+    fn two_level_buffer_matches_model(ops in vec(arb_op(), 1..250)) {
+        let mut cfg = tiny(MergeLayout::Leveled, CompactionGranularity::Full);
+        cfg.buffer_front_bytes = 256; // tiny front: frequent spills
+        run_against_model(cfg, &ops);
+    }
+}

@@ -1,0 +1,137 @@
+//! Snapshot isolation: a snapshot's view never changes, no matter how
+//! many writes, flushes, and compactions happen after it — including
+//! compactions that physically supersede every file the snapshot reads.
+
+use lsm_core::config::KvSeparation;
+use lsm_core::{Db, LsmConfig, MergeLayout};
+
+fn key(i: u32) -> Vec<u8> {
+    format!("user{i:08}").into_bytes()
+}
+
+#[test]
+fn snapshot_is_isolated_from_later_writes() {
+    let db = Db::open_in_memory(LsmConfig::small_for_tests()).unwrap();
+    for i in 0..500u32 {
+        db.put(key(i), format!("v1-{i}").into_bytes()).unwrap();
+    }
+    let snap = db.snapshot().unwrap();
+    // overwrite, delete, and add new keys afterwards
+    for i in 0..500u32 {
+        db.put(key(i), format!("v2-{i}").into_bytes()).unwrap();
+    }
+    for i in (0..500u32).step_by(3) {
+        db.delete(key(i)).unwrap();
+    }
+    for i in 500..800u32 {
+        db.put(key(i), b"new".to_vec()).unwrap();
+    }
+    // the snapshot still sees exactly the v1 state
+    for i in (0..500u32).step_by(7) {
+        assert_eq!(
+            snap.get(&key(i)).unwrap(),
+            Some(format!("v1-{i}").into_bytes()),
+            "key {i}"
+        );
+    }
+    assert_eq!(snap.get(&key(600)).unwrap(), None, "later insert visible");
+    let scanned = snap.scan(key(0)..key(1000), usize::MAX).unwrap();
+    assert_eq!(scanned.len(), 500);
+    assert_eq!(scanned[0].1, b"v1-0".to_vec());
+    // while the live view moved on
+    assert_eq!(db.get(&key(1)).unwrap(), Some(b"v2-1".to_vec()));
+    assert_eq!(db.get(&key(0)).unwrap(), None);
+}
+
+#[test]
+fn snapshot_survives_full_compaction_of_its_files() {
+    let db = Db::open_in_memory(LsmConfig {
+        layout: MergeLayout::Leveled,
+        ..LsmConfig::small_for_tests()
+    })
+    .unwrap();
+    for i in 0..2000u32 {
+        db.put(key(i), format!("old-{i}").into_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    let snap = db.snapshot().unwrap();
+    let files_before = db.device().live_files().len();
+    // rewrite everything and major-compact: every file the snapshot uses
+    // is superseded
+    for i in 0..2000u32 {
+        db.put(key(i), format!("new-{i}").into_bytes()).unwrap();
+    }
+    db.major_compact().unwrap();
+    // snapshot reads still work, off the superseded (still-alive) files
+    for i in (0..2000u32).step_by(97) {
+        assert_eq!(
+            snap.get(&key(i)).unwrap(),
+            Some(format!("old-{i}").into_bytes()),
+            "key {i} after compaction"
+        );
+    }
+    let scanned = snap.scan(key(100)..key(120), 100).unwrap();
+    assert_eq!(scanned.len(), 20);
+    assert!(scanned.iter().all(|(_, v)| v.starts_with(b"old-")));
+    // dropping the snapshot releases the superseded files
+    drop(snap);
+    let files_after = db.device().live_files().len();
+    assert!(
+        files_after < files_before,
+        "superseded files not reclaimed: {files_after} vs {files_before}"
+    );
+    // live view unaffected
+    assert_eq!(db.get(&key(5)).unwrap(), Some(b"new-5".to_vec()));
+}
+
+#[test]
+fn snapshot_resolves_separated_values_without_the_engine() {
+    let db = Db::open_in_memory(LsmConfig {
+        kv_separation: Some(KvSeparation {
+            min_value_bytes: 64,
+        }),
+        ..LsmConfig::small_for_tests()
+    })
+    .unwrap();
+    let big = vec![0x5A; 300];
+    for i in 0..100u32 {
+        db.put(key(i), big.clone()).unwrap();
+    }
+    let snap = db.snapshot().unwrap();
+    // churn the live engine
+    for i in 0..100u32 {
+        db.put(key(i), vec![0xB6; 300]).unwrap();
+    }
+    // value-log GC must refuse while the snapshot is alive…
+    assert!(db.gc_value_log().is_err(), "GC must refuse with live snapshots");
+    for i in (0..100u32).step_by(9) {
+        assert_eq!(snap.get(&key(i)).unwrap(), Some(big.clone()), "key {i}");
+    }
+    // …and proceed once it drops
+    drop(snap);
+    let (live, dead) = db.gc_value_log().unwrap();
+    assert!(live + dead > 0);
+    assert_eq!(db.get(&key(3)).unwrap(), Some(vec![0xB6; 300]));
+}
+
+#[test]
+fn many_concurrent_snapshots() {
+    let db = Db::open_in_memory(LsmConfig::small_for_tests()).unwrap();
+    let mut snaps = Vec::new();
+    for gen in 0..5u32 {
+        for i in 0..300u32 {
+            db.put(key(i), format!("g{gen}-{i}").into_bytes()).unwrap();
+        }
+        snaps.push((gen, db.snapshot().unwrap()));
+    }
+    db.major_compact().unwrap();
+    for (gen, snap) in &snaps {
+        for i in (0..300u32).step_by(41) {
+            assert_eq!(
+                snap.get(&key(i)).unwrap(),
+                Some(format!("g{gen}-{i}").into_bytes()),
+                "generation {gen}, key {i}"
+            );
+        }
+    }
+}

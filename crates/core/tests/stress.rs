@@ -1,0 +1,73 @@
+//! Large-scale smoke test (ignored by default: run with
+//! `cargo test --release -p lsm-core --test stress -- --ignored`).
+//!
+//! A million keys through a realistic configuration: multi-level tree,
+//! update churn, deletes, scans, recovery — the closest thing to a
+//! production soak this repo ships.
+
+use std::sync::Arc;
+
+use lsm_core::{Db, LsmConfig};
+use lsm_storage::{DeviceProfile, MemDevice, StorageDevice};
+
+#[test]
+#[ignore = "large: ~1M keys; run in release"]
+fn million_key_soak() {
+    let n: u64 = 1_000_000;
+    let cfg = LsmConfig {
+        buffer_bytes: 1 << 20,
+        block_size: 4096,
+        size_ratio: 8,
+        target_table_bytes: 4 << 20,
+        cache_bytes: 32 << 20,
+        ..LsmConfig::default()
+    };
+    let device: Arc<dyn StorageDevice> =
+        Arc::new(MemDevice::new(cfg.block_size, DeviceProfile::free()));
+    let db = Db::open(Arc::clone(&device), cfg.clone()).unwrap();
+    // load
+    for i in 0..n {
+        let id = i.wrapping_mul(2654435761) % n;
+        db.put(
+            format!("user{id:012}").into_bytes(),
+            format!("value-{id:012}").into_bytes(),
+        )
+        .unwrap();
+    }
+    // churn: 10% updates, 5% deletes
+    for i in 0..n / 10 {
+        let id = (i * 7) % n;
+        db.put(format!("user{id:012}").into_bytes(), b"updated".to_vec())
+            .unwrap();
+    }
+    for i in 0..n / 20 {
+        let id = (i * 13 + 1) % n;
+        db.delete(format!("user{id:012}").into_bytes()).unwrap();
+    }
+    // verify a sample
+    let mut checked = 0;
+    for i in (0..n).step_by(9973) {
+        let got = db.get(format!("user{i:012}").as_bytes()).unwrap();
+        let deleted = (0..n / 20).any(|j| (j * 13 + 1) % n == i);
+        if deleted {
+            assert_eq!(got, None, "key {i} should be deleted");
+        } else {
+            assert!(got.is_some(), "key {i} lost");
+        }
+        checked += 1;
+    }
+    assert!(checked > 90);
+    // scans stay ordered over the whole space
+    let page = db
+        .scan(b"user000000500000".to_vec()..b"user000000501000".to_vec(), 10_000)
+        .unwrap();
+    for w in page.windows(2) {
+        assert!(w[0].0 < w[1].0);
+    }
+    // recovery at scale
+    let s = db.stats().snapshot();
+    assert!(s.compactions > 10, "expected a real compaction history");
+    drop(db);
+    let db = Db::open(device, cfg).unwrap();
+    assert!(db.get(b"user000000000003").unwrap().is_some());
+}

@@ -1,0 +1,292 @@
+//! Standard Bloom filter.
+//!
+//! The workhorse point filter of every production LSM engine (tutorial
+//! Module II.2): `m = n * bits_per_key` bits, `k = ln 2 * bits_per_key`
+//! hash probes via double hashing. False-positive rate ≈ `0.6185^bits_per_key`.
+
+use crate::hash::{double_hash_pair, hash64, nth_probe};
+use crate::traits::PointFilter;
+
+/// A classic Bloom filter over byte keys.
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_probes: u32,
+    num_keys: usize,
+}
+
+impl BloomFilter {
+    /// Optimal probe count for a bits-per-key budget: `round(ln2 * b)`,
+    /// clamped to `[1, 30]`.
+    pub fn optimal_probes(bits_per_key: f64) -> u32 {
+        ((bits_per_key * std::f64::consts::LN_2).round() as i64).clamp(1, 30) as u32
+    }
+
+    /// Builds a filter over `keys` with the given bits-per-key budget.
+    /// A non-positive budget produces a degenerate 1-bit filter that
+    /// answers `true` for everything (equivalent to "no filter").
+    pub fn build(keys: &[&[u8]], bits_per_key: f64) -> Self {
+        if bits_per_key <= 0.0 || keys.is_empty() {
+            return BloomFilter {
+                bits: vec![u64::MAX],
+                num_bits: 64,
+                num_probes: 0,
+                num_keys: keys.len(),
+            };
+        }
+        let num_bits = ((keys.len() as f64 * bits_per_key).ceil() as u64).max(64);
+        let words = num_bits.div_ceil(64) as usize;
+        let num_bits = words as u64 * 64;
+        let mut filter = BloomFilter {
+            bits: vec![0u64; words],
+            num_bits,
+            num_probes: Self::optimal_probes(bits_per_key),
+            num_keys: keys.len(),
+        };
+        for key in keys {
+            filter.insert_hash(hash64(key));
+        }
+        filter
+    }
+
+    /// Builds directly from precomputed 64-bit key hashes (shared hashing,
+    /// Zhu et al. DAMON '21).
+    pub fn build_from_hashes(hashes: &[u64], bits_per_key: f64) -> Self {
+        if bits_per_key <= 0.0 || hashes.is_empty() {
+            return BloomFilter {
+                bits: vec![u64::MAX],
+                num_bits: 64,
+                num_probes: 0,
+                num_keys: hashes.len(),
+            };
+        }
+        let num_bits = ((hashes.len() as f64 * bits_per_key).ceil() as u64).max(64);
+        let words = num_bits.div_ceil(64) as usize;
+        let num_bits = words as u64 * 64;
+        let mut filter = BloomFilter {
+            bits: vec![0u64; words],
+            num_bits,
+            num_probes: Self::optimal_probes(bits_per_key),
+            num_keys: hashes.len(),
+        };
+        for &h in hashes {
+            filter.insert_hash(h);
+        }
+        filter
+    }
+
+    fn insert_hash(&mut self, h: u64) {
+        let (h1, h2) = double_hash_pair(h);
+        for i in 0..self.num_probes as u64 {
+            let bit = nth_probe(h1, h2, i) % self.num_bits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Probes with a precomputed hash.
+    pub fn may_contain_hash(&self, h: u64) -> bool {
+        if self.num_probes == 0 {
+            return true;
+        }
+        let (h1, h2) = double_hash_pair(h);
+        for i in 0..self.num_probes as u64 {
+            let bit = nth_probe(h1, h2, i) % self.num_bits;
+            if self.bits[(bit / 64) as usize] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Number of hash probes per query.
+    pub fn num_probes(&self) -> u32 {
+        self.num_probes
+    }
+
+    /// Theoretical false-positive rate for this filter's parameters.
+    pub fn theoretical_fpr(&self) -> f64 {
+        if self.num_keys == 0 || self.num_probes == 0 {
+            return 1.0;
+        }
+        let bpk = self.num_bits as f64 / self.num_keys as f64;
+        let k = self.num_probes as f64;
+        (1.0 - (-k / bpk).exp()).powf(k)
+    }
+
+    /// Deserializes a filter produced by [`PointFilter::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 16 {
+            return None;
+        }
+        let num_probes = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+        let num_keys = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+        let num_bits = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+        let words = num_bits.div_ceil(64) as usize;
+        if bytes.len() < 16 + words * 8 {
+            return None;
+        }
+        let bits = bytes[16..16 + words * 8]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Some(BloomFilter {
+            bits,
+            num_bits,
+            num_probes,
+            num_keys,
+        })
+    }
+}
+
+impl PointFilter for BloomFilter {
+    fn may_contain(&self, key: &[u8]) -> bool {
+        self.may_contain_hash(hash64(key))
+    }
+
+    fn size_bits(&self) -> usize {
+        self.bits.len() * 64
+    }
+
+    fn num_keys(&self) -> usize {
+        self.num_keys
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.bits.len() * 8);
+        out.extend_from_slice(&self.num_probes.to_le_bytes());
+        out.extend_from_slice(&(self.num_keys as u32).to_le_bytes());
+        out.extend_from_slice(&self.num_bits.to_le_bytes());
+        for w in &self.bits {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// Measures the empirical false-positive rate of any point filter against
+/// keys known to be absent. Shared by tests and the `filter_zoo` experiment.
+pub fn empirical_fpr(filter: &dyn PointFilter, absent_keys: &[Vec<u8>]) -> f64 {
+    if absent_keys.is_empty() {
+        return 0.0;
+    }
+    let fp = absent_keys
+        .iter()
+        .filter(|k| filter.may_contain(k))
+        .count();
+    fp as f64 / absent_keys.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(range: std::ops::Range<usize>) -> Vec<Vec<u8>> {
+        range.map(|i| format!("key{i:08}").into_bytes()).collect()
+    }
+
+    fn refs(keys: &[Vec<u8>]) -> Vec<&[u8]> {
+        keys.iter().map(|k| k.as_slice()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let present = keys(0..2000);
+        let f = BloomFilter::build(&refs(&present), 10.0);
+        for k in &present {
+            assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn fpr_tracks_theory_at_10_bits() {
+        let present = keys(0..10_000);
+        let f = BloomFilter::build(&refs(&present), 10.0);
+        let absent = keys(100_000..150_000);
+        let fpr = empirical_fpr(&f, &absent);
+        let theory = f.theoretical_fpr();
+        assert!(fpr < theory * 2.0 + 0.002, "fpr {fpr} vs theory {theory}");
+        assert!(fpr < 0.03, "fpr {fpr}");
+    }
+
+    #[test]
+    fn more_bits_fewer_false_positives() {
+        let present = keys(0..5_000);
+        let absent = keys(50_000..80_000);
+        let f2 = BloomFilter::build(&refs(&present), 2.0);
+        let f8 = BloomFilter::build(&refs(&present), 8.0);
+        let f16 = BloomFilter::build(&refs(&present), 16.0);
+        let (e2, e8, e16) = (
+            empirical_fpr(&f2, &absent),
+            empirical_fpr(&f8, &absent),
+            empirical_fpr(&f16, &absent),
+        );
+        assert!(e2 > e8, "{e2} vs {e8}");
+        assert!(e8 > e16, "{e8} vs {e16}");
+    }
+
+    #[test]
+    fn zero_budget_degenerates_to_always_true() {
+        let present = keys(0..100);
+        let f = BloomFilter::build(&refs(&present), 0.0);
+        assert!(f.may_contain(b"anything"));
+        assert!((f.theoretical_fpr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_key_set() {
+        let f = BloomFilter::build(&[], 10.0);
+        assert_eq!(f.num_keys(), 0);
+        // degenerate but must not panic
+        let _ = f.may_contain(b"x");
+    }
+
+    #[test]
+    fn optimal_probes_formula() {
+        assert_eq!(BloomFilter::optimal_probes(10.0), 7);
+        assert_eq!(BloomFilter::optimal_probes(1.0), 1);
+        assert_eq!(BloomFilter::optimal_probes(0.1), 1);
+        assert_eq!(BloomFilter::optimal_probes(100.0), 30);
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_answers() {
+        let present = keys(0..1000);
+        let f = BloomFilter::build(&refs(&present), 12.0);
+        let bytes = f.to_bytes();
+        let g = BloomFilter::from_bytes(&bytes).unwrap();
+        for k in keys(0..3000) {
+            assert_eq!(f.may_contain(&k), g.may_contain(&k));
+        }
+        assert_eq!(f.size_bits(), g.size_bits());
+        assert_eq!(f.num_keys(), g.num_keys());
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation() {
+        let present = keys(0..100);
+        let f = BloomFilter::build(&refs(&present), 10.0);
+        let bytes = f.to_bytes();
+        assert!(BloomFilter::from_bytes(&bytes[..8]).is_none());
+        assert!(BloomFilter::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn shared_hash_build_agrees_with_key_build() {
+        let present = keys(0..500);
+        let hashes: Vec<u64> = present.iter().map(|k| hash64(k)).collect();
+        let a = BloomFilter::build(&refs(&present), 10.0);
+        let b = BloomFilter::build_from_hashes(&hashes, 10.0);
+        for k in keys(0..2000) {
+            assert_eq!(a.may_contain(&k), b.may_contain(&k));
+        }
+    }
+
+    #[test]
+    fn size_respects_budget() {
+        let present = keys(0..10_000);
+        let f = BloomFilter::build(&refs(&present), 10.0);
+        let bpk = f.bits_per_key();
+        assert!((9.9..10.2).contains(&bpk), "bits/key {bpk}");
+    }
+}

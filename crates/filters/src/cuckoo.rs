@@ -1,0 +1,352 @@
+//! Cuckoo filter (Fan, Andersen, Kaminsky, Mitzenmacher, CoNEXT '14).
+//!
+//! Stores short fingerprints in 4-slot buckets; each key has two candidate
+//! buckets linked by the partial-key cuckoo trick `i2 = i1 ^ hash(fp)`.
+//! Unlike Bloom filters, cuckoo filters support deletion, which is why
+//! SlimDB and Chucky adopt them for LSM-trees (tutorial Module II.2).
+
+use crate::hash::{hash64, mix64};
+use crate::traits::PointFilter;
+
+const SLOTS_PER_BUCKET: usize = 4;
+const MAX_KICKS: usize = 500;
+
+/// A cuckoo filter over byte keys.
+#[derive(Clone, Debug)]
+pub struct CuckooFilter {
+    /// `buckets[b][s]`: fingerprint or 0 for empty.
+    buckets: Vec<[u16; SLOTS_PER_BUCKET]>,
+    fingerprint_bits: u32,
+    num_keys: usize,
+    items: usize,
+}
+
+impl CuckooFilter {
+    /// Builds over `keys` with roughly `bits_per_key` bits of memory.
+    ///
+    /// The fingerprint width is derived from the budget assuming the
+    /// standard ~95% achievable load factor; widths are clamped to
+    /// `[4, 16]` bits. Keys are deduplicated first: a cuckoo filter can
+    /// hold at most 8 copies of one fingerprint, so duplicates would make
+    /// construction diverge.
+    pub fn build(keys: &[&[u8]], bits_per_key: f64) -> Self {
+        let fp_bits = (bits_per_key * 0.95).round().clamp(4.0, 16.0) as u32;
+        Self::build_with_fingerprint_bits(keys, fp_bits)
+    }
+
+    /// Builds with an explicit fingerprint width (used by experiments).
+    pub fn build_with_fingerprint_bits(keys: &[&[u8]], fp_bits: u32) -> Self {
+        let fp_bits = fp_bits.clamp(4, 16);
+        let mut unique: Vec<&[u8]> = keys.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        let mut capacity_buckets = Self::buckets_for(unique.len());
+        loop {
+            match Self::try_build(&unique, fp_bits, capacity_buckets) {
+                Some(mut f) => {
+                    f.num_keys = keys.len();
+                    return f;
+                }
+                None => capacity_buckets *= 2, // extremely unlikely beyond one doubling
+            }
+        }
+    }
+
+    fn buckets_for(n: usize) -> usize {
+        let needed = (n as f64 / (SLOTS_PER_BUCKET as f64 * 0.95)).ceil() as usize;
+        needed.next_power_of_two().max(1)
+    }
+
+    fn try_build(keys: &[&[u8]], fp_bits: u32, num_buckets: usize) -> Option<Self> {
+        let mut f = CuckooFilter {
+            buckets: vec![[0u16; SLOTS_PER_BUCKET]; num_buckets],
+            fingerprint_bits: fp_bits,
+            num_keys: keys.len(),
+            items: 0,
+        };
+        let mut seed = 0u64;
+        for key in keys {
+            if !f.insert_key(key, &mut seed) {
+                return None;
+            }
+        }
+        Some(f)
+    }
+
+    #[inline]
+    fn fingerprint(&self, h: u64) -> u16 {
+        let mask = (1u32 << self.fingerprint_bits) - 1;
+        let fp = (mix64(h) as u32) & mask;
+        if fp == 0 {
+            1
+        } else {
+            fp as u16
+        }
+    }
+
+    #[inline]
+    fn index1(&self, h: u64) -> usize {
+        (h as usize) & (self.buckets.len() - 1)
+    }
+
+    #[inline]
+    fn alt_index(&self, i: usize, fp: u16) -> usize {
+        (i ^ (mix64(fp as u64) as usize)) & (self.buckets.len() - 1)
+    }
+
+    fn insert_key(&mut self, key: &[u8], kick_seed: &mut u64) -> bool {
+        let h = hash64(key);
+        let fp = self.fingerprint(h);
+        let i1 = self.index1(h);
+        let i2 = self.alt_index(i1, fp);
+        if self.place(i1, fp) || self.place(i2, fp) {
+            self.items += 1;
+            return true;
+        }
+        // kick loop
+        let mut i = if mix64(*kick_seed) & 1 == 0 { i1 } else { i2 };
+        let mut fp = fp;
+        for _ in 0..MAX_KICKS {
+            *kick_seed = mix64(*kick_seed);
+            let slot = (*kick_seed as usize) % SLOTS_PER_BUCKET;
+            std::mem::swap(&mut fp, &mut self.buckets[i][slot]);
+            i = self.alt_index(i, fp);
+            if self.place(i, fp) {
+                self.items += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn place(&mut self, i: usize, fp: u16) -> bool {
+        for slot in self.buckets[i].iter_mut() {
+            if *slot == 0 {
+                *slot = fp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes one occurrence of `key`'s fingerprint. Returns whether a
+    /// matching fingerprint was found. Deleting a key that was never
+    /// inserted may remove another key's fingerprint — the standard cuckoo
+    /// filter caveat — so callers must only delete inserted keys.
+    pub fn delete(&mut self, key: &[u8]) -> bool {
+        let h = hash64(key);
+        let fp = self.fingerprint(h);
+        let i1 = self.index1(h);
+        let i2 = self.alt_index(i1, fp);
+        for i in [i1, i2] {
+            for slot in self.buckets[i].iter_mut() {
+                if *slot == fp {
+                    *slot = 0;
+                    self.items -= 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Current load factor (occupied slots / total slots).
+    pub fn load_factor(&self) -> f64 {
+        self.items as f64 / (self.buckets.len() * SLOTS_PER_BUCKET) as f64
+    }
+
+    /// Fingerprint width in bits.
+    pub fn fingerprint_bits(&self) -> u32 {
+        self.fingerprint_bits
+    }
+}
+
+impl PointFilter for CuckooFilter {
+    fn may_contain(&self, key: &[u8]) -> bool {
+        let h = hash64(key);
+        let fp = self.fingerprint(h);
+        let i1 = self.index1(h);
+        let i2 = self.alt_index(i1, fp);
+        self.buckets[i1].contains(&fp) || self.buckets[i2].contains(&fp)
+    }
+
+    fn size_bits(&self) -> usize {
+        // semantic size: fingerprint storage only (what a bit-packed
+        // implementation would occupy)
+        self.buckets.len() * SLOTS_PER_BUCKET * self.fingerprint_bits as usize
+    }
+
+    fn num_keys(&self) -> usize {
+        self.num_keys
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.buckets.len() * SLOTS_PER_BUCKET * 2);
+        out.extend_from_slice(&self.fingerprint_bits.to_le_bytes());
+        out.extend_from_slice(&(self.num_keys as u32).to_le_bytes());
+        out.extend_from_slice(&(self.buckets.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.items as u32).to_le_bytes());
+        for b in &self.buckets {
+            for s in b {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+impl CuckooFilter {
+    /// Deserializes a filter produced by [`PointFilter::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 16 {
+            return None;
+        }
+        let fingerprint_bits = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+        let num_keys = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+        let n_buckets = u32::from_le_bytes(bytes[8..12].try_into().ok()?) as usize;
+        let items = u32::from_le_bytes(bytes[12..16].try_into().ok()?) as usize;
+        if bytes.len() < 16 + n_buckets * SLOTS_PER_BUCKET * 2 || !n_buckets.is_power_of_two() {
+            return None;
+        }
+        let mut buckets = Vec::with_capacity(n_buckets);
+        let mut off = 16;
+        for _ in 0..n_buckets {
+            let mut b = [0u16; SLOTS_PER_BUCKET];
+            for s in b.iter_mut() {
+                *s = u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap());
+                off += 2;
+            }
+            buckets.push(b);
+        }
+        Some(CuckooFilter {
+            buckets,
+            fingerprint_bits,
+            num_keys,
+            items,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bloom::empirical_fpr;
+
+    fn keys(range: std::ops::Range<usize>) -> Vec<Vec<u8>> {
+        range.map(|i| format!("key{i:08}").into_bytes()).collect()
+    }
+
+    fn refs(keys: &[Vec<u8>]) -> Vec<&[u8]> {
+        keys.iter().map(|k| k.as_slice()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let present = keys(0..10_000);
+        let f = CuckooFilter::build(&refs(&present), 12.0);
+        for k in &present {
+            assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn fpr_shrinks_with_fingerprint_width() {
+        let present = keys(0..10_000);
+        let absent = keys(100_000..140_000);
+        let f8 = CuckooFilter::build_with_fingerprint_bits(&refs(&present), 8);
+        let f12 = CuckooFilter::build_with_fingerprint_bits(&refs(&present), 12);
+        let e8 = empirical_fpr(&f8, &absent);
+        let e12 = empirical_fpr(&f12, &absent);
+        assert!(e8 > e12, "{e8} vs {e12}");
+        // theory: fpr ≈ 2*4/2^f
+        assert!(e8 < 8.0 / 256.0 * 2.0, "{e8}");
+    }
+
+    #[test]
+    fn delete_then_query_negative() {
+        let present = keys(0..1000);
+        let mut f = CuckooFilter::build(&refs(&present), 12.0);
+        assert!(f.may_contain(b"key00000042"));
+        assert!(f.delete(b"key00000042"));
+        // after deleting, a lookup may still collide with another key's
+        // fingerprint, but the vast majority must now be negative
+        let deleted: Vec<Vec<u8>> = (0..1000).map(|i| format!("key{i:08}").into_bytes()).collect();
+        let mut g = CuckooFilter::build(&refs(&present), 12.0);
+        let mut still_positive = 0;
+        for k in &deleted {
+            g.delete(k);
+        }
+        for k in &deleted {
+            if g.may_contain(k) {
+                still_positive += 1;
+            }
+        }
+        assert!(still_positive < 50, "{still_positive} survivors after full delete");
+    }
+
+    #[test]
+    fn delete_of_absent_key_usually_fails() {
+        let present = keys(0..100);
+        let mut f = CuckooFilter::build(&refs(&present), 16.0);
+        let mut removed = 0;
+        for i in 10_000..10_100 {
+            if f.delete(format!("key{i:08}").as_bytes()) {
+                removed += 1;
+            }
+        }
+        assert!(removed <= 2, "{removed} phantom deletions");
+    }
+
+    #[test]
+    fn load_factor_is_high() {
+        let present = keys(0..10_000);
+        let f = CuckooFilter::build(&refs(&present), 12.0);
+        assert!(f.load_factor() > 0.4, "load {}", f.load_factor());
+        assert!(f.load_factor() <= 1.0);
+    }
+
+    #[test]
+    fn empty_build() {
+        let f = CuckooFilter::build(&[], 12.0);
+        assert!(!f.may_contain(b"x") || f.num_keys() == 0);
+        assert_eq!(f.num_keys(), 0);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let present = keys(0..3000);
+        let f = CuckooFilter::build(&refs(&present), 12.0);
+        let g = CuckooFilter::from_bytes(&f.to_bytes()).unwrap();
+        for k in keys(0..6000) {
+            assert_eq!(f.may_contain(&k), g.may_contain(&k));
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(CuckooFilter::from_bytes(&[0u8; 10]).is_none());
+    }
+
+    #[test]
+    fn fingerprint_never_zero() {
+        let present = keys(0..50_000);
+        let f = CuckooFilter::build(&refs(&present), 8.0);
+        // every inserted key must still be found — would fail if a zero
+        // fingerprint (the empty marker) were ever emitted
+        for k in &present {
+            assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn alt_index_is_involution() {
+        let present = keys(0..10);
+        let f = CuckooFilter::build(&refs(&present), 12.0);
+        for h in [1u64, 99, 12345, u64::MAX] {
+            let fp = f.fingerprint(h);
+            let i1 = f.index1(h);
+            let i2 = f.alt_index(i1, fp);
+            assert_eq!(f.alt_index(i2, fp), i1);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # lsm-filters
+//!
+//! Every filter family the tutorial's Module II surveys, implemented from
+//! scratch behind common traits:
+//!
+//! **Point filters** ([`PointFilter`]): standard Bloom ([`bloom`]),
+//! register-blocked Bloom ([`blocked_bloom`], Putze et al.), cuckoo
+//! ([`cuckoo`], Fan et al.), xor ([`xor`]), and ribbon ([`ribbon`],
+//! Dillinger & Walzer). All guarantee zero false negatives and trade
+//! memory, FPR, and CPU differently — experiment `filter_zoo` measures the
+//! tradeoff.
+//!
+//! **Range filters** ([`RangeFilter`]): prefix Bloom ([`prefix`], RocksDB),
+//! SuRF-style truncated tries ([`surf`]), Rosetta's dyadic Bloom hierarchy
+//! ([`rosetta`]), and SNARF-style model-based filtering ([`snarf`]).
+//!
+//! **Allocation**: [`monkey`] implements Monkey's optimal bits-per-key
+//! assignment across LSM levels; [`elastic`] implements ElasticBF-style
+//! hotness-aware filter-unit activation.
+
+pub mod blocked_bloom;
+pub mod bloom;
+pub mod cuckoo;
+pub mod elastic;
+pub mod hash;
+pub mod monkey;
+pub mod prefix;
+pub mod ribbon;
+pub mod rosetta;
+pub mod serialize;
+pub mod snarf;
+pub mod surf;
+pub mod traits;
+pub mod xor;
+
+pub use blocked_bloom::BlockedBloomFilter;
+pub use bloom::BloomFilter;
+pub use cuckoo::CuckooFilter;
+pub use elastic::ElasticFilterGroup;
+pub use monkey::{monkey_allocation, uniform_allocation, MonkeyAllocation};
+pub use prefix::PrefixBloomFilter;
+pub use ribbon::RibbonFilter;
+pub use rosetta::RosettaFilter;
+pub use serialize::SerializableRangeFilter;
+pub use snarf::SnarfFilter;
+pub use surf::{SuffixMode, SurfFilter};
+pub use traits::{FilterKind, PointFilter, RangeFilter, RangeFilterKind};
+pub use xor::XorFilter;

@@ -1,0 +1,266 @@
+//! Monkey's optimal filter-memory allocation (Dayan, Athanassoulis, Idreos,
+//! SIGMOD '17; tutorial Module II.5).
+//!
+//! Production engines give every level the same bits per key. Monkey
+//! instead minimizes the *sum of false-positive rates* across levels —
+//! which is what a zero-result point lookup pays — subject to a total
+//! memory budget. The Lagrangian condition is that `n_i * p_i` is equal
+//! across levels, so smaller (younger) levels get exponentially lower FPRs
+//! and the huge last level gets most of the false positives. This is why
+//! Monkey's lookup cost is O(1) in expectation rather than O(L).
+
+/// The outcome of an allocation: bits per key and the modeled FPR for each
+/// level, youngest first.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MonkeyAllocation {
+    /// Bits per key assigned to each level.
+    pub bits_per_key: Vec<f64>,
+    /// Modeled FPR of each level's filter.
+    pub fpr: Vec<f64>,
+}
+
+impl MonkeyAllocation {
+    /// Sum of per-level FPRs — the expected number of superfluous probes
+    /// for a zero-result point lookup.
+    pub fn expected_false_probes(&self) -> f64 {
+        self.fpr.iter().sum()
+    }
+
+    /// Total memory in bits given per-level key counts.
+    pub fn total_bits(&self, keys_per_level: &[u64]) -> f64 {
+        self.bits_per_key
+            .iter()
+            .zip(keys_per_level)
+            .map(|(b, &n)| b * n as f64)
+            .sum()
+    }
+}
+
+const LN2_SQ: f64 = std::f64::consts::LN_2 * std::f64::consts::LN_2;
+
+/// FPR of a Bloom filter given bits per key (the standard approximation
+/// `e^{-b ln²2}`).
+pub fn bloom_fpr(bits_per_key: f64) -> f64 {
+    if bits_per_key <= 0.0 {
+        1.0
+    } else {
+        (-bits_per_key * LN2_SQ).exp()
+    }
+}
+
+/// Bits per key needed for a target FPR (inverse of [`bloom_fpr`]).
+pub fn bloom_bits_for_fpr(fpr: f64) -> f64 {
+    if fpr >= 1.0 {
+        0.0
+    } else {
+        -fpr.ln() / LN2_SQ
+    }
+}
+
+/// Uniform baseline: every level gets `total_bits / total_keys` bits per key.
+pub fn uniform_allocation(keys_per_level: &[u64], total_bits: f64) -> MonkeyAllocation {
+    let total_keys: u64 = keys_per_level.iter().sum();
+    let bpk = if total_keys == 0 {
+        0.0
+    } else {
+        total_bits / total_keys as f64
+    };
+    MonkeyAllocation {
+        bits_per_key: keys_per_level.iter().map(|_| bpk).collect(),
+        fpr: keys_per_level.iter().map(|_| bloom_fpr(bpk)).collect(),
+    }
+}
+
+/// Monkey's optimal allocation.
+///
+/// Minimizes `Σ p_i` subject to `Σ n_i * bits(p_i) = total_bits` and
+/// `p_i ≤ 1`. Setting the Lagrangian derivative `1 - λ n_i / (p_i ln²2)`
+/// to zero gives `p_i ∝ n_i`: bigger (older) levels get *higher* FPRs,
+/// because one bit per key there buys the same FPR improvement but costs
+/// `T×` more memory than on a smaller level. Levels whose optimal `p_i`
+/// would exceed 1 are clamped to 1 (no filter built). The proportionality
+/// constant is found by binary search on the memory constraint.
+pub fn monkey_allocation(keys_per_level: &[u64], total_bits: f64) -> MonkeyAllocation {
+    let l = keys_per_level.len();
+    if l == 0 {
+        return MonkeyAllocation {
+            bits_per_key: vec![],
+            fpr: vec![],
+        };
+    }
+    if total_bits <= 0.0 {
+        return MonkeyAllocation {
+            bits_per_key: vec![0.0; l],
+            fpr: vec![1.0; l],
+        };
+    }
+    // memory used if every level's FPR is min(1, c * n_i)
+    let bits_used = |c: f64| -> f64 {
+        keys_per_level
+            .iter()
+            .map(|&n| {
+                if n == 0 {
+                    return 0.0;
+                }
+                let p = (c * n as f64).min(1.0);
+                n as f64 * bloom_bits_for_fpr(p)
+            })
+            .sum()
+    };
+    // larger c → higher FPRs → less memory; geometric binary search since
+    // c spans many decades
+    let (mut lo, mut hi) = (1e-300_f64, 1.0_f64);
+    for _ in 0..500 {
+        let mid = (lo * hi).sqrt();
+        if bits_used(mid) > total_bits {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let c = hi;
+    let fpr: Vec<f64> = keys_per_level
+        .iter()
+        .map(|&n| if n == 0 { 1.0 } else { (c * n as f64).min(1.0) })
+        .collect();
+    let bits_per_key: Vec<f64> = fpr.iter().map(|&p| bloom_bits_for_fpr(p)).collect();
+    MonkeyAllocation { bits_per_key, fpr }
+}
+
+/// Per-level key counts for a leveled LSM with `levels` levels, size ratio
+/// `t`, and `n0` keys in the first storage level. Helper shared by tests,
+/// the model crate, and experiments.
+pub fn geometric_level_sizes(n0: u64, t: u64, levels: usize) -> Vec<u64> {
+    let mut sizes = Vec::with_capacity(levels);
+    let mut n = n0;
+    for _ in 0..levels {
+        sizes.push(n);
+        n = n.saturating_mul(t);
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bloom_fpr_inverse_roundtrip() {
+        for bpk in [1.0, 5.0, 10.0, 16.0] {
+            let p = bloom_fpr(bpk);
+            let back = bloom_bits_for_fpr(p);
+            assert!((back - bpk).abs() < 1e-9, "{bpk} -> {p} -> {back}");
+        }
+        assert_eq!(bloom_fpr(0.0), 1.0);
+        assert_eq!(bloom_bits_for_fpr(1.0), 0.0);
+    }
+
+    #[test]
+    fn monkey_respects_budget() {
+        let sizes = geometric_level_sizes(1_000, 10, 5);
+        let budget = 10.0 * sizes.iter().sum::<u64>() as f64;
+        let alloc = monkey_allocation(&sizes, budget);
+        let used = alloc.total_bits(&sizes);
+        assert!(used <= budget * 1.001, "used {used} budget {budget}");
+        assert!(used >= budget * 0.95, "under-spends: {used} of {budget}");
+    }
+
+    #[test]
+    fn monkey_beats_uniform_in_modeled_cost() {
+        let sizes = geometric_level_sizes(10_000, 10, 6);
+        let budget = 8.0 * sizes.iter().sum::<u64>() as f64;
+        let monkey = monkey_allocation(&sizes, budget);
+        let uniform = uniform_allocation(&sizes, budget);
+        assert!(
+            monkey.expected_false_probes() < uniform.expected_false_probes(),
+            "monkey {} vs uniform {}",
+            monkey.expected_false_probes(),
+            uniform.expected_false_probes()
+        );
+    }
+
+    #[test]
+    fn monkey_gives_smaller_levels_more_bits() {
+        let sizes = geometric_level_sizes(1_000, 10, 5);
+        let alloc = monkey_allocation(&sizes, 10.0 * sizes.iter().sum::<u64>() as f64);
+        for w in alloc.bits_per_key.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "bits must be non-increasing: {:?}", alloc.bits_per_key);
+        }
+        // strictly more for the first vs last
+        assert!(alloc.bits_per_key[0] > alloc.bits_per_key[4] + 1.0);
+    }
+
+    #[test]
+    fn lagrangian_condition_holds_for_unclamped_levels() {
+        let sizes = geometric_level_sizes(1_000, 10, 5);
+        let alloc = monkey_allocation(&sizes, 12.0 * sizes.iter().sum::<u64>() as f64);
+        // p_i / n_i equal across unclamped levels
+        let ratios: Vec<f64> = sizes
+            .iter()
+            .zip(&alloc.fpr)
+            .filter(|(_, &p)| p < 1.0)
+            .map(|(&n, &p)| p / n as f64)
+            .collect();
+        for w in ratios.windows(2) {
+            assert!((w[0] - w[1]).abs() / w[0] < 1e-3, "ratios differ: {ratios:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_budget_clamps_large_levels_to_no_filter() {
+        let sizes = geometric_level_sizes(1_000, 10, 5);
+        // only enough memory for ~0.2 bits/key overall
+        let alloc = monkey_allocation(&sizes, 0.2 * sizes.iter().sum::<u64>() as f64);
+        assert!(
+            (alloc.fpr.last().unwrap() - 1.0).abs() < 1e-6,
+            "largest level should be unfiltered: {:?}",
+            alloc.fpr
+        );
+        assert!(alloc.fpr[0] < 1.0, "smallest level should keep a filter");
+    }
+
+    #[test]
+    fn zero_budget_means_no_filters() {
+        let sizes = vec![100, 1000];
+        let alloc = monkey_allocation(&sizes, 0.0);
+        assert_eq!(alloc.fpr, vec![1.0, 1.0]);
+        assert_eq!(alloc.bits_per_key, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_levels() {
+        let alloc = monkey_allocation(&[], 100.0);
+        assert!(alloc.bits_per_key.is_empty());
+        let u = uniform_allocation(&[], 100.0);
+        assert!(u.bits_per_key.is_empty());
+    }
+
+    #[test]
+    fn uniform_allocation_is_uniform() {
+        let sizes = vec![10, 100, 1000];
+        let alloc = uniform_allocation(&sizes, 11_100.0);
+        for b in &alloc.bits_per_key {
+            assert!((b - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn geometric_level_sizes_grow_by_t() {
+        assert_eq!(geometric_level_sizes(5, 3, 4), vec![5, 15, 45, 135]);
+    }
+
+    #[test]
+    fn monkey_advantage_grows_with_levels() {
+        // with one level, Monkey == uniform; with many, it wins big
+        let one = geometric_level_sizes(1000, 10, 1);
+        let many = geometric_level_sizes(1000, 10, 6);
+        let b1 = 10.0 * one.iter().sum::<u64>() as f64;
+        let bm = 10.0 * many.iter().sum::<u64>() as f64;
+        let ratio_one = uniform_allocation(&one, b1).expected_false_probes()
+            / monkey_allocation(&one, b1).expected_false_probes();
+        let ratio_many = uniform_allocation(&many, bm).expected_false_probes()
+            / monkey_allocation(&many, bm).expected_false_probes();
+        assert!(ratio_one < 1.05, "single level ratio {ratio_one}");
+        assert!(ratio_many > ratio_one, "{ratio_many} vs {ratio_one}");
+    }
+}

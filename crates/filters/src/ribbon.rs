@@ -1,0 +1,314 @@
+//! Ribbon filter (Dillinger & Walzer, "Ribbon filter: practically smaller
+//! than Bloom and Xor").
+//!
+//! Solves a banded linear system over GF(2): each key contributes one
+//! equation whose 64-bit coefficient band starts at a hashed position and
+//! whose right-hand side is an `r`-bit fingerprint. A query recomputes the
+//! band and xors the touched solution slots; equality with the fingerprint
+//! means "maybe present". Space overhead is a few percent over the
+//! information-theoretic minimum — smaller than Bloom at equal FPR — at the
+//! cost of extra construction CPU, exactly the tradeoff the tutorial
+//! attributes to ribbon (Module II.2).
+
+use crate::hash::{hash64_seed, mix64};
+use crate::traits::PointFilter;
+
+const BAND_WIDTH: usize = 64;
+/// Fractional extra slots beyond the key count; ~5% suffices for w=64.
+const OVERHEAD: f64 = 0.05;
+
+/// A standard ribbon filter with `r`-bit fingerprints.
+#[derive(Clone, Debug)]
+pub struct RibbonFilter {
+    /// Solution vector: `num_slots` entries of `r` meaningful bits.
+    solution: Vec<u16>,
+    num_slots: usize,
+    result_bits: u32,
+    seed: u64,
+    num_keys: usize,
+}
+
+impl RibbonFilter {
+    /// Builds over `keys` with roughly `bits_per_key` bits of memory.
+    pub fn build(keys: &[&[u8]], bits_per_key: f64) -> Self {
+        let r = (bits_per_key / (1.0 + OVERHEAD)).round().clamp(1.0, 16.0) as u32;
+        Self::build_with_result_bits(keys, r)
+    }
+
+    /// Builds with an explicit fingerprint width `r` (1..=16 bits).
+    pub fn build_with_result_bits(keys: &[&[u8]], r: u32) -> Self {
+        let r = r.clamp(1, 16);
+        let n = keys.len();
+        if n == 0 {
+            return RibbonFilter {
+                solution: vec![0],
+                num_slots: 1,
+                result_bits: r,
+                seed: 0,
+                num_keys: 0,
+            };
+        }
+        let mut num_slots = ((n as f64 * (1.0 + OVERHEAD)).ceil() as usize).max(BAND_WIDTH * 2);
+        let mut seed = 0xdb4f_0b91_u64;
+        loop {
+            if let Some(solution) = Self::try_build(keys, seed, num_slots, r) {
+                return RibbonFilter {
+                    solution,
+                    num_slots,
+                    result_bits: r,
+                    seed,
+                    num_keys: n,
+                };
+            }
+            // failed banding: retry with a fresh seed, growing slowly
+            seed = mix64(seed);
+            num_slots += num_slots / 50 + 1;
+        }
+    }
+
+    /// (start, coefficient band, fingerprint) for a key hash.
+    #[inline]
+    fn equation(h: u64, num_slots: usize, r: u32) -> (usize, u64, u16) {
+        let start_range = num_slots - BAND_WIDTH + 1;
+        let start = ((h as u128 * start_range as u128) >> 64) as usize;
+        let mut coeff = mix64(h);
+        coeff |= 1; // the band must begin with a set coefficient
+        let fp_mask = ((1u32 << r) - 1) as u16;
+        let fp = ((mix64(h ^ 0xf00d) >> 24) as u16) & fp_mask;
+        (start, coeff, fp)
+    }
+
+    fn try_build(keys: &[&[u8]], seed: u64, num_slots: usize, r: u32) -> Option<Vec<u16>> {
+        // banded Gaussian elimination (the "banding" phase)
+        let mut rows: Vec<u64> = vec![0; num_slots];
+        let mut rhs: Vec<u16> = vec![0; num_slots];
+        for key in keys {
+            let h = hash64_seed(key, seed);
+            let (mut i, mut c, mut b) = Self::equation(h, num_slots, r);
+            loop {
+                debug_assert!(c & 1 == 1);
+                // every stored row has its diagonal bit set, so a zero row
+                // word means the slot is free
+                if rows[i] == 0 {
+                    rows[i] = c;
+                    rhs[i] = b;
+                    break;
+                }
+                c ^= rows[i];
+                b ^= rhs[i];
+                if c == 0 {
+                    if b == 0 {
+                        break; // redundant equation (duplicate key)
+                    }
+                    return None; // inconsistent: re-seed
+                }
+                let tz = c.trailing_zeros() as usize;
+                c >>= tz;
+                i += tz;
+                if i >= num_slots {
+                    return None;
+                }
+            }
+        }
+        // back substitution
+        let mut solution = vec![0u16; num_slots];
+        for i in (0..num_slots).rev() {
+            if rows[i] == 0 {
+                continue; // free variable: leave zero
+            }
+            let mut acc = rhs[i];
+            let mut bits = rows[i] & !1; // exclude the diagonal
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                acc ^= solution[i + j];
+                bits &= bits - 1;
+            }
+            solution[i] = acc;
+        }
+        Some(solution)
+    }
+
+    /// Probes with a key.
+    fn probe(&self, key: &[u8]) -> bool {
+        if self.num_keys == 0 {
+            return false;
+        }
+        let h = hash64_seed(key, self.seed);
+        let (start, coeff, fp) = Self::equation(h, self.num_slots, self.result_bits);
+        let mut acc = 0u16;
+        let mut bits = coeff;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            acc ^= self.solution[start + j];
+            bits &= bits - 1;
+        }
+        acc == fp
+    }
+
+    /// Fingerprint width in bits.
+    pub fn result_bits(&self) -> u32 {
+        self.result_bits
+    }
+
+    /// Deserializes a filter produced by [`PointFilter::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 20 {
+            return None;
+        }
+        let seed = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        let num_keys = u32::from_le_bytes(bytes[8..12].try_into().ok()?) as usize;
+        let num_slots = u32::from_le_bytes(bytes[12..16].try_into().ok()?) as usize;
+        let result_bits = u32::from_le_bytes(bytes[16..20].try_into().ok()?);
+        if bytes.len() != 20 + num_slots * 2 {
+            return None;
+        }
+        let solution = bytes[20..]
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Some(RibbonFilter {
+            solution,
+            num_slots,
+            result_bits,
+            seed,
+            num_keys,
+        })
+    }
+}
+
+impl PointFilter for RibbonFilter {
+    fn may_contain(&self, key: &[u8]) -> bool {
+        self.probe(key)
+    }
+
+    fn size_bits(&self) -> usize {
+        // semantic size: r bits per slot (a production implementation
+        // bit-packs the solution columns)
+        self.num_slots * self.result_bits as usize
+    }
+
+    fn num_keys(&self) -> usize {
+        self.num_keys
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + self.solution.len() * 2);
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.num_keys as u32).to_le_bytes());
+        out.extend_from_slice(&(self.num_slots as u32).to_le_bytes());
+        out.extend_from_slice(&self.result_bits.to_le_bytes());
+        for s in &self.solution {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bloom::{empirical_fpr, BloomFilter};
+
+    fn keys(range: std::ops::Range<usize>) -> Vec<Vec<u8>> {
+        range.map(|i| format!("key{i:08}").into_bytes()).collect()
+    }
+
+    fn refs(keys: &[Vec<u8>]) -> Vec<&[u8]> {
+        keys.iter().map(|k| k.as_slice()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let present = keys(0..20_000);
+        let f = RibbonFilter::build(&refs(&present), 10.0);
+        for k in &present {
+            assert!(f.may_contain(k), "lost {:?}", String::from_utf8_lossy(k));
+        }
+    }
+
+    #[test]
+    fn fpr_close_to_two_to_minus_r() {
+        let present = keys(0..10_000);
+        let absent = keys(100_000..150_000);
+        let f = RibbonFilter::build_with_result_bits(&refs(&present), 8);
+        let fpr = empirical_fpr(&f, &absent);
+        let theory = 1.0 / 256.0;
+        assert!(fpr < theory * 3.0 + 0.002, "fpr {fpr} vs theory {theory}");
+    }
+
+    #[test]
+    fn smaller_than_bloom_at_equal_fpr() {
+        let present = keys(0..20_000);
+        let absent = keys(100_000..160_000);
+        // ribbon with r=7 → FPR ≈ 0.78%; bloom needs ~10 bits/key for that
+        let ribbon = RibbonFilter::build_with_result_bits(&refs(&present), 7);
+        let bloom = BloomFilter::build(&refs(&present), 10.0);
+        let e_r = empirical_fpr(&ribbon, &absent);
+        let e_b = empirical_fpr(&bloom, &absent);
+        // comparable FPR...
+        assert!(e_r < e_b * 3.0 + 0.005, "ribbon {e_r} vs bloom {e_b}");
+        // ...with meaningfully fewer bits
+        assert!(
+            (ribbon.size_bits() as f64) < bloom.size_bits() as f64 * 0.85,
+            "ribbon {} bits vs bloom {}",
+            ribbon.size_bits(),
+            bloom.size_bits()
+        );
+    }
+
+    #[test]
+    fn duplicates_are_redundant_equations() {
+        let mut present = keys(0..500);
+        present.extend(keys(0..500));
+        let f = RibbonFilter::build(&refs(&present), 8.0);
+        for k in &present {
+            assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let f = RibbonFilter::build(&[], 8.0);
+        assert!(!f.may_contain(b"x"));
+        let g = RibbonFilter::build(&[b"one".as_slice()], 8.0);
+        assert!(g.may_contain(b"one"));
+    }
+
+    #[test]
+    fn result_bits_clamped() {
+        let present = keys(0..100);
+        let f = RibbonFilter::build_with_result_bits(&refs(&present), 99);
+        assert_eq!(f.result_bits(), 16);
+        let g = RibbonFilter::build_with_result_bits(&refs(&present), 0);
+        assert_eq!(g.result_bits(), 1);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let present = keys(0..5000);
+        let f = RibbonFilter::build(&refs(&present), 10.0);
+        let g = RibbonFilter::from_bytes(&f.to_bytes()).unwrap();
+        for k in keys(0..10_000) {
+            assert_eq!(f.may_contain(&k), g.may_contain(&k));
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_bad_length() {
+        let present = keys(0..100);
+        let f = RibbonFilter::build(&refs(&present), 8.0);
+        let mut bytes = f.to_bytes();
+        bytes.pop();
+        assert!(RibbonFilter::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn large_build_succeeds() {
+        let present = keys(0..100_000);
+        let f = RibbonFilter::build(&refs(&present), 8.0);
+        assert_eq!(f.num_keys(), 100_000);
+        for k in present.iter().step_by(997) {
+            assert!(f.may_contain(k));
+        }
+    }
+}

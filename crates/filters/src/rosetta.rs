@@ -1,0 +1,314 @@
+//! Rosetta range filter (Luo et al., SIGMOD '20; tutorial Module II.3).
+//!
+//! A hierarchy of Bloom filters, one per dyadic prefix length, logically
+//! forming a segment tree over the key domain. A range query decomposes
+//! into O(log R) dyadic intervals; each is probed top-down ("doubting"):
+//! an internal-level positive is only believed if it can be confirmed by a
+//! positive path all the way to the bottom level. This makes Rosetta
+//! strongest for the *short* range queries where prefix filters and SuRF
+//! suffer.
+//!
+//! Keys are mapped to `u64` via their first 8 bytes (big-endian, zero
+//! padded). The map is monotone, so range queries translate soundly: a
+//! query `[lo, hi]` over byte keys becomes `[map(lo), map(hi)]` over
+//! `u64`s and can never produce a false negative.
+
+use std::ops::Bound;
+
+use crate::bloom::BloomFilter;
+use crate::traits::{PointFilter, RangeFilter};
+
+/// Number of Bloom levels kept. Level 0 filters full 64-bit keys; level
+/// `h` filters keys truncated by `h` low bits. Dyadic nodes taller than
+/// `LEVELS-1` are answered "maybe" — they only occur in ranges longer than
+/// `2^(LEVELS-1)`, outside Rosetta's short-range design target.
+const LEVELS: usize = 24;
+
+/// Monotone map from byte keys to the u64 domain.
+pub fn key_to_u64(key: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = key.len().min(8);
+    buf[..n].copy_from_slice(&key[..n]);
+    u64::from_be_bytes(buf)
+}
+
+/// A Rosetta filter over up-to-8-byte (or monotonically truncated) keys.
+pub struct RosettaFilter {
+    /// `blooms[h]` holds every key right-shifted by `h` bits.
+    blooms: Vec<BloomFilter>,
+    num_keys: usize,
+}
+
+impl RosettaFilter {
+    /// Builds over `keys` with a total budget of `bits_per_key` bits per
+    /// key across all levels. Following the Rosetta paper's finding that
+    /// lower levels matter most, the bottom level receives half the
+    /// budget and each level above half of the remainder (floored at one
+    /// bit per key).
+    pub fn build(keys: &[&[u8]], bits_per_key: f64) -> Self {
+        let values: Vec<u64> = keys.iter().map(|k| key_to_u64(k)).collect();
+        Self::build_from_u64(&values, keys.len(), bits_per_key)
+    }
+
+    /// Builds directly over u64 keys.
+    ///
+    /// The bottom level receives half the budget; the rest is split evenly
+    /// across as many upper levels as can be afforded at ≥2 bits/key each
+    /// (capped at the 24-level maximum). A smaller budget therefore yields a shorter
+    /// hierarchy, which prunes shorter ranges only — the memory/range-length
+    /// tradeoff the Rosetta paper describes.
+    pub fn build_from_u64(values: &[u64], num_keys: usize, bits_per_key: f64) -> Self {
+        // a third of the budget buys a discriminating bottom level; the
+        // rest is spread one bit per key per upper level — weak individual
+        // levels, but the doubting descent multiplies their rejection
+        // power along every path, so they prune well in combination
+        let bottom_bits = (bits_per_key / 2.0).max(1.0);
+        let upper_budget = (bits_per_key - bottom_bits).max(0.0);
+        let upper_levels = (upper_budget.floor() as usize).clamp(1, LEVELS - 1);
+        let upper_bits = (upper_budget / upper_levels as f64).max(1.0);
+        let mut blooms = Vec::with_capacity(1 + upper_levels);
+        for h in 0..=upper_levels {
+            let level_bits = if h == 0 { bottom_bits } else { upper_bits };
+            let hashes: Vec<u64> = values
+                .iter()
+                .map(|&v| crate::hash::hash64(&(v >> h).to_be_bytes()))
+                .collect();
+            blooms.push(BloomFilter::build_from_hashes(&hashes, level_bits));
+        }
+        RosettaFilter { blooms, num_keys }
+    }
+
+    /// Serializes into `out`.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.blooms.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.num_keys as u32).to_le_bytes());
+        for b in &self.blooms {
+            let bytes = b.to_bytes();
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+    }
+
+    /// Deserializes [`Self::serialize_into`] output.
+    pub fn deserialize(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        let num_keys = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+        let mut off = 8usize;
+        let mut blooms = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = u32::from_le_bytes(bytes.get(off..off + 4)?.try_into().ok()?) as usize;
+            off += 4;
+            blooms.push(BloomFilter::from_bytes(bytes.get(off..off + len)?)?);
+            off += len;
+        }
+        if blooms.is_empty() {
+            return None;
+        }
+        Some(RosettaFilter { blooms, num_keys })
+    }
+
+    fn probe_level(&self, h: usize, prefix: u64) -> bool {
+        self.blooms[h].may_contain_hash(crate::hash::hash64(&prefix.to_be_bytes()))
+    }
+
+    /// "Doubting" descent: is there a confirmed key under dyadic node
+    /// `prefix` at height `h`? `budget` bounds total probes; exhausting it
+    /// returns `true` (conservative).
+    fn confirm(&self, h: usize, prefix: u64, budget: &mut u32) -> bool {
+        if *budget == 0 {
+            return true;
+        }
+        *budget -= 1;
+        if !self.probe_level(h, prefix) {
+            return false;
+        }
+        if h == 0 {
+            return true;
+        }
+        self.confirm(h - 1, prefix << 1, budget) || self.confirm(h - 1, (prefix << 1) | 1, budget)
+    }
+
+    /// Range emptiness over the u64 domain, inclusive on both ends.
+    pub fn may_overlap_u64(&self, lo: u64, hi: u64) -> bool {
+        if lo > hi || self.num_keys == 0 {
+            return false;
+        }
+        let max_h = self.blooms.len() - 1;
+        // total probe budget across the whole query keeps the worst-case
+        // descent cost bounded; running out answers "maybe"
+        let mut budget: u32 = 4096;
+        // decompose [lo, hi] into maximal dyadic intervals, left to right
+        let mut a = lo;
+        loop {
+            // tallest node aligned at `a`…
+            let mut h = if a == 0 { 63 } else { a.trailing_zeros() as usize };
+            // …shrunk until [a, a + 2^h - 1] fits inside [a, hi]
+            while h > 0 && (h >= 64 || a.checked_add((1u64 << h) - 1).is_none_or(|end| end > hi))
+            {
+                h -= 1;
+            }
+            if h > max_h {
+                // node taller than our hierarchy: cannot prune
+                return true;
+            }
+            if self.confirm(h, a >> h, &mut budget) {
+                return true;
+            }
+            let step = 1u64 << h;
+            match a.checked_add(step) {
+                Some(next) if next <= hi => a = next,
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl RangeFilter for RosettaFilter {
+    fn may_overlap(&self, lo: Bound<&[u8]>, hi: Bound<&[u8]>) -> bool {
+        // Excluded bounds are treated inclusively: conservative, never a
+        // false negative.
+        let lo_v = match lo {
+            Bound::Included(k) | Bound::Excluded(k) => key_to_u64(k),
+            Bound::Unbounded => 0,
+        };
+        let hi_v = match hi {
+            Bound::Included(k) | Bound::Excluded(k) => {
+                // a byte key longer than 8 bytes maps to the same u64 as
+                // its 8-byte prefix; everything under that prefix must be
+                // included
+                key_to_u64(k)
+            }
+            Bound::Unbounded => u64::MAX,
+        };
+        self.may_overlap_u64(lo_v, hi_v)
+    }
+
+    fn size_bits(&self) -> usize {
+        self.blooms.iter().map(|b| b.size_bits()).sum()
+    }
+
+    fn num_keys(&self) -> usize {
+        self.num_keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(values: &[u64], bpk: f64) -> RosettaFilter {
+        RosettaFilter::build_from_u64(values, values.len(), bpk)
+    }
+
+    #[test]
+    fn key_to_u64_is_monotone_on_samples() {
+        let mut keys: Vec<Vec<u8>> = (0..1000u32)
+            .map(|i| format!("{:08}", i * 7919).into_bytes())
+            .collect();
+        keys.sort();
+        for w in keys.windows(2) {
+            assert!(key_to_u64(&w[0]) <= key_to_u64(&w[1]));
+        }
+    }
+
+    #[test]
+    fn no_false_negatives_on_points() {
+        let values: Vec<u64> = (0..2000u64).map(|i| i * 1000 + 13).collect();
+        let f = build(&values, 22.0);
+        for &v in &values {
+            assert!(f.may_overlap_u64(v, v));
+        }
+    }
+
+    #[test]
+    fn no_false_negatives_on_ranges() {
+        let values: Vec<u64> = (0..500u64).map(|i| i * 10_000).collect();
+        let f = build(&values, 22.0);
+        for &v in &values {
+            assert!(f.may_overlap_u64(v.saturating_sub(5), v + 5));
+            assert!(f.may_overlap_u64(v, v + 100));
+        }
+    }
+
+    #[test]
+    fn short_empty_ranges_are_pruned() {
+        // keys at multiples of 2^20; short queries in the gaps must mostly
+        // be pruned
+        let values: Vec<u64> = (1..500u64).map(|i| i << 20).collect();
+        let f = build(&values, 24.0);
+        let mut fp = 0;
+        let trials = 500;
+        for t in 0..trials {
+            let lo = (t as u64 + 1) * (1 << 20) + 1000 + t as u64 * 17;
+            let hi = lo + 31; // 32-key range, far from any key
+            if f.may_overlap_u64(lo, hi) {
+                fp += 1;
+            }
+        }
+        assert!(fp < trials / 4, "{fp}/{trials} false positives");
+    }
+
+    #[test]
+    fn very_long_ranges_answer_maybe() {
+        let values: Vec<u64> = vec![42];
+        let f = build(&values, 20.0);
+        assert!(f.may_overlap_u64(0, u64::MAX));
+        assert!(f.may_overlap_u64(1 << 40, (1 << 40) + (1 << 30)));
+    }
+
+    #[test]
+    fn empty_filter_rejects_all() {
+        let f = build(&[], 20.0);
+        assert!(!f.may_overlap_u64(0, u64::MAX));
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        let values: Vec<u64> = vec![10, 20, 30];
+        let f = build(&values, 20.0);
+        assert!(!f.may_overlap_u64(25, 15));
+    }
+
+    #[test]
+    fn byte_key_interface_round_trips() {
+        let owned: Vec<Vec<u8>> = (0..300u32).map(|i| format!("{i:08}").into_bytes()).collect();
+        let keys: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+        let f = RosettaFilter::build(&keys, 22.0);
+        for k in &owned {
+            assert!(f.may_contain_point(k));
+        }
+        assert!(f.may_overlap(Bound::Unbounded, Bound::Unbounded));
+    }
+
+    #[test]
+    fn boundary_values_work() {
+        let values = vec![0u64, u64::MAX, 1, u64::MAX - 1];
+        let f = build(&values, 24.0);
+        assert!(f.may_overlap_u64(0, 0));
+        assert!(f.may_overlap_u64(u64::MAX, u64::MAX));
+        assert!(f.may_overlap_u64(u64::MAX - 1, u64::MAX));
+    }
+
+    #[test]
+    fn more_bits_prune_better() {
+        let values: Vec<u64> = (1..300u64).map(|i| i << 24).collect();
+        let lean = build(&values, 10.0);
+        let rich = build(&values, 28.0);
+        let mut fp_lean = 0;
+        let mut fp_rich = 0;
+        for t in 0..300u64 {
+            let lo = (t + 1) * (1 << 24) + 5000 + t * 23;
+            let hi = lo + 15;
+            if lean.may_overlap_u64(lo, hi) {
+                fp_lean += 1;
+            }
+            if rich.may_overlap_u64(lo, hi) {
+                fp_rich += 1;
+            }
+        }
+        assert!(fp_rich <= fp_lean, "rich {fp_rich} vs lean {fp_lean}");
+    }
+}

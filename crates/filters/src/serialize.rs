@@ -1,0 +1,203 @@
+//! Serialization for range filters, so they can live in SSTable filter
+//! blocks like point filters do.
+//!
+//! Format: one tag byte identifying the implementation, then the
+//! implementation's own payload.
+
+use std::ops::Bound;
+
+use crate::prefix::PrefixBloomFilter;
+use crate::rosetta::RosettaFilter;
+use crate::snarf::SnarfFilter;
+use crate::surf::{SuffixMode, SurfFilter};
+use crate::traits::RangeFilter;
+
+const TAG_PREFIX: u8 = 1;
+const TAG_SURF: u8 = 2;
+const TAG_ROSETTA: u8 = 3;
+const TAG_SNARF: u8 = 4;
+
+/// Serializes any supported range filter with a leading tag byte.
+///
+/// Because the trait objects don't expose their concrete type, callers
+/// pass the original enum variants; the engine stores filters via
+/// [`SerializableRangeFilter`] instead of bare trait objects.
+pub enum SerializableRangeFilter {
+    /// Prefix Bloom filter.
+    Prefix(PrefixBloomFilter),
+    /// SuRF truncated trie.
+    Surf(SurfFilter),
+    /// Rosetta dyadic hierarchy.
+    Rosetta(RosettaFilter),
+    /// SNARF learned filter.
+    Snarf(SnarfFilter),
+}
+
+impl SerializableRangeFilter {
+    /// Builds the requested kind over sorted, deduplicated keys.
+    pub fn build(kind: crate::traits::RangeFilterKind, keys: &[&[u8]], bits_per_key: f64) -> Option<Self> {
+        use crate::traits::RangeFilterKind as K;
+        match kind {
+            K::None => None,
+            K::PrefixBloom { prefix_len } => Some(SerializableRangeFilter::Prefix(
+                PrefixBloomFilter::build(keys, prefix_len, bits_per_key),
+            )),
+            K::Surf { suffix_bits } => Some(SerializableRangeFilter::Surf(SurfFilter::build(
+                keys,
+                if suffix_bits == 0 {
+                    SuffixMode::None
+                } else {
+                    SuffixMode::Real(suffix_bits)
+                },
+            ))),
+            K::Rosetta => Some(SerializableRangeFilter::Rosetta(RosettaFilter::build(
+                keys,
+                bits_per_key,
+            ))),
+            K::Snarf => Some(SerializableRangeFilter::Snarf(SnarfFilter::build(
+                keys,
+                bits_per_key,
+            ))),
+        }
+    }
+
+    /// Serializes with a tag byte.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            SerializableRangeFilter::Prefix(f) => {
+                out.push(TAG_PREFIX);
+                f.serialize_into(&mut out);
+            }
+            SerializableRangeFilter::Surf(f) => {
+                out.push(TAG_SURF);
+                f.serialize_into(&mut out);
+            }
+            SerializableRangeFilter::Rosetta(f) => {
+                out.push(TAG_ROSETTA);
+                f.serialize_into(&mut out);
+            }
+            SerializableRangeFilter::Snarf(f) => {
+                out.push(TAG_SNARF);
+                f.serialize_into(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Deserializes from [`Self::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let (&tag, rest) = bytes.split_first()?;
+        match tag {
+            TAG_PREFIX => Some(SerializableRangeFilter::Prefix(
+                PrefixBloomFilter::deserialize(rest)?,
+            )),
+            TAG_SURF => Some(SerializableRangeFilter::Surf(SurfFilter::deserialize(rest)?)),
+            TAG_ROSETTA => Some(SerializableRangeFilter::Rosetta(RosettaFilter::deserialize(
+                rest,
+            )?)),
+            TAG_SNARF => Some(SerializableRangeFilter::Snarf(SnarfFilter::deserialize(rest)?)),
+            _ => None,
+        }
+    }
+}
+
+impl RangeFilter for SerializableRangeFilter {
+    fn may_overlap(&self, lo: Bound<&[u8]>, hi: Bound<&[u8]>) -> bool {
+        match self {
+            SerializableRangeFilter::Prefix(f) => f.may_overlap(lo, hi),
+            SerializableRangeFilter::Surf(f) => f.may_overlap(lo, hi),
+            SerializableRangeFilter::Rosetta(f) => f.may_overlap(lo, hi),
+            SerializableRangeFilter::Snarf(f) => f.may_overlap(lo, hi),
+        }
+    }
+
+    fn may_contain_point(&self, key: &[u8]) -> bool {
+        match self {
+            SerializableRangeFilter::Prefix(f) => f.may_contain_point(key),
+            SerializableRangeFilter::Surf(f) => f.may_contain_point(key),
+            SerializableRangeFilter::Rosetta(f) => f.may_contain_point(key),
+            SerializableRangeFilter::Snarf(f) => f.may_contain_point(key),
+        }
+    }
+
+    fn size_bits(&self) -> usize {
+        match self {
+            SerializableRangeFilter::Prefix(f) => f.size_bits(),
+            SerializableRangeFilter::Surf(f) => f.size_bits(),
+            SerializableRangeFilter::Rosetta(f) => f.size_bits(),
+            SerializableRangeFilter::Snarf(f) => f.size_bits(),
+        }
+    }
+
+    fn num_keys(&self) -> usize {
+        match self {
+            SerializableRangeFilter::Prefix(f) => f.num_keys(),
+            SerializableRangeFilter::Surf(f) => f.num_keys(),
+            SerializableRangeFilter::Rosetta(f) => f.num_keys(),
+            SerializableRangeFilter::Snarf(f) => f.num_keys(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::RangeFilterKind;
+
+    fn keys() -> Vec<Vec<u8>> {
+        let mut v: Vec<Vec<u8>> = (0..500u32).map(|i| format!("{:08}", i * 20).into_bytes()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        let owned = keys();
+        let refs: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+        let kinds = [
+            RangeFilterKind::PrefixBloom { prefix_len: 5 },
+            RangeFilterKind::Surf { suffix_bits: 8 },
+            RangeFilterKind::Rosetta,
+            RangeFilterKind::Snarf,
+        ];
+        for kind in kinds {
+            let f = SerializableRangeFilter::build(kind, &refs, 16.0).unwrap();
+            let bytes = f.to_bytes();
+            let g = SerializableRangeFilter::from_bytes(&bytes)
+                .unwrap_or_else(|| panic!("{} failed to deserialize", kind.label()));
+            for k in &owned {
+                assert_eq!(
+                    f.may_contain_point(k),
+                    g.may_contain_point(k),
+                    "{} point answers diverge",
+                    kind.label()
+                );
+            }
+            // range answers agree on a sample
+            for i in (0..owned.len()).step_by(41) {
+                let lo = &owned[i];
+                let mut hi = lo.clone();
+                hi.push(b'z');
+                assert_eq!(
+                    f.may_overlap(Bound::Included(lo.as_slice()), Bound::Included(hi.as_slice())),
+                    g.may_overlap(Bound::Included(lo.as_slice()), Bound::Included(hi.as_slice())),
+                    "{} range answers diverge",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(SerializableRangeFilter::from_bytes(&[99, 1, 2, 3]).is_none());
+        assert!(SerializableRangeFilter::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn none_kind_builds_nothing() {
+        assert!(SerializableRangeFilter::build(RangeFilterKind::None, &[], 10.0).is_none());
+    }
+}

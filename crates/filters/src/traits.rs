@@ -1,0 +1,243 @@
+//! Common traits over all filter families, so the engine can treat the
+//! filter choice as a single configuration axis.
+
+use std::ops::Bound;
+
+/// An approximate-membership (point) filter over a fixed key set.
+///
+/// Contract: [`PointFilter::may_contain`] must return `true` for every key
+/// that was inserted at build time (no false negatives); it may return
+/// `true` for other keys with some false-positive probability.
+pub trait PointFilter: Send + Sync {
+    /// Whether `key` may be in the underlying set.
+    fn may_contain(&self, key: &[u8]) -> bool;
+
+    /// Size of the filter in bits (its memory footprint).
+    fn size_bits(&self) -> usize;
+
+    /// Number of keys the filter was built over.
+    fn num_keys(&self) -> usize;
+
+    /// Serializes the filter to bytes (stored in the SSTable filter block).
+    fn to_bytes(&self) -> Vec<u8>;
+
+    /// Effective bits per key.
+    fn bits_per_key(&self) -> f64 {
+        if self.num_keys() == 0 {
+            0.0
+        } else {
+            self.size_bits() as f64 / self.num_keys() as f64
+        }
+    }
+}
+
+/// An approximate range-emptiness filter.
+///
+/// Contract: [`RangeFilter::may_overlap`] must return `true` for every query
+/// range that intersects the built key set (no false negatives).
+pub trait RangeFilter: Send + Sync {
+    /// Whether any built key may fall within `(lo, hi)` bounds.
+    fn may_overlap(&self, lo: Bound<&[u8]>, hi: Bound<&[u8]>) -> bool;
+
+    /// Point-query convenience: whether `key` itself may be present.
+    fn may_contain_point(&self, key: &[u8]) -> bool {
+        self.may_overlap(Bound::Included(key), Bound::Included(key))
+    }
+
+    /// Size of the filter in bits.
+    fn size_bits(&self) -> usize;
+
+    /// Number of keys the filter was built over.
+    fn num_keys(&self) -> usize;
+}
+
+/// Which point-filter implementation to use — one axis of the LSM design
+/// space (tutorial Module II.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FilterKind {
+    /// No filter: every lookup probes the run.
+    None,
+    /// Standard Bloom filter.
+    Bloom,
+    /// Register-blocked (cache-efficient) Bloom filter.
+    BlockedBloom,
+    /// Cuckoo filter (supports deletion, used by SlimDB/Chucky).
+    Cuckoo,
+    /// Xor filter (static, smaller than Bloom).
+    Xor,
+    /// Ribbon filter (near space-optimal, more construction CPU).
+    Ribbon,
+}
+
+impl FilterKind {
+    /// All concrete kinds (excluding `None`).
+    pub const ALL: [FilterKind; 5] = [
+        FilterKind::Bloom,
+        FilterKind::BlockedBloom,
+        FilterKind::Cuckoo,
+        FilterKind::Xor,
+        FilterKind::Ribbon,
+    ];
+
+    /// Human-readable label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FilterKind::None => "none",
+            FilterKind::Bloom => "bloom",
+            FilterKind::BlockedBloom => "blocked-bloom",
+            FilterKind::Cuckoo => "cuckoo",
+            FilterKind::Xor => "xor",
+            FilterKind::Ribbon => "ribbon",
+        }
+    }
+
+    /// Builds a filter of this kind over `keys` at roughly `bits_per_key`.
+    /// Returns `None` for [`FilterKind::None`].
+    pub fn build(
+        self,
+        keys: &[Vec<u8>],
+        bits_per_key: f64,
+    ) -> Option<Box<dyn PointFilter>> {
+        let key_refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        self.build_refs(&key_refs, bits_per_key)
+    }
+
+    /// Like [`FilterKind::build`] but over borrowed keys.
+    pub fn build_refs(
+        self,
+        keys: &[&[u8]],
+        bits_per_key: f64,
+    ) -> Option<Box<dyn PointFilter>> {
+        match self {
+            FilterKind::None => None,
+            FilterKind::Bloom => Some(Box::new(crate::bloom::BloomFilter::build(keys, bits_per_key))),
+            FilterKind::BlockedBloom => Some(Box::new(
+                crate::blocked_bloom::BlockedBloomFilter::build(keys, bits_per_key),
+            )),
+            FilterKind::Cuckoo => Some(Box::new(crate::cuckoo::CuckooFilter::build(
+                keys,
+                bits_per_key,
+            ))),
+            FilterKind::Xor => Some(Box::new(crate::xor::XorFilter::build(keys))),
+            FilterKind::Ribbon => Some(Box::new(crate::ribbon::RibbonFilter::build(
+                keys,
+                bits_per_key,
+            ))),
+        }
+    }
+}
+
+/// Which range-filter implementation to use (tutorial Module II.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RangeFilterKind {
+    /// No range filter.
+    None,
+    /// Fixed-length prefix Bloom filter.
+    PrefixBloom {
+        /// Prefix length in bytes.
+        prefix_len: usize,
+    },
+    /// SuRF-style truncated trie.
+    Surf {
+        /// Number of suffix bits stored per key.
+        suffix_bits: usize,
+    },
+    /// Rosetta dyadic Bloom hierarchy over u64-encoded keys.
+    Rosetta,
+    /// SNARF-style spline-model filter over u64-encoded keys.
+    Snarf,
+}
+
+impl RangeFilterKind {
+    /// Human-readable label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RangeFilterKind::None => "none",
+            RangeFilterKind::PrefixBloom { .. } => "prefix-bloom",
+            RangeFilterKind::Surf { .. } => "surf",
+            RangeFilterKind::Rosetta => "rosetta",
+            RangeFilterKind::Snarf => "snarf",
+        }
+    }
+
+    /// Builds a range filter of this kind over sorted `keys` at roughly
+    /// `bits_per_key`. Returns `None` for [`RangeFilterKind::None`].
+    pub fn build(self, keys: &[&[u8]], bits_per_key: f64) -> Option<Box<dyn RangeFilter>> {
+        match self {
+            RangeFilterKind::None => None,
+            RangeFilterKind::PrefixBloom { prefix_len } => Some(Box::new(
+                crate::prefix::PrefixBloomFilter::build(keys, prefix_len, bits_per_key),
+            )),
+            RangeFilterKind::Surf { suffix_bits } => Some(Box::new(crate::surf::SurfFilter::build(
+                keys,
+                if suffix_bits == 0 {
+                    crate::surf::SuffixMode::None
+                } else {
+                    crate::surf::SuffixMode::Real(suffix_bits)
+                },
+            ))),
+            RangeFilterKind::Rosetta => Some(Box::new(crate::rosetta::RosettaFilter::build(
+                keys,
+                bits_per_key,
+            ))),
+            RangeFilterKind::Snarf => {
+                Some(Box::new(crate::snarf::SnarfFilter::build(keys, bits_per_key)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("key{i:06}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn every_kind_builds_and_has_no_false_negatives() {
+        let keys = sample_keys(500);
+        for kind in FilterKind::ALL {
+            let f = kind.build(&keys, 10.0).unwrap();
+            for k in &keys {
+                assert!(f.may_contain(k), "{} lost {:?}", kind.label(), k);
+            }
+            assert_eq!(f.num_keys(), 500, "{}", kind.label());
+            assert!(f.size_bits() > 0, "{}", kind.label());
+            assert!(f.bits_per_key() > 0.0, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn none_kind_builds_nothing() {
+        assert!(FilterKind::None.build(&sample_keys(5), 10.0).is_none());
+        assert!(RangeFilterKind::None.build(&[], 10.0).is_none());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = FilterKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), FilterKind::ALL.len());
+    }
+
+    #[test]
+    fn range_kinds_build_and_answer_point_queries() {
+        let owned = sample_keys(200);
+        let keys: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+        let kinds = [
+            RangeFilterKind::PrefixBloom { prefix_len: 6 },
+            RangeFilterKind::Surf { suffix_bits: 8 },
+            RangeFilterKind::Rosetta,
+            RangeFilterKind::Snarf,
+        ];
+        for kind in kinds {
+            let f = kind.build(&keys, 14.0).unwrap();
+            for k in &keys {
+                assert!(f.may_contain_point(k), "{} lost {:?}", kind.label(), k);
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests: the one invariant every filter must uphold is
+//! **zero false negatives** over arbitrary key sets, plus soundness of the
+//! range filters over arbitrary ranges.
+
+use std::ops::Bound;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use lsm_filters::{
+    BlockedBloomFilter, BloomFilter, CuckooFilter, FilterKind, PointFilter, RangeFilterKind,
+    RibbonFilter, RosettaFilter, SnarfFilter, XorFilter,
+};
+
+fn arb_keys() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    vec(vec(any::<u8>(), 0..24), 1..200)
+}
+
+fn dedup_sorted(mut keys: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bloom_no_false_negatives(keys in arb_keys(), bpk in 1.0f64..20.0) {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let f = BloomFilter::build(&refs, bpk);
+        for k in &keys {
+            prop_assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn blocked_bloom_no_false_negatives(keys in arb_keys(), bpk in 1.0f64..20.0) {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let f = BlockedBloomFilter::build(&refs, bpk);
+        for k in &keys {
+            prop_assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn cuckoo_no_false_negatives(keys in arb_keys(), bpk in 6.0f64..18.0) {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let f = CuckooFilter::build(&refs, bpk);
+        for k in &keys {
+            prop_assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn xor_no_false_negatives(keys in arb_keys()) {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let f = XorFilter::build(&refs);
+        for k in &keys {
+            prop_assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn ribbon_no_false_negatives(keys in arb_keys(), r in 4u32..12) {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let f = RibbonFilter::build_with_result_bits(&refs, r);
+        for k in &keys {
+            prop_assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn serialization_preserves_bloom_answers(keys in arb_keys(), probes in arb_keys()) {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let f = BloomFilter::build(&refs, 10.0);
+        let g = BloomFilter::from_bytes(&f.to_bytes()).unwrap();
+        for k in keys.iter().chain(probes.iter()) {
+            prop_assert_eq!(f.may_contain(k), g.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn all_point_kinds_via_registry(keys in arb_keys()) {
+        for kind in FilterKind::ALL {
+            let f = kind.build(&keys, 10.0).unwrap();
+            for k in &keys {
+                prop_assert!(f.may_contain(k), "{}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn rosetta_sound_on_u64_ranges(
+        values in vec(any::<u64>(), 1..100),
+        spans in vec((any::<u64>(), 0u64..1000), 1..20),
+    ) {
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let f = RosettaFilter::build_from_u64(&sorted, sorted.len(), 20.0);
+        // every range that truly contains a key must answer true
+        for (start, width) in spans {
+            let lo = start;
+            let hi = start.saturating_add(width);
+            let truly = sorted.iter().any(|&v| v >= lo && v <= hi);
+            if truly {
+                prop_assert!(f.may_overlap_u64(lo, hi));
+            }
+        }
+        for &v in &sorted {
+            prop_assert!(f.may_overlap_u64(v, v));
+        }
+    }
+
+    #[test]
+    fn snarf_sound_on_u64_ranges(
+        values in vec(any::<u64>(), 1..100),
+        spans in vec((any::<u64>(), 0u64..1000), 1..20),
+    ) {
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let f = SnarfFilter::build_from_sorted_u64(&sorted, 10.0);
+        for (start, width) in spans {
+            let lo = start;
+            let hi = start.saturating_add(width);
+            let truly = sorted.iter().any(|&v| v >= lo && v <= hi);
+            if truly {
+                prop_assert!(f.may_overlap_u64(lo, hi));
+            }
+        }
+    }
+
+    #[test]
+    fn surf_sound_on_byte_ranges(
+        keys in arb_keys(),
+        ranges in vec((vec(any::<u8>(), 0..10), vec(any::<u8>(), 0..10)), 1..20),
+        suffix_bits in 0usize..16,
+    ) {
+        let sorted = dedup_sorted(keys);
+        let refs: Vec<&[u8]> = sorted.iter().map(|k| k.as_slice()).collect();
+        let kind = RangeFilterKind::Surf { suffix_bits };
+        let f = kind.build(&refs, 10.0).unwrap();
+        for k in &sorted {
+            prop_assert!(f.may_contain_point(k));
+        }
+        for (a, b) in ranges {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let truly = sorted.iter().any(|k| k >= &lo && k <= &hi);
+            if truly {
+                prop_assert!(
+                    f.may_overlap(Bound::Included(lo.as_slice()), Bound::Included(hi.as_slice())),
+                    "range {:?}..{:?} lost", lo, hi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_bloom_sound(
+        keys in arb_keys(),
+        prefix_len in 1usize..8,
+    ) {
+        let sorted = dedup_sorted(keys);
+        let refs: Vec<&[u8]> = sorted.iter().map(|k| k.as_slice()).collect();
+        let kind = RangeFilterKind::PrefixBloom { prefix_len };
+        let f = kind.build(&refs, 12.0).unwrap();
+        for k in &sorted {
+            prop_assert!(f.may_contain_point(k));
+        }
+        // single-key ranges must also be found
+        for k in &sorted {
+            prop_assert!(f.may_overlap(Bound::Included(k.as_slice()), Bound::Included(k.as_slice())));
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Data-block hash index (Wu, RocksDB blog 2018; tutorial Module II.4).
+//!
+//! Inside a data block, finding a key normally costs a binary search over
+//! restart points — a tight loop of key comparisons that misses cache.
+//! This index maps each key's hash to its restart-point ordinal so a point
+//! lookup inside the block is O(1) comparisons. A small false-collision
+//! rate sends the lookup to the binary-search fallback, never to a wrong
+//! answer.
+
+use lsm_filters_hash::hash64;
+
+/// Re-export of the shared hash so the index and the block builder agree.
+mod lsm_filters_hash {
+    // A local copy of the 64-bit mix used by `lsm-filters::hash::hash64`.
+    // Kept dependency-free: the index crate must not depend on the filter
+    // crate just for a hash function.
+    const PRIME64_2: u64 = 0xC2B2AE3D27D4EB4F;
+    const PRIME64_3: u64 = 0x165667B19E3779F9;
+
+    /// FNV-style 64-bit hash with an avalanche finalizer.
+    pub fn hash64(data: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in data {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= h >> 33;
+        h = h.wrapping_mul(PRIME64_2);
+        h ^= h >> 29;
+        h = h.wrapping_mul(PRIME64_3);
+        h ^= h >> 32;
+        h
+    }
+}
+
+/// Marker for an empty hash bucket.
+const EMPTY: u8 = 0xFF;
+/// Marker for a bucket with hash collisions across restart ordinals.
+const COLLISION: u8 = 0xFE;
+
+/// An in-block hash index: key hash → restart-point ordinal (max 253
+/// restarts per block, which comfortably covers 4 KiB blocks).
+#[derive(Clone, Debug)]
+pub struct BlockHashIndex {
+    buckets: Vec<u8>,
+}
+
+/// Result of probing the hash index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HashProbe {
+    /// Key is definitely not in this block.
+    Absent,
+    /// Key, if present, lives at this restart ordinal.
+    Restart(u8),
+    /// Collision: fall back to binary search.
+    Fallback,
+}
+
+impl BlockHashIndex {
+    /// Builds from `(key, restart_ordinal)` pairs with a load-factor-derived
+    /// bucket count (`util` in (0,1], RocksDB default 0.75).
+    pub fn build<'a>(entries: impl Iterator<Item = (&'a [u8], u8)>, count_hint: usize, util: f64) -> Self {
+        let util = if util <= 0.0 || util > 1.0 { 0.75 } else { util };
+        let num_buckets = ((count_hint as f64 / util).ceil() as usize).max(1);
+        let mut buckets = vec![EMPTY; num_buckets];
+        for (key, ordinal) in entries {
+            debug_assert!(ordinal < COLLISION, "restart ordinal too large");
+            let b = (hash64(key) % num_buckets as u64) as usize;
+            buckets[b] = match buckets[b] {
+                EMPTY => ordinal,
+                existing if existing == ordinal => ordinal,
+                _ => COLLISION,
+            };
+        }
+        BlockHashIndex { buckets }
+    }
+
+    /// Probes for `key`.
+    pub fn probe(&self, key: &[u8]) -> HashProbe {
+        let b = (hash64(key) % self.buckets.len() as u64) as usize;
+        match self.buckets[b] {
+            EMPTY => HashProbe::Absent,
+            COLLISION => HashProbe::Fallback,
+            ordinal => HashProbe::Restart(ordinal),
+        }
+    }
+
+    /// Serialized representation (appended to the data block).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.buckets.len());
+        out.extend_from_slice(&(self.buckets.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.buckets);
+        out
+    }
+
+    /// Deserializes [`BlockHashIndex::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        if bytes.len() < 4 + n {
+            return None;
+        }
+        Some(BlockHashIndex {
+            buckets: bytes[4..4 + n].to_vec(),
+        })
+    }
+
+    /// Memory footprint in bits.
+    pub fn size_bits(&self) -> usize {
+        self.buckets.len() * 8
+    }
+
+    /// Zero-copy probe against the serialized form ([`Self::to_bytes`]
+    /// output) — the hot path inside a data block, where constructing the
+    /// index would mean an allocation per block read.
+    pub fn probe_raw(bytes: &[u8], key: &[u8]) -> Option<HashProbe> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        let buckets = bytes.get(4..4 + n)?;
+        if buckets.is_empty() {
+            return Some(HashProbe::Absent);
+        }
+        let b = (hash64(key) % buckets.len() as u64) as usize;
+        Some(match buckets[b] {
+            EMPTY => HashProbe::Absent,
+            COLLISION => HashProbe::Fallback,
+            ordinal => HashProbe::Restart(ordinal),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_sample(n: usize, util: f64) -> (Vec<Vec<u8>>, BlockHashIndex) {
+        let keys: Vec<Vec<u8>> = (0..n).map(|i| format!("k{i:05}").into_bytes()).collect();
+        let idx = BlockHashIndex::build(
+            keys.iter().enumerate().map(|(i, k)| (k.as_slice(), (i % 200) as u8)),
+            n,
+            util,
+        );
+        (keys, idx)
+    }
+
+    #[test]
+    fn present_keys_never_answer_absent() {
+        let (keys, idx) = build_sample(150, 0.75);
+        for (i, k) in keys.iter().enumerate() {
+            match idx.probe(k) {
+                HashProbe::Absent => panic!("present key {i} reported absent"),
+                HashProbe::Restart(r) => assert_eq!(r, (i % 200) as u8),
+                HashProbe::Fallback => {} // collision: allowed
+            }
+        }
+    }
+
+    #[test]
+    fn most_absent_keys_are_pruned() {
+        let (_, idx) = build_sample(100, 0.5);
+        let mut absent_answers = 0;
+        let trials = 1000;
+        for i in 0..trials {
+            let probe = format!("absent{i:05}");
+            if idx.probe(probe.as_bytes()) == HashProbe::Absent {
+                absent_answers += 1;
+            }
+        }
+        // with util 0.5, ≥ ~40% of buckets are empty
+        assert!(absent_answers > trials / 4, "{absent_answers}/{trials}");
+    }
+
+    #[test]
+    fn duplicate_key_same_ordinal_is_not_collision() {
+        let k: &[u8] = b"dup";
+        let idx = BlockHashIndex::build([(k, 3u8), (k, 3u8)].into_iter(), 2, 0.75);
+        assert_eq!(idx.probe(k), HashProbe::Restart(3));
+    }
+
+    #[test]
+    fn colliding_ordinals_fall_back() {
+        // force two keys into the same bucket by using one bucket
+        let idx = BlockHashIndex::build(
+            [(b"a".as_slice(), 1u8), (b"b".as_slice(), 2u8)].into_iter(),
+            1,
+            1.0,
+        );
+        assert_eq!(idx.probe(b"a"), HashProbe::Fallback);
+        assert_eq!(idx.probe(b"b"), HashProbe::Fallback);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let (keys, idx) = build_sample(80, 0.75);
+        let back = BlockHashIndex::from_bytes(&idx.to_bytes()).unwrap();
+        for k in &keys {
+            assert_eq!(idx.probe(k), back.probe(k));
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation() {
+        let (_, idx) = build_sample(10, 0.75);
+        let bytes = idx.to_bytes();
+        assert!(BlockHashIndex::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(BlockHashIndex::from_bytes(&[1]).is_none());
+    }
+
+    #[test]
+    fn bad_util_defaults() {
+        let idx = BlockHashIndex::build([(b"k".as_slice(), 0u8)].into_iter(), 1, -3.0);
+        assert_ne!(idx.probe(b"k"), HashProbe::Absent);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = BlockHashIndex::build(std::iter::empty(), 0, 0.75);
+        assert_eq!(idx.probe(b"x"), HashProbe::Absent);
+    }
+}

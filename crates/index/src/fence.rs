@@ -1,0 +1,207 @@
+//! Fence pointers: the classic LSM block index (tutorial Module II.1).
+//!
+//! Stores the *last* key of every data block. A lookup binary-searches the
+//! fences and reads exactly one block — turning the per-run storage search
+//! from O(log blocks) I/Os into one I/O, which is the reason every LSM
+//! engine ships them (they are a special form of Moerkotte's Zonemaps /
+//! small materialized aggregates).
+
+use crate::traits::BlockLocator;
+
+/// Fence pointers over one sorted run.
+#[derive(Clone, Debug)]
+pub struct FencePointers {
+    /// Last key of each block, in block order.
+    last_keys: Vec<Vec<u8>>,
+    /// First key of the run (min key), for range pruning.
+    first_key: Vec<u8>,
+}
+
+impl FencePointers {
+    /// Builds from the last key of each block plus the run's first key.
+    pub fn new(first_key: Vec<u8>, last_keys: Vec<Vec<u8>>) -> Self {
+        debug_assert!(last_keys.windows(2).all(|w| w[0] <= w[1]), "fences must be sorted");
+        FencePointers {
+            last_keys,
+            first_key,
+        }
+    }
+
+    /// Builds by sampling block boundaries from an iterator of
+    /// `(block_index, last_key)` pairs produced by an SSTable builder.
+    pub fn from_boundaries(first_key: Vec<u8>, boundaries: impl IntoIterator<Item = Vec<u8>>) -> Self {
+        Self::new(first_key, boundaries.into_iter().collect())
+    }
+
+    /// The run's smallest key.
+    pub fn first_key(&self) -> &[u8] {
+        &self.first_key
+    }
+
+    /// The run's largest key.
+    pub fn last_key(&self) -> Option<&[u8]> {
+        self.last_keys.last().map(|k| k.as_slice())
+    }
+
+    /// Whether `key` falls outside `[first_key, last_key]`.
+    pub fn out_of_range(&self, key: &[u8]) -> bool {
+        match self.last_key() {
+            None => true,
+            Some(last) => key < self.first_key.as_slice() || key > last,
+        }
+    }
+
+    /// Serializes to bytes (stored in the SSTable index block).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.first_key.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.first_key);
+        out.extend_from_slice(&(self.last_keys.len() as u32).to_le_bytes());
+        for k in &self.last_keys {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k);
+        }
+        out
+    }
+
+    /// Deserializes from [`FencePointers::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut off = 0usize;
+        let read_u32 = |bytes: &[u8], off: &mut usize| -> Option<u32> {
+            let v = u32::from_le_bytes(bytes.get(*off..*off + 4)?.try_into().ok()?);
+            *off += 4;
+            Some(v)
+        };
+        let fk_len = read_u32(bytes, &mut off)? as usize;
+        let first_key = bytes.get(off..off + fk_len)?.to_vec();
+        off += fk_len;
+        let n = read_u32(bytes, &mut off)? as usize;
+        let mut last_keys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = read_u32(bytes, &mut off)? as usize;
+            last_keys.push(bytes.get(off..off + len)?.to_vec());
+            off += len;
+        }
+        Some(FencePointers {
+            last_keys,
+            first_key,
+        })
+    }
+}
+
+impl BlockLocator for FencePointers {
+    fn locate(&self, key: &[u8]) -> Option<usize> {
+        if self.out_of_range(key) {
+            return None;
+        }
+        // first block whose last key ≥ key holds the key if present
+        let idx = self
+            .last_keys
+            .partition_point(|last| last.as_slice() < key);
+        (idx < self.last_keys.len()).then_some(idx)
+    }
+
+    fn locate_lower_bound(&self, key: &[u8]) -> Option<usize> {
+        let idx = self
+            .last_keys
+            .partition_point(|last| last.as_slice() < key);
+        (idx < self.last_keys.len()).then_some(idx)
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.last_keys.len()
+    }
+
+    fn size_bits(&self) -> usize {
+        let bytes: usize = self.last_keys.iter().map(|k| k.len() + 4).sum();
+        (bytes + self.first_key.len() + 8) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ten blocks; block i covers keys [i*100, i*100+99].
+    fn sample() -> FencePointers {
+        let last_keys = (0..10)
+            .map(|i| format!("{:06}", i * 100 + 99).into_bytes())
+            .collect();
+        FencePointers::new(b"000000".to_vec(), last_keys)
+    }
+
+    #[test]
+    fn locates_containing_block() {
+        let f = sample();
+        assert_eq!(f.locate(b"000000"), Some(0));
+        assert_eq!(f.locate(b"000099"), Some(0));
+        assert_eq!(f.locate(b"000100"), Some(1));
+        assert_eq!(f.locate(b"000523"), Some(5));
+        assert_eq!(f.locate(b"000999"), Some(9));
+    }
+
+    #[test]
+    fn out_of_range_is_pruned() {
+        let f = sample();
+        assert_eq!(f.locate(b"001000"), None);
+        assert!(f.out_of_range(b"001000"));
+        assert!(!f.out_of_range(b"000500"));
+        // below the first key: technically out of range
+        let g = FencePointers::new(b"000100".to_vec(), vec![b"000199".to_vec()]);
+        assert_eq!(g.locate(b"000050"), None);
+    }
+
+    #[test]
+    fn lower_bound_for_scans() {
+        let f = sample();
+        assert_eq!(f.locate_lower_bound(b"000000"), Some(0));
+        assert_eq!(f.locate_lower_bound(b"000150"), Some(1));
+        assert_eq!(f.locate_lower_bound(b"000999"), Some(9));
+        assert_eq!(f.locate_lower_bound(b"001000"), None);
+        // a key below the run's range starts at block 0
+        assert_eq!(f.locate_lower_bound(b""), Some(0));
+    }
+
+    #[test]
+    fn boundary_exactness() {
+        // key equal to a block's last key must land in that block, not the next
+        let f = sample();
+        assert_eq!(f.locate(b"000299"), Some(2));
+        assert_eq!(f.locate(b"000300"), Some(3));
+    }
+
+    #[test]
+    fn empty_run() {
+        let f = FencePointers::new(vec![], vec![]);
+        assert_eq!(f.locate(b"x"), None);
+        assert_eq!(f.locate_lower_bound(b"x"), None);
+        assert_eq!(f.num_blocks(), 0);
+        assert!(f.out_of_range(b"anything"));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let f = sample();
+        let g = FencePointers::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(g.num_blocks(), f.num_blocks());
+        assert_eq!(g.first_key(), f.first_key());
+        for probe in ["000000", "000450", "000999", "001000"] {
+            assert_eq!(f.locate(probe.as_bytes()), g.locate(probe.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation() {
+        let f = sample();
+        let bytes = f.to_bytes();
+        assert!(FencePointers::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(FencePointers::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn size_scales_with_blocks() {
+        let f = sample();
+        let one = FencePointers::new(b"000000".to_vec(), vec![b"000099".to_vec()]);
+        assert!(f.size_bits() > one.size_bits() * 4);
+    }
+}

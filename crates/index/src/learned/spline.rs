@@ -1,0 +1,403 @@
+//! RadixSpline-style learned index (Kipf et al., aiDM '20; tutorial
+//! Module II.4).
+//!
+//! Single-pass greedy spline over `(key, block)` points with a bounded
+//! error corridor, topped by a radix table that maps the high bits of a
+//! key straight to the covering spline-knot range — replacing the binary
+//! search over knots with one table access. Built in one pass with no
+//! insert support, which the tutorial notes is a perfect match for
+//! immutable LSM runs (low training time, read-only use).
+
+use crate::learned::{common_prefix_len, key_to_u64_skipping};
+use crate::traits::BlockLocator;
+
+/// A spline knot: `(key, block)` control point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Knot {
+    key: u64,
+    block: f64,
+}
+
+/// A RadixSpline-style learned block index.
+#[derive(Clone, Debug)]
+pub struct RadixSplineIndex {
+    knots: Vec<Knot>,
+    /// `radix[p]` = index of the first knot whose shifted key ≥ `p`.
+    radix: Vec<u32>,
+    radix_bits: u32,
+    shift: u32,
+    min_key: u64,
+    max_key: u64,
+    epsilon: usize,
+    num_blocks: usize,
+    /// Common-prefix bytes stripped before the u64 map (0 for raw builds).
+    prefix_skip: usize,
+    /// Raw key bounds for out-of-range pruning (empty for raw builds).
+    min_key_raw: Vec<u8>,
+    max_key_raw: Vec<u8>,
+}
+
+impl RadixSplineIndex {
+    /// Builds from sorted block-boundary byte keys.
+    pub fn build(last_keys: &[Vec<u8>], radix_bits: u32, epsilon: usize) -> Self {
+        let skip = common_prefix_len(last_keys);
+        let points: Vec<u64> = last_keys
+            .iter()
+            .map(|k| key_to_u64_skipping(k, skip))
+            .collect();
+        let mut idx = Self::build_from_u64(&points, radix_bits, epsilon);
+        idx.prefix_skip = skip;
+        idx.min_key_raw = last_keys.first().cloned().unwrap_or_default();
+        idx.max_key_raw = last_keys.last().cloned().unwrap_or_default();
+        idx
+    }
+
+    /// Builds from sorted u64 block-boundary keys.
+    ///
+    /// `radix_bits` is a cap: the table is sized to at most ~2 entries per
+    /// block so a small run never carries a disproportionate radix table.
+    pub fn build_from_u64(points: &[u64], radix_bits: u32, epsilon: usize) -> Self {
+        let adaptive = (points.len().max(1) as u64 * 2).next_power_of_two().ilog2();
+        let radix_bits = radix_bits.min(adaptive).clamp(1, 24);
+        let epsilon = epsilon.max(1);
+        let n = points.len();
+        if n == 0 {
+            return RadixSplineIndex {
+                knots: vec![],
+                radix: vec![0, 0],
+                radix_bits,
+                shift: 64 - radix_bits,
+                min_key: 0,
+                max_key: 0,
+                epsilon,
+                num_blocks: 0,
+                prefix_skip: 0,
+                min_key_raw: Vec::new(),
+                max_key_raw: Vec::new(),
+            };
+        }
+        let knots = Self::greedy_spline(points, epsilon as f64);
+        let min_key = points[0];
+        let max_key = points[n - 1];
+        // radix table over the key's high bits (relative to nothing — the
+        // original uses the raw key prefix; we do the same)
+        let shift = 64 - radix_bits;
+        let table_len = (1usize << radix_bits) + 1;
+        let mut radix = vec![u32::MAX; table_len];
+        for (i, k) in knots.iter().enumerate() {
+            let p = (k.key >> shift) as usize;
+            if radix[p] == u32::MAX {
+                radix[p] = i as u32;
+            }
+        }
+        // back-fill: entry p = first knot with prefix ≥ p
+        let mut next = knots.len() as u32;
+        for slot in radix.iter_mut().rev() {
+            if *slot == u32::MAX {
+                *slot = next;
+            } else {
+                next = *slot;
+            }
+        }
+        let mut idx = RadixSplineIndex {
+            knots,
+            radix,
+            radix_bits,
+            shift,
+            min_key,
+            max_key,
+            epsilon,
+            num_blocks: n,
+            prefix_skip: 0,
+            min_key_raw: Vec::new(),
+            max_key_raw: Vec::new(),
+        };
+        // soundness: widen ε to the measured maximum training error
+        idx.epsilon = idx.epsilon.max(idx.max_error(points));
+        idx
+    }
+
+    /// Greedy spline fitting (the GreedySplineCorridor of RadixSpline).
+    ///
+    /// A point `j` is accepted into the current segment iff its exact chord
+    /// slope from the base knot lies inside the corridor — the intersection
+    /// of every earlier point's `±eps` slope interval. That invariant is
+    /// what guarantees the committed chord deviates ≤ eps at every
+    /// intermediate point.
+    fn greedy_spline(points: &[u64], eps: f64) -> Vec<Knot> {
+        let n = points.len();
+        let mut knots = vec![Knot {
+            key: points[0],
+            block: 0.0,
+        }];
+        if n == 1 {
+            return knots;
+        }
+        let mut base = 0usize; // index of the last committed knot
+        let mut lo_slope = f64::NEG_INFINITY;
+        let mut hi_slope = f64::INFINITY;
+        let mut prev = 0usize; // last accepted point
+        let mut j = 1usize;
+        while j < n {
+            let dx = (points[j] - points[base]) as f64;
+            let dy = (j - base) as f64;
+            let accept = if dx == 0.0 {
+                dy <= eps // duplicate model key: representable while close
+            } else {
+                let s = dy / dx;
+                s >= lo_slope && s <= hi_slope
+            };
+            if accept {
+                if dx > 0.0 {
+                    lo_slope = lo_slope.max((dy - eps) / dx);
+                    hi_slope = hi_slope.min((dy + eps) / dx);
+                }
+                prev = j;
+                j += 1;
+            } else {
+                // commit a knot at the last accepted point and retry j
+                knots.push(Knot {
+                    key: points[prev],
+                    block: prev as f64,
+                });
+                base = prev;
+                lo_slope = f64::NEG_INFINITY;
+                hi_slope = f64::INFINITY;
+                if prev == j - 1 && points[j] == points[prev] {
+                    // degenerate duplicate run longer than eps: accept the
+                    // duplicate unconditionally to guarantee progress (the
+                    // prediction error at a duplicate key is bounded by the
+                    // run length, which the reader handles by widening)
+                    prev = j;
+                    j += 1;
+                }
+            }
+        }
+        // final knot at the last point
+        let last = n - 1;
+        if knots.last().map(|k| k.key) != Some(points[last]) {
+            knots.push(Knot {
+                key: points[last],
+                block: last as f64,
+            });
+        }
+        knots
+    }
+
+    /// Number of spline knots.
+    pub fn num_knots(&self) -> usize {
+        self.knots.len()
+    }
+
+    /// The (possibly adapted) radix-table prefix bits in use.
+    pub fn radix_bits(&self) -> u32 {
+        self.radix_bits
+    }
+
+    /// The error bound.
+    pub fn epsilon(&self) -> usize {
+        self.epsilon
+    }
+
+    /// Predicted block for a model-domain key, clamped to valid range.
+    pub fn predict(&self, key: u64) -> usize {
+        if self.num_blocks == 0 {
+            return 0;
+        }
+        if self.knots.len() == 1 {
+            return 0;
+        }
+        let k = key.clamp(self.min_key, self.max_key);
+        // radix narrows the knot search range
+        let p = (k >> self.shift) as usize;
+        let start = self.radix[p] as usize;
+        let end = self.radix[p + 1] as usize;
+        let (lo_idx, hi_idx) = (start.saturating_sub(1), end.min(self.knots.len() - 1));
+        // binary search within the narrowed range for the covering segment
+        let slice = &self.knots[lo_idx..=hi_idx];
+        let pos = slice.partition_point(|kn| kn.key <= k) + lo_idx;
+        let right = pos.clamp(1, self.knots.len() - 1).min(self.knots.len() - 1);
+        let left = right - 1;
+        let (a, b) = (self.knots[left], self.knots[right]);
+        let raw = if b.key == a.key {
+            a.block
+        } else {
+            a.block + (b.block - a.block) * (k - a.key) as f64 / (b.key - a.key) as f64
+        };
+        (raw.round().max(0.0) as usize).min(self.num_blocks - 1)
+    }
+
+    /// The candidate block window `[predict-ε-1, predict+ε+1]`. The extra
+    /// ±1 covers query keys between training points.
+    pub fn candidate_window(&self, key: u64) -> std::ops::RangeInclusive<usize> {
+        let p = self.predict(key);
+        let lo = p.saturating_sub(self.epsilon + 1);
+        let hi = (p + self.epsilon + 1).min(self.num_blocks.saturating_sub(1));
+        lo..=hi
+    }
+
+    /// Maximum prediction error over the training points.
+    pub fn max_error(&self, points: &[u64]) -> usize {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (self.predict(k) as i64 - i as i64).unsigned_abs() as usize)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl RadixSplineIndex {
+    /// Maps a raw key into the model domain using the stored prefix skip.
+    pub fn map_key(&self, key: &[u8]) -> u64 {
+        key_to_u64_skipping(key, self.prefix_skip)
+    }
+
+    fn out_of_range(&self, key: &[u8]) -> bool {
+        if !self.max_key_raw.is_empty() {
+            key > self.max_key_raw.as_slice()
+        } else {
+            self.map_key(key) > self.max_key
+        }
+    }
+
+    /// Sound candidate window for a raw byte key, or `None` when the key
+    /// is provably past the run's end.
+    ///
+    /// Keys at or below the first fence need special care: they belong to
+    /// block 0 by definition, but they may not share the fences' common
+    /// prefix, so mapping them through the model could land anywhere.
+    pub fn window_for(&self, key: &[u8]) -> Option<std::ops::RangeInclusive<usize>> {
+        if self.num_blocks == 0 || self.out_of_range(key) {
+            return None;
+        }
+        if !self.min_key_raw.is_empty() && key <= self.min_key_raw.as_slice() {
+            return Some(0..=0);
+        }
+        Some(self.candidate_window(self.map_key(key)))
+    }
+}
+
+impl BlockLocator for RadixSplineIndex {
+    fn locate(&self, key: &[u8]) -> Option<usize> {
+        self.window_for(key).map(|w| *w.start())
+    }
+
+    fn locate_lower_bound(&self, key: &[u8]) -> Option<usize> {
+        self.window_for(key).map(|w| *w.start())
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    fn size_bits(&self) -> usize {
+        (self.knots.len() * 16 + self.radix.len() * 4 + 48) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_points(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| (i << 32) + 99).collect()
+    }
+
+    #[test]
+    fn error_bound_holds_uniform() {
+        let pts = uniform_points(3000);
+        for eps in [2usize, 8, 32] {
+            let idx = RadixSplineIndex::build_from_u64(&pts, 12, eps);
+            let err = idx.max_error(&pts);
+            assert!(err <= eps + 1, "eps {eps}: error {err}");
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_skewed() {
+        let mut pts: Vec<u64> = (0..2000u64).map(|i| i * 3).collect();
+        pts.extend((0..2000u64).map(|i| (1 << 44) + i * i));
+        pts.sort_unstable();
+        pts.dedup();
+        let idx = RadixSplineIndex::build_from_u64(&pts, 14, 8);
+        let err = idx.max_error(&pts);
+        assert!(err <= 9, "error {err}");
+    }
+
+    #[test]
+    fn window_contains_true_block() {
+        let pts = uniform_points(1000);
+        let idx = RadixSplineIndex::build_from_u64(&pts, 10, 4);
+        for (i, &k) in pts.iter().enumerate() {
+            let w = idx.candidate_window(k);
+            assert!(w.contains(&i), "block {i} missing from {w:?}");
+        }
+    }
+
+    #[test]
+    fn few_knots_on_linear_data() {
+        let pts = uniform_points(10_000);
+        let idx = RadixSplineIndex::build_from_u64(&pts, 12, 8);
+        assert!(idx.num_knots() < 20, "{} knots", idx.num_knots());
+    }
+
+    #[test]
+    fn radix_matches_plain_interpolation() {
+        // the radix table is an accelerator; predictions must be identical
+        // for a few random probes vs a brute-force segment search
+        let mut pts: Vec<u64> = (0..3000u64).map(|i| i * 977 + (i % 13) * 31).collect();
+        pts.sort_unstable();
+        pts.dedup();
+        let idx = RadixSplineIndex::build_from_u64(&pts, 10, 6);
+        for (i, &k) in pts.iter().enumerate() {
+            let err = (idx.predict(k) as i64 - i as i64).unsigned_abs() as usize;
+            assert!(err <= 7, "key {k} err {err}");
+        }
+    }
+
+    #[test]
+    fn empty_single_dup() {
+        let idx = RadixSplineIndex::build_from_u64(&[], 8, 4);
+        assert_eq!(idx.locate(b"x"), None);
+        let one = RadixSplineIndex::build_from_u64(&[42], 8, 4);
+        assert_eq!(one.predict(42), 0);
+        let dup = RadixSplineIndex::build_from_u64(&[7, 7, 7, 9], 8, 4);
+        assert!(dup.candidate_window(7).contains(&0) || dup.candidate_window(7).contains(&2));
+        assert!(dup.candidate_window(9).contains(&3));
+    }
+
+    #[test]
+    fn out_of_range_pruned() {
+        let pts = uniform_points(100);
+        let idx = RadixSplineIndex::build_from_u64(&pts, 8, 4);
+        assert_eq!(idx.locate(&[0xFFu8; 8]), None);
+        assert_eq!(idx.locate_lower_bound(&[0u8; 8]).unwrap(), 0);
+    }
+
+    #[test]
+    fn more_radix_bits_same_answers() {
+        let pts: Vec<u64> = (0..2000u64).map(|i| i * 12345).collect();
+        let small = RadixSplineIndex::build_from_u64(&pts, 4, 8);
+        let large = RadixSplineIndex::build_from_u64(&pts, 16, 8);
+        for &k in pts.iter().step_by(37) {
+            assert_eq!(small.predict(k), large.predict(k));
+        }
+    }
+
+    #[test]
+    fn compact_vs_fences() {
+        use crate::fence::FencePointers;
+        let last_keys: Vec<Vec<u8>> = (0..5000u64)
+            .map(|i| format!("{:012}", i * 1000 + 999).into_bytes())
+            .collect();
+        let fences = FencePointers::new(b"000000000000".to_vec(), last_keys.clone());
+        let rs = RadixSplineIndex::build(&last_keys, 10, 8);
+        assert!(
+            rs.size_bits() < fences.size_bits() / 4,
+            "spline {} vs fences {}",
+            rs.size_bits(),
+            fences.size_bits()
+        );
+    }
+}

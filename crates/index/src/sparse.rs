@@ -1,0 +1,173 @@
+//! Sparse block index: keep every `rate`-th fence, pay with a wider
+//! candidate window.
+//!
+//! This is the memory end of the index tradeoff axis the tutorial
+//! describes: at rate `r` the index is `r×` smaller but a lookup may have
+//! to read up to `r` candidate blocks (the engine reads them sequentially,
+//! so the latency model charges one seek plus `r` block transfers).
+
+use crate::traits::BlockLocator;
+
+/// A sparse fence index retaining one boundary per `rate` blocks.
+#[derive(Clone, Debug)]
+pub struct SparseIndex {
+    /// `(block_index_of_boundary, last_key_of_that_block)`, ascending.
+    samples: Vec<(usize, Vec<u8>)>,
+    num_blocks: usize,
+    first_key: Vec<u8>,
+    rate: usize,
+}
+
+impl SparseIndex {
+    /// Builds from all block last-keys, keeping every `rate`-th (and always
+    /// the final one, so the run's upper bound is exact).
+    pub fn build(first_key: Vec<u8>, last_keys: &[Vec<u8>], rate: usize) -> Self {
+        assert!(rate > 0, "rate must be positive");
+        let n = last_keys.len();
+        let mut samples = Vec::with_capacity(n / rate + 1);
+        for (i, k) in last_keys.iter().enumerate() {
+            if (i + 1) % rate == 0 || i + 1 == n {
+                samples.push((i, k.clone()));
+            }
+        }
+        SparseIndex {
+            samples,
+            num_blocks: n,
+            first_key,
+            rate,
+        }
+    }
+
+    /// The sampling rate.
+    pub fn rate(&self) -> usize {
+        self.rate
+    }
+
+    /// Candidate block window for `key`: the blocks between the previous
+    /// retained boundary (exclusive) and the matching one (inclusive).
+    /// Lookups must scan all of them in the worst case.
+    pub fn candidate_window(&self, key: &[u8]) -> Option<std::ops::RangeInclusive<usize>> {
+        if self.num_blocks == 0 || key < self.first_key.as_slice() {
+            return None;
+        }
+        let idx = self
+            .samples
+            .partition_point(|(_, last)| last.as_slice() < key);
+        if idx >= self.samples.len() {
+            return None; // beyond the run
+        }
+        let hi = self.samples[idx].0;
+        let lo = if idx == 0 { 0 } else { self.samples[idx - 1].0 + 1 };
+        Some(lo..=hi)
+    }
+}
+
+impl BlockLocator for SparseIndex {
+    fn locate(&self, key: &[u8]) -> Option<usize> {
+        // return the first candidate; the reader scans the window
+        self.candidate_window(key).map(|w| *w.start())
+    }
+
+    fn locate_lower_bound(&self, key: &[u8]) -> Option<usize> {
+        if self.num_blocks == 0 {
+            return None;
+        }
+        if key < self.first_key.as_slice() {
+            return Some(0);
+        }
+        self.candidate_window(key).map(|w| *w.start())
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    fn size_bits(&self) -> usize {
+        let bytes: usize = self.samples.iter().map(|(_, k)| k.len() + 12).sum();
+        (bytes + self.first_key.len() + 16) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn last_keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("{:06}", i * 100 + 99).into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn window_contains_true_block() {
+        let keys = last_keys(20);
+        for rate in [1, 2, 4, 7] {
+            let idx = SparseIndex::build(b"000000".to_vec(), &keys, rate);
+            for block in 0..20usize {
+                let key = format!("{:06}", block * 100 + 50);
+                let w = idx.candidate_window(key.as_bytes()).unwrap();
+                assert!(
+                    w.contains(&block),
+                    "rate {rate}: block {block} not in window {w:?}"
+                );
+                assert!(w.end() - w.start() < rate, "window too wide at rate {rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_one_equals_fences() {
+        let keys = last_keys(10);
+        let idx = SparseIndex::build(b"000000".to_vec(), &keys, 1);
+        for block in 0..10usize {
+            let key = format!("{:06}", block * 100 + 50);
+            assert_eq!(idx.locate(key.as_bytes()), Some(block));
+        }
+    }
+
+    #[test]
+    fn memory_shrinks_with_rate() {
+        let keys = last_keys(100);
+        let dense = SparseIndex::build(b"000000".to_vec(), &keys, 1);
+        let sparse = SparseIndex::build(b"000000".to_vec(), &keys, 10);
+        assert!(sparse.size_bits() < dense.size_bits() / 5);
+    }
+
+    #[test]
+    fn out_of_range_keys() {
+        let keys = last_keys(10);
+        let idx = SparseIndex::build(b"000000".to_vec(), &keys, 4);
+        assert_eq!(idx.locate(b"999999"), None);
+        assert_eq!(idx.candidate_window(b"999999"), None);
+    }
+
+    #[test]
+    fn lower_bound_before_first_key() {
+        let keys = last_keys(10);
+        let idx = SparseIndex::build(b"000100".to_vec(), &keys, 4);
+        assert_eq!(idx.locate_lower_bound(b"000000"), Some(0));
+    }
+
+    #[test]
+    fn final_boundary_always_kept() {
+        // 10 blocks at rate 4 keeps blocks 3, 7, and 9
+        let keys = last_keys(10);
+        let idx = SparseIndex::build(b"000000".to_vec(), &keys, 4);
+        let last_key = format!("{:06}", 9 * 100 + 99);
+        let w = idx.candidate_window(last_key.as_bytes()).unwrap();
+        assert!(w.contains(&9));
+    }
+
+    #[test]
+    fn empty_run() {
+        let idx = SparseIndex::build(vec![], &[], 4);
+        assert_eq!(idx.locate(b"x"), None);
+        assert_eq!(idx.locate_lower_bound(b"x"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = SparseIndex::build(vec![], &[], 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # lsm-model
+//!
+//! Closed-form analytical cost models for the LSM design space and the
+//! navigation machinery on top of them (tutorial Module III):
+//!
+//! - [`cost`]: worst-case I/O models for leveling / tiering /
+//!   lazy-leveling — point lookups (zero- and non-zero-result), short and
+//!   long range queries, write amplification, space amplification;
+//! - [`memory`]: buffer-vs-filter memory split optimization (Monkey's
+//!   second knob; Luo & Carey's memory-wall analysis);
+//! - [`navigator`]: enumerates `(policy, size ratio, memory split)`
+//!   configurations and picks the cost-minimal one for a workload
+//!   description — the "navigating the design space" of Module III.1;
+//! - [`robust`]: Endure-style robust tuning that minimizes the worst-case
+//!   cost over a neighborhood of the expected workload (Module III.2).
+
+pub mod cost;
+pub mod memory;
+pub mod navigator;
+pub mod robust;
+
+pub use cost::{CostModel, LsmDesign, MergePolicy, WorkloadProfile};
+pub use memory::{optimize_memory_split, MemorySplit};
+pub use navigator::{navigate, Candidate, DesignSpace};
+pub use robust::{robust_navigate, WorkloadNeighborhood};

@@ -1,0 +1,166 @@
+//! Buffer-vs-filter memory split optimization (tutorial Module II.5).
+//!
+//! A byte of memory can either grow the write buffer (fewer levels, less
+//! merging, fewer runs to probe) or feed the Bloom filters (fewer
+//! superfluous probes). Monkey and Luo & Carey show the optimal split is
+//! workload-dependent; this module sweeps the split under the closed-form
+//! cost model, which experiment `mem_alloc` validates against the real
+//! engine.
+
+use crate::cost::{CostModel, LsmDesign, WorkloadProfile};
+
+/// A chosen memory split and its modeled cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemorySplit {
+    /// Fraction of memory given to the write buffer (rest goes to filters).
+    pub buffer_fraction: f64,
+    /// Resulting buffer size in entries.
+    pub buffer_entries: u64,
+    /// Resulting filter bits per key.
+    pub bits_per_key: f64,
+    /// Modeled cost per operation, in I/Os.
+    pub cost: f64,
+}
+
+/// Sweeps buffer fractions and returns the cost-minimal split.
+///
+/// * `total_memory_bytes` — memory shared by buffer and filters.
+/// * `entry_bytes` — size of one key-value entry.
+/// * `num_entries` — total data size in entries.
+/// * `base` — design template (policy, size ratio, monkey flag).
+/// * `workload` — operation mix to optimize for.
+pub fn optimize_memory_split(
+    total_memory_bytes: u64,
+    entry_bytes: u64,
+    num_entries: u64,
+    entries_per_block: u64,
+    base: LsmDesign,
+    workload: &WorkloadProfile,
+) -> MemorySplit {
+    let mut best: Option<MemorySplit> = None;
+    for pct in 1..100u64 {
+        let frac = pct as f64 / 100.0;
+        let candidate = evaluate_split(
+            frac,
+            total_memory_bytes,
+            entry_bytes,
+            num_entries,
+            entries_per_block,
+            base,
+            workload,
+        );
+        if best.is_none_or(|b| candidate.cost < b.cost) {
+            best = Some(candidate);
+        }
+    }
+    best.expect("sweep is non-empty")
+}
+
+/// Evaluates a single buffer fraction under the cost model.
+pub fn evaluate_split(
+    buffer_fraction: f64,
+    total_memory_bytes: u64,
+    entry_bytes: u64,
+    num_entries: u64,
+    entries_per_block: u64,
+    base: LsmDesign,
+    workload: &WorkloadProfile,
+) -> MemorySplit {
+    let buffer_bytes = (total_memory_bytes as f64 * buffer_fraction) as u64;
+    let filter_bits = (total_memory_bytes - buffer_bytes) * 8;
+    let buffer_entries = (buffer_bytes / entry_bytes.max(1)).max(1);
+    let bits_per_key = filter_bits as f64 / num_entries.max(1) as f64;
+    let design = LsmDesign {
+        buffer_entries,
+        bits_per_key,
+        ..base
+    };
+    let cost = CostModel::new(design, num_entries, entries_per_block).workload_cost(workload);
+    MemorySplit {
+        buffer_fraction,
+        buffer_entries,
+        bits_per_key,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::MergePolicy;
+
+    const MB: u64 = 1 << 20;
+
+    fn base() -> LsmDesign {
+        LsmDesign {
+            policy: MergePolicy::Leveling,
+            size_ratio: 10,
+            buffer_entries: 0, // set by the sweep
+            bits_per_key: 0.0, // set by the sweep
+            monkey: false,
+        }
+    }
+
+    fn lookup_heavy() -> WorkloadProfile {
+        WorkloadProfile {
+            writes: 0.05,
+            point_reads: 0.15,
+            empty_point_reads: 0.8,
+            range_reads: 0.0,
+            range_entries: 0.0,
+        }
+    }
+
+    fn write_heavy() -> WorkloadProfile {
+        WorkloadProfile {
+            writes: 0.95,
+            point_reads: 0.05,
+            empty_point_reads: 0.0,
+            range_reads: 0.0,
+            range_entries: 0.0,
+        }
+    }
+
+    #[test]
+    fn lookup_heavy_prefers_filters() {
+        let split = optimize_memory_split(64 * MB, 128, 50_000_000, 32, base(), &lookup_heavy());
+        assert!(
+            split.buffer_fraction < 0.5,
+            "lookup-heavy should feed filters: {split:?}"
+        );
+        assert!(split.bits_per_key > 1.0);
+    }
+
+    #[test]
+    fn write_heavy_prefers_buffer() {
+        let lo = optimize_memory_split(64 * MB, 128, 50_000_000, 32, base(), &write_heavy());
+        let hi = optimize_memory_split(64 * MB, 128, 50_000_000, 32, base(), &lookup_heavy());
+        assert!(
+            lo.buffer_fraction > hi.buffer_fraction,
+            "write-heavy {lo:?} vs lookup-heavy {hi:?}"
+        );
+    }
+
+    #[test]
+    fn chosen_split_is_no_worse_than_fixed_splits() {
+        let w = lookup_heavy();
+        let best = optimize_memory_split(64 * MB, 128, 50_000_000, 32, base(), &w);
+        for frac in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let fixed = evaluate_split(frac, 64 * MB, 128, 50_000_000, 32, base(), &w);
+            assert!(
+                best.cost <= fixed.cost + 1e-12,
+                "best {best:?} vs fixed {fixed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_accounting_adds_up() {
+        let s = evaluate_split(0.5, 64 * MB, 128, 1_000_000, 32, base(), &lookup_heavy());
+        // half the memory as buffer entries
+        assert_eq!(s.buffer_entries, 32 * MB / 128);
+        // other half as filter bits
+        let expected_bpk = (32 * MB * 8) as f64 / 1_000_000.0;
+        assert!((s.bits_per_key - expected_bpk).abs() / expected_bpk < 0.01);
+    }
+}

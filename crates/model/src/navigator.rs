@@ -1,0 +1,205 @@
+//! Design-space navigation (tutorial Module III.1).
+//!
+//! Enumerates a grid of `(merge policy, size ratio, memory split)`
+//! configurations, scores each with the closed-form [`CostModel`], and
+//! returns them ranked — the mechanical core of self-designing systems
+//! like the Design Continuum and Cosine that the tutorial surveys.
+
+use crate::cost::{CostModel, LsmDesign, MergePolicy, WorkloadProfile};
+use crate::memory::evaluate_split;
+
+/// The searchable region of the design space.
+#[derive(Clone, Debug)]
+pub struct DesignSpace {
+    /// Candidate merge policies.
+    pub policies: Vec<MergePolicy>,
+    /// Candidate size ratios.
+    pub size_ratios: Vec<u64>,
+    /// Candidate buffer fractions of total memory.
+    pub buffer_fractions: Vec<f64>,
+    /// Whether to consider Monkey filter allocation.
+    pub try_monkey: bool,
+}
+
+impl Default for DesignSpace {
+    fn default() -> Self {
+        DesignSpace {
+            policies: MergePolicy::ALL.to_vec(),
+            size_ratios: vec![2, 3, 4, 6, 8, 10, 12, 16],
+            buffer_fractions: vec![0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 0.95],
+            try_monkey: true,
+        }
+    }
+}
+
+/// Environment constants the navigator holds fixed.
+#[derive(Clone, Copy, Debug)]
+pub struct Environment {
+    /// Total entries stored.
+    pub num_entries: u64,
+    /// Bytes per entry.
+    pub entry_bytes: u64,
+    /// Entries per storage block.
+    pub entries_per_block: u64,
+    /// Memory shared by buffer and filters, in bytes.
+    pub total_memory_bytes: u64,
+}
+
+/// One scored configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Candidate {
+    /// The design.
+    pub design: LsmDesign,
+    /// Modeled expected cost per operation, in I/Os.
+    pub cost: f64,
+}
+
+/// Scores every configuration in `space` for `workload` and returns them
+/// sorted by ascending cost. The head of the vector is the navigator's
+/// recommendation.
+pub fn navigate(
+    space: &DesignSpace,
+    env: &Environment,
+    workload: &WorkloadProfile,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for &policy in &space.policies {
+        for &t in &space.size_ratios {
+            for &frac in &space.buffer_fractions {
+                for monkey in if space.try_monkey {
+                    vec![false, true]
+                } else {
+                    vec![false]
+                } {
+                    let base = LsmDesign {
+                        policy,
+                        size_ratio: t,
+                        buffer_entries: 0,
+                        bits_per_key: 0.0,
+                        monkey,
+                    };
+                    let split = evaluate_split(
+                        frac,
+                        env.total_memory_bytes,
+                        env.entry_bytes,
+                        env.num_entries,
+                        env.entries_per_block,
+                        base,
+                        workload,
+                    );
+                    out.push(Candidate {
+                        design: LsmDesign {
+                            buffer_entries: split.buffer_entries,
+                            bits_per_key: split.bits_per_key,
+                            ..base
+                        },
+                        cost: split.cost,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+    out
+}
+
+/// Convenience: the single best candidate.
+pub fn best(space: &DesignSpace, env: &Environment, workload: &WorkloadProfile) -> Candidate {
+    navigate(space, env, workload)[0]
+}
+
+/// Computes a candidate's cost under a (possibly different) workload —
+/// used to quantify regret when the observed workload drifts from the
+/// expected one.
+pub fn cost_under(candidate: &Candidate, env: &Environment, workload: &WorkloadProfile) -> f64 {
+    CostModel::new(candidate.design, env.num_entries, env.entries_per_block).workload_cost(workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Environment {
+        Environment {
+            num_entries: 100_000_000,
+            entry_bytes: 128,
+            entries_per_block: 32,
+            total_memory_bytes: 256 << 20,
+        }
+    }
+
+    fn profile(writes: f64, point: f64, empty: f64, range: f64) -> WorkloadProfile {
+        WorkloadProfile {
+            writes,
+            point_reads: point,
+            empty_point_reads: empty,
+            range_reads: range,
+            range_entries: 1000.0,
+        }
+    }
+
+    #[test]
+    fn write_heavy_picks_tiering() {
+        let c = best(&DesignSpace::default(), &env(), &profile(0.95, 0.05, 0.0, 0.0));
+        assert_eq!(c.design.policy, MergePolicy::Tiering, "{c:?}");
+    }
+
+    #[test]
+    fn read_heavy_picks_leveling_family() {
+        let c = best(&DesignSpace::default(), &env(), &profile(0.02, 0.3, 0.3, 0.38));
+        assert_ne!(c.design.policy, MergePolicy::Tiering, "{c:?}");
+    }
+
+    #[test]
+    fn candidates_are_sorted() {
+        let ranked = navigate(&DesignSpace::default(), &env(), &profile(0.5, 0.5, 0.0, 0.0));
+        for w in ranked.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+        }
+        assert_eq!(
+            ranked.len(),
+            3 * 8 * 7 * 2,
+            "full grid must be enumerated"
+        );
+    }
+
+    #[test]
+    fn monkey_variant_never_loses_at_equal_config() {
+        let ranked = navigate(&DesignSpace::default(), &env(), &profile(0.1, 0.1, 0.8, 0.0));
+        // find pairs differing only in the monkey flag
+        for a in &ranked {
+            if a.design.monkey {
+                continue;
+            }
+            if let Some(b) = ranked.iter().find(|b| {
+                b.design.monkey
+                    && b.design.policy == a.design.policy
+                    && b.design.size_ratio == a.design.size_ratio
+                    && b.design.buffer_entries == a.design.buffer_entries
+            }) {
+                assert!(b.cost <= a.cost + 1e-12, "monkey {b:?} vs uniform {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_workload_beats_extremes_of_wrong_choice() {
+        let e = env();
+        let mixed = profile(0.5, 0.25, 0.25, 0.0);
+        let chosen = best(&DesignSpace::default(), &e, &mixed);
+        // the chosen design must beat both a pure write-optimized and a
+        // pure read-optimized extreme on the mixed workload
+        let write_opt = best(&DesignSpace::default(), &e, &profile(1.0, 0.0, 0.0, 0.0));
+        let read_opt = best(&DesignSpace::default(), &e, &profile(0.0, 0.5, 0.5, 0.0));
+        assert!(chosen.cost <= cost_under(&write_opt, &e, &mixed) + 1e-12);
+        assert!(chosen.cost <= cost_under(&read_opt, &e, &mixed) + 1e-12);
+    }
+
+    #[test]
+    fn cost_under_matches_navigate_for_same_workload() {
+        let e = env();
+        let w = profile(0.3, 0.4, 0.3, 0.0);
+        let c = best(&DesignSpace::default(), &e, &w);
+        assert!((cost_under(&c, &e, &w) - c.cost).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,177 @@
+//! Robust tuning under workload uncertainty (Endure — Huynh et al.,
+//! VLDB '22; tutorial Module III.2).
+//!
+//! The nominal navigator optimizes for one expected workload; if the
+//! observed workload drifts, the nominally-optimal design can degrade
+//! badly. Robust tuning instead minimizes the *worst-case* cost over a
+//! neighborhood of workloads around the expectation, trading a little
+//! nominal performance for a bounded downside.
+
+use crate::cost::WorkloadProfile;
+use crate::navigator::{cost_under, navigate, Candidate, DesignSpace, Environment};
+
+/// A neighborhood of workloads around an expected center.
+///
+/// Endure uses a KL-divergence ball over the operation mix; we use the
+/// same idea with an explicit sample set: the center plus perturbations
+/// that shift up to `rho` of the probability mass between operation types.
+#[derive(Clone, Debug)]
+pub struct WorkloadNeighborhood {
+    /// The expected workload.
+    pub center: WorkloadProfile,
+    /// Maximum probability mass that may shift.
+    pub rho: f64,
+    samples: Vec<WorkloadProfile>,
+}
+
+impl WorkloadNeighborhood {
+    /// Builds the neighborhood: for every ordered pair of operation types,
+    /// a sample moving `rho` mass from one to the other (clamped at zero).
+    pub fn new(center: WorkloadProfile, rho: f64) -> Self {
+        let center = center.normalized();
+        let rho = rho.clamp(0.0, 1.0);
+        let mut samples = vec![center];
+        let get = |w: &WorkloadProfile, i: usize| match i {
+            0 => w.writes,
+            1 => w.point_reads,
+            2 => w.empty_point_reads,
+            _ => w.range_reads,
+        };
+        let set = |w: &mut WorkloadProfile, i: usize, v: f64| match i {
+            0 => w.writes = v,
+            1 => w.point_reads = v,
+            2 => w.empty_point_reads = v,
+            _ => w.range_reads = v,
+        };
+        for from in 0..4 {
+            for to in 0..4 {
+                if from == to {
+                    continue;
+                }
+                let mut w = center;
+                let moved = rho.min(get(&w, from));
+                if moved <= 0.0 {
+                    continue;
+                }
+                let new_from = get(&w, from) - moved;
+                let new_to = get(&w, to) + moved;
+                set(&mut w, from, new_from);
+                set(&mut w, to, new_to);
+                samples.push(w.normalized());
+            }
+        }
+        WorkloadNeighborhood {
+            center,
+            rho,
+            samples,
+        }
+    }
+
+    /// The workload samples (center first).
+    pub fn samples(&self) -> &[WorkloadProfile] {
+        &self.samples
+    }
+}
+
+/// Worst-case cost of a candidate over the neighborhood.
+pub fn worst_case_cost(
+    candidate: &Candidate,
+    env: &Environment,
+    neighborhood: &WorkloadNeighborhood,
+) -> f64 {
+    neighborhood
+        .samples()
+        .iter()
+        .map(|w| cost_under(candidate, env, w))
+        .fold(0.0, f64::max)
+}
+
+/// Robust navigation: rank candidates by worst-case (not nominal) cost.
+/// Returns `(robust_best, nominal_best)` so callers can report the
+/// nominal-vs-robust gap.
+pub fn robust_navigate(
+    space: &DesignSpace,
+    env: &Environment,
+    neighborhood: &WorkloadNeighborhood,
+) -> (Candidate, Candidate) {
+    let nominal_ranked = navigate(space, env, &neighborhood.center);
+    let nominal_best = nominal_ranked[0];
+    let robust_best = nominal_ranked
+        .iter()
+        .min_by(|a, b| {
+            worst_case_cost(a, env, neighborhood)
+                .partial_cmp(&worst_case_cost(b, env, neighborhood))
+                .unwrap()
+        })
+        .copied()
+        .expect("candidate set is non-empty");
+    (robust_best, nominal_best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Environment {
+        Environment {
+            num_entries: 100_000_000,
+            entry_bytes: 128,
+            entries_per_block: 32,
+            total_memory_bytes: 256 << 20,
+        }
+    }
+
+    fn center() -> WorkloadProfile {
+        WorkloadProfile {
+            writes: 0.9,
+            point_reads: 0.05,
+            empty_point_reads: 0.05,
+            range_reads: 0.0,
+            range_entries: 1000.0,
+        }
+    }
+
+    #[test]
+    fn neighborhood_contains_center_and_perturbations() {
+        let n = WorkloadNeighborhood::new(center(), 0.2);
+        assert!(n.samples().len() > 1);
+        let c = n.samples()[0];
+        assert!((c.writes - 0.9).abs() < 1e-9);
+        // some sample moved mass away from writes
+        assert!(n.samples().iter().any(|w| w.writes < 0.75));
+    }
+
+    #[test]
+    fn zero_rho_collapses_to_nominal() {
+        let n = WorkloadNeighborhood::new(center(), 0.0);
+        let (robust, nominal) = robust_navigate(&DesignSpace::default(), &env(), &n);
+        assert_eq!(robust.design, nominal.design);
+    }
+
+    #[test]
+    fn robust_design_has_lower_worst_case() {
+        let n = WorkloadNeighborhood::new(center(), 0.4);
+        let (robust, nominal) = robust_navigate(&DesignSpace::default(), &env(), &n);
+        let wc_robust = worst_case_cost(&robust, &env(), &n);
+        let wc_nominal = worst_case_cost(&nominal, &env(), &n);
+        assert!(wc_robust <= wc_nominal + 1e-12);
+    }
+
+    #[test]
+    fn robust_gives_up_some_nominal_cost_under_large_drift() {
+        let n = WorkloadNeighborhood::new(center(), 0.5);
+        let (robust, nominal) = robust_navigate(&DesignSpace::default(), &env(), &n);
+        // by definition nominal_best is nominal-optimal
+        assert!(nominal.cost <= robust.cost + 1e-12);
+    }
+
+    #[test]
+    fn rho_is_clamped() {
+        let n = WorkloadNeighborhood::new(center(), 7.0);
+        assert!(n.rho <= 1.0);
+        for w in n.samples() {
+            assert!(w.writes >= -1e-12);
+            assert!(w.point_reads >= -1e-12);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based checks on the analytical cost models: the qualitative
+//! laws the tutorial teaches must hold over the whole parameter space,
+//! not just at hand-picked points.
+
+use proptest::prelude::*;
+
+use lsm_model::navigator::Environment;
+use lsm_model::robust::{robust_navigate, worst_case_cost, WorkloadNeighborhood};
+use lsm_model::{
+    navigate, CostModel, DesignSpace, LsmDesign, MergePolicy, WorkloadProfile,
+};
+
+fn model(policy: MergePolicy, t: u64, buffer: u64, bpk: f64, n: u64) -> CostModel {
+    CostModel::new(
+        LsmDesign {
+            policy,
+            size_ratio: t,
+            buffer_entries: buffer,
+            bits_per_key: bpk,
+            monkey: false,
+        },
+        n,
+        64,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tiering never writes more than leveling at the same shape.
+    /// (The closed forms are asymptotic in T; below T≈4 the two layouts
+    /// coincide physically — at T=2 a tiered level holds one run, exactly
+    /// a leveled level — so the property is stated on the models' validity
+    /// range.)
+    #[test]
+    fn tiering_write_cost_never_exceeds_leveling(
+        t in 4u64..20,
+        buffer in 100u64..100_000,
+        n in 1_000u64..1_000_000_000,
+    ) {
+        let lev = model(MergePolicy::Leveling, t, buffer, 10.0, n).write_cost();
+        let tier = model(MergePolicy::Tiering, t, buffer, 10.0, n).write_cost();
+        prop_assert!(tier <= lev + 1e-12, "tier {tier} > lev {lev}");
+    }
+
+    /// Leveling never probes more runs than tiering.
+    #[test]
+    fn leveling_probes_fewer_runs(
+        t in 2u64..20,
+        buffer in 100u64..100_000,
+        n in 1_000u64..1_000_000_000,
+    ) {
+        let lev = model(MergePolicy::Leveling, t, buffer, 10.0, n).runs_to_probe();
+        let tier = model(MergePolicy::Tiering, t, buffer, 10.0, n).runs_to_probe();
+        prop_assert!(lev <= tier + 1e-12);
+    }
+
+    /// Lazy leveling is sandwiched between the pure policies on writes and
+    /// on zero-result lookups.
+    #[test]
+    fn lazy_leveling_interpolates(
+        t in 4u64..20,
+        n in 100_000u64..1_000_000_000,
+    ) {
+        let buffer = 1000u64;
+        let lev = model(MergePolicy::Leveling, t, buffer, 10.0, n);
+        let tier = model(MergePolicy::Tiering, t, buffer, 10.0, n);
+        let lazy = model(MergePolicy::LazyLeveling, t, buffer, 10.0, n);
+        prop_assert!(lazy.write_cost() <= lev.write_cost() + 1e-12);
+        prop_assert!(lazy.write_cost() + 1e-12 >= tier.write_cost());
+        prop_assert!(lazy.zero_result_lookup_cost() <= tier.zero_result_lookup_cost() + 1e-12);
+    }
+
+    /// More filter memory never increases the zero-result lookup cost.
+    #[test]
+    fn lookup_cost_monotone_in_filter_bits(
+        t in 2u64..16,
+        n in 100_000u64..100_000_000,
+        bpk_lo in 0.0f64..20.0,
+        delta in 0.0f64..10.0,
+    ) {
+        let a = model(MergePolicy::Leveling, t, 1000, bpk_lo, n).zero_result_lookup_cost();
+        let b = model(MergePolicy::Leveling, t, 1000, bpk_lo + delta, n).zero_result_lookup_cost();
+        prop_assert!(b <= a + 1e-12, "{b} > {a}");
+    }
+
+    /// A bigger buffer never increases the level count.
+    #[test]
+    fn levels_monotone_in_buffer(
+        t in 2u64..16,
+        n in 1_000u64..1_000_000_000,
+        buf_lo in 10u64..10_000,
+        factor in 1u64..100,
+    ) {
+        let a = model(MergePolicy::Leveling, t, buf_lo, 10.0, n).num_levels();
+        let b = model(MergePolicy::Leveling, t, buf_lo * factor, 10.0, n).num_levels();
+        prop_assert!(b <= a);
+    }
+
+    /// Monkey's modeled cost never exceeds uniform at equal parameters.
+    #[test]
+    fn monkey_flag_never_hurts(
+        t in 2u64..16,
+        n in 100_000u64..100_000_000,
+        bpk in 1.0f64..16.0,
+    ) {
+        let mut d = LsmDesign {
+            policy: MergePolicy::Leveling,
+            size_ratio: t,
+            buffer_entries: 1000,
+            bits_per_key: bpk,
+            monkey: false,
+        };
+        let uniform = CostModel::new(d, n, 64).zero_result_lookup_cost();
+        d.monkey = true;
+        let monkey = CostModel::new(d, n, 64).zero_result_lookup_cost();
+        prop_assert!(monkey <= uniform + 1e-12);
+    }
+
+    /// The navigator's choice is optimal within its own candidate set.
+    #[test]
+    fn navigator_head_minimizes_cost(
+        writes in 0.0f64..1.0,
+        point in 0.0f64..1.0,
+        empty in 0.0f64..1.0,
+    ) {
+        prop_assume!(writes + point + empty > 0.01);
+        let w = WorkloadProfile {
+            writes,
+            point_reads: point,
+            empty_point_reads: empty,
+            range_reads: 0.05,
+            range_entries: 100.0,
+        };
+        let env = Environment {
+            num_entries: 10_000_000,
+            entry_bytes: 100,
+            entries_per_block: 40,
+            total_memory_bytes: 64 << 20,
+        };
+        let ranked = navigate(&DesignSpace::default(), &env, &w);
+        for c in &ranked[1..] {
+            prop_assert!(ranked[0].cost <= c.cost + 1e-12);
+        }
+    }
+
+    /// The robust pick's worst case never exceeds the nominal pick's.
+    #[test]
+    fn robust_worst_case_never_exceeds_nominal(
+        writes in 0.0f64..1.0,
+        point in 0.0f64..1.0,
+        rho in 0.0f64..0.8,
+    ) {
+        prop_assume!(writes + point > 0.01);
+        let center = WorkloadProfile {
+            writes,
+            point_reads: point,
+            empty_point_reads: 0.1,
+            range_reads: 0.05,
+            range_entries: 200.0,
+        };
+        let env = Environment {
+            num_entries: 10_000_000,
+            entry_bytes: 100,
+            entries_per_block: 40,
+            total_memory_bytes: 64 << 20,
+        };
+        let space = DesignSpace {
+            size_ratios: vec![2, 4, 8],
+            buffer_fractions: vec![0.1, 0.5],
+            ..DesignSpace::default()
+        };
+        let nb = WorkloadNeighborhood::new(center, rho);
+        let (robust, nominal) = robust_navigate(&space, &env, &nb);
+        prop_assert!(
+            worst_case_cost(&robust, &env, &nb)
+                <= worst_case_cost(&nominal, &env, &nb) + 1e-12
+        );
+    }
+}

@@ -1,0 +1,508 @@
+//! Storage devices: where immutable LSM files live.
+//!
+//! A device hands out numbered files, accepts whole-block appends until a
+//! file is sealed, and serves whole-block reads. Every call is charged to
+//! the shared [`IoStats`] and [`LatencyModel`], with an [`IoCategory`]
+//! chosen by the caller — an SSTable mixes data, filter, and index blocks
+//! within one file, so attribution must be per-access, not per-file.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::error::{StorageError, StorageResult};
+use crate::file::FileId;
+use crate::latency::{DeviceProfile, LatencyModel};
+use crate::stats::{IoCategory, IoStats};
+
+/// A block-granular storage device.
+///
+/// Implementations must be thread-safe; the engine issues reads from query
+/// threads concurrently with compaction writes.
+pub trait StorageDevice: Send + Sync {
+    /// Block size in bytes; all reads and appends are multiples of this.
+    fn block_size(&self) -> usize;
+
+    /// Shared I/O counters.
+    fn stats(&self) -> &IoStats;
+
+    /// Shared latency model / simulated clock.
+    fn latency(&self) -> &LatencyModel;
+
+    /// Creates a new empty, writable file.
+    fn create(&self) -> StorageResult<FileId>;
+
+    /// Appends `data` (a whole number of blocks) to an unsealed file.
+    fn append(&self, file: FileId, data: &[u8], cat: IoCategory) -> StorageResult<()>;
+
+    /// Seals a file; it becomes immutable.
+    fn seal(&self, file: FileId) -> StorageResult<()>;
+
+    /// Reads `nblocks` blocks starting at block `offset`.
+    fn read(&self, file: FileId, offset: u64, nblocks: u64, cat: IoCategory)
+        -> StorageResult<Vec<u8>>;
+
+    /// Length of a file in blocks.
+    fn len_blocks(&self, file: FileId) -> StorageResult<u64>;
+
+    /// Deletes a file; subsequent access fails with `UnknownFile`.
+    fn delete(&self, file: FileId) -> StorageResult<()>;
+
+    /// Ids of all live (non-deleted) files.
+    fn live_files(&self) -> Vec<FileId>;
+
+    /// Total blocks occupied by live files — the numerator of space
+    /// amplification.
+    fn live_blocks(&self) -> u64;
+}
+
+fn check_whole_blocks(len: usize, block_size: usize) -> StorageResult<u64> {
+    if !len.is_multiple_of(block_size) {
+        return Err(StorageError::Corruption(format!(
+            "append of {len} bytes is not a whole number of {block_size}-byte blocks"
+        )));
+    }
+    Ok((len / block_size) as u64)
+}
+
+// ---------------------------------------------------------------------------
+// In-memory device
+// ---------------------------------------------------------------------------
+
+struct MemFile {
+    data: Vec<u8>,
+    sealed: bool,
+}
+
+/// An in-memory [`StorageDevice`]. The default substrate for experiments:
+/// I/O counts and simulated time are exact and runs are fast and
+/// deterministic.
+pub struct MemDevice {
+    block_size: usize,
+    stats: IoStats,
+    latency: LatencyModel,
+    files: RwLock<BTreeMap<u64, MemFile>>,
+    next_id: AtomicU64,
+}
+
+impl MemDevice {
+    /// Device with the given block size and latency profile.
+    pub fn new(block_size: usize, profile: DeviceProfile) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        MemDevice {
+            block_size,
+            stats: IoStats::new(),
+            latency: LatencyModel::new(profile),
+            files: RwLock::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// 4 KiB blocks, free latency profile.
+    pub fn default_for_tests() -> Self {
+        MemDevice::new(crate::block::DEFAULT_BLOCK_SIZE, DeviceProfile::free())
+    }
+}
+
+impl Default for MemDevice {
+    fn default() -> Self {
+        MemDevice::new(crate::block::DEFAULT_BLOCK_SIZE, DeviceProfile::default())
+    }
+}
+
+impl StorageDevice for MemDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    fn create(&self) -> StorageResult<FileId> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.files.write().insert(
+            id,
+            MemFile {
+                data: Vec::new(),
+                sealed: false,
+            },
+        );
+        Ok(FileId(id))
+    }
+
+    fn append(&self, file: FileId, data: &[u8], cat: IoCategory) -> StorageResult<()> {
+        let blocks = check_whole_blocks(data.len(), self.block_size)?;
+        let mut files = self.files.write();
+        let f = files.get_mut(&file.0).ok_or(StorageError::UnknownFile(file.0))?;
+        if f.sealed {
+            return Err(StorageError::Sealed(file.0));
+        }
+        f.data.extend_from_slice(data);
+        drop(files);
+        self.stats.record_write(cat, blocks);
+        self.latency.charge_write(blocks);
+        Ok(())
+    }
+
+    fn seal(&self, file: FileId) -> StorageResult<()> {
+        let mut files = self.files.write();
+        let f = files.get_mut(&file.0).ok_or(StorageError::UnknownFile(file.0))?;
+        f.sealed = true;
+        Ok(())
+    }
+
+    fn read(
+        &self,
+        file: FileId,
+        offset: u64,
+        nblocks: u64,
+        cat: IoCategory,
+    ) -> StorageResult<Vec<u8>> {
+        let files = self.files.read();
+        let f = files.get(&file.0).ok_or(StorageError::UnknownFile(file.0))?;
+        let len = (f.data.len() / self.block_size) as u64;
+        if offset + nblocks > len {
+            return Err(StorageError::OutOfBounds {
+                file: file.0,
+                offset,
+                blocks: nblocks,
+                len,
+            });
+        }
+        let start = offset as usize * self.block_size;
+        let end = start + nblocks as usize * self.block_size;
+        let out = f.data[start..end].to_vec();
+        drop(files);
+        self.stats.record_read(cat, nblocks);
+        self.latency.charge_read(nblocks);
+        Ok(out)
+    }
+
+    fn len_blocks(&self, file: FileId) -> StorageResult<u64> {
+        let files = self.files.read();
+        let f = files.get(&file.0).ok_or(StorageError::UnknownFile(file.0))?;
+        Ok((f.data.len() / self.block_size) as u64)
+    }
+
+    fn delete(&self, file: FileId) -> StorageResult<()> {
+        self.files
+            .write()
+            .remove(&file.0)
+            .map(|_| ())
+            .ok_or(StorageError::UnknownFile(file.0))
+    }
+
+    fn live_files(&self) -> Vec<FileId> {
+        self.files.read().keys().map(|&k| FileId(k)).collect()
+    }
+
+    fn live_blocks(&self) -> u64 {
+        let files = self.files.read();
+        files
+            .values()
+            .map(|f| (f.data.len() / self.block_size) as u64)
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File-backed device
+// ---------------------------------------------------------------------------
+
+struct DiskFile {
+    path: PathBuf,
+    len_blocks: u64,
+    sealed: bool,
+}
+
+/// A [`StorageDevice`] backed by real files in a directory. Used by the
+/// durability/recovery tests and by anyone who wants the engine to persist.
+pub struct FileDevice {
+    dir: PathBuf,
+    block_size: usize,
+    stats: IoStats,
+    latency: LatencyModel,
+    files: RwLock<BTreeMap<u64, DiskFile>>,
+    next_id: AtomicU64,
+}
+
+impl FileDevice {
+    /// Opens (creating if needed) a device rooted at `dir`. Existing
+    /// `*.blk` files are re-registered (sealed) so an engine can recover.
+    pub fn open(dir: impl Into<PathBuf>, block_size: usize, profile: DeviceProfile) -> StorageResult<Self> {
+        assert!(block_size > 0, "block size must be positive");
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut files = BTreeMap::new();
+        let mut max_id = 0u64;
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name
+                .strip_prefix('f')
+                .and_then(|s| s.strip_suffix(".blk"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                let meta = entry.metadata()?;
+                files.insert(
+                    id,
+                    DiskFile {
+                        path: entry.path(),
+                        len_blocks: meta.len() / block_size as u64,
+                        sealed: true,
+                    },
+                );
+                max_id = max_id.max(id);
+            }
+        }
+        Ok(FileDevice {
+            dir,
+            block_size,
+            stats: IoStats::new(),
+            latency: LatencyModel::new(profile),
+            files: RwLock::new(files),
+            next_id: AtomicU64::new(max_id + 1),
+        })
+    }
+}
+
+impl StorageDevice for FileDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    fn create(&self) -> StorageResult<FileId> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("f{id}.blk"));
+        fs::File::create(&path)?;
+        self.files.write().insert(
+            id,
+            DiskFile {
+                path,
+                len_blocks: 0,
+                sealed: false,
+            },
+        );
+        Ok(FileId(id))
+    }
+
+    fn append(&self, file: FileId, data: &[u8], cat: IoCategory) -> StorageResult<()> {
+        use std::io::Write;
+        let blocks = check_whole_blocks(data.len(), self.block_size)?;
+        let mut files = self.files.write();
+        let f = files.get_mut(&file.0).ok_or(StorageError::UnknownFile(file.0))?;
+        if f.sealed {
+            return Err(StorageError::Sealed(file.0));
+        }
+        let mut handle = fs::OpenOptions::new().append(true).open(&f.path)?;
+        handle.write_all(data)?;
+        f.len_blocks += blocks;
+        drop(files);
+        self.stats.record_write(cat, blocks);
+        self.latency.charge_write(blocks);
+        Ok(())
+    }
+
+    fn seal(&self, file: FileId) -> StorageResult<()> {
+        let mut files = self.files.write();
+        let f = files.get_mut(&file.0).ok_or(StorageError::UnknownFile(file.0))?;
+        let handle = fs::OpenOptions::new().append(true).open(&f.path)?;
+        handle.sync_all()?;
+        f.sealed = true;
+        Ok(())
+    }
+
+    fn read(
+        &self,
+        file: FileId,
+        offset: u64,
+        nblocks: u64,
+        cat: IoCategory,
+    ) -> StorageResult<Vec<u8>> {
+        #[cfg(unix)]
+        use std::os::unix::fs::FileExt;
+        let files = self.files.read();
+        let f = files.get(&file.0).ok_or(StorageError::UnknownFile(file.0))?;
+        if offset + nblocks > f.len_blocks {
+            return Err(StorageError::OutOfBounds {
+                file: file.0,
+                offset,
+                blocks: nblocks,
+                len: f.len_blocks,
+            });
+        }
+        let handle = fs::File::open(&f.path)?;
+        let mut buf = vec![0u8; nblocks as usize * self.block_size];
+        #[cfg(unix)]
+        handle.read_exact_at(&mut buf, offset * self.block_size as u64)?;
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut handle = handle;
+            handle.seek(SeekFrom::Start(offset * self.block_size as u64))?;
+            handle.read_exact(&mut buf)?;
+        }
+        drop(files);
+        self.stats.record_read(cat, nblocks);
+        self.latency.charge_read(nblocks);
+        Ok(buf)
+    }
+
+    fn len_blocks(&self, file: FileId) -> StorageResult<u64> {
+        let files = self.files.read();
+        let f = files.get(&file.0).ok_or(StorageError::UnknownFile(file.0))?;
+        Ok(f.len_blocks)
+    }
+
+    fn delete(&self, file: FileId) -> StorageResult<()> {
+        let mut files = self.files.write();
+        let f = files.remove(&file.0).ok_or(StorageError::UnknownFile(file.0))?;
+        fs::remove_file(&f.path)?;
+        Ok(())
+    }
+
+    fn live_files(&self) -> Vec<FileId> {
+        self.files.read().keys().map(|&k| FileId(k)).collect()
+    }
+
+    fn live_blocks(&self) -> u64 {
+        self.files.read().values().map(|f| f.len_blocks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(dev: &dyn StorageDevice) {
+        let bs = dev.block_size();
+        let id = dev.create().unwrap();
+        let blk1 = vec![0xAB; bs];
+        let blk2 = vec![0xCD; bs];
+        dev.append(id, &blk1, IoCategory::Data).unwrap();
+        dev.append(id, &blk2, IoCategory::Filter).unwrap();
+        dev.seal(id).unwrap();
+        assert_eq!(dev.len_blocks(id).unwrap(), 2);
+        let got = dev.read(id, 1, 1, IoCategory::Filter).unwrap();
+        assert_eq!(got, blk2);
+        let both = dev.read(id, 0, 2, IoCategory::Data).unwrap();
+        assert_eq!(&both[..bs], &blk1[..]);
+        assert_eq!(&both[bs..], &blk2[..]);
+        // sealed file rejects appends
+        assert!(matches!(
+            dev.append(id, &blk1, IoCategory::Data),
+            Err(StorageError::Sealed(_))
+        ));
+        // out of bounds
+        assert!(matches!(
+            dev.read(id, 2, 1, IoCategory::Data),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+        // stats attribution
+        let snap = dev.stats().snapshot();
+        assert_eq!(snap.category(IoCategory::Data).written_blocks, 1);
+        assert_eq!(snap.category(IoCategory::Filter).written_blocks, 1);
+        assert_eq!(snap.category(IoCategory::Filter).read_blocks, 1);
+        assert_eq!(snap.category(IoCategory::Data).read_blocks, 2);
+        // delete
+        assert_eq!(dev.live_files().len(), 1);
+        dev.delete(id).unwrap();
+        assert!(dev.live_files().is_empty());
+        assert!(matches!(
+            dev.read(id, 0, 1, IoCategory::Data),
+            Err(StorageError::UnknownFile(_))
+        ));
+    }
+
+    #[test]
+    fn mem_device_roundtrip() {
+        roundtrip(&MemDevice::default_for_tests());
+    }
+
+    #[test]
+    fn file_device_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("lsm-storage-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let dev = FileDevice::open(&dir, 512, DeviceProfile::free()).unwrap();
+        roundtrip(&dev);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_device_reopens_existing_files() {
+        let dir = std::env::temp_dir().join(format!("lsm-storage-reopen-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let id;
+        {
+            let dev = FileDevice::open(&dir, 512, DeviceProfile::free()).unwrap();
+            id = dev.create().unwrap();
+            dev.append(id, &vec![9u8; 512], IoCategory::Data).unwrap();
+            dev.seal(id).unwrap();
+        }
+        let dev = FileDevice::open(&dir, 512, DeviceProfile::free()).unwrap();
+        assert_eq!(dev.live_files(), vec![id]);
+        assert_eq!(dev.len_blocks(id).unwrap(), 1);
+        assert_eq!(dev.read(id, 0, 1, IoCategory::Data).unwrap(), vec![9u8; 512]);
+        // new ids never collide with recovered ones
+        let id2 = dev.create().unwrap();
+        assert_ne!(id, id2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_block_append_is_rejected() {
+        let dev = MemDevice::default_for_tests();
+        let id = dev.create().unwrap();
+        let err = dev.append(id, &[1, 2, 3], IoCategory::Data).unwrap_err();
+        assert!(matches!(err, StorageError::Corruption(_)));
+    }
+
+    #[test]
+    fn live_blocks_tracks_space() {
+        let dev = MemDevice::default_for_tests();
+        let bs = dev.block_size();
+        let a = dev.create().unwrap();
+        let b = dev.create().unwrap();
+        dev.append(a, &vec![0; bs * 3], IoCategory::Data).unwrap();
+        dev.append(b, &vec![0; bs], IoCategory::Data).unwrap();
+        assert_eq!(dev.live_blocks(), 4);
+        dev.delete(a).unwrap();
+        assert_eq!(dev.live_blocks(), 1);
+    }
+
+    #[test]
+    fn latency_clock_advances_on_io() {
+        let dev = MemDevice::new(4096, DeviceProfile::nvme_ssd());
+        let id = dev.create().unwrap();
+        dev.append(id, &vec![0; 4096], IoCategory::Data).unwrap();
+        let after_write = dev.latency().clock().now_ns();
+        assert!(after_write > 0);
+        dev.read(id, 0, 1, IoCategory::Data).unwrap();
+        assert!(dev.latency().clock().now_ns() > after_write);
+    }
+
+    #[test]
+    fn empty_read_of_zero_blocks_is_ok() {
+        let dev = MemDevice::default_for_tests();
+        let id = dev.create().unwrap();
+        let got = dev.read(id, 0, 0, IoCategory::Data).unwrap();
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type shared by all storage operations.
+
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying OS-level I/O failure (file-backed device only).
+    Io(io::Error),
+    /// A read referenced a file id that is not registered.
+    UnknownFile(u64),
+    /// A read went past the end of the file.
+    OutOfBounds {
+        /// File the read targeted.
+        file: u64,
+        /// First block requested.
+        offset: u64,
+        /// Number of blocks requested.
+        blocks: u64,
+        /// Length of the file, in blocks.
+        len: u64,
+    },
+    /// Writing to a file that has already been sealed.
+    Sealed(u64),
+    /// Corruption detected while decoding stored data (bad magic, checksum
+    /// mismatch, truncated structure).
+    Corruption(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::UnknownFile(id) => write!(f, "unknown file id {id}"),
+            StorageError::OutOfBounds {
+                file,
+                offset,
+                blocks,
+                len,
+            } => write!(
+                f,
+                "read out of bounds: file {file}, blocks [{offset}, {}) but file has {len} blocks",
+                offset + blocks
+            ),
+            StorageError::Sealed(id) => write!(f, "file {id} is sealed and immutable"),
+            StorageError::Corruption(msg) => write!(f, "corruption: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = StorageError::OutOfBounds {
+            file: 3,
+            offset: 10,
+            blocks: 2,
+            len: 11,
+        };
+        let s = e.to_string();
+        assert!(s.contains("file 3"));
+        assert!(s.contains("[10, 12)"));
+        assert!(s.contains("11 blocks"));
+    }
+
+    #[test]
+    fn io_error_is_wrapped_and_sourced() {
+        let e = StorageError::from(io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn corruption_displays_message() {
+        let e = StorageError::Corruption("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Exact, categorized I/O accounting.
+//!
+//! Every experiment in the suite reports its results in terms of these
+//! counters: block reads per lookup, blocks written per ingested byte
+//! (write amplification), and the split between data, filter, index, and
+//! WAL traffic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a given I/O was for. Lets experiments separate, e.g., filter-block
+/// fetches from data-block fetches when reporting lookup cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IoCategory {
+    /// SSTable data blocks.
+    Data,
+    /// Filter blocks (Bloom/cuckoo/range filters).
+    Filter,
+    /// Index blocks (fence pointers, learned index payloads).
+    Index,
+    /// Write-ahead-log traffic.
+    Wal,
+    /// Value-log traffic (key-value separation).
+    ValueLog,
+    /// Anything else (manifest, footers).
+    Misc,
+}
+
+impl IoCategory {
+    /// All categories, in display order.
+    pub const ALL: [IoCategory; 6] = [
+        IoCategory::Data,
+        IoCategory::Filter,
+        IoCategory::Index,
+        IoCategory::Wal,
+        IoCategory::ValueLog,
+        IoCategory::Misc,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            IoCategory::Data => 0,
+            IoCategory::Filter => 1,
+            IoCategory::Index => 2,
+            IoCategory::Wal => 3,
+            IoCategory::ValueLog => 4,
+            IoCategory::Misc => 5,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoCategory::Data => "data",
+            IoCategory::Filter => "filter",
+            IoCategory::Index => "index",
+            IoCategory::Wal => "wal",
+            IoCategory::ValueLog => "vlog",
+            IoCategory::Misc => "misc",
+        }
+    }
+}
+
+#[derive(Default)]
+struct CategoryCounters {
+    read_blocks: AtomicU64,
+    written_blocks: AtomicU64,
+    read_ops: AtomicU64,
+    write_ops: AtomicU64,
+}
+
+/// Thread-safe I/O counters, cheap to clone (shared via `Arc`).
+#[derive(Clone, Default)]
+pub struct IoStats {
+    inner: Arc<[CategoryCounters; 6]>,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read of `blocks` consecutive blocks in `cat`.
+    pub fn record_read(&self, cat: IoCategory, blocks: u64) {
+        let c = &self.inner[cat.idx()];
+        c.read_blocks.fetch_add(blocks, Ordering::Relaxed);
+        c.read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a write of `blocks` consecutive blocks in `cat`.
+    pub fn record_write(&self, cat: IoCategory, blocks: u64) {
+        let c = &self.inner[cat.idx()];
+        c.written_blocks.fetch_add(blocks, Ordering::Relaxed);
+        c.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        let mut s = IoStatsSnapshot::default();
+        for cat in IoCategory::ALL {
+            let c = &self.inner[cat.idx()];
+            let e = &mut s.per_category[cat.idx()];
+            e.read_blocks = c.read_blocks.load(Ordering::Relaxed);
+            e.written_blocks = c.written_blocks.load(Ordering::Relaxed);
+            e.read_ops = c.read_ops.load(Ordering::Relaxed);
+            e.write_ops = c.write_ops.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for c in self.inner.iter() {
+            c.read_blocks.store(0, Ordering::Relaxed);
+            c.written_blocks.store(0, Ordering::Relaxed);
+            c.read_ops.store(0, Ordering::Relaxed);
+            c.write_ops.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Counters for one [`IoCategory`] inside a snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CategorySnapshot {
+    /// Blocks read.
+    pub read_blocks: u64,
+    /// Blocks written.
+    pub written_blocks: u64,
+    /// Read calls (a multi-block sequential read is one op).
+    pub read_ops: u64,
+    /// Write calls.
+    pub write_ops: u64,
+}
+
+/// Immutable copy of [`IoStats`] at one point in time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    per_category: [CategorySnapshot; 6],
+}
+
+impl IoStatsSnapshot {
+    /// Counters for one category.
+    pub fn category(&self, cat: IoCategory) -> CategorySnapshot {
+        self.per_category[cat.idx()]
+    }
+
+    /// Total blocks read across all categories.
+    pub fn total_read_blocks(&self) -> u64 {
+        self.per_category.iter().map(|c| c.read_blocks).sum()
+    }
+
+    /// Total blocks written across all categories.
+    pub fn total_written_blocks(&self) -> u64 {
+        self.per_category.iter().map(|c| c.written_blocks).sum()
+    }
+
+    /// Total read calls across all categories.
+    pub fn total_read_ops(&self) -> u64 {
+        self.per_category.iter().map(|c| c.read_ops).sum()
+    }
+
+    /// Total write calls across all categories.
+    pub fn total_write_ops(&self) -> u64 {
+        self.per_category.iter().map(|c| c.write_ops).sum()
+    }
+
+    /// Counter-wise difference `self - earlier`; saturates at zero so a
+    /// reset between snapshots cannot produce nonsense.
+    pub fn delta_since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        let mut out = IoStatsSnapshot::default();
+        for i in 0..6 {
+            let a = self.per_category[i];
+            let b = earlier.per_category[i];
+            out.per_category[i] = CategorySnapshot {
+                read_blocks: a.read_blocks.saturating_sub(b.read_blocks),
+                written_blocks: a.written_blocks.saturating_sub(b.written_blocks),
+                read_ops: a.read_ops.saturating_sub(b.read_ops),
+                write_ops: a.write_ops.saturating_sub(b.write_ops),
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = IoStats::new();
+        s.record_read(IoCategory::Data, 3);
+        s.record_read(IoCategory::Filter, 1);
+        s.record_write(IoCategory::Wal, 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.category(IoCategory::Data).read_blocks, 3);
+        assert_eq!(snap.category(IoCategory::Data).read_ops, 1);
+        assert_eq!(snap.category(IoCategory::Filter).read_blocks, 1);
+        assert_eq!(snap.category(IoCategory::Wal).written_blocks, 2);
+        assert_eq!(snap.total_read_blocks(), 4);
+        assert_eq!(snap.total_written_blocks(), 2);
+        assert_eq!(snap.total_read_ops(), 2);
+        assert_eq!(snap.total_write_ops(), 1);
+    }
+
+    #[test]
+    fn clone_shares_counters() {
+        let a = IoStats::new();
+        let b = a.clone();
+        b.record_read(IoCategory::Index, 5);
+        assert_eq!(a.snapshot().category(IoCategory::Index).read_blocks, 5);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IoStats::new();
+        s.record_write(IoCategory::Data, 10);
+        s.reset();
+        assert_eq!(s.snapshot().total_written_blocks(), 0);
+        assert_eq!(s.snapshot().total_write_ops(), 0);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let s = IoStats::new();
+        s.record_read(IoCategory::Data, 2);
+        let first = s.snapshot();
+        s.record_read(IoCategory::Data, 5);
+        s.record_write(IoCategory::Misc, 1);
+        let second = s.snapshot();
+        let d = second.delta_since(&first);
+        assert_eq!(d.category(IoCategory::Data).read_blocks, 5);
+        assert_eq!(d.category(IoCategory::Misc).written_blocks, 1);
+    }
+
+    #[test]
+    fn delta_saturates_after_reset() {
+        let s = IoStats::new();
+        s.record_read(IoCategory::Data, 9);
+        let first = s.snapshot();
+        s.reset();
+        s.record_read(IoCategory::Data, 1);
+        let second = s.snapshot();
+        let d = second.delta_since(&first);
+        assert_eq!(d.category(IoCategory::Data).read_blocks, 0);
+    }
+
+    #[test]
+    fn categories_have_distinct_labels() {
+        let mut labels: Vec<_> = IoCategory::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), IoCategory::ALL.len());
+    }
+
+    #[test]
+    fn concurrent_updates_are_counted() {
+        let s = IoStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_read(IoCategory::Data, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.snapshot().category(IoCategory::Data).read_blocks, 4000);
+    }
+}

@@ -1,0 +1,423 @@
+//! Seeded operation-stream generation: key distributions × operation
+//! mixes, the raw material of every experiment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::keyspace::{encode_key, make_value};
+use crate::zipf::ZipfSampler;
+
+/// How keys are drawn from the id space.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KeyDistribution {
+    /// Uniform over `[0, n)`.
+    Uniform,
+    /// Zipfian with the given theta (YCSB default 0.99), hottest id first.
+    /// Ranks are scattered over the id space so hot keys are not adjacent.
+    Zipfian {
+        /// Skew parameter.
+        theta: f64,
+    },
+    /// Monotonically increasing ids (time-series ingest).
+    Sequential,
+    /// Most recently inserted ids are hottest (YCSB "latest").
+    Latest {
+        /// Skew of the recency bias.
+        theta: f64,
+    },
+}
+
+/// Relative operation frequencies; need not sum to 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpMix {
+    /// Blind writes.
+    pub insert: f64,
+    /// Updates of existing keys (also writes, but drawn from live keys).
+    pub update: f64,
+    /// Point lookups.
+    pub read: f64,
+    /// Range scans.
+    pub scan: f64,
+    /// Deletes.
+    pub delete: f64,
+}
+
+impl OpMix {
+    /// A write-only mix.
+    pub fn write_only() -> Self {
+        OpMix {
+            insert: 1.0,
+            update: 0.0,
+            read: 0.0,
+            scan: 0.0,
+            delete: 0.0,
+        }
+    }
+
+    /// A read-only mix.
+    pub fn read_only() -> Self {
+        OpMix {
+            insert: 0.0,
+            update: 0.0,
+            read: 1.0,
+            scan: 0.0,
+            delete: 0.0,
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.insert + self.update + self.read + self.scan + self.delete
+    }
+}
+
+/// A single generated operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operation {
+    /// Write `key = value`.
+    Put {
+        /// The key.
+        key: Vec<u8>,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Point lookup.
+    Get {
+        /// The key.
+        key: Vec<u8>,
+    },
+    /// Range scan of at most `limit` entries from `start`.
+    Scan {
+        /// Scan start key (inclusive).
+        start: Vec<u8>,
+        /// Maximum entries to return.
+        limit: usize,
+    },
+    /// Delete a key.
+    Delete {
+        /// The key.
+        key: Vec<u8>,
+    },
+}
+
+/// Full description of a workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Size of the id space reads draw from.
+    pub key_space: u64,
+    /// Key distribution.
+    pub distribution: KeyDistribution,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Value size in bytes.
+    pub value_len: usize,
+    /// Scan length in entries.
+    pub scan_len: usize,
+    /// RNG seed: identical specs + seeds generate identical streams.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            key_space: 100_000,
+            distribution: KeyDistribution::Uniform,
+            mix: OpMix::write_only(),
+            value_len: 64,
+            scan_len: 100,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// An infinite, deterministic operation stream.
+pub struct WorkloadGenerator {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    zipf: Option<ZipfSampler>,
+    next_sequential: u64,
+    inserted: u64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator from a spec.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        let zipf = match spec.distribution {
+            KeyDistribution::Zipfian { theta } | KeyDistribution::Latest { theta } => {
+                Some(ZipfSampler::new(spec.key_space.max(1), theta))
+            }
+            _ => None,
+        };
+        let rng = StdRng::seed_from_u64(spec.seed);
+        WorkloadGenerator {
+            spec,
+            rng,
+            zipf,
+            next_sequential: 0,
+            inserted: 0,
+        }
+    }
+
+    /// The spec this generator runs.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Scatters a zipf rank over the id space so hot ids are spread out
+    /// (multiplicative hashing, order-destroying, deterministic).
+    fn scatter(&self, rank: u64) -> u64 {
+        rank.wrapping_mul(0x9E3779B97F4A7C15) % self.spec.key_space.max(1)
+    }
+
+    fn draw_id(&mut self) -> u64 {
+        match self.spec.distribution {
+            KeyDistribution::Uniform => self.rng.gen_range(0..self.spec.key_space.max(1)),
+            KeyDistribution::Zipfian { .. } => {
+                let rank = self.zipf.as_ref().unwrap().sample(&mut self.rng);
+                self.scatter(rank)
+            }
+            KeyDistribution::Sequential => {
+                let id = self.next_sequential;
+                self.next_sequential = (self.next_sequential + 1) % self.spec.key_space.max(1);
+                id
+            }
+            KeyDistribution::Latest { theta } => {
+                // YCSB "latest": zipf over the records inserted so far, so
+                // the hot set tracks the insertion frontier. The sampler is
+                // O(1) to construct, so building one per draw is cheap.
+                let newest = self.inserted.max(1).min(self.spec.key_space);
+                let back = ZipfSampler::new(newest, theta).sample(&mut self.rng);
+                newest - back
+            }
+        }
+    }
+
+    fn draw_insert_id(&mut self) -> u64 {
+        match self.spec.distribution {
+            KeyDistribution::Sequential | KeyDistribution::Latest { .. } => {
+                let id = self.inserted % self.spec.key_space.max(1);
+                self.inserted += 1;
+                id
+            }
+            _ => {
+                self.inserted += 1;
+                self.draw_id()
+            }
+        }
+    }
+
+    /// Generates the next operation.
+    pub fn next_op(&mut self) -> Operation {
+        let mix = self.spec.mix;
+        let total = mix.total();
+        debug_assert!(total > 0.0, "operation mix must have positive weight");
+        let r = self.rng.gen::<f64>() * total;
+        if r < mix.insert {
+            let id = self.draw_insert_id();
+            Operation::Put {
+                key: encode_key(id),
+                value: make_value(id, self.spec.value_len),
+            }
+        } else if r < mix.insert + mix.update {
+            let id = self.draw_id();
+            Operation::Put {
+                key: encode_key(id),
+                value: make_value(id ^ 0xDEAD, self.spec.value_len),
+            }
+        } else if r < mix.insert + mix.update + mix.read {
+            Operation::Get {
+                key: encode_key(self.draw_id()),
+            }
+        } else if r < mix.insert + mix.update + mix.read + mix.scan {
+            Operation::Scan {
+                start: encode_key(self.draw_id()),
+                limit: self.spec.scan_len,
+            }
+        } else {
+            Operation::Delete {
+                key: encode_key(self.draw_id()),
+            }
+        }
+    }
+
+    /// Generates a batch of `n` operations.
+    pub fn take(&mut self, n: usize) -> Vec<Operation> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_kinds(ops: &[Operation]) -> (usize, usize, usize, usize) {
+        let mut p = 0;
+        let mut g = 0;
+        let mut s = 0;
+        let mut d = 0;
+        for op in ops {
+            match op {
+                Operation::Put { .. } => p += 1,
+                Operation::Get { .. } => g += 1,
+                Operation::Scan { .. } => s += 1,
+                Operation::Delete { .. } => d += 1,
+            }
+        }
+        (p, g, s, d)
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let spec = WorkloadSpec {
+            mix: OpMix {
+                insert: 0.3,
+                update: 0.1,
+                read: 0.4,
+                scan: 0.1,
+                delete: 0.1,
+            },
+            distribution: KeyDistribution::Zipfian { theta: 0.99 },
+            ..Default::default()
+        };
+        let a = WorkloadGenerator::new(spec.clone()).take(500);
+        let b = WorkloadGenerator::new(spec).take(500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mix_ratios_are_respected() {
+        let spec = WorkloadSpec {
+            mix: OpMix {
+                insert: 0.5,
+                update: 0.0,
+                read: 0.5,
+                scan: 0.0,
+                delete: 0.0,
+            },
+            ..Default::default()
+        };
+        let ops = WorkloadGenerator::new(spec).take(10_000);
+        let (p, g, s, d) = count_kinds(&ops);
+        assert!(s == 0 && d == 0);
+        assert!((4000..6000).contains(&p), "{p} puts");
+        assert!((4000..6000).contains(&g), "{g} gets");
+    }
+
+    #[test]
+    fn sequential_inserts_ascend() {
+        let spec = WorkloadSpec {
+            distribution: KeyDistribution::Sequential,
+            mix: OpMix::write_only(),
+            ..Default::default()
+        };
+        let ops = WorkloadGenerator::new(spec).take(100);
+        let keys: Vec<&Vec<u8>> = ops
+            .iter()
+            .map(|op| match op {
+                Operation::Put { key, .. } => key,
+                _ => panic!(),
+            })
+            .collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn zipfian_reads_are_skewed() {
+        use std::collections::HashMap;
+        let spec = WorkloadSpec {
+            distribution: KeyDistribution::Zipfian { theta: 0.99 },
+            mix: OpMix::read_only(),
+            key_space: 10_000,
+            ..Default::default()
+        };
+        let ops = WorkloadGenerator::new(spec).take(50_000);
+        let mut counts: HashMap<Vec<u8>, usize> = HashMap::new();
+        for op in &ops {
+            if let Operation::Get { key } = op {
+                *counts.entry(key.clone()).or_default() += 1;
+            }
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        // the hottest key should appear far more often than average
+        let avg = 50_000 / counts.len().max(1);
+        assert!(max > avg * 20, "max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn latest_prefers_recent_inserts() {
+        let spec = WorkloadSpec {
+            distribution: KeyDistribution::Latest { theta: 0.99 },
+            mix: OpMix {
+                insert: 0.5,
+                update: 0.0,
+                read: 0.5,
+                scan: 0.0,
+                delete: 0.0,
+            },
+            key_space: 1_000_000,
+            ..Default::default()
+        };
+        let mut gen = WorkloadGenerator::new(spec);
+        let ops = gen.take(20_000);
+        // reads should cluster near the insertion frontier
+        let mut near_frontier = 0;
+        let mut total_reads = 0;
+        let mut frontier = 0u64;
+        for op in &ops {
+            match op {
+                Operation::Put { key, .. } => {
+                    frontier = crate::keyspace::decode_key(key).unwrap().max(frontier);
+                }
+                Operation::Get { key } => {
+                    total_reads += 1;
+                    let id = crate::keyspace::decode_key(key).unwrap();
+                    if frontier.saturating_sub(id) < 100 {
+                        near_frontier += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            near_frontier * 2 > total_reads,
+            "{near_frontier}/{total_reads} near frontier"
+        );
+    }
+
+    #[test]
+    fn scan_ops_carry_limit() {
+        let spec = WorkloadSpec {
+            mix: OpMix {
+                insert: 0.0,
+                update: 0.0,
+                read: 0.0,
+                scan: 1.0,
+                delete: 0.0,
+            },
+            scan_len: 42,
+            ..Default::default()
+        };
+        let ops = WorkloadGenerator::new(spec).take(10);
+        for op in ops {
+            match op {
+                Operation::Scan { limit, .. } => assert_eq!(limit, 42),
+                _ => panic!("expected scan"),
+            }
+        }
+    }
+
+    #[test]
+    fn values_have_requested_length() {
+        let spec = WorkloadSpec {
+            value_len: 256,
+            ..Default::default()
+        };
+        let ops = WorkloadGenerator::new(spec).take(20);
+        for op in ops {
+            if let Operation::Put { value, .. } = op {
+                assert_eq!(value.len(), 256);
+            }
+        }
+    }
+}

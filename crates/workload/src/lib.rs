@@ -1,0 +1,26 @@
+//! # lsm-workload
+//!
+//! Deterministic workload generation for the experiment suite — the
+//! synthetic stand-in for the YCSB workloads production LSM papers
+//! evaluate on (see the substitution table in DESIGN.md):
+//!
+//! - [`zipf`]: a rejection-inversion Zipf sampler (self-implemented;
+//!   no external distribution crates);
+//! - [`keyspace`]: key encodings between u64 ids and fixed-width byte keys;
+//! - [`generator`]: seeded operation streams over key distributions ×
+//!   operation mixes;
+//! - [`ycsb`]: the YCSB A–F presets;
+//! - [`trace`]: record/replay so an identical operation sequence can be
+//!   run against different engine configurations.
+
+pub mod generator;
+pub mod keyspace;
+pub mod trace;
+pub mod ycsb;
+pub mod zipf;
+
+pub use generator::{KeyDistribution, Operation, OpMix, WorkloadGenerator, WorkloadSpec};
+pub use keyspace::{decode_key, encode_key, KEY_LEN};
+pub use trace::Trace;
+pub use ycsb::YcsbWorkload;
+pub use zipf::ZipfSampler;

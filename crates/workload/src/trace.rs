@@ -1,0 +1,104 @@
+//! Operation traces: record a generated stream once, replay it against
+//! every engine configuration under comparison, so measured differences
+//! come from the configuration and not from sampling noise.
+
+use crate::generator::{Operation, WorkloadGenerator, WorkloadSpec};
+
+/// A recorded sequence of operations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    ops: Vec<Operation>,
+}
+
+impl Trace {
+    /// Records `n` operations from a fresh generator over `spec`.
+    pub fn record(spec: WorkloadSpec, n: usize) -> Self {
+        Trace {
+            ops: WorkloadGenerator::new(spec).take(n),
+        }
+    }
+
+    /// Wraps an explicit operation list.
+    pub fn from_ops(ops: Vec<Operation>) -> Self {
+        Trace { ops }
+    }
+
+    /// The operations, in order.
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Splits into a load phase (first `n`) and a run phase (rest) — the
+    /// YCSB load/run protocol.
+    pub fn split_at(&self, n: usize) -> (Trace, Trace) {
+        let n = n.min(self.ops.len());
+        (
+            Trace {
+                ops: self.ops[..n].to_vec(),
+            },
+            Trace {
+                ops: self.ops[n..].to_vec(),
+            },
+        )
+    }
+
+    /// Concatenates two traces.
+    pub fn chain(mut self, other: Trace) -> Trace {
+        self.ops.extend(other.ops);
+        self
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Operation;
+    type IntoIter = std::vec::IntoIter<Operation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_is_deterministic() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(Trace::record(spec.clone(), 200), Trace::record(spec, 200));
+    }
+
+    #[test]
+    fn split_and_chain_roundtrip() {
+        let t = Trace::record(WorkloadSpec::default(), 100);
+        let (a, b) = t.split_at(30);
+        assert_eq!(a.len(), 30);
+        assert_eq!(b.len(), 70);
+        assert_eq!(a.chain(b), t);
+    }
+
+    #[test]
+    fn split_beyond_len_is_clamped() {
+        let t = Trace::record(WorkloadSpec::default(), 10);
+        let (a, b) = t.split_at(99);
+        assert_eq!(a.len(), 10);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn iteration_preserves_order() {
+        let t = Trace::record(WorkloadSpec::default(), 50);
+        let collected: Vec<_> = t.clone().into_iter().collect();
+        assert_eq!(collected.as_slice(), t.ops());
+    }
+}

@@ -1,0 +1,161 @@
+//! YCSB core workload presets (A–F), the de-facto benchmark mixes for
+//! key-value stores and the workloads the tutorial's cited systems
+//! evaluate on.
+
+use crate::generator::{KeyDistribution, OpMix, WorkloadSpec};
+
+/// The six YCSB core workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum YcsbWorkload {
+    /// A: update heavy — 50% reads, 50% updates, zipfian.
+    A,
+    /// B: read mostly — 95% reads, 5% updates, zipfian.
+    B,
+    /// C: read only — 100% reads, zipfian.
+    C,
+    /// D: read latest — 95% reads, 5% inserts, latest distribution.
+    D,
+    /// E: short ranges — 95% scans, 5% inserts, zipfian.
+    E,
+    /// F: read-modify-write — 50% reads, 50% RMW (update), zipfian.
+    F,
+}
+
+impl YcsbWorkload {
+    /// All presets in order.
+    pub const ALL: [YcsbWorkload; 6] = [
+        YcsbWorkload::A,
+        YcsbWorkload::B,
+        YcsbWorkload::C,
+        YcsbWorkload::D,
+        YcsbWorkload::E,
+        YcsbWorkload::F,
+    ];
+
+    /// Letter label.
+    pub fn label(self) -> &'static str {
+        match self {
+            YcsbWorkload::A => "A",
+            YcsbWorkload::B => "B",
+            YcsbWorkload::C => "C",
+            YcsbWorkload::D => "D",
+            YcsbWorkload::E => "E",
+            YcsbWorkload::F => "F",
+        }
+    }
+
+    /// The workload spec for this preset over `key_space` keys.
+    pub fn spec(self, key_space: u64, seed: u64) -> WorkloadSpec {
+        let zipf = KeyDistribution::Zipfian { theta: 0.99 };
+        let (mix, distribution) = match self {
+            YcsbWorkload::A => (
+                OpMix {
+                    insert: 0.0,
+                    update: 0.5,
+                    read: 0.5,
+                    scan: 0.0,
+                    delete: 0.0,
+                },
+                zipf,
+            ),
+            YcsbWorkload::B => (
+                OpMix {
+                    insert: 0.0,
+                    update: 0.05,
+                    read: 0.95,
+                    scan: 0.0,
+                    delete: 0.0,
+                },
+                zipf,
+            ),
+            YcsbWorkload::C => (OpMix::read_only(), zipf),
+            YcsbWorkload::D => (
+                OpMix {
+                    insert: 0.05,
+                    update: 0.0,
+                    read: 0.95,
+                    scan: 0.0,
+                    delete: 0.0,
+                },
+                KeyDistribution::Latest { theta: 0.99 },
+            ),
+            YcsbWorkload::E => (
+                OpMix {
+                    insert: 0.05,
+                    update: 0.0,
+                    read: 0.0,
+                    scan: 0.95,
+                    delete: 0.0,
+                },
+                zipf,
+            ),
+            YcsbWorkload::F => (
+                OpMix {
+                    insert: 0.0,
+                    update: 0.5,
+                    read: 0.5,
+                    scan: 0.0,
+                    delete: 0.0,
+                },
+                zipf,
+            ),
+        };
+        WorkloadSpec {
+            key_space,
+            distribution,
+            mix,
+            value_len: 100, // YCSB default field layout, compacted
+            scan_len: 100,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Operation, WorkloadGenerator};
+
+    #[test]
+    fn c_is_read_only() {
+        let spec = YcsbWorkload::C.spec(1000, 1);
+        let ops = WorkloadGenerator::new(spec).take(1000);
+        assert!(ops.iter().all(|op| matches!(op, Operation::Get { .. })));
+    }
+
+    #[test]
+    fn e_is_scan_heavy() {
+        let spec = YcsbWorkload::E.spec(1000, 1);
+        let ops = WorkloadGenerator::new(spec).take(2000);
+        let scans = ops
+            .iter()
+            .filter(|op| matches!(op, Operation::Scan { .. }))
+            .count();
+        assert!(scans > 1800, "{scans} scans");
+    }
+
+    #[test]
+    fn a_is_half_updates() {
+        let spec = YcsbWorkload::A.spec(1000, 1);
+        let ops = WorkloadGenerator::new(spec).take(4000);
+        let puts = ops
+            .iter()
+            .filter(|op| matches!(op, Operation::Put { .. }))
+            .count();
+        assert!((1700..2300).contains(&puts), "{puts} puts");
+    }
+
+    #[test]
+    fn d_uses_latest_distribution() {
+        let spec = YcsbWorkload::D.spec(1000, 1);
+        assert!(matches!(spec.distribution, KeyDistribution::Latest { .. }));
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let mut labels: Vec<_> = YcsbWorkload::ALL.iter().map(|w| w.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+}

@@ -1,0 +1,186 @@
+//! Zipf-distributed sampling by rejection inversion (Hörmann & Derflinger,
+//! "Rejection-inversion to generate variates from monotone discrete
+//! distributions") — O(1) per sample with no precomputed CDF, so key
+//! spaces of hundreds of millions of keys cost no memory.
+
+use rand::Rng;
+
+/// Samples ranks in `[1, n]` with probability ∝ `1 / rank^theta`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl ZipfSampler {
+    /// New sampler over `n` ranks with skew `theta > 0` (YCSB uses 0.99).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta <= 0` or `theta == 1` is not handled —
+    /// any positive theta except exactly 1.0 is supported; theta == 1.0 is
+    /// nudged to 0.9999999.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "n must be positive");
+        assert!(theta > 0.0, "theta must be positive");
+        let theta = if (theta - 1.0).abs() < 1e-9 {
+            0.999_999_9
+        } else {
+            theta
+        };
+        let h = |x: f64| -> f64 { (x.powf(1.0 - theta) - 1.0) / (1.0 - theta) };
+        ZipfSampler {
+            n,
+            theta,
+            h_x1: h(1.5) - 1.0,
+            h_n: h(n as f64 + 0.5),
+            s: 2.0 - Self::h_inv_static(theta, Self::h_static(theta, 2.5) - 0.5f64.powf(-theta)),
+        }
+    }
+
+    fn h_static(theta: f64, x: f64) -> f64 {
+        (x.powf(1.0 - theta) - 1.0) / (1.0 - theta)
+    }
+
+    fn h_inv_static(theta: f64, x: f64) -> f64 {
+        (1.0 + x * (1.0 - theta)).powf(1.0 / (1.0 - theta))
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        Self::h_static(self.theta, x)
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        Self::h_inv_static(self.theta, x)
+    }
+
+    /// Draws one rank in `[1, n]`, rank 1 most likely.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_x1 + rng.gen::<f64>() * (self.h_n - self.h_x1);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.s || u >= self.h(k + 0.5) - k.powf(-self.theta) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: u64, theta: f64, samples: usize) -> Vec<u64> {
+        let z = ZipfSampler::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            let k = z.sample(&mut rng);
+            assert!((1..=n).contains(&k));
+            counts[(k - 1) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(10, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=10).contains(&k));
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let counts = histogram(1000, 0.99, 100_000);
+        assert!(counts[0] > counts[9] && counts[9] > counts[99]);
+        // for theta≈1, P(1) ≈ 1/H(n) ≈ 1/7.48 ≈ 13%
+        let p1 = counts[0] as f64 / 100_000.0;
+        assert!((0.08..0.20).contains(&p1), "p1 = {p1}");
+    }
+
+    #[test]
+    fn frequency_follows_power_law() {
+        let counts = histogram(10_000, 0.99, 400_000);
+        // ratio of P(1)/P(10) should be ≈ 10^0.99 ≈ 9.8
+        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        assert!((5.0..18.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn low_theta_is_flatter() {
+        let skewed = histogram(100, 1.2, 100_000);
+        let flat = histogram(100, 0.2, 100_000);
+        let top_skewed = skewed[0] as f64 / 100_000.0;
+        let top_flat = flat[0] as f64 / 100_000.0;
+        assert!(top_skewed > top_flat * 2.0, "{top_skewed} vs {top_flat}");
+    }
+
+    #[test]
+    fn theta_exactly_one_is_nudged() {
+        let z = ZipfSampler::new(100, 1.0);
+        assert!(z.theta() < 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = ZipfSampler::new(1, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let z = ZipfSampler::new(500, 0.9);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn zero_n_panics() {
+        let _ = ZipfSampler::new(0, 0.99);
+    }
+
+    #[test]
+    fn huge_n_is_cheap() {
+        // no CDF precompute: constructing over a billion ranks is instant
+        let z = ZipfSampler::new(1_000_000_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=1_000_000_000).contains(&k));
+        }
+    }
+}

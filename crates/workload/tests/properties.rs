@@ -1,0 +1,137 @@
+//! Property-based checks for workload generation: determinism, domain
+//! bounds, and approximate mix fidelity over the whole parameter space.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lsm_workload::{
+    decode_key, KeyDistribution, OpMix, Operation, Trace, WorkloadGenerator, WorkloadSpec,
+    ZipfSampler,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The same (spec, seed) always produces the same stream.
+    #[test]
+    fn generator_is_deterministic(
+        seed in any::<u64>(),
+        key_space in 1u64..100_000,
+        theta in 0.1f64..1.5,
+        n in 1usize..300,
+    ) {
+        let spec = WorkloadSpec {
+            key_space,
+            distribution: KeyDistribution::Zipfian { theta },
+            mix: OpMix {
+                insert: 0.4,
+                update: 0.1,
+                read: 0.3,
+                scan: 0.1,
+                delete: 0.1,
+            },
+            value_len: 16,
+            scan_len: 10,
+            seed,
+        };
+        let a = WorkloadGenerator::new(spec.clone()).take(n);
+        let b = WorkloadGenerator::new(spec).take(n);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every generated key decodes to an id inside the configured space.
+    #[test]
+    fn keys_stay_in_the_id_space(
+        seed in any::<u64>(),
+        key_space in 1u64..50_000,
+        dist_idx in 0usize..4,
+    ) {
+        let distribution = match dist_idx {
+            0 => KeyDistribution::Uniform,
+            1 => KeyDistribution::Zipfian { theta: 0.99 },
+            2 => KeyDistribution::Sequential,
+            _ => KeyDistribution::Latest { theta: 0.99 },
+        };
+        let spec = WorkloadSpec {
+            key_space,
+            distribution,
+            mix: OpMix {
+                insert: 0.5,
+                update: 0.1,
+                read: 0.3,
+                scan: 0.05,
+                delete: 0.05,
+            },
+            seed,
+            ..WorkloadSpec::default()
+        };
+        for op in WorkloadGenerator::new(spec).take(200) {
+            let key = match &op {
+                Operation::Put { key, .. }
+                | Operation::Get { key }
+                | Operation::Delete { key } => key,
+                Operation::Scan { start, .. } => start,
+            };
+            let id = decode_key(key).expect("generated keys must decode");
+            prop_assert!(id < key_space, "id {id} out of space {key_space}");
+        }
+    }
+
+    /// Zipf samples always land in [1, n], for any skew.
+    #[test]
+    fn zipf_domain(
+        n in 1u64..10_000_000,
+        theta in 0.05f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let z = ZipfSampler::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let k = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    /// Trace split/chain is the identity.
+    #[test]
+    fn trace_split_chain_identity(
+        seed in any::<u64>(),
+        n in 1usize..200,
+        at in 0usize..250,
+    ) {
+        let spec = WorkloadSpec { seed, ..WorkloadSpec::default() };
+        let t = Trace::record(spec, n);
+        let (a, b) = t.split_at(at);
+        prop_assert_eq!(a.chain(b), t);
+    }
+}
+
+#[test]
+fn mix_fidelity_over_long_streams() {
+    let spec = WorkloadSpec {
+        mix: OpMix {
+            insert: 0.25,
+            update: 0.05,
+            read: 0.5,
+            scan: 0.1,
+            delete: 0.1,
+        },
+        ..WorkloadSpec::default()
+    };
+    let ops = WorkloadGenerator::new(spec).take(40_000);
+    let mut counts = [0usize; 4];
+    for op in &ops {
+        match op {
+            Operation::Put { .. } => counts[0] += 1,
+            Operation::Get { .. } => counts[1] += 1,
+            Operation::Scan { .. } => counts[2] += 1,
+            Operation::Delete { .. } => counts[3] += 1,
+        }
+    }
+    let frac = |c: usize| c as f64 / 40_000.0;
+    assert!((frac(counts[0]) - 0.30).abs() < 0.02, "puts {}", frac(counts[0]));
+    assert!((frac(counts[1]) - 0.50).abs() < 0.02, "gets {}", frac(counts[1]));
+    assert!((frac(counts[2]) - 0.10).abs() < 0.02, "scans {}", frac(counts[2]));
+    assert!((frac(counts[3]) - 0.10).abs() < 0.02, "deletes {}", frac(counts[3]));
+}

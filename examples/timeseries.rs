@@ -1,0 +1,82 @@
+//! A time-series ingest workload (the InfluxDB-style use of LSM trees the
+//! tutorial cites): strictly increasing keys, recent-window scans, and
+//! TTL-style deletion of old data — exercising sequential ingest (no
+//! overlap between flushed runs), range scans, and tombstone GC.
+//!
+//! ```sh
+//! cargo run --release --example timeseries
+//! ```
+
+use lsm_design_space::core::{Db, LsmConfig, MergeLayout, RangeFilterKind};
+
+fn series_key(ts: u64, sensor: u16) -> Vec<u8> {
+    format!("m{ts:012}s{sensor:04}").into_bytes()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = LsmConfig {
+        layout: MergeLayout::Tiered, // ingest-optimized, like TSM trees
+        range_filter: RangeFilterKind::Surf { suffix_bits: 8 },
+        buffer_bytes: 256 << 10,
+        ..LsmConfig::default()
+    };
+    let db = Db::open_in_memory(cfg)?;
+
+    // ingest 24 "hours" of measurements from 32 sensors
+    println!("ingesting 24h × 3600s × 32 sensors…");
+    let sensors = 32u16;
+    for hour in 0..24u64 {
+        for sec in (0..3600u64).step_by(60) {
+            let ts = hour * 3600 + sec;
+            for sensor in 0..sensors {
+                db.put(
+                    series_key(ts, sensor),
+                    format!("{{\"v\":{}.{}}}", ts % 100, sensor).into_bytes(),
+                )?;
+            }
+        }
+    }
+    let s = db.stats().snapshot();
+    println!(
+        "ingested {} points ({} flushes, {} compactions)",
+        s.puts, s.flushes, s.compactions
+    );
+
+    // dashboard query: last 10 minutes of one sensor's window
+    let t_end = 24 * 3600;
+    let window = db.scan(
+        series_key(t_end - 600, 0)..series_key(t_end, 0),
+        100_000,
+    )?;
+    println!("last-10-min window: {} points", window.len());
+
+    // retention: drop the first 12 hours
+    println!("applying retention (delete first 12h)…");
+    let expired = db.scan(series_key(0, 0)..series_key(12 * 3600, 0), usize::MAX)?;
+    let n_expired = expired.len();
+    for (k, _) in expired {
+        db.delete(k)?;
+    }
+    db.major_compact()?;
+    let s2 = db.stats().snapshot();
+    println!(
+        "deleted {} points; tombstones GC'd: {}",
+        n_expired, s2.tombstones_dropped
+    );
+
+    // old data is gone, recent data remains
+    assert!(db
+        .scan(series_key(0, 0)..series_key(12 * 3600, 0), 10)?
+        .is_empty());
+    assert!(!window.is_empty());
+    let remaining = db.scan(series_key(0, 0)..series_key(u64::MAX / 2, 0), usize::MAX)?;
+    println!("remaining points: {}", remaining.len());
+
+    println!("\nlevel summary after retention:");
+    for (i, (runs, bytes, entries)) in db.level_summary().iter().enumerate() {
+        if *entries > 0 {
+            println!("  L{i}: {runs} runs, {bytes} bytes, {entries} entries");
+        }
+    }
+    Ok(())
+}

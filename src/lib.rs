@@ -1,0 +1,39 @@
+//! # lsm-design-space
+//!
+//! A Rust reproduction of *"The LSM Design Space and its Read Optimizations"*
+//! (Sarkar, Dayan, Athanassoulis — ICDE 2023): a configurable LSM-tree
+//! storage engine in which every design dimension the tutorial surveys is a
+//! first-class configuration axis, together with the auxiliary read
+//! structures (point filters, range filters, indexes, learned indexes,
+//! block caches), analytical cost models, and a design-space navigator.
+//!
+//! This umbrella crate re-exports the public API of all member crates:
+//!
+//! - [`storage`] — block device substrate with exact I/O accounting,
+//! - [`filters`] — Bloom/blocked-Bloom/cuckoo/xor/ribbon point filters and
+//!   prefix/SuRF/Rosetta/SNARF range filters, plus Monkey allocation,
+//! - [`index`] — fence pointers, block hash indexes, learned indexes,
+//! - [`cache`] — block cache policies and compaction-aware prefetching,
+//! - [`workload`] — deterministic workload generation (YCSB presets),
+//! - [`model`] — closed-form cost models and the design-space navigator,
+//! - [`core`] — the LSM engine itself ([`core::Db`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lsm_design_space::core::{Db, LsmConfig};
+//!
+//! let db = Db::open_in_memory(LsmConfig::default()).unwrap();
+//! db.put(b"key".to_vec(), b"value".to_vec()).unwrap();
+//! assert_eq!(db.get(b"key").unwrap(), Some(b"value".to_vec()));
+//! db.delete(b"key".to_vec()).unwrap();
+//! assert_eq!(db.get(b"key").unwrap(), None);
+//! ```
+
+pub use lsm_cache as cache;
+pub use lsm_core as core;
+pub use lsm_filters as filters;
+pub use lsm_index as index;
+pub use lsm_model as model;
+pub use lsm_storage as storage;
+pub use lsm_workload as workload;
