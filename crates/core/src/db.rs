@@ -24,7 +24,7 @@ use crate::entry::{InternalEntry, ValueKind};
 use crate::kv_sep::{
     decode_value, encode_inline, encode_pointer, read_pointer_from_device, ValueLog,
 };
-use crate::manifest::{find_manifest, write_manifest, ManifestState};
+use crate::manifest::{find_manifest_candidates, write_manifest, ManifestState};
 use crate::memtable::Memtable;
 use crate::sstable::{Table, TableBuilder};
 use crate::stats::DbStats;
@@ -85,34 +85,46 @@ impl Db {
             manifest: None,
             rr_cursors: vec![0; 32],
         };
-        let recovered = find_manifest(&device)?;
-        if let Some((mid, state)) = recovered {
-            inner.manifest = Some(mid);
-            inner.next_seqno = state.next_seqno.max(1);
-            let mut version = Version::new();
-            version.ensure_levels(state.levels.len());
-            for (i, level) in state.levels.iter().enumerate() {
-                for run_ids in level {
-                    let mut tables = Vec::with_capacity(run_ids.len());
-                    for &id in run_ids {
-                        let file = lsm_storage::ImmutableFile::open(Arc::clone(&device), FileId(id))?;
-                        tables.push(Table::open(file, cfg.index)?);
-                    }
-                    version.levels[i].runs.push(SortedRun::from_tables(tables));
+        // Recovery: try every manifest on the device, newest first. A crash
+        // mid-rewrite can leave the newest manifest referencing files that
+        // never made it to disk; an older manifest (plus its WAL) is then
+        // the consistent state to restart from. Starting empty when
+        // manifests exist but none is usable would silently drop data, so
+        // that case is a typed error instead.
+        let candidates = find_manifest_candidates(&device)?;
+        let had_candidates = !candidates.is_empty();
+        let mut recovered_ok = !had_candidates;
+        let mut old_wal: Option<FileId> = None;
+        let mut last_reject: Option<StorageError> = None;
+        for (mid, state) in candidates {
+            match Self::recover_from_manifest(&device, &cfg, &state) {
+                Ok((version, mem, next_seqno)) => {
+                    inner.manifest = Some(mid);
+                    inner.next_seqno = next_seqno;
+                    inner.version = Arc::new(version);
+                    inner.mem = mem;
+                    old_wal = (state.wal != 0).then_some(FileId(state.wal));
+                    recovered_ok = true;
+                    break;
                 }
-            }
-            inner.version = Arc::new(version);
-            // replay the WAL into a fresh memtable
-            if state.wal != 0 {
-                let records = wal::recover(Arc::clone(&device), FileId(state.wal))?;
-                for r in &records {
-                    inner.next_seqno = inner.next_seqno.max(r.seqno + 1);
-                    inner.mem.insert(r.key.clone(), r.seqno, r.kind, r.value.clone());
+                Err(
+                    e @ (StorageError::Corruption(_)
+                    | StorageError::UnknownFile(_)
+                    | StorageError::OutOfBounds { .. }),
+                ) => {
+                    device.stats().record_corruption();
+                    last_reject = Some(e);
                 }
-                let _ = device.delete(FileId(state.wal));
+                Err(e) => return Err(e),
             }
-            // Old value logs stay readable via the device; new separated
-            // values go to a fresh log.
+        }
+        if !recovered_ok {
+            let detail = last_reject
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "unknown".into());
+            return Err(StorageError::Corruption(format!(
+                "recovery failed: no usable manifest (last candidate rejected: {detail})"
+            )));
         }
         if cfg.wal {
             let mut new_wal = Wal::create(Arc::clone(&device))?;
@@ -128,6 +140,8 @@ impl Db {
             inner.wal = Some(new_wal);
         }
         if cfg.kv_separation.is_some() {
+            // Old value logs stay readable via the device; new separated
+            // values go to a fresh log.
             inner.vlog = Some(ValueLog::create(Arc::clone(&device))?);
         }
         let db = Db {
@@ -143,7 +157,56 @@ impl Db {
             let mut inner = db.inner.write();
             db.persist_manifest(&mut inner)?;
         }
+        // The replayed WAL is retired only now that its records are covered
+        // by the new WAL and the manifest referencing it is durable; a crash
+        // anywhere above replays from the old WAL again instead of losing
+        // the records.
+        if let Some(w) = old_wal {
+            let _ = db.device.delete(w);
+        }
         Ok(db)
+    }
+
+    /// Attempts a full recovery from one manifest: reopen every table it
+    /// references and replay its WAL into a fresh memtable. Any missing or
+    /// corrupt referenced file fails the whole attempt with a typed error,
+    /// so [`Db::open`] can fall back to an older manifest.
+    fn recover_from_manifest(
+        device: &Arc<dyn StorageDevice>,
+        cfg: &LsmConfig,
+        state: &ManifestState,
+    ) -> StorageResult<(Version, Memtable, u64)> {
+        let mut version = Version::new();
+        version.ensure_levels(state.levels.len());
+        for (i, level) in state.levels.iter().enumerate() {
+            for run_ids in level {
+                let mut tables = Vec::with_capacity(run_ids.len());
+                for &id in run_ids {
+                    let file = lsm_storage::ImmutableFile::open(Arc::clone(device), FileId(id))?;
+                    tables.push(Table::open(file, cfg.index)?);
+                }
+                version.levels[i].runs.push(SortedRun::from_tables(tables));
+            }
+        }
+        let mut mem = Memtable::with_front(cfg.buffer_front_bytes);
+        let mut next_seqno = state.next_seqno.max(1);
+        if state.wal != 0 {
+            match wal::recover(Arc::clone(device), FileId(state.wal)) {
+                Ok(records) => {
+                    for r in records {
+                        next_seqno = next_seqno.max(r.seqno + 1);
+                        mem.insert(r.key, r.seqno, r.kind, r.value);
+                    }
+                }
+                // A missing WAL is consistent: rotation deletes the old WAL
+                // only after the superseding manifest is durable, so if this
+                // manifest's WAL is gone its records are already in a table
+                // listed by a newer manifest.
+                Err(StorageError::UnknownFile(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((version, mem, next_seqno))
     }
 
     /// Opens on a fresh in-memory device with a free latency profile — the
@@ -214,7 +277,11 @@ impl Db {
         let stored = match (self.cfg.kv_separation, kind) {
             (Some(sep), ValueKind::Put) => {
                 if value.len() >= sep.min_value_bytes {
-                    let vlog = inner.vlog.as_mut().expect("vlog exists when separation on");
+                    let vlog = inner.vlog.as_mut().ok_or_else(|| {
+                        StorageError::Corruption(
+                            "kv separation enabled but no value log is open".into(),
+                        )
+                    })?;
                     let ptr = vlog.append(&key, &value)?;
                     DbStats::bump(&self.stats.vlog_values);
                     encode_pointer(ptr)
@@ -297,6 +364,13 @@ impl Db {
     /// may be lost (standard torn-tail semantics).
     pub fn sync(&self) -> StorageResult<()> {
         let mut inner = self.inner.write();
+        // Value log first: a WAL record referencing a separated value must
+        // never become durable before the value bytes it points at —
+        // otherwise a crash leaves an acknowledged pointer dangling past
+        // the persisted end of the log.
+        if let Some(vlog) = &mut inner.vlog {
+            vlog.sync()?;
+        }
         if let Some(wal) = &mut inner.wal {
             wal.sync()?;
         }
@@ -650,6 +724,12 @@ impl Db {
         }
         let entries = inner.mem.drain_sorted();
         debug_assert!(inner.mem.is_empty());
+        // Separated values referenced by these entries must be durable
+        // before the table pointing at them is: once the flush lands, the
+        // WAL that could replay the values is deleted.
+        if let Some(vlog) = &mut inner.vlog {
+            vlog.sync()?;
+        }
         let bits = self.bits_for_level(&inner.version, 0);
         let mut builder = TableBuilder::new(Arc::clone(&self.device), &self.cfg, bits)?;
         for e in &entries {
@@ -662,15 +742,23 @@ impl Db {
         version.levels[0].runs.insert(0, SortedRun::single(table));
         inner.version = Arc::new(version);
         DbStats::bump(&self.stats.flushes);
-        // rotate the WAL: the flushed entries are durable in the table now
-        if self.cfg.wal {
-            if let Some(old) = inner.wal.take() {
-                let old_file = old.seal()?;
-                old_file.delete()?;
-            }
+        // Rotate the WAL. Ordering matters for crash safety: the old WAL
+        // may only be deleted after the manifest naming the new table (and
+        // the new WAL) is durable. Deleting first opens a window where a
+        // crash loses the flushed entries — the old manifest survives but
+        // the WAL holding its unflushed records is gone.
+        let old_wal = if self.cfg.wal {
+            let old = inner.wal.take();
             inner.wal = Some(Wal::create(Arc::clone(&self.device))?);
-        }
+            old
+        } else {
+            None
+        };
         self.persist_manifest(inner)?;
+        if let Some(old) = old_wal {
+            let old_file = old.seal()?;
+            old_file.delete()?;
+        }
         self.maybe_compact_locked(inner)
     }
 
@@ -1051,6 +1139,9 @@ impl Drop for Db {
     /// the device instead of the `Db`.
     fn drop(&mut self) {
         let mut inner = self.inner.write();
+        if let Some(vlog) = &mut inner.vlog {
+            let _ = vlog.sync();
+        }
         if let Some(wal) = &mut inner.wal {
             let _ = wal.sync();
         }

@@ -76,7 +76,14 @@ pub fn read_pointer_from_device(
     ptr: ValuePointer,
 ) -> StorageResult<Vec<u8>> {
     let bs = device.block_size() as u64;
-    let len_blocks = device.len_blocks(ptr.file)?;
+    // A dangling pointer (log file gone, e.g. GC'd or lost in a crash) is a
+    // data-level corruption, not an engine bug: surface it as such.
+    let len_blocks = device.len_blocks(ptr.file).map_err(|e| match e {
+        lsm_storage::StorageError::UnknownFile(id) => lsm_storage::StorageError::Corruption(
+            format!("value-log pointer dangles: file f{id} does not exist"),
+        ),
+        other => other,
+    })?;
     let end = ptr.offset + ptr.len as u64;
     if end > len_blocks * bs {
         return Err(lsm_storage::StorageError::Corruption(
@@ -261,7 +268,11 @@ impl ValueLog {
             }
             let total = n + m + klen as usize + vlen as usize;
             let Some(record) = bytes.get(off..off + total) else { break };
-            let (key, value) = Self::decode_record(record).unwrap();
+            let Some((key, value)) = Self::decode_record(record) else {
+                return Err(lsm_storage::StorageError::Corruption(
+                    "undecodable value-log record during scan".into(),
+                ));
+            };
             out.push((
                 key.to_vec(),
                 value.to_vec(),
@@ -371,6 +382,22 @@ mod tests {
         assert_eq!(log.garbage_ratio(), 0.0);
         log.mark_dead(p1.len as u64);
         assert!((log.garbage_ratio() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn dangling_pointer_reports_corruption() {
+        let dev = device();
+        let ptr = ValuePointer {
+            file: FileId(9999),
+            offset: 0,
+            len: 10,
+        };
+        match read_pointer_from_device(&dev, ptr) {
+            Err(lsm_storage::StorageError::Corruption(msg)) => {
+                assert!(msg.contains("dangles"), "{msg}");
+            }
+            other => panic!("expected Corruption, got {other:?}"),
+        }
     }
 
     #[test]

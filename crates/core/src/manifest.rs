@@ -132,12 +132,16 @@ pub fn write_manifest(
     Ok(id)
 }
 
-/// Scans the device for the newest parseable manifest. Returns it with its
-/// file id.
-pub fn find_manifest(
+/// Scans the device for every parseable manifest, newest first.
+///
+/// Normally at most one manifest is live, but a crash between writing a new
+/// manifest and deleting its predecessor leaves two; recovery tries the
+/// newest and falls back to older candidates if the files it references
+/// turn out to be missing or corrupt.
+pub fn find_manifest_candidates(
     device: &Arc<dyn StorageDevice>,
-) -> StorageResult<Option<(FileId, ManifestState)>> {
-    let mut best: Option<(FileId, ManifestState)> = None;
+) -> StorageResult<Vec<(FileId, ManifestState)>> {
+    let mut found: Vec<(FileId, ManifestState)> = Vec::new();
     for id in device.live_files() {
         let len = device.len_blocks(id)?;
         if len == 0 {
@@ -145,12 +149,19 @@ pub fn find_manifest(
         }
         let first = device.read(id, 0, len, IoCategory::Misc)?;
         if let Some(state) = ManifestState::from_bytes(&first) {
-            if best.as_ref().is_none_or(|(b, _)| id.0 > b.0) {
-                best = Some((id, state));
-            }
+            found.push((id, state));
         }
     }
-    Ok(best)
+    found.sort_by_key(|(id, _)| std::cmp::Reverse(id.0));
+    Ok(found)
+}
+
+/// Scans the device for the newest parseable manifest. Returns it with its
+/// file id.
+pub fn find_manifest(
+    device: &Arc<dyn StorageDevice>,
+) -> StorageResult<Option<(FileId, ManifestState)>> {
+    Ok(find_manifest_candidates(device)?.into_iter().next())
 }
 
 #[cfg(test)]
@@ -223,6 +234,21 @@ mod tests {
             assert!(refs.contains(&id), "{id} missing");
         }
         assert!(!refs.contains(&0), "vlog 0 means none");
+    }
+
+    #[test]
+    fn candidates_are_newest_first() {
+        let dev = device();
+        let id1 = write_manifest(&dev, &sample(), None).unwrap();
+        let mut s2 = sample();
+        s2.next_seqno = 777;
+        // simulate a crash before the old manifest was deleted
+        let id2 = write_manifest(&dev, &s2, None).unwrap();
+        let cands = find_manifest_candidates(&dev).unwrap();
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].0, id2);
+        assert_eq!(cands[0].1.next_seqno, 777);
+        assert_eq!(cands[1].0, id1);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! ```
 
 use lsm_index::block_hash::{BlockHashIndex, HashProbe};
+use lsm_storage::{StorageError, StorageResult};
 
 use crate::entry::{get_varint, put_varint, ValueKind};
 
@@ -220,11 +221,27 @@ impl<D: AsRef<[u8]>> BlockIter<D> {
     }
 
     /// Decodes the entry at the current offset and advances. `None` when
-    /// the entries are exhausted or the block is corrupt.
+    /// the entries are exhausted or the block is corrupt. Use
+    /// [`BlockIter::try_next_entry`] where the two must be distinguished.
     pub fn next_entry(&mut self) -> Option<BlockEntry> {
+        self.try_next_entry().ok().flatten()
+    }
+
+    /// Fallible variant of [`BlockIter::next_entry`]: `Ok(None)` means the
+    /// entries are cleanly exhausted, `Err(Corruption)` means the bytes at
+    /// the current offset do not decode even though the block's checksum
+    /// verified — in-memory corruption after verification, or a writer bug.
+    pub fn try_next_entry(&mut self) -> StorageResult<Option<BlockEntry>> {
         if self.offset >= self.entries_end {
-            return None;
+            return Ok(None);
         }
+        let at = self.offset;
+        self.decode_at_offset().map(Some).ok_or_else(|| {
+            StorageError::Corruption(format!("undecodable block entry at byte {at}"))
+        })
+    }
+
+    fn decode_at_offset(&mut self) -> Option<BlockEntry> {
         let d = &self.data.as_ref()[self.offset..self.entries_end];
         let mut at = 0usize;
         let (shared, n) = get_varint(&d[at..])?;
@@ -418,16 +435,38 @@ mod tests {
         let data16 = build_block(50, 16, false);
         // interval 1 stores full keys: bigger
         assert!(data1.len() > data16.len());
-        // both decode identically
+        // both decode identically, via the fallible path so corruption
+        // would surface as a typed error rather than a panic
         let mut a = BlockIter::new(&data1).unwrap();
         let mut b = BlockIter::new(&data16).unwrap();
         loop {
-            match (a.next_entry(), b.next_entry()) {
+            match (a.try_next_entry().unwrap(), b.try_next_entry().unwrap()) {
                 (Some(x), Some(y)) => assert_eq!(x, y),
                 (None, None) => break,
-                _ => panic!("length mismatch"),
+                (x, y) => assert_eq!(x, y, "iterators must exhaust together"),
             }
         }
+    }
+
+    #[test]
+    fn undecodable_entry_is_a_typed_error() {
+        // craft a block whose trailer and checksum are valid but whose
+        // entry bytes are varint garbage: the whole-block checksum passes,
+        // so the corruption must surface at decode time as a typed error
+        let mut data = vec![0xFFu8; 8];
+        data.extend_from_slice(&0u32.to_le_bytes()); // restart offset
+        data.extend_from_slice(&1u32.to_le_bytes()); // num_restarts
+        data.extend_from_slice(&0u32.to_le_bytes()); // hash_index_len
+        let sum = block_checksum(&data);
+        data.extend_from_slice(&sum.to_le_bytes());
+        let mut it = BlockIter::new(data.as_slice()).unwrap();
+        match it.try_next_entry() {
+            Err(StorageError::Corruption(msg)) => assert!(msg.contains("undecodable"), "{msg}"),
+            other => panic!("expected Corruption, got {other:?}"),
+        }
+        // the lossy path maps the same corruption to exhaustion
+        it.seek_to_first();
+        assert!(it.next_entry().is_none());
     }
 
     #[test]

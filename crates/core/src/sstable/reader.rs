@@ -116,12 +116,16 @@ impl Table {
         if file.len_blocks() == 0 {
             return Err(StorageError::Corruption("empty table file".into()));
         }
+        let corrupt = |msg: &str| {
+            file.stats().record_corruption();
+            StorageError::Corruption(msg.into())
+        };
         let footer_block = file.read_blocks(file.len_blocks() - 1, 1, IoCategory::Misc)?;
-        let (meta_start, meta_len) = decode_footer(&footer_block)
-            .ok_or_else(|| StorageError::Corruption("bad table footer".into()))?;
+        let (meta_start, meta_len) =
+            decode_footer(&footer_block).ok_or_else(|| corrupt("bad table footer"))?;
         let meta_bytes = file.read_bytes(meta_start * bs, meta_len as usize, IoCategory::Index)?;
-        let meta = TableMeta::from_bytes(&meta_bytes)
-            .ok_or_else(|| StorageError::Corruption("bad table meta".into()))?;
+        let meta =
+            TableMeta::from_bytes(&meta_bytes).ok_or_else(|| corrupt("bad table meta"))?;
         // partitioned filters stay on storage and are fetched through the
         // cache per probe; monolithic filters are loaded (pinned) here
         let mut partition_offsets = Vec::new();
@@ -138,10 +142,7 @@ impl Table {
                 meta.filter.byte_len as usize,
                 IoCategory::Filter,
             )?;
-            Some(
-                deserialize_filter(&bytes)
-                    .ok_or_else(|| StorageError::Corruption("bad filter section".into()))?,
-            )
+            Some(deserialize_filter(&bytes).ok_or_else(|| corrupt("bad filter section"))?)
         } else {
             None
         };
@@ -152,8 +153,8 @@ impl Table {
                 IoCategory::Filter,
             )?;
             Some(
-                SerializableRangeFilter::from_bytes(&bytes)
-                    .ok_or_else(|| StorageError::Corruption("bad range-filter section".into()))?,
+                SerializableRangeFilter::try_from_bytes(&bytes)
+                    .map_err(|e| corrupt(&e.to_string()))?,
             )
         } else {
             None
@@ -261,8 +262,10 @@ impl Table {
             }
             b
         };
-        let f = deserialize_filter(block.data())
-            .ok_or_else(|| StorageError::Corruption("bad filter partition".into()))?;
+        let f = deserialize_filter(block.data()).ok_or_else(|| {
+            self.file.stats().record_corruption();
+            StorageError::Corruption("bad filter partition".into())
+        })?;
         Ok(f.may_contain(key))
     }
 
@@ -362,8 +365,10 @@ impl Table {
             // exact fence hit: one block, hash-index fast path applies
             let block = self.read_data_block(lo, cache)?;
             blocks_examined += 1;
-            let mut it = BlockIter::new(block)
-                .ok_or_else(|| StorageError::Corruption("bad data block".into()))?;
+            let mut it = BlockIter::new(block).ok_or_else(|| {
+                self.file.stats().record_corruption();
+                StorageError::Corruption("bad data block".into())
+            })?;
             let (hit, _used_hash) = it.get(key);
             return Ok(TableGet {
                 entry: hit,
@@ -378,8 +383,10 @@ impl Table {
             let mid = lo + (hi - lo) / 2;
             let block = self.read_data_block(mid, cache)?;
             blocks_examined += 1;
-            let mut it = BlockIter::new(block)
-                .ok_or_else(|| StorageError::Corruption("bad data block".into()))?;
+            let mut it = BlockIter::new(block).ok_or_else(|| {
+                self.file.stats().record_corruption();
+                StorageError::Corruption("bad data block".into())
+            })?;
             match it.seek(key) {
                 Some(e) if e.key.as_slice() == key => {
                     return Ok(TableGet {
@@ -482,17 +489,26 @@ pub struct TableIterator {
 
 impl TableIterator {
     fn load_next_block(&mut self) -> StorageResult<()> {
-        while self.next_block < self.table.meta.data_blocks.len() {
+        if self.next_block < self.table.meta.data_blocks.len() {
             let block = self
                 .table
                 .read_data_block(self.next_block, self.cache.as_deref())?;
             self.next_block += 1;
-            if let Some(it) = BlockIter::new(block) {
-                self.current = Some(it);
-                return Ok(());
-            }
+            // An undecodable block must fail the scan. Skipping it would
+            // silently truncate the result set — the caller would see a
+            // shorter range, not an error.
+            let Some(it) = BlockIter::new(block) else {
+                self.table.file.stats().record_corruption();
+                return Err(StorageError::Corruption(format!(
+                    "bad data block {} in table f{}",
+                    self.next_block - 1,
+                    self.table.id()
+                )));
+            };
+            self.current = Some(it);
+        } else {
+            self.current = None;
         }
-        self.current = None;
         Ok(())
     }
 
@@ -505,7 +521,7 @@ impl TableIterator {
             match &mut self.current {
                 None => return Ok(None),
                 Some(it) => {
-                    if let Some(e) = it.next_entry() {
+                    if let Some(e) = it.try_next_entry()? {
                         return Ok(Some(e));
                     }
                     self.current = None;

@@ -92,13 +92,44 @@ impl Wal {
     }
 }
 
+/// Decodes one checksummed payload. `None` means the frame checksummed
+/// clean but its contents do not parse — corruption, not a torn tail.
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    let mut p = 0usize;
+    let (seqno, n) = get_varint(payload.get(p..)?)?;
+    p += n;
+    let kind = payload.get(p).copied().and_then(ValueKind::from_u8)?;
+    p += 1;
+    let (klen, n) = get_varint(payload.get(p..)?)?;
+    p += n;
+    let key = payload.get(p..p.checked_add(klen as usize)?)?;
+    p += klen as usize;
+    let (vlen, n) = get_varint(payload.get(p..)?)?;
+    p += n;
+    let value = payload.get(p..p.checked_add(vlen as usize)?)?;
+    Some(WalRecord {
+        seqno,
+        kind,
+        key: key.to_vec(),
+        value: value.to_vec(),
+    })
+}
+
 /// Replays a WAL file: returns every intact record, in order, stopping at
 /// the first torn or corrupt frame.
 ///
 /// A [`Wal::sync`] pads the current block with zeros and later records
 /// continue in the next block, so the parser skips zero bytes to the next
 /// block boundary and resumes there; anything else that is not a record
-/// marker ends the replay (torn or corrupt tail).
+/// marker ends the replay.
+///
+/// Torn tails (a record extending past the persisted bytes) are the
+/// expected crash artifact and end replay silently. Checksum mismatches,
+/// garbage marker bytes, and undecodable payloads are *corruption* and are
+/// counted in the device's [`corruption_detected`] stat before replay
+/// stops at the last intact prefix.
+///
+/// [`corruption_detected`]: lsm_storage::IoStatsSnapshot::corruption_detected
 pub fn recover(device: Arc<dyn StorageDevice>, id: FileId) -> StorageResult<Vec<WalRecord>> {
     let len_blocks = device.len_blocks(id)?;
     if len_blocks == 0 {
@@ -115,54 +146,35 @@ pub fn recover(device: Arc<dyn StorageDevice>, id: FileId) -> StorageResult<Vec<
             continue;
         }
         if bytes[off] != RECORD_MARKER {
-            break; // torn or corrupt tail
+            // writes are block-granular, so a torn tail cannot produce a
+            // garbage byte where a marker belongs — this is corruption
+            device.stats().record_corruption();
+            break;
         }
         off += 1;
         let Some((plen, n)) = get_varint(&bytes[off..]) else {
-            break;
+            break; // torn: length varint cut off at the persisted end
         };
         off += n;
         if off + 4 + plen as usize > bytes.len() {
             break; // torn record
         }
-        let stored_sum = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        let stored_sum =
+            u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]);
         off += 4;
         let payload = &bytes[off..off + plen as usize];
         if checksum(payload) != stored_sum {
+            device.stats().record_corruption();
             break;
         }
         off += plen as usize;
-        // decode payload
-        let mut p = 0usize;
-        let Some((seqno, n)) = get_varint(&payload[p..]) else {
-            break;
-        };
-        p += n;
-        let Some(kind) = payload.get(p).copied().and_then(ValueKind::from_u8) else {
-            break;
-        };
-        p += 1;
-        let Some((klen, n)) = get_varint(&payload[p..]) else {
-            break;
-        };
-        p += n;
-        let Some(key) = payload.get(p..p + klen as usize) else {
-            break;
-        };
-        p += klen as usize;
-        let Some((vlen, n)) = get_varint(&payload[p..]) else {
-            break;
-        };
-        p += n;
-        let Some(value) = payload.get(p..p + vlen as usize) else {
-            break;
-        };
-        records.push(WalRecord {
-            seqno,
-            kind,
-            key: key.to_vec(),
-            value: value.to_vec(),
-        });
+        match decode_payload(payload) {
+            Some(record) => records.push(record),
+            None => {
+                device.stats().record_corruption();
+                break;
+            }
+        }
     }
     Ok(records)
 }
@@ -242,9 +254,50 @@ mod tests {
         // rebuild a new file with the corrupted contents
         let id2 = dev.create().unwrap();
         dev.append(id2, &blocks, IoCategory::Wal).unwrap();
-        let records = recover(dev_dyn, id2).unwrap();
+        let records = recover(dev_dyn.clone(), id2).unwrap();
         assert!(!records.is_empty());
         assert!(records.len() < 30, "replay must stop at corruption");
+        assert!(
+            dev_dyn.stats().snapshot().corruption_detected >= 1,
+            "corruption must be counted"
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_not_counted_as_corruption() {
+        let dev = device();
+        let mut wal = Wal::create(dev.clone()).unwrap();
+        for i in 0..40u64 {
+            wal.append(i, ValueKind::Put, format!("key{i:04}").as_bytes(), b"0123456789")
+                .unwrap();
+        }
+        // no sync: the tail record is torn at the last persisted block
+        let records = recover(dev.clone(), wal.id()).unwrap();
+        assert!(records.len() < 40);
+        assert_eq!(
+            dev.stats().snapshot().corruption_detected,
+            0,
+            "a clean torn tail is the expected crash artifact, not corruption"
+        );
+    }
+
+    #[test]
+    fn bad_checksum_is_counted_as_corruption() {
+        let dev: Arc<MemDevice> = Arc::new(MemDevice::new(512, DeviceProfile::free()));
+        let dev_dyn: Arc<dyn StorageDevice> = dev.clone();
+        let mut wal = Wal::create(dev_dyn.clone()).unwrap();
+        wal.append(1, ValueKind::Put, b"key", b"a-reasonably-long-value").unwrap();
+        wal.sync().unwrap();
+        let id = wal.id();
+        let mut blocks = dev.read(id, 0, 1, IoCategory::Wal).unwrap();
+        // flip a payload byte: frame intact, checksum mismatch
+        blocks[10] ^= 0x01;
+        let id2 = dev.create().unwrap();
+        dev.append(id2, &blocks, IoCategory::Wal).unwrap();
+        let before = dev_dyn.stats().snapshot().corruption_detected;
+        let records = recover(dev_dyn.clone(), id2).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(dev_dyn.stats().snapshot().corruption_detected, before + 1);
     }
 
     #[test]

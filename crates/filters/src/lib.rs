@@ -41,7 +41,7 @@ pub use monkey::{monkey_allocation, uniform_allocation, MonkeyAllocation};
 pub use prefix::PrefixBloomFilter;
 pub use ribbon::RibbonFilter;
 pub use rosetta::RosettaFilter;
-pub use serialize::SerializableRangeFilter;
+pub use serialize::{FilterDecodeError, SerializableRangeFilter};
 pub use snarf::SnarfFilter;
 pub use surf::{SuffixMode, SurfFilter};
 pub use traits::{FilterKind, PointFilter, RangeFilter, RangeFilterKind};

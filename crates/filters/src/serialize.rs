@@ -17,6 +17,24 @@ const TAG_SURF: u8 = 2;
 const TAG_ROSETTA: u8 = 3;
 const TAG_SNARF: u8 = 4;
 
+/// Typed failure from [`SerializableRangeFilter::try_from_bytes`]: the
+/// bytes do not decode as any known range filter (unknown tag, truncated
+/// or corrupt payload). The storage engine maps this to its corruption
+/// error so a bad filter section fails a table open instead of panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FilterDecodeError {
+    /// Human-readable description of what failed to decode.
+    pub detail: String,
+}
+
+impl std::fmt::Display for FilterDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "range filter decode failed: {}", self.detail)
+    }
+}
+
+impl std::error::Error for FilterDecodeError {}
+
 /// Serializes any supported range filter with a leading tag byte.
 ///
 /// Because the trait objects don't expose their concrete type, callers
@@ -87,17 +105,34 @@ impl SerializableRangeFilter {
 
     /// Deserializes from [`Self::to_bytes`] output.
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        let (&tag, rest) = bytes.split_first()?;
+        Self::try_from_bytes(bytes).ok()
+    }
+
+    /// Fallible variant of [`Self::from_bytes`] that says *what* failed —
+    /// callers surface this as a corruption error rather than panicking.
+    pub fn try_from_bytes(bytes: &[u8]) -> Result<Self, FilterDecodeError> {
+        let truncated = |name: &str| FilterDecodeError {
+            detail: format!("truncated or corrupt {name} payload"),
+        };
+        let (&tag, rest) = bytes.split_first().ok_or_else(|| FilterDecodeError {
+            detail: "empty range-filter section".into(),
+        })?;
         match tag {
-            TAG_PREFIX => Some(SerializableRangeFilter::Prefix(
-                PrefixBloomFilter::deserialize(rest)?,
-            )),
-            TAG_SURF => Some(SerializableRangeFilter::Surf(SurfFilter::deserialize(rest)?)),
-            TAG_ROSETTA => Some(SerializableRangeFilter::Rosetta(RosettaFilter::deserialize(
-                rest,
-            )?)),
-            TAG_SNARF => Some(SerializableRangeFilter::Snarf(SnarfFilter::deserialize(rest)?)),
-            _ => None,
+            TAG_PREFIX => PrefixBloomFilter::deserialize(rest)
+                .map(SerializableRangeFilter::Prefix)
+                .ok_or_else(|| truncated("prefix-bloom")),
+            TAG_SURF => SurfFilter::deserialize(rest)
+                .map(SerializableRangeFilter::Surf)
+                .ok_or_else(|| truncated("surf")),
+            TAG_ROSETTA => RosettaFilter::deserialize(rest)
+                .map(SerializableRangeFilter::Rosetta)
+                .ok_or_else(|| truncated("rosetta")),
+            TAG_SNARF => SnarfFilter::deserialize(rest)
+                .map(SerializableRangeFilter::Snarf)
+                .ok_or_else(|| truncated("snarf")),
+            _ => Err(FilterDecodeError {
+                detail: format!("unknown range-filter tag {tag}"),
+            }),
         }
     }
 }
@@ -153,7 +188,7 @@ mod tests {
     }
 
     #[test]
-    fn all_kinds_roundtrip() {
+    fn all_kinds_roundtrip() -> Result<(), FilterDecodeError> {
         let owned = keys();
         let refs: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
         let kinds = [
@@ -165,8 +200,8 @@ mod tests {
         for kind in kinds {
             let f = SerializableRangeFilter::build(kind, &refs, 16.0).unwrap();
             let bytes = f.to_bytes();
-            let g = SerializableRangeFilter::from_bytes(&bytes)
-                .unwrap_or_else(|| panic!("{} failed to deserialize", kind.label()));
+            // a decode failure propagates as a typed error, never a panic
+            let g = SerializableRangeFilter::try_from_bytes(&bytes)?;
             for k in &owned {
                 assert_eq!(
                     f.may_contain_point(k),
@@ -188,12 +223,26 @@ mod tests {
                 );
             }
         }
+        Ok(())
     }
 
     #[test]
     fn bad_tag_rejected() {
         assert!(SerializableRangeFilter::from_bytes(&[99, 1, 2, 3]).is_none());
         assert!(SerializableRangeFilter::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn decode_errors_name_the_failure() {
+        let err = |bytes: &[u8]| match SerializableRangeFilter::try_from_bytes(bytes) {
+            Err(e) => e,
+            Ok(_) => panic!("decode unexpectedly succeeded"),
+        };
+        assert!(err(&[99, 1, 2, 3]).detail.contains("unknown range-filter tag 99"));
+        assert!(err(&[]).detail.contains("empty"));
+        let torn = err(&[TAG_SURF, 0xFF]);
+        assert!(torn.detail.contains("surf"), "{torn}");
+        assert!(torn.to_string().contains("decode failed"));
     }
 
     #[test]

@@ -31,6 +31,22 @@ pub enum StorageError {
     Corruption(String),
 }
 
+impl StorageError {
+    /// Whether the error is transient: the op had no effect and an
+    /// identical retry may succeed. Drives [`crate::fault::RetryDevice`].
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Io(e) if matches!(
+                e.kind(),
+                io::ErrorKind::Interrupted
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+            )
+        )
+    }
+}
+
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -96,5 +112,17 @@ mod tests {
     fn corruption_displays_message() {
         let e = StorageError::Corruption("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        let transient = StorageError::Io(io::Error::new(io::ErrorKind::Interrupted, "x"));
+        assert!(transient.is_transient());
+        let timeout = StorageError::Io(io::Error::new(io::ErrorKind::TimedOut, "x"));
+        assert!(timeout.is_transient());
+        let hard = StorageError::Io(io::Error::other("dead"));
+        assert!(!hard.is_transient());
+        assert!(!StorageError::Corruption("c".into()).is_transient());
+        assert!(!StorageError::UnknownFile(1).is_transient());
     }
 }

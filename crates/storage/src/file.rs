@@ -153,6 +153,11 @@ impl ImmutableFile {
         self.device.block_size()
     }
 
+    /// The device's I/O counters — readers report detected corruption here.
+    pub fn stats(&self) -> &crate::stats::IoStats {
+        self.device.stats()
+    }
+
     /// Reads `nblocks` blocks starting at block `offset`, charged to `cat`.
     pub fn read_blocks(&self, offset: u64, nblocks: u64, cat: IoCategory) -> StorageResult<Vec<u8>> {
         self.device.read(self.id, offset, nblocks, cat)

@@ -9,7 +9,10 @@
 //! - exact, categorized I/O accounting ([`IoStats`]), and
 //! - an optional device latency model ([`LatencyModel`]) that converts I/O
 //!   counts into simulated time, so experiments can report latency shapes
-//!   without the authors' hardware.
+//!   without the authors' hardware, and
+//! - deterministic fault injection ([`FaultDevice`]) plus bounded
+//!   retry-with-backoff ([`RetryDevice`]) for exercising and hardening the
+//!   engine's crash-recovery paths.
 //!
 //! Files are append-only and immutable once sealed, matching the LSM
 //! invariant that sorted runs are never updated in place.
@@ -17,6 +20,7 @@
 pub mod block;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod file;
 pub mod latency;
 pub mod stats;
@@ -24,6 +28,7 @@ pub mod stats;
 pub use block::{Block, BlockBuf, DEFAULT_BLOCK_SIZE};
 pub use device::{FileDevice, MemDevice, StorageDevice};
 pub use error::{StorageError, StorageResult};
+pub use fault::{FaultDevice, FaultKind, FaultSpec, RetryDevice, RetryPolicy};
 pub use file::{FileId, FileRegistry, ImmutableFile, WritableFile};
 pub use latency::{DeviceProfile, LatencyModel, SimClock};
 pub use stats::{IoCategory, IoStats, IoStatsSnapshot};

@@ -69,10 +69,17 @@ struct CategoryCounters {
     write_ops: AtomicU64,
 }
 
+#[derive(Default)]
+struct Counters {
+    per_category: [CategoryCounters; 6],
+    retries: AtomicU64,
+    corruption_detected: AtomicU64,
+}
+
 /// Thread-safe I/O counters, cheap to clone (shared via `Arc`).
 #[derive(Clone, Default)]
 pub struct IoStats {
-    inner: Arc<[CategoryCounters; 6]>,
+    inner: Arc<Counters>,
 }
 
 impl IoStats {
@@ -83,40 +90,55 @@ impl IoStats {
 
     /// Records a read of `blocks` consecutive blocks in `cat`.
     pub fn record_read(&self, cat: IoCategory, blocks: u64) {
-        let c = &self.inner[cat.idx()];
+        let c = &self.inner.per_category[cat.idx()];
         c.read_blocks.fetch_add(blocks, Ordering::Relaxed);
         c.read_ops.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a write of `blocks` consecutive blocks in `cat`.
     pub fn record_write(&self, cat: IoCategory, blocks: u64) {
-        let c = &self.inner[cat.idx()];
+        let c = &self.inner.per_category[cat.idx()];
         c.written_blocks.fetch_add(blocks, Ordering::Relaxed);
         c.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retry of an I/O op after a transient device error.
+    pub fn record_retry(&self) {
+        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one detected-and-rejected corruption (checksum mismatch,
+    /// undecodable frame, torn tail).
+    pub fn record_corruption(&self) {
+        self.inner.corruption_detected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         let mut s = IoStatsSnapshot::default();
         for cat in IoCategory::ALL {
-            let c = &self.inner[cat.idx()];
+            let c = &self.inner.per_category[cat.idx()];
             let e = &mut s.per_category[cat.idx()];
             e.read_blocks = c.read_blocks.load(Ordering::Relaxed);
             e.written_blocks = c.written_blocks.load(Ordering::Relaxed);
             e.read_ops = c.read_ops.load(Ordering::Relaxed);
             e.write_ops = c.write_ops.load(Ordering::Relaxed);
         }
+        s.retries = self.inner.retries.load(Ordering::Relaxed);
+        s.corruption_detected = self.inner.corruption_detected.load(Ordering::Relaxed);
         s
     }
 
     /// Resets every counter to zero.
     pub fn reset(&self) {
-        for c in self.inner.iter() {
+        for c in self.inner.per_category.iter() {
             c.read_blocks.store(0, Ordering::Relaxed);
             c.written_blocks.store(0, Ordering::Relaxed);
             c.read_ops.store(0, Ordering::Relaxed);
             c.write_ops.store(0, Ordering::Relaxed);
         }
+        self.inner.retries.store(0, Ordering::Relaxed);
+        self.inner.corruption_detected.store(0, Ordering::Relaxed);
     }
 }
 
@@ -137,6 +159,10 @@ pub struct CategorySnapshot {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IoStatsSnapshot {
     per_category: [CategorySnapshot; 6],
+    /// I/O ops retried after a transient device error.
+    pub retries: u64,
+    /// Corruptions detected and rejected (checksum mismatches, torn tails).
+    pub corruption_detected: u64,
 }
 
 impl IoStatsSnapshot {
@@ -179,6 +205,10 @@ impl IoStatsSnapshot {
                 write_ops: a.write_ops.saturating_sub(b.write_ops),
             };
         }
+        out.retries = self.retries.saturating_sub(earlier.retries);
+        out.corruption_detected = self
+            .corruption_detected
+            .saturating_sub(earlier.corruption_detected);
         out
     }
 }
@@ -244,6 +274,24 @@ mod tests {
         let second = s.snapshot();
         let d = second.delta_since(&first);
         assert_eq!(d.category(IoCategory::Data).read_blocks, 0);
+    }
+
+    #[test]
+    fn retry_and_corruption_counters() {
+        let s = IoStats::new();
+        s.record_retry();
+        s.record_retry();
+        s.record_corruption();
+        let first = s.snapshot();
+        assert_eq!(first.retries, 2);
+        assert_eq!(first.corruption_detected, 1);
+        s.record_retry();
+        let d = s.snapshot().delta_since(&first);
+        assert_eq!(d.retries, 1);
+        assert_eq!(d.corruption_detected, 0);
+        s.reset();
+        assert_eq!(s.snapshot().retries, 0);
+        assert_eq!(s.snapshot().corruption_detected, 0);
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, and lint-clean
+# clippy. CI runs exactly this script; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "OK: build, tests, and clippy all clean"

@@ -1,0 +1,205 @@
+//! Offline shim for the `criterion` API surface the bench targets use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `criterion` to this path crate. It keeps bench code compiling
+//! and runnable — each benchmark runs a short timed loop and prints a
+//! mean per-iteration time — without criterion's statistics, reports, or
+//! plotting. Numbers it prints are indicative only.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized in [`Bencher::iter_batched`].
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; larger batches.
+    SmallInput,
+    /// Large per-iteration inputs; one input per measurement.
+    LargeInput,
+    /// Explicit number of inputs per batch.
+    NumIterations(u64),
+}
+
+impl BatchSize {
+    fn iters(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::NumIterations(n) => n.max(1),
+        }
+    }
+}
+
+/// Throughput annotation (accepted, not reported).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to each benchmark closure; runs the measured routine.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher { samples, elapsed: Duration::ZERO, iters: 0 }
+    }
+
+    /// Times `routine`, keeping its output live via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // one warmup pass, then the timed loop
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.samples;
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let per_batch = size.iters();
+        let batches = (self.samples / per_batch).max(1);
+        for _ in 0..batches {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.elapsed += start.elapsed();
+            self.iters += per_batch;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name}: no iterations recorded");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() / self.iters as u128;
+        println!("{name}: {} iters, mean {} ns/iter", self.iters, per_iter);
+    }
+}
+
+/// Entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), samples: None }
+    }
+}
+
+/// Group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(1) as u64);
+        self
+    }
+
+    /// Accepts a throughput annotation (not reported by this shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = self.samples.unwrap_or(self.criterion.samples);
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function calling each target with a `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut runs = 0u64;
+        let mut c = Criterion::default();
+        c.sample_size(10).bench_function("count", |b| b.iter(|| runs += 1));
+        assert!(runs >= 10);
+    }
+
+    #[test]
+    fn iter_batched_feeds_setup_outputs() {
+        let mut c = Criterion::default();
+        let mut total = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(16).bench_function("sum", |b| {
+            b.iter_batched(|| 3u64, |x| total += x, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(total > 0 && total % 3 == 0);
+    }
+}

@@ -1,0 +1,550 @@
+//! Crash-recovery integration tests.
+//!
+//! These tests drive the engine through a [`FaultDevice`] that injects
+//! deterministic, scripted faults — whole-device crashes, torn (partial)
+//! block writes, bit flips on read, and transient retryable errors — and
+//! check the durability contract end to end:
+//!
+//! * **No acknowledged write is ever lost.** A write is *acknowledged*
+//!   once `put`/`delete` **and** the following `sync` both return `Ok`.
+//!   After a crash at any I/O ordinal, reopening the database must
+//!   surface every acknowledged write.
+//! * **Unacknowledged writes are ambiguous, not corrupt.** A write whose
+//!   op or sync failed may or may not survive (standard torn-tail
+//!   semantics); either outcome is legal, but the reopened database must
+//!   stay internally consistent (`scan` agrees with point `get`s).
+//! * **Corrupted input never panics.** Bad checksums, dangling value-log
+//!   pointers, and stale or half-written manifests surface as
+//!   `StorageError::Corruption` (and bump the `corruption_detected`
+//!   counter), never as a panic or a silently empty database.
+//!
+//! The crash protocol mirrors a real process death: the `Db` handle is
+//! dropped *while the device is still dead*, so destructors (WAL sync,
+//! obsolete-table garbage collection) fail harmlessly instead of mutating
+//! the post-crash disk image. Only then is the device healed and the
+//! database reopened.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use lsm_core::config::KvSeparation;
+use lsm_core::manifest::{find_manifest, write_manifest, ManifestState};
+use lsm_core::{Db, LsmConfig};
+use lsm_storage::{
+    DeviceProfile, FaultDevice, FaultKind, FileId, MemDevice, RetryDevice, RetryPolicy,
+    StorageDevice, StorageError,
+};
+
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+/// Seed for the scripted sweeps; each case folds in its ordinal so
+/// bit-flip positions vary across cases while staying reproducible.
+const SWEEP_SEED: u64 = 0xC0FF_EE00;
+
+/// Number of operations in the scripted workload. Sized so the workload
+/// crosses several flushes, at least one compaction, and multiple WAL
+/// rotations under the small config below.
+const SCRIPT_OPS: usize = 110;
+
+/// Small-geometry config: 512-byte blocks and a 2 KiB write buffer force
+/// frequent flushes so a crash sweep hits WAL appends, flush writes,
+/// compaction writes, and manifest rewrites without a huge workload.
+fn small_cfg() -> LsmConfig {
+    LsmConfig {
+        buffer_bytes: 2 << 10,
+        ..LsmConfig::small_for_tests()
+    }
+}
+
+/// Same geometry with key-value separation on, so the sweep also crosses
+/// value-log appends and pointer resolution.
+fn kv_cfg() -> LsmConfig {
+    LsmConfig {
+        kv_separation: Some(KvSeparation { min_value_bytes: 48 }),
+        ..small_cfg()
+    }
+}
+
+/// Fresh in-memory device (matching the config's 512-byte blocks) behind
+/// a fault injector.
+fn fault_device(seed: u64) -> Arc<FaultDevice> {
+    let mem: Arc<dyn StorageDevice> = Arc::new(MemDevice::new(512, DeviceProfile::free()));
+    Arc::new(FaultDevice::new(mem, seed))
+}
+
+/// Upcasts for `Db::open`, which takes the erased device type.
+fn erased(dev: &Arc<FaultDevice>) -> Arc<dyn StorageDevice> {
+    Arc::clone(dev) as Arc<dyn StorageDevice>
+}
+
+/// Model of what the database may legally contain after a crash.
+///
+/// `acked` holds the last acknowledged state per key (`Some(v)` = live
+/// value, `None` = acknowledged delete). `maybe` holds the states of
+/// writes that were *attempted* but never acknowledged; any of them — or
+/// the acked base state — may surface after recovery. An acknowledgment
+/// clears the key's `maybe` set: with a single crash point, every failed
+/// attempt strictly follows the last successful one, so an earlier
+/// unacked state can never shadow a later acked one.
+#[derive(Default)]
+struct Shadow {
+    acked: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    maybe: BTreeMap<Vec<u8>, BTreeSet<Option<Vec<u8>>>>,
+}
+
+impl Shadow {
+    fn attempt(&mut self, key: &[u8], value: Option<Vec<u8>>) {
+        self.maybe.entry(key.to_vec()).or_default().insert(value);
+    }
+
+    fn ack(&mut self, key: &[u8], value: Option<Vec<u8>>) {
+        self.acked.insert(key.to_vec(), value);
+        self.maybe.remove(key);
+    }
+
+    /// Legal post-recovery states for `key`. A key that was never acked
+    /// defaults to absent (`None`).
+    fn allowed(&self, key: &[u8]) -> BTreeSet<Option<Vec<u8>>> {
+        let mut states = BTreeSet::new();
+        states.insert(self.acked.get(key).cloned().unwrap_or(None));
+        if let Some(m) = self.maybe.get(key) {
+            states.extend(m.iter().cloned());
+        }
+        states
+    }
+
+    /// Every key the workload ever touched.
+    fn keys(&self) -> BTreeSet<Vec<u8>> {
+        self.acked.keys().chain(self.maybe.keys()).cloned().collect()
+    }
+}
+
+/// Applies one write (`Some` = put, `None` = delete) and records the
+/// outcome in the shadow. The attempt is recorded *before* the op runs:
+/// if the device dies mid-write the state is ambiguous either way.
+fn apply_op(db: &Db, shadow: &mut Shadow, key: Vec<u8>, value: Option<Vec<u8>>) {
+    shadow.attempt(&key, value.clone());
+    let op_ok = match &value {
+        Some(v) => db.put(key.clone(), v.clone()).is_ok(),
+        None => db.delete(key.clone()).is_ok(),
+    };
+    // Acknowledged ⟺ the op succeeded AND the WAL tail reached the device.
+    if op_ok && db.sync().is_ok() {
+        shadow.ack(&key, value);
+    }
+}
+
+/// Deterministic mixed workload: 23 hot keys, varying value sizes,
+/// periodic deletes. Every op is individually synced so the
+/// acknowledged/unacknowledged boundary is exact.
+fn scripted_workload(db: &Db, shadow: &mut Shadow, ops: usize) {
+    for i in 0..ops {
+        let key = format!("key{:03}", (i * 17) % 23).into_bytes();
+        if i % 7 == 3 {
+            apply_op(db, shadow, key, None);
+        } else {
+            let len = 16 + (i * 13) % 90;
+            let value = vec![b'a' + (i % 26) as u8; len];
+            apply_op(db, shadow, key, Some(value));
+        }
+    }
+}
+
+/// Checks the reopened database against the shadow: every touched key
+/// must read one of its legal states, and a full scan must agree exactly
+/// with the point reads.
+fn verify(db: &Db, shadow: &Shadow, context: &str) {
+    let mut expected_scan: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    for key in shadow.keys() {
+        let got = db
+            .get(&key)
+            .unwrap_or_else(|e| panic!("{context}: get {:?} failed: {e}", String::from_utf8_lossy(&key)));
+        let allowed = shadow.allowed(&key);
+        assert!(
+            allowed.contains(&got),
+            "{context}: key {:?} read {:?}, but only {} states are legal \
+             (acked {:?}, {} unacked attempts)",
+            String::from_utf8_lossy(&key),
+            got.as_ref().map(|v| v.len()),
+            allowed.len(),
+            shadow.acked.get(&key).map(|v| v.as_ref().map(|v| v.len())),
+            shadow.maybe.get(&key).map_or(0, |m| m.len()),
+        );
+        if let Some(v) = got {
+            expected_scan.push((key, v));
+        }
+    }
+    let scanned = db
+        .scan(b"key".to_vec()..b"kez".to_vec(), usize::MAX)
+        .unwrap_or_else(|e| panic!("{context}: scan failed: {e}"));
+    assert_eq!(scanned, expected_scan, "{context}: scan disagrees with point gets");
+}
+
+/// Runs the scripted workload fault-free and returns how many I/O
+/// ordinals it consumes; the crash sweeps fault every one of them.
+fn clean_run_total(cfg: &LsmConfig, ops: usize) -> u64 {
+    let fault = fault_device(SWEEP_SEED);
+    let db = Db::open(erased(&fault), cfg.clone()).expect("clean open");
+    let mut shadow = Shadow::default();
+    scripted_workload(&db, &mut shadow, ops);
+    drop(db);
+    // Sanity: with no faults, every op must have been acknowledged.
+    assert!(shadow.maybe.is_empty(), "fault-free run left unacked ops");
+    fault.ops_performed()
+}
+
+/// One crash case: schedule `kind` at I/O ordinal `at`, run the scripted
+/// workload (tolerating typed errors), drop the handle while the device
+/// is dead, heal, reopen, and verify the shadow contract.
+fn crash_case(cfg: &LsmConfig, at: u64, kind: FaultKind, ops: usize) {
+    let fault = fault_device(SWEEP_SEED ^ at);
+    fault.schedule(at, kind.clone());
+
+    let mut shadow = Shadow::default();
+    match Db::open(erased(&fault), cfg.clone()) {
+        Ok(db) => {
+            scripted_workload(&db, &mut shadow, ops);
+            // Process death: destructors run against the dead device.
+            drop(db);
+        }
+        // The fault fired inside open itself — a typed error, never a
+        // panic, is the whole contract here.
+        Err(_) => {}
+    }
+    assert!(
+        fault.pending_faults().is_empty(),
+        "fault at ordinal {at} never fired (only {} I/Os ran); case is vacuous",
+        fault.ops_performed(),
+    );
+
+    fault.heal();
+    let db = Db::open(erased(&fault), cfg.clone())
+        .unwrap_or_else(|e| panic!("reopen after {kind:?} at ordinal {at} failed: {e}"));
+    verify(&db, &shadow, &format!("{kind:?} at ordinal {at}"));
+}
+
+// ---------------------------------------------------------------------
+// Crash sweeps: a fault at every I/O point
+// ---------------------------------------------------------------------
+
+/// The tentpole sweep: crash the device at *every* append-or-read ordinal
+/// the workload performs — WAL appends, memtable flushes, compaction
+/// reads/writes, and manifest rewrites all included — and prove that no
+/// acknowledged write is lost and recovery never panics.
+#[test]
+fn crash_at_every_io_point_loses_no_acked_write() {
+    let cfg = small_cfg();
+    let total = clean_run_total(&cfg, SCRIPT_OPS);
+    assert!(total > 100, "workload too small to exercise recovery ({total} I/Os)");
+    for at in 0..total {
+        crash_case(&cfg, at, FaultKind::Crash, SCRIPT_OPS);
+    }
+}
+
+/// Same sweep with key-value separation enabled, so crashes also land
+/// between a value-log append and the WAL record that references it.
+#[test]
+fn crash_sweep_with_kv_separation() {
+    let cfg = kv_cfg();
+    let total = clean_run_total(&cfg, SCRIPT_OPS);
+    for at in 0..total {
+        crash_case(&cfg, at, FaultKind::Crash, SCRIPT_OPS);
+    }
+}
+
+/// Torn-write sweep: the append at the fault point persists only a prefix
+/// of its blocks before the device dies. Recovery must treat the torn
+/// tail as a clean end-of-log, not corruption.
+#[test]
+fn torn_write_at_every_other_io_point_recovers() {
+    let cfg = small_cfg();
+    let total = clean_run_total(&cfg, SCRIPT_OPS);
+    for at in (0..total).step_by(2) {
+        crash_case(&cfg, at, FaultKind::TornWrite { keep_blocks: at % 3 }, SCRIPT_OPS);
+    }
+}
+
+/// A torn WAL tail is ordinary crash behavior: recovery stops at the tear
+/// silently — the `corruption_detected` counter must stay at zero — and
+/// every write acknowledged before the tear survives.
+#[test]
+fn torn_wal_tail_is_silent_and_loses_nothing_acked() {
+    let fault = fault_device(3);
+    let cfg = small_cfg();
+    let db = Db::open(erased(&fault), cfg.clone()).unwrap();
+    db.put(b"alpha".to_vec(), b"one".to_vec()).unwrap();
+    db.sync().unwrap();
+    db.put(b"beta".to_vec(), b"two".to_vec()).unwrap();
+    db.sync().unwrap();
+
+    // The next WAL append tears: zero blocks survive, then the device dies.
+    fault.schedule(fault.ops_performed(), FaultKind::TornWrite { keep_blocks: 0 });
+    let _ = db.put(b"gamma".to_vec(), b"three".to_vec());
+    let _ = db.sync();
+    drop(db);
+
+    fault.heal();
+    let db = Db::open(erased(&fault), cfg).unwrap();
+    assert_eq!(db.get(b"alpha").unwrap(), Some(b"one".to_vec()));
+    assert_eq!(db.get(b"beta").unwrap(), Some(b"two".to_vec()));
+    assert_eq!(db.get(b"gamma").unwrap(), None, "torn write must not surface");
+    assert_eq!(
+        db.io_stats().corruption_detected,
+        0,
+        "a torn tail is not corruption and must not be counted as such"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Read-path corruption
+// ---------------------------------------------------------------------
+
+/// A bit flip in a data block read fails the block checksum: the read
+/// surfaces `StorageError::Corruption`, bumps `corruption_detected`, and
+/// the next (clean) read of the same key succeeds.
+#[test]
+fn bit_flip_on_read_is_detected_and_counted() {
+    let fault = fault_device(7);
+    // No block cache: every get goes to the device, so the scheduled
+    // flip is guaranteed to land on a real read.
+    let cfg = LsmConfig {
+        cache_bytes: 0,
+        ..small_cfg()
+    };
+    let db = Db::open(erased(&fault), cfg).unwrap();
+    for i in 0..40usize {
+        db.put(format!("key{i:03}").into_bytes(), vec![b'v'; 64 + i]).unwrap();
+    }
+    db.sync().unwrap();
+    db.flush().unwrap(); // move everything into an SSTable
+
+    let before = db.io_stats().corruption_detected;
+    fault.schedule(fault.ops_performed(), FaultKind::BitFlip);
+    match db.get(b"key007") {
+        Err(StorageError::Corruption(msg)) => {
+            assert!(!msg.is_empty(), "corruption error should say what failed")
+        }
+        other => panic!("flipped block read should fail with Corruption, got {other:?}"),
+    }
+    assert!(
+        db.io_stats().corruption_detected > before,
+        "detected corruption must be counted in IoStats"
+    );
+
+    // The fault was consumed; the same key now reads back intact.
+    assert_eq!(db.get(b"key007").unwrap(), Some(vec![b'v'; 64 + 7]));
+}
+
+/// A value-log pointer whose target file is gone (e.g. the log was
+/// deleted by an over-eager GC or lost to corruption) is a typed
+/// corruption error on read — not a panic, and not a silent `None`.
+#[test]
+fn dangling_vlog_pointer_is_typed_corruption() {
+    let mem: Arc<dyn StorageDevice> = Arc::new(MemDevice::new(512, DeviceProfile::free()));
+    let cfg = kv_cfg();
+    let db = Db::open(Arc::clone(&mem), cfg.clone()).unwrap();
+    db.put(b"big".to_vec(), vec![b'x'; 300]).unwrap(); // separated: ≥ 48 bytes
+    db.put(b"small".to_vec(), b"inline".to_vec()).unwrap(); // inline: < 48 bytes
+    db.sync().unwrap();
+    db.flush().unwrap(); // the pointer now lives in an SSTable
+
+    let (_, state) = find_manifest(&mem).unwrap().expect("manifest exists after flush");
+    let vlog = FileId(state.vlog);
+    drop(db);
+    mem.delete(vlog).unwrap(); // the log the pointer targets vanishes
+
+    let db = Db::open(Arc::clone(&mem), cfg).unwrap();
+    match db.get(b"big") {
+        Err(StorageError::Corruption(msg)) => {
+            assert!(msg.contains("dangles"), "unexpected message: {msg}")
+        }
+        other => panic!("dangling pointer should be Corruption, got {other:?}"),
+    }
+    // Inline values are unaffected by the missing log.
+    assert_eq!(db.get(b"small").unwrap(), Some(b"inline".to_vec()));
+}
+
+// ---------------------------------------------------------------------
+// Manifest recovery
+// ---------------------------------------------------------------------
+
+fn bogus_manifest() -> ManifestState {
+    ManifestState {
+        // References a table file that was never written.
+        levels: vec![vec![vec![999_999]]],
+        wal: 0,
+        vlog: 0,
+        next_seqno: 9,
+    }
+}
+
+/// A newer manifest that references missing files — the footprint of a
+/// crash mid-rewrite — is rejected, counted as corruption, and recovery
+/// falls back to the older intact manifest with all data readable.
+#[test]
+fn stale_newer_manifest_falls_back_to_older_snapshot() {
+    let mem: Arc<dyn StorageDevice> = Arc::new(MemDevice::new(512, DeviceProfile::free()));
+    let cfg = small_cfg();
+    let db = Db::open(Arc::clone(&mem), cfg.clone()).unwrap();
+    for i in 0..30usize {
+        db.put(format!("key{i:03}").into_bytes(), vec![b'd'; 20 + i]).unwrap();
+    }
+    db.sync().unwrap();
+    db.flush().unwrap();
+    drop(db);
+
+    // Simulate a half-finished manifest rewrite: a newer manifest exists
+    // but references a table that never made it to the device. `previous:
+    // None` leaves the good manifest in place, as a real crash would.
+    write_manifest(&mem, &bogus_manifest(), None).unwrap();
+
+    let before = mem.stats().snapshot().corruption_detected;
+    let db = Db::open(Arc::clone(&mem), cfg).unwrap();
+    for i in 0..30usize {
+        assert_eq!(
+            db.get(format!("key{i:03}").as_bytes()).unwrap(),
+            Some(vec![b'd'; 20 + i]),
+            "key{i:03} lost after manifest fallback"
+        );
+    }
+    assert!(
+        mem.stats().snapshot().corruption_detected > before,
+        "rejecting a bad manifest candidate must be counted"
+    );
+}
+
+/// When every manifest candidate is unusable, open fails with a typed
+/// corruption error. Silently starting an empty database would turn a
+/// recoverable corruption into permanent data loss.
+#[test]
+fn all_manifests_bad_is_a_typed_error_not_an_empty_db() {
+    let mem: Arc<dyn StorageDevice> = Arc::new(MemDevice::new(512, DeviceProfile::free()));
+    write_manifest(&mem, &bogus_manifest(), None).unwrap();
+    match Db::open(Arc::clone(&mem), small_cfg()) {
+        Err(StorageError::Corruption(msg)) => {
+            assert!(msg.contains("no usable manifest"), "unexpected message: {msg}")
+        }
+        Ok(_) => panic!("open silently ignored an unusable manifest"),
+        Err(e) => panic!("wrong error kind: {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transient errors
+// ---------------------------------------------------------------------
+
+/// Transient device errors (EINTR-style) are absorbed by the retry layer:
+/// the workload sees only `Ok`, and the retries show up in `IoStats`.
+#[test]
+fn transient_errors_are_retried_transparently() {
+    let mem: Arc<dyn StorageDevice> = Arc::new(MemDevice::new(512, DeviceProfile::free()));
+    let fault = Arc::new(FaultDevice::new(mem, 11));
+    // Spaced further apart than the retry budget (3), so no op ever sees
+    // two transients in a row more than it can absorb.
+    let scheduled = [2u64, 6, 10, 15, 21, 40, 77];
+    for at in scheduled {
+        fault.schedule(at, FaultKind::Transient);
+    }
+    let retry: Arc<dyn StorageDevice> = Arc::new(RetryDevice::new(
+        Arc::clone(&fault) as Arc<dyn StorageDevice>,
+        RetryPolicy::default(),
+    ));
+
+    let db = Db::open(retry, small_cfg()).unwrap();
+    for i in 0..60usize {
+        db.put(format!("key{i:03}").into_bytes(), vec![b't'; 30 + i]).unwrap();
+        db.sync().unwrap();
+    }
+    db.flush().unwrap();
+    for i in 0..60usize {
+        assert_eq!(
+            db.get(format!("key{i:03}").as_bytes()).unwrap(),
+            Some(vec![b't'; 30 + i])
+        );
+    }
+    assert!(
+        fault.pending_faults().is_empty(),
+        "workload too small: not every scheduled transient fired"
+    );
+    let stats = db.io_stats();
+    assert!(
+        stats.retries >= scheduled.len() as u64,
+        "expected at least {} retries, saw {}",
+        scheduled.len(),
+        stats.retries
+    );
+}
+
+// ---------------------------------------------------------------------
+// Property test: random workloads, random crash points
+// ---------------------------------------------------------------------
+
+/// splitmix64 — local PRNG for workload generation, independent of the
+/// proptest case stream.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Random mixed workload: ~30 keys, random put/delete mix and value
+/// sizes, synced per op. Same seed ⇒ same ops.
+fn random_workload(db: &Db, shadow: &mut Shadow, seed: u64, ops: usize) {
+    let mut rng = seed;
+    for _ in 0..ops {
+        let key = format!("key{:03}", splitmix(&mut rng) % 31).into_bytes();
+        if splitmix(&mut rng) % 5 == 0 {
+            apply_op(db, shadow, key, None);
+        } else {
+            let len = 8 + (splitmix(&mut rng) % 120) as usize;
+            let fill = b'a' + (splitmix(&mut rng) % 26) as u8;
+            apply_op(db, shadow, key, Some(vec![fill; len]));
+        }
+    }
+}
+
+fn random_crash_case(seed: u64, crash_at: u64, kv: bool) {
+    let cfg = if kv { kv_cfg() } else { small_cfg() };
+    let fault = fault_device(seed);
+    fault.schedule(crash_at, FaultKind::Crash);
+
+    let mut shadow = Shadow::default();
+    match Db::open(erased(&fault), cfg.clone()) {
+        Ok(db) => {
+            random_workload(&db, &mut shadow, seed, 100);
+            drop(db);
+        }
+        Err(_) => {}
+    }
+    // `crash_at` may exceed the run's I/O count — then the case degrades
+    // to a fault-free roundtrip, which must also verify.
+    fault.heal();
+    let db = Db::open(erased(&fault), cfg)
+        .unwrap_or_else(|e| panic!("reopen (seed {seed}, crash {crash_at}) failed: {e}"));
+    verify(&db, &shadow, &format!("random seed {seed} crash {crash_at}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn random_workload_with_random_crash_point_recovers(
+        seed in 0u64..1_000_000,
+        crash_at in 0u64..900,
+    ) {
+        random_crash_case(seed, crash_at, false);
+    }
+
+    #[test]
+    fn random_kv_separated_workload_with_crash_recovers(
+        seed in 0u64..1_000_000,
+        crash_at in 0u64..900,
+    ) {
+        random_crash_case(seed, crash_at, true);
+    }
+}
