@@ -47,10 +47,14 @@ pub fn fill_scattered(db: &Db, n: u64, value_len: usize) {
         let id = i.wrapping_mul(2654435761) % n;
         db.put(encode_key(id), value_of(id, value_len)).unwrap();
     }
+    // measurements start from a quiescent tree (no-op in `Inline` mode)
+    db.wait_background_idle();
 }
 
 /// Write amplification so far: device bytes written / user bytes ingested.
 pub fn write_amp(db: &Db) -> f64 {
+    // in-flight background maintenance would under-count written blocks
+    db.wait_background_idle();
     let written = db.io_stats().total_written_blocks() as f64 * db.config().block_size as f64;
     let ingested = db.stats().snapshot().bytes_ingested as f64;
     if ingested == 0.0 {

@@ -92,3 +92,96 @@ proptest! {
         prop_assert!(tier.is_empty());
     }
 }
+
+/// Concurrent safety: every key has a single writer thread, so a hit must
+/// return *exactly* the value that thread last inserted — any other value
+/// means entries bled across keys or shards. Runs under real eviction
+/// pressure, with one thread invalidating a shared file the whole time.
+mod concurrent {
+    use super::*;
+
+    const THREADS: u64 = 8;
+    const ROUNDS: u64 = 2_000;
+    const BLOCKS_PER_THREAD: u64 = 64;
+    /// File id all threads write to (in disjoint block ranges) while
+    /// thread 0 keeps invalidating it wholesale.
+    const SHARED_FILE: u64 = 99;
+
+    fn encode(file: u64, block: u64, generation: u64) -> u64 {
+        (file << 48) | (block << 24) | generation
+    }
+
+    #[test]
+    fn concurrent_single_writer_keys_never_bleed() {
+        for policy in CachePolicy::ALL {
+            // capacity well below the working set: eviction is constant
+            let cache: ShardedCache<u64> = ShardedCache::new(policy, 4096, 4);
+            std::thread::scope(|scope| {
+                for t in 0..THREADS {
+                    let cache = &cache;
+                    scope.spawn(move || {
+                        // last value inserted per owned block, private and
+                        // shared file alike; None after a remove
+                        let mut last = std::collections::HashMap::new();
+                        for round in 0..ROUNDS {
+                            let block = round % BLOCKS_PER_THREAD;
+                            // disjoint block ranges keep the shared file
+                            // single-writer per key too
+                            let (file, blk) = if round % 3 == 0 {
+                                (SHARED_FILE, t * BLOCKS_PER_THREAD + block)
+                            } else {
+                                (t, block)
+                            };
+                            let key = CacheKey::new(file, blk);
+                            match round % 5 {
+                                4 => {
+                                    cache.remove(&key);
+                                    last.remove(&key);
+                                }
+                                _ => {
+                                    let v = encode(file, blk, round);
+                                    cache.insert(key, v, 8);
+                                    last.insert(key, v);
+                                }
+                            }
+                            if let Some(got) = cache.get(&key) {
+                                // a concurrent invalidate_file may have
+                                // dropped the entry (miss), but a hit has
+                                // exactly one legal value
+                                assert_eq!(
+                                    Some(&got),
+                                    last.get(&key),
+                                    "{}: thread {t} round {round} read a value it never wrote",
+                                    policy.label()
+                                );
+                            }
+                            assert!(
+                                cache.used() <= cache.capacity(),
+                                "{}: capacity exceeded under concurrency",
+                                policy.label()
+                            );
+                            if t == 0 && round % 64 == 63 {
+                                cache.invalidate_file(
+                                    SHARED_FILE,
+                                    THREADS * BLOCKS_PER_THREAD,
+                                );
+                            }
+                        }
+                    });
+                }
+            });
+            // single-threaded again: a full invalidate leaves no trace of
+            // the shared file, and the cache is still coherent
+            cache.invalidate_file(SHARED_FILE, THREADS * BLOCKS_PER_THREAD);
+            for blk in 0..THREADS * BLOCKS_PER_THREAD {
+                assert_eq!(
+                    cache.get(&CacheKey::new(SHARED_FILE, blk)),
+                    None,
+                    "{}: shared file survived invalidation",
+                    policy.label()
+                );
+            }
+            assert!(cache.used() <= cache.capacity(), "{}", policy.label());
+        }
+    }
+}

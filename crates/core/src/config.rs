@@ -112,6 +112,42 @@ impl FilePicker {
     }
 }
 
+/// How maintenance (flush and the compaction cascade) is scheduled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackgroundMode {
+    /// Maintenance runs synchronously inside the write that triggers it,
+    /// under one write lock — deterministic by design, so experiments are
+    /// reproducible and I/O attribution is exact.
+    Inline,
+    /// Maintenance runs on a background worker pool: a full memtable is
+    /// frozen into an immutable companion and flushed off the write path,
+    /// and the compaction cascade drains on its own thread. Writers block
+    /// only on backpressure (see `l0_slowdown_runs` / `l0_stall_runs`).
+    Threaded,
+}
+
+impl BackgroundMode {
+    /// Reads the mode from the `LSM_BACKGROUND` environment variable
+    /// (`threaded` selects [`BackgroundMode::Threaded`]; anything else,
+    /// including unset, selects [`BackgroundMode::Inline`]). This is how
+    /// CI runs the whole suite once per mode without code changes; tests
+    /// that require one specific mode pin the field explicitly.
+    pub fn from_env() -> Self {
+        match std::env::var("LSM_BACKGROUND") {
+            Ok(v) if v.eq_ignore_ascii_case("threaded") => BackgroundMode::Threaded,
+            _ => BackgroundMode::Inline,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackgroundMode::Inline => "inline",
+            BackgroundMode::Threaded => "threaded",
+        }
+    }
+}
+
 /// How filter memory is spread across levels (tutorial Module II.5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FilterAllocation {
@@ -181,6 +217,20 @@ pub struct LsmConfig {
     /// into the sorted level in batches; scans pay a small on-the-fly
     /// merge.
     pub buffer_front_bytes: usize,
+    /// Maintenance scheduling: deterministic inline, or a background
+    /// worker pool with an active + immutable memtable pair.
+    pub background: BackgroundMode,
+    /// Worker threads for [`BackgroundMode::Threaded`] (ignored inline).
+    pub background_workers: usize,
+    /// L0 run count at which writers are *slowed* (a short sleep per
+    /// write) in threaded mode, giving compaction a chance to catch up.
+    pub l0_slowdown_runs: usize,
+    /// L0 run count at which writers *stall* (block until compaction
+    /// drains L0 below the threshold) in threaded mode. Readers are never
+    /// blocked by backpressure.
+    pub l0_stall_runs: usize,
+    /// Per-write delay applied in the slowdown band, in microseconds.
+    pub slowdown_micros: u64,
 }
 
 impl Default for LsmConfig {
@@ -207,6 +257,11 @@ impl Default for LsmConfig {
             wal: true,
             kv_separation: None,
             buffer_front_bytes: 0,
+            background: BackgroundMode::from_env(),
+            background_workers: 2,
+            l0_slowdown_runs: 8,
+            l0_stall_runs: 12,
+            slowdown_micros: 100,
         }
     }
 }
@@ -258,6 +313,18 @@ impl LsmConfig {
                 return Err("hybrid layout needs at least one run cap".into());
             }
         }
+        if self.background == BackgroundMode::Threaded && self.background_workers == 0 {
+            return Err("threaded background mode needs ≥ 1 worker".into());
+        }
+        if self.l0_slowdown_runs == 0 || self.l0_stall_runs < self.l0_slowdown_runs {
+            return Err("need 1 ≤ l0_slowdown_runs ≤ l0_stall_runs".into());
+        }
+        // The compaction trigger fires only when L0 *exceeds* its run cap.
+        // A stall threshold at or below the cap would block writers at a
+        // level the planner considers healthy — a permanent stall.
+        if self.background == BackgroundMode::Threaded && self.l0_stall_runs <= self.l0_run_cap {
+            return Err("l0_stall_runs must exceed l0_run_cap in threaded mode".into());
+        }
         Ok(())
     }
 }
@@ -274,12 +341,27 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let cases: [LsmConfig; 5] = [
+        let cases: [LsmConfig; 8] = [
             LsmConfig { size_ratio: 1, ..Default::default() },
             LsmConfig { block_size: 8, ..Default::default() },
             LsmConfig { buffer_bytes: 100, ..Default::default() },
             LsmConfig { layout: MergeLayout::Hybrid(vec![]), ..Default::default() },
             LsmConfig { restart_interval: 0, ..Default::default() },
+            LsmConfig {
+                background: BackgroundMode::Threaded,
+                background_workers: 0,
+                ..Default::default()
+            },
+            LsmConfig { l0_stall_runs: 2, l0_slowdown_runs: 4, ..Default::default() },
+            LsmConfig {
+                // stall at the L0 cap: writers would block with nothing
+                // for the planner to do
+                background: BackgroundMode::Threaded,
+                l0_run_cap: 4,
+                l0_slowdown_runs: 2,
+                l0_stall_runs: 4,
+                ..Default::default()
+            },
         ];
         for (i, c) in cases.iter().enumerate() {
             assert!(c.validate().is_err(), "case {i} should be rejected");

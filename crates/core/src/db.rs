@@ -1,15 +1,23 @@
 //! The public engine facade: `open → put/get/scan/delete → stats`.
 //!
-//! Maintenance (flush, compaction cascade, manifest rewrite, cache
-//! invalidation, optional prefetch) runs synchronously inside the write
-//! that triggers it, under one write lock — deterministic by design (see
-//! the crate docs). Reads share a read lock and a copy-on-write
-//! [`Version`] snapshot.
+//! [`Db`] is a cheaply-clonable, `Send + Sync` handle over a shared
+//! [`DbCore`]. In [`BackgroundMode::Inline`] every maintenance step
+//! (flush, compaction cascade, manifest rewrite, cache invalidation,
+//! optional prefetch) runs synchronously inside the write that triggers
+//! it, under one write lock — deterministic by design (see the crate
+//! docs). In [`BackgroundMode::Threaded`] a full memtable is *frozen*
+//! into an immutable slot and a worker pool drains flush and compaction
+//! jobs; readers snapshot the copy-on-write [`Version`] and never block
+//! on maintenance, while writers block only on L0 backpressure.
+//!
+//! Lock hierarchy (outermost first): `compaction_lock` → `inner` →
+//! the background queue mutex inside [`crate::background::BgState`].
 
 use std::ops::{Bound, Range};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 
 use lsm_cache::{plan_prefetch, HeatMap, PrefetchCandidate, ShardedCache};
 use lsm_filters::monkey_allocation;
@@ -18,8 +26,9 @@ use lsm_storage::{
     StorageResult,
 };
 
-use crate::compaction::{self, exec::merge_tables, picker::pick_file, CompactionTask};
-use crate::config::{CompactionGranularity, FilterAllocation, LsmConfig};
+use crate::background::BgState;
+use crate::compaction::{self, exec::merge_tables, exec::MergeResult, picker::pick_file, CompactionTask};
+use crate::config::{BackgroundMode, CompactionGranularity, FilterAllocation, LsmConfig};
 use crate::entry::{InternalEntry, ValueKind};
 use crate::kv_sep::{
     decode_value, encode_inline, encode_pointer, read_pointer_from_device, ValueLog,
@@ -41,6 +50,11 @@ fn heat_key(key: &[u8]) -> u64 {
 
 struct Inner {
     mem: Memtable,
+    /// Frozen memtable awaiting a background flush (`Threaded` only). An
+    /// `Arc` so the flush job can build its table outside the lock.
+    imm: Option<Arc<Memtable>>,
+    /// WAL covering `imm`; retired when the flush lands.
+    imm_wal: Option<Wal>,
     version: Arc<Version>,
     wal: Option<Wal>,
     vlog: Option<ValueLog>,
@@ -50,16 +64,68 @@ struct Inner {
     rr_cursors: Vec<usize>,
 }
 
-/// A configurable LSM-tree storage engine.
+/// A configurable LSM-tree storage engine handle. Cloning is cheap (an
+/// `Arc` bump); all clones share one engine. The last clone to drop
+/// shuts the background workers down and syncs the logs.
 pub struct Db {
+    core: Arc<DbCore>,
+}
+
+impl Clone for Db {
+    fn clone(&self) -> Db {
+        self.core.user_handles.fetch_add(1, Ordering::AcqRel);
+        Db {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl Drop for Db {
+    /// The *last user handle* drives shutdown, even though a worker may
+    /// still hold a strong `Arc` for its in-flight job: without this, a
+    /// caller could drop every handle and reopen the device while a
+    /// background flush is still writing tables and manifests into it.
+    fn drop(&mut self) {
+        if self.core.user_handles.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.core.shutdown_and_join();
+        }
+    }
+}
+
+impl std::ops::Deref for Db {
+    type Target = DbCore;
+
+    fn deref(&self) -> &DbCore {
+        &self.core
+    }
+}
+
+/// The shared engine state behind every [`Db`] clone. All operations
+/// take `&self`; the engine is internally synchronized.
+pub struct DbCore {
     device: Arc<dyn StorageDevice>,
     cfg: LsmConfig,
     cache: Option<Arc<ShardedCache<Block>>>,
     stats: DbStats,
     heat: Mutex<HeatMap>,
     inner: RwLock<Inner>,
+    /// Background scheduler state; shared with the worker threads via its
+    /// own `Arc` so idle workers do not keep the engine alive.
+    bg: Arc<BgState>,
+    /// Worker join handles, drained on drop.
+    workers: std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Non-empty L0 run count, mirrored from the current version so the
+    /// write path can check backpressure without taking `inner`.
+    l0_runs: AtomicUsize,
+    /// Serializes compaction cascades (background job vs. explicit
+    /// `compact`/`major_compact`) in `Threaded` mode. Taken *before*
+    /// `inner` per the lock hierarchy.
+    compaction_lock: Mutex<()>,
+    /// Live user-facing [`Db`] clones. The last one to drop joins the
+    /// worker pool (see `Drop for Db`), regardless of the `Arc` count.
+    user_handles: AtomicUsize,
     /// Outstanding [`crate::Snapshot`]s (blocks value-log GC).
-    snapshot_count: Arc<std::sync::atomic::AtomicUsize>,
+    snapshot_count: Arc<AtomicUsize>,
 }
 
 impl Db {
@@ -78,6 +144,8 @@ impl Db {
             .then(|| Arc::new(ShardedCache::new(cfg.cache_policy, cfg.cache_bytes, 8)));
         let mut inner = Inner {
             mem: Memtable::with_front(cfg.buffer_front_bytes),
+            imm: None,
+            imm_wal: None,
             version: Arc::new(Version::new()),
             wal: None,
             vlog: None,
@@ -87,23 +155,28 @@ impl Db {
         };
         // Recovery: try every manifest on the device, newest first. A crash
         // mid-rewrite can leave the newest manifest referencing files that
-        // never made it to disk; an older manifest (plus its WAL) is then
+        // never made it to disk; an older manifest (plus its WALs) is then
         // the consistent state to restart from. Starting empty when
         // manifests exist but none is usable would silently drop data, so
         // that case is a typed error instead.
         let candidates = find_manifest_candidates(&device)?;
         let had_candidates = !candidates.is_empty();
         let mut recovered_ok = !had_candidates;
-        let mut old_wal: Option<FileId> = None;
+        let mut old_wals: Vec<FileId> = Vec::new();
         let mut last_reject: Option<StorageError> = None;
         for (mid, state) in candidates {
-            match Self::recover_from_manifest(&device, &cfg, &state) {
+            match DbCore::recover_from_manifest(&device, &cfg, &state) {
                 Ok((version, mem, next_seqno)) => {
                     inner.manifest = Some(mid);
                     inner.next_seqno = next_seqno;
                     inner.version = Arc::new(version);
                     inner.mem = mem;
-                    old_wal = (state.wal != 0).then_some(FileId(state.wal));
+                    old_wals.extend(
+                        [state.wal_prev, state.wal]
+                            .into_iter()
+                            .filter(|&w| w != 0)
+                            .map(FileId),
+                    );
                     recovered_ok = true;
                     break;
                 }
@@ -144,33 +217,79 @@ impl Db {
             // values go to a fresh log.
             inner.vlog = Some(ValueLog::create(Arc::clone(&device))?);
         }
+        let threaded = cfg.background == BackgroundMode::Threaded;
+        let workers = cfg.background_workers;
         let db = Db {
-            device,
-            cfg,
-            cache,
-            stats: DbStats::default(),
-            heat: Mutex::new(HeatMap::new(1024, 100_000)),
-            inner: RwLock::new(inner),
-            snapshot_count: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            core: Arc::new(DbCore {
+                device,
+                cfg,
+                cache,
+                stats: DbStats::default(),
+                heat: Mutex::new(HeatMap::new(1024, 100_000)),
+                inner: RwLock::new(inner),
+                bg: Arc::new(BgState::new()),
+                workers: std::sync::Mutex::new(Vec::new()),
+                l0_runs: AtomicUsize::new(0),
+                compaction_lock: Mutex::new(()),
+                user_handles: AtomicUsize::new(1),
+                snapshot_count: Arc::new(AtomicUsize::new(0)),
+            }),
         };
         {
             let mut inner = db.inner.write();
+            let l0 = DbCore::count_l0_runs(&inner.version);
+            db.l0_runs.store(l0, Ordering::Release);
             db.persist_manifest(&mut inner)?;
         }
-        // The replayed WAL is retired only now that its records are covered
-        // by the new WAL and the manifest referencing it is durable; a crash
-        // anywhere above replays from the old WAL again instead of losing
-        // the records.
-        if let Some(w) = old_wal {
+        // The replayed WALs are retired only now that their records are
+        // covered by the new WAL and the manifest referencing it is
+        // durable; a crash anywhere above replays from the old WALs again
+        // instead of losing the records.
+        for w in old_wals {
             let _ = db.device.delete(w);
+        }
+        if threaded {
+            let mut handles = db
+                .workers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for i in 0..workers {
+                let bg = Arc::clone(&db.bg);
+                let weak = Arc::downgrade(&db.core);
+                let h = std::thread::Builder::new()
+                    .name(format!("lsm-bg-{i}"))
+                    .spawn(move || crate::background::worker_loop(bg, weak))
+                    .map_err(|e| {
+                        StorageError::Corruption(format!("failed to spawn background worker: {e}"))
+                    })?;
+                handles.push(h);
+            }
         }
         Ok(db)
     }
 
+    /// Opens on a fresh in-memory device with a free latency profile — the
+    /// default substrate for tests and experiments.
+    pub fn open_in_memory(cfg: LsmConfig) -> StorageResult<Db> {
+        let device: Arc<dyn StorageDevice> =
+            Arc::new(MemDevice::new(cfg.block_size, DeviceProfile::free()));
+        Db::open(device, cfg)
+    }
+
+    /// Opens on a fresh in-memory device with a latency profile, so
+    /// experiments can report simulated time.
+    pub fn open_simulated(cfg: LsmConfig, profile: DeviceProfile) -> StorageResult<Db> {
+        let device: Arc<dyn StorageDevice> =
+            Arc::new(MemDevice::new(cfg.block_size, profile));
+        Db::open(device, cfg)
+    }
+}
+
+impl DbCore {
     /// Attempts a full recovery from one manifest: reopen every table it
-    /// references and replay its WAL into a fresh memtable. Any missing or
-    /// corrupt referenced file fails the whole attempt with a typed error,
-    /// so [`Db::open`] can fall back to an older manifest.
+    /// references and replay its WALs into a fresh memtable. Any missing
+    /// or corrupt referenced file fails the whole attempt with a typed
+    /// error, so [`Db::open`] can fall back to an older manifest.
     fn recover_from_manifest(
         device: &Arc<dyn StorageDevice>,
         cfg: &LsmConfig,
@@ -190,8 +309,13 @@ impl Db {
         }
         let mut mem = Memtable::with_front(cfg.buffer_front_bytes);
         let mut next_seqno = state.next_seqno.max(1);
-        if state.wal != 0 {
-            match wal::recover(Arc::clone(device), FileId(state.wal)) {
+        // Replay the frozen memtable's WAL first: its records are strictly
+        // older than the active WAL's, so later records overwrite them.
+        for wal_id in [state.wal_prev, state.wal] {
+            if wal_id == 0 {
+                continue;
+            }
+            match wal::recover(Arc::clone(device), FileId(wal_id)) {
                 Ok(records) => {
                     for r in records {
                         next_seqno = next_seqno.max(r.seqno + 1);
@@ -207,22 +331,6 @@ impl Db {
             }
         }
         Ok((version, mem, next_seqno))
-    }
-
-    /// Opens on a fresh in-memory device with a free latency profile — the
-    /// default substrate for tests and experiments.
-    pub fn open_in_memory(cfg: LsmConfig) -> StorageResult<Db> {
-        let device: Arc<dyn StorageDevice> =
-            Arc::new(MemDevice::new(cfg.block_size, DeviceProfile::free()));
-        Db::open(device, cfg)
-    }
-
-    /// Opens on a fresh in-memory device with a latency profile, so
-    /// experiments can report simulated time.
-    pub fn open_simulated(cfg: LsmConfig, profile: DeviceProfile) -> StorageResult<Db> {
-        let device: Arc<dyn StorageDevice> =
-            Arc::new(MemDevice::new(cfg.block_size, profile));
-        Db::open(device, cfg)
     }
 
     /// The engine configuration.
@@ -250,6 +358,36 @@ impl Db {
         self.cache.as_ref().map(|c| (c.stats().hits(), c.stats().misses()))
     }
 
+    fn threaded(&self) -> bool {
+        self.cfg.background == BackgroundMode::Threaded
+    }
+
+    fn count_l0_runs(version: &Version) -> usize {
+        version
+            .levels
+            .first()
+            .map_or(0, |l| l.runs.iter().filter(|r| !r.is_empty()).count())
+    }
+
+    /// Installs `version` as current and mirrors its L0 run count into the
+    /// lock-free backpressure gauge. Every version swap goes through here.
+    fn install_version(&self, inner: &mut Inner, version: Version) {
+        let l0 = Self::count_l0_runs(&version);
+        inner.version = Arc::new(version);
+        self.l0_runs.store(l0, Ordering::Release);
+    }
+
+    /// Surfaces the first background-job error on the calling thread.
+    /// Cheap no-op in `Inline` mode.
+    fn check_bg_error(&self) -> StorageResult<()> {
+        if self.threaded() && self.bg.has_failed() {
+            if let Some(e) = self.bg.take_error() {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Writes
     // ------------------------------------------------------------------
@@ -269,7 +407,29 @@ impl Db {
         self.write(key, ValueKind::Delete, Vec::new())
     }
 
+    /// L0 backpressure (`Threaded` only): checked *before* taking `inner`
+    /// so delayed writers never hold any engine lock — readers proceed
+    /// untouched while a writer sleeps or stalls.
+    fn backpressure(&self) {
+        let l0 = self.l0_runs.load(Ordering::Acquire);
+        if l0 >= self.cfg.l0_stall_runs {
+            self.device.stats().record_write_stall();
+            self.bg.schedule_compact();
+            let stall = self.cfg.l0_stall_runs;
+            self.bg
+                .wait_progress_until(|| self.l0_runs.load(Ordering::Acquire) < stall);
+        } else if l0 >= self.cfg.l0_slowdown_runs {
+            self.device.stats().record_write_slowdown();
+            self.bg.schedule_compact();
+            std::thread::sleep(std::time::Duration::from_micros(self.cfg.slowdown_micros));
+        }
+    }
+
     fn write(&self, key: Vec<u8>, kind: ValueKind, value: Vec<u8>) -> StorageResult<()> {
+        if self.threaded() {
+            self.check_bg_error()?;
+            self.backpressure();
+        }
         let mut inner = self.inner.write();
         let seqno = inner.next_seqno;
         inner.next_seqno += 1;
@@ -297,19 +457,170 @@ impl Db {
         }
         inner.mem.insert(key, seqno, kind, stored);
         if inner.mem.bytes() >= self.cfg.buffer_bytes {
-            self.flush_locked(&mut inner)?;
+            if self.threaded() {
+                return self.freeze_or_wait(inner);
+            }
+            self.flush_active_locked(&mut inner)?;
+            self.maybe_compact_locked(&mut inner)?;
         }
+        Ok(())
+    }
+
+    /// `Threaded` write path for a full memtable: freeze it into the
+    /// immutable slot if free, else wait (counted as a stall) for the
+    /// in-flight flush to drain it. Consumes the write guard so the wait
+    /// holds no engine lock.
+    fn freeze_or_wait<'a>(&'a self, mut inner: RwLockWriteGuard<'a, Inner>) -> StorageResult<()> {
+        loop {
+            if inner.imm.is_none() {
+                self.freeze_memtable(&mut inner)?;
+                return Ok(());
+            }
+            drop(inner);
+            self.device.stats().record_write_stall();
+            self.bg.wait_flush_drained();
+            self.check_bg_error()?;
+            inner = self.inner.write();
+            if inner.mem.bytes() < self.cfg.buffer_bytes {
+                // another writer froze (or a flush drained) in the window
+                return Ok(());
+            }
+        }
+    }
+
+    /// Freezes the active memtable into the immutable slot and queues its
+    /// flush. Syncs both logs first so every record covered by the frozen
+    /// memtable is durable before its WAL stops receiving writes.
+    fn freeze_memtable(&self, inner: &mut Inner) -> StorageResult<()> {
+        if inner.mem.is_empty() {
+            return Ok(());
+        }
+        if let Some(vlog) = &mut inner.vlog {
+            vlog.sync()?;
+        }
+        if let Some(wal) = &mut inner.wal {
+            wal.sync()?;
+        }
+        let frozen = std::mem::replace(
+            &mut inner.mem,
+            Memtable::with_front(self.cfg.buffer_front_bytes),
+        );
+        inner.imm = Some(Arc::new(frozen));
+        if self.cfg.wal {
+            inner.imm_wal = inner.wal.take();
+            inner.wal = Some(Wal::create(Arc::clone(&self.device))?);
+        }
+        // the manifest names both WALs, so a crash here replays the frozen
+        // records (wal_prev) before the new active WAL
+        self.persist_manifest(inner)?;
+        self.bg.enqueue_flush();
+        Ok(())
+    }
+
+    /// Background flush job: persist the frozen memtable as an L0 table.
+    /// The table is built *outside* the lock from the shared `Arc`; the
+    /// install re-checks that the same memtable is still frozen (an
+    /// explicit foreground flush may have won the race).
+    pub(crate) fn run_flush(&self) -> StorageResult<()> {
+        let (imm, version) = {
+            let inner = self.inner.read();
+            match &inner.imm {
+                Some(m) => (Arc::clone(m), Arc::clone(&inner.version)),
+                None => return Ok(()),
+            }
+        };
+        let entries: Vec<InternalEntry> = imm.range(Bound::Unbounded, Bound::Unbounded).collect();
+        let table = if entries.is_empty() {
+            None
+        } else {
+            Some(self.build_l0_table(&version, &entries)?)
+        };
+        let old_wal = {
+            let mut inner = self.inner.write();
+            let still_ours = matches!(&inner.imm, Some(cur) if Arc::ptr_eq(cur, &imm));
+            if !still_ours {
+                if let Some(t) = &table {
+                    t.mark_obsolete();
+                }
+                return Ok(());
+            }
+            self.install_imm_flush(&mut inner, table)?
+        };
+        if let Some(old) = old_wal {
+            let old_file = old.seal()?;
+            old_file.delete()?;
+        }
+        self.bg.schedule_compact();
+        Ok(())
+    }
+
+    /// Splices a flushed immutable memtable's table into L0, clears the
+    /// slot, and persists the manifest. Returns the retired WAL; the
+    /// caller deletes it only after the manifest is durable.
+    fn install_imm_flush(
+        &self,
+        inner: &mut Inner,
+        table: Option<Arc<Table>>,
+    ) -> StorageResult<Option<Wal>> {
+        if let Some(table) = table {
+            let mut version = (*inner.version).clone();
+            version.ensure_levels(1);
+            version.levels[0].runs.insert(0, SortedRun::single(table));
+            self.install_version(inner, version);
+            DbStats::bump(&self.stats.flushes);
+        }
+        inner.imm = None;
+        let old = inner.imm_wal.take();
+        self.persist_manifest(inner)?;
+        Ok(old)
+    }
+
+    /// Foreground flush of the immutable slot (explicit `flush` in
+    /// `Threaded` mode). Runs under the held write guard; flushing the
+    /// older frozen memtable *before* the active one keeps L0 runs
+    /// youngest-first.
+    fn flush_imm_locked(&self, inner: &mut Inner) -> StorageResult<()> {
+        let Some(imm) = inner.imm.clone() else {
+            return Ok(());
+        };
+        let entries: Vec<InternalEntry> = imm.range(Bound::Unbounded, Bound::Unbounded).collect();
+        let version = Arc::clone(&inner.version);
+        let table = if entries.is_empty() {
+            None
+        } else {
+            Some(self.build_l0_table(&version, &entries)?)
+        };
+        let old_wal = self.install_imm_flush(inner, table)?;
+        if let Some(old) = old_wal {
+            let old_file = old.seal()?;
+            old_file.delete()?;
+        }
+        self.bg.flush_drained();
         Ok(())
     }
 
     /// Forces a memtable flush (and any resulting compaction cascade).
     pub fn flush(&self) -> StorageResult<()> {
+        self.check_bg_error()?;
+        if self.threaded() {
+            {
+                let mut inner = self.inner.write();
+                self.flush_imm_locked(&mut inner)?;
+                self.flush_active_locked(&mut inner)?;
+            }
+            return self.compact_to_quiescence(|| false);
+        }
         let mut inner = self.inner.write();
-        self.flush_locked(&mut inner)
+        self.flush_active_locked(&mut inner)?;
+        self.maybe_compact_locked(&mut inner)
     }
 
     /// Runs the compaction cascade to quiescence without flushing.
     pub fn compact(&self) -> StorageResult<()> {
+        self.check_bg_error()?;
+        if self.threaded() {
+            return self.compact_to_quiescence(|| false);
+        }
         let mut inner = self.inner.write();
         self.maybe_compact_locked(&mut inner)
     }
@@ -318,8 +629,14 @@ impl Db {
     /// run at the bottom level, garbage-collecting all tombstones and
     /// obsolete versions. The classic "full compaction" maintenance knob.
     pub fn major_compact(&self) -> StorageResult<()> {
+        self.check_bg_error()?;
+        let _c = self.threaded().then(|| self.compaction_lock.lock());
         let mut inner = self.inner.write();
-        self.flush_locked(&mut inner)?;
+        if self.threaded() {
+            self.flush_imm_locked(&mut inner)?;
+        }
+        self.flush_active_locked(&mut inner)?;
+        self.maybe_compact_locked(&mut inner)?;
         let version = (*inner.version).clone();
         let Some(last) = version.last_occupied_level() else {
             return Ok(());
@@ -347,7 +664,7 @@ impl Db {
             .add(&self.stats.tombstones_dropped, result.tombstones_dropped);
         self.stats
             .add(&self.stats.versions_dropped, result.versions_dropped);
-        inner.version = Arc::new(new_version);
+        self.install_version(&mut inner, new_version);
         self.persist_manifest(&mut inner)?;
         for t in &inputs {
             if let Some(cache) = &self.cache {
@@ -378,25 +695,103 @@ impl Db {
     }
 
     // ------------------------------------------------------------------
+    // Background coordination
+    // ------------------------------------------------------------------
+
+    /// Blocks until no background job is queued, running, or pending.
+    /// No-op in `Inline` mode. A test/bench hook: after it returns, stats
+    /// and level structure are quiescent (absent concurrent writers).
+    pub fn wait_background_idle(&self) {
+        if self.threaded() {
+            self.bg.wait_idle();
+        }
+    }
+
+    /// Holds queued background compactions (flushes still run). Paired
+    /// with [`DbCore::resume_compaction`]; a test hook for building L0
+    /// pressure deterministically.
+    pub fn pause_compaction(&self) {
+        self.bg.pause_compaction();
+    }
+
+    /// Releases [`DbCore::pause_compaction`].
+    pub fn resume_compaction(&self) {
+        self.bg.resume_compaction();
+    }
+
+    /// Whether the planner sees work to do (used by the background worker
+    /// to close the quiesce-vs-new-flush race).
+    pub(crate) fn compaction_needed(&self) -> bool {
+        let inner = self.inner.read();
+        compaction::plan(&inner.version, &self.cfg).is_some()
+    }
+
+    /// Runs the compaction cascade to quiescence, taking `inner` only
+    /// briefly around planning and installs; the merges themselves run
+    /// without any engine lock. `stop` is polled between steps so a
+    /// pause/shutdown aborts promptly. Serialized by `compaction_lock`.
+    pub(crate) fn compact_to_quiescence(&self, stop: impl Fn() -> bool) -> StorageResult<()> {
+        let _c = self.compaction_lock.lock();
+        for _ in 0..10_000 {
+            if stop() {
+                return Ok(());
+            }
+            let prep = {
+                let mut inner = self.inner.write();
+                let Some(task) = compaction::plan(&inner.version, &self.cfg) else {
+                    return Ok(());
+                };
+                match self.prepare_compaction(&mut inner, task)? {
+                    Some(p) => p,
+                    None => return Ok(()),
+                }
+            };
+            let result = merge_tables(
+                &self.device,
+                &self.cfg,
+                self.cfg.index,
+                prep.bits,
+                &prep.inputs,
+                prep.drop_tombstones,
+            )?;
+            {
+                let mut inner = self.inner.write();
+                self.install_compaction(&mut inner, &prep, result)?;
+            }
+            self.bg.notify_progress();
+        }
+        Err(StorageError::Corruption(
+            "compaction cascade failed to converge".into(),
+        ))
+    }
+
+    // ------------------------------------------------------------------
     // Reads
     // ------------------------------------------------------------------
 
-    /// Point lookup: the newest visible value for `key`.
+    /// Point lookup: the newest visible value for `key`. Takes a version
+    /// snapshot and probes tables without holding any engine lock.
     pub fn get(&self, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
         DbStats::bump(&self.stats.gets);
         self.heat.lock().record(heat_key(key));
-        let inner = self.inner.read();
-        if let Some(e) = inner.mem.get(key) {
-            return match e.kind {
-                ValueKind::Delete => Ok(None),
-                ValueKind::Put => {
-                    let v = self.resolve_value(&inner, e.value)?;
-                    DbStats::bump(&self.stats.gets_found);
-                    Ok(Some(v))
-                }
-            };
-        }
-        let version = Arc::clone(&inner.version);
+        let version = {
+            let inner = self.inner.read();
+            let mem_hit = inner
+                .mem
+                .get(key)
+                .or_else(|| inner.imm.as_ref().and_then(|m| m.get(key)));
+            if let Some(e) = mem_hit {
+                return match e.kind {
+                    ValueKind::Delete => Ok(None),
+                    ValueKind::Put => {
+                        let v = self.resolve_value(&inner, e.value)?;
+                        DbStats::bump(&self.stats.gets_found);
+                        Ok(Some(v))
+                    }
+                };
+            }
+            Arc::clone(&inner.version)
+        };
         for level in &version.levels {
             for run in &level.runs {
                 let Some(table) = run.table_for(key) else {
@@ -414,7 +809,7 @@ impl Db {
                     return match e.kind {
                         ValueKind::Delete => Ok(None),
                         ValueKind::Put => {
-                            let v = self.resolve_value(&inner, e.value)?;
+                            let v = self.resolve_raw(e.value)?;
                             DbStats::bump(&self.stats.gets_found);
                             Ok(Some(v))
                         }
@@ -423,6 +818,16 @@ impl Db {
             }
         }
         Ok(None)
+    }
+
+    /// Resolves a raw stored value when no read guard is held (the table
+    /// probe path): takes a brief read lock for the active value log.
+    fn resolve_raw(&self, raw: Vec<u8>) -> StorageResult<Vec<u8>> {
+        if self.cfg.kv_separation.is_none() {
+            return Ok(raw);
+        }
+        let inner = self.inner.read();
+        self.resolve_value(&inner, raw)
     }
 
     fn resolve_value(&self, inner: &Inner, raw: Vec<u8>) -> StorageResult<Vec<u8>> {
@@ -443,26 +848,36 @@ impl Db {
     }
 
     /// Range scan: up to `limit` live entries with `range.start ≤ key <
-    /// range.end`, in key order, over a consistent snapshot.
+    /// range.end`, in key order, over a consistent snapshot. Memtable
+    /// state is copied under a brief read lock; table I/O and the merge
+    /// run lock-free against the version snapshot.
     pub fn scan(&self, range: Range<Vec<u8>>, limit: usize) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
         DbStats::bump(&self.stats.scans);
         if range.start >= range.end {
             return Ok(Vec::new());
         }
-        let inner = self.inner.read();
         let start = range.start.as_slice();
         let end = range.end.as_slice();
         let mut sources = Vec::new();
-        // memtable snapshot (rank 0 = youngest)
-        let mem_entries: Vec<InternalEntry> = inner
-            .mem
-            .range(Bound::Included(start), Bound::Excluded(end))
-            .collect();
-        sources.push(crate::iter::Source::Mem(mem_entries.into_iter()));
+        let version = {
+            let inner = self.inner.read();
+            // memtable snapshots (rank 0 = youngest, frozen memtable next)
+            let mem_entries: Vec<InternalEntry> = inner
+                .mem
+                .range(Bound::Included(start), Bound::Excluded(end))
+                .collect();
+            sources.push(crate::iter::Source::Mem(mem_entries.into_iter()));
+            if let Some(imm) = &inner.imm {
+                let imm_entries: Vec<InternalEntry> = imm
+                    .range(Bound::Included(start), Bound::Excluded(end))
+                    .collect();
+                sources.push(crate::iter::Source::Mem(imm_entries.into_iter()));
+            }
+            Arc::clone(&inner.version)
+        };
         // sorted runs, youngest level/run first; range-filter pruning is an
         // in-memory probe, so it happens up front, while data blocks are
         // only read lazily as the merge reaches each table
-        let version = Arc::clone(&inner.version);
         for level in &version.levels {
             for run in &level.runs {
                 let tables: Vec<_> = run
@@ -491,6 +906,7 @@ impl Db {
         let entries = merger.collect_until(Some(end), false, limit)?;
         self.stats
             .add(&self.stats.scan_entries, entries.len() as u64);
+        let inner = self.inner.read();
         entries
             .into_iter()
             .map(|e| Ok((e.key, self.resolve_value(&inner, e.value)?)))
@@ -498,7 +914,7 @@ impl Db {
     }
 
     /// Takes a long-lived point-in-time snapshot. Unlike
-    /// [`Db::iter_range`], the snapshot holds no lock: writers and
+    /// [`DbCore::iter_range`], the snapshot holds no lock: writers and
     /// compactions proceed freely, and the snapshot's files stay alive
     /// (deletion is deferred to the last reference) until it is dropped.
     ///
@@ -512,6 +928,7 @@ impl Db {
         }
         Ok(crate::snapshot::Snapshot {
             mem: inner.mem.clone(),
+            imm: inner.imm.clone(),
             version: Arc::clone(&inner.version),
             cache: self.cache.clone(),
             device: Arc::clone(&self.device),
@@ -555,6 +972,12 @@ impl Db {
             .range(Bound::Included(start.as_slice()), hi_bound)
             .collect();
         sources.push(crate::iter::Source::Mem(mem_entries.into_iter()));
+        if let Some(imm) = &guard.imm {
+            let imm_entries: Vec<InternalEntry> = imm
+                .range(Bound::Included(start.as_slice()), hi_bound)
+                .collect();
+            sources.push(crate::iter::Source::Mem(imm_entries.into_iter()));
+        }
         let version = Arc::clone(&guard.version);
         for level in &version.levels {
             for run in &level.runs {
@@ -676,7 +1099,9 @@ impl Db {
     /// Live entries visible to readers (excluding shadowed versions).
     pub fn approximate_entries(&self) -> u64 {
         let inner = self.inner.read();
-        inner.version.total_entries() + inner.mem.len() as u64
+        inner.version.total_entries()
+            + inner.mem.len() as u64
+            + inner.imm.as_ref().map_or(0, |m| m.len() as u64)
     }
 
     // ------------------------------------------------------------------
@@ -718,7 +1143,21 @@ impl Db {
         }
     }
 
-    fn flush_locked(&self, inner: &mut Inner) -> StorageResult<()> {
+    /// Builds one L0 table from sorted memtable entries. `version` only
+    /// informs the Monkey filter allocation.
+    fn build_l0_table(&self, version: &Version, entries: &[InternalEntry]) -> StorageResult<Arc<Table>> {
+        let bits = self.bits_for_level(version, 0);
+        let mut builder = TableBuilder::new(Arc::clone(&self.device), &self.cfg, bits)?;
+        for e in entries {
+            builder.add(&e.key, e.seqno, e.kind, &e.value)?;
+        }
+        let (file, _meta) = builder.finish()?;
+        Table::open(file, self.cfg.index)
+    }
+
+    /// Flushes the *active* memtable to L0 under the held write guard
+    /// (the `Inline` flush, and the tail of an explicit `Threaded` flush).
+    fn flush_active_locked(&self, inner: &mut Inner) -> StorageResult<()> {
         if inner.mem.is_empty() {
             return Ok(());
         }
@@ -730,17 +1169,12 @@ impl Db {
         if let Some(vlog) = &mut inner.vlog {
             vlog.sync()?;
         }
-        let bits = self.bits_for_level(&inner.version, 0);
-        let mut builder = TableBuilder::new(Arc::clone(&self.device), &self.cfg, bits)?;
-        for e in &entries {
-            builder.add(&e.key, e.seqno, e.kind, &e.value)?;
-        }
-        let (file, _meta) = builder.finish()?;
-        let table = Table::open(file, self.cfg.index)?;
-        let mut version = (*inner.version).clone();
-        version.ensure_levels(1);
-        version.levels[0].runs.insert(0, SortedRun::single(table));
-        inner.version = Arc::new(version);
+        let version = Arc::clone(&inner.version);
+        let table = self.build_l0_table(&version, &entries)?;
+        let mut new_version = (*inner.version).clone();
+        new_version.ensure_levels(1);
+        new_version.levels[0].runs.insert(0, SortedRun::single(table));
+        self.install_version(inner, new_version);
         DbStats::bump(&self.stats.flushes);
         // Rotate the WAL. Ordering matters for crash safety: the old WAL
         // may only be deleted after the manifest naming the new table (and
@@ -759,9 +1193,11 @@ impl Db {
             let old_file = old.seal()?;
             old_file.delete()?;
         }
-        self.maybe_compact_locked(inner)
+        Ok(())
     }
 
+    /// Runs the compaction cascade to quiescence under the held write
+    /// guard (the `Inline` path — merges included, deterministically).
     fn maybe_compact_locked(&self, inner: &mut Inner) -> StorageResult<()> {
         // a generous bound: each step strictly reduces pressure, so hitting
         // it means a planner bug, not a big workload
@@ -769,35 +1205,41 @@ impl Db {
             let Some(task) = compaction::plan(&inner.version, &self.cfg) else {
                 return Ok(());
             };
-            self.execute_task(inner, task)?;
+            let Some(prep) = self.prepare_compaction(inner, task)? else {
+                return Ok(());
+            };
+            let result = merge_tables(
+                &self.device,
+                &self.cfg,
+                self.cfg.index,
+                prep.bits,
+                &prep.inputs,
+                prep.drop_tombstones,
+            )?;
+            self.install_compaction(inner, &prep, result)?;
         }
         Err(StorageError::Corruption(
             "compaction cascade failed to converge".into(),
         ))
     }
 
-    fn execute_task(&self, inner: &mut Inner, task: CompactionTask) -> StorageResult<()> {
-        let version = (*inner.version).clone();
+    /// Resolves a planned task into concrete inputs against the current
+    /// version. Pure bookkeeping — no table I/O. Returns `None` when the
+    /// task turns out to be vacuous.
+    fn prepare_compaction(
+        &self,
+        inner: &mut Inner,
+        task: CompactionTask,
+    ) -> StorageResult<Option<PreparedCompaction>> {
+        let version = Arc::clone(&inner.version);
         let level = task.level();
         let target = match task {
             CompactionTask::MergeInPlace { .. } => level,
             _ => level + 1,
         };
-        let index_kind = self.cfg.index;
         let bits = self.bits_for_level(&version, target);
-
-        // gather inputs (young first) and compute the replacement version
-        let mut new_version = version.clone();
-        new_version.ensure_levels(target + 1);
         let mut inputs: Vec<Arc<Table>> = Vec::new();
-        let mut keep_left: Vec<Arc<Table>> = Vec::new();
-        let mut keep_right: Vec<Arc<Table>> = Vec::new();
         let drop_tombstones;
-        enum Apply {
-            ReplaceTargetRun,
-            AppendRun,
-            InPlace,
-        }
         let apply;
         match task {
             CompactionTask::MergeIntoNext { .. } => {
@@ -814,28 +1256,31 @@ impl Db {
                     .map(|t| t.meta().max_key.clone())
                     .max()
                     .unwrap_or_default();
-                let target_runs = &version.levels.get(target).map(|l| l.runs.clone()).unwrap_or_default();
+                let target_runs = version
+                    .levels
+                    .get(target)
+                    .map(|l| l.runs.clone())
+                    .unwrap_or_default();
                 if target_runs.len() <= 1 {
+                    // a single-run target keeps its non-overlapping tables
                     if let Some(run) = target_runs.first() {
                         for t in &run.tables {
-                            if t.meta().max_key.as_slice() < lo.as_slice() {
-                                keep_left.push(Arc::clone(t));
-                            } else if t.meta().min_key.as_slice() > hi.as_slice() {
-                                keep_right.push(Arc::clone(t));
-                            } else {
-                                inputs.push(Arc::clone(t));
+                            if t.meta().max_key.as_slice() < lo.as_slice()
+                                || t.meta().min_key.as_slice() > hi.as_slice()
+                            {
+                                continue;
                             }
+                            inputs.push(Arc::clone(t));
                         }
                     }
                 } else {
                     // transient multi-run target: fold everything in
-                    for run in target_runs {
+                    for run in &target_runs {
                         inputs.extend(run.tables.iter().cloned());
                     }
                 }
                 drop_tombstones = compaction::may_drop_tombstones(&version, target, true);
-                new_version.levels[level].runs.clear();
-                apply = Apply::ReplaceTargetRun;
+                apply = CompactionApply::ReplaceTargetRun;
             }
             CompactionTask::AppendToNext { .. } => {
                 for run in &version.levels[level].runs {
@@ -843,16 +1288,14 @@ impl Db {
                 }
                 drop_tombstones = compaction::may_drop_tombstones(&version, target, false)
                     && version.levels.get(target).is_none_or(|l| l.is_empty());
-                new_version.levels[level].runs.clear();
-                apply = Apply::AppendRun;
+                apply = CompactionApply::AppendRun;
             }
             CompactionTask::MergeInPlace { .. } => {
                 for run in &version.levels[level].runs {
                     inputs.extend(run.tables.iter().cloned());
                 }
                 drop_tombstones = compaction::may_drop_tombstones(&version, level, true);
-                new_version.levels[level].runs.clear();
-                apply = Apply::InPlace;
+                apply = CompactionApply::InPlace;
             }
             CompactionTask::PartialIntoNext { .. } => {
                 let CompactionGranularity::Partial(picker) = self.cfg.granularity else {
@@ -866,7 +1309,7 @@ impl Db {
                     .cloned()
                     .unwrap_or_default();
                 if run.tables.is_empty() {
-                    return Ok(());
+                    return Ok(None);
                 }
                 if inner.rr_cursors.len() <= level {
                     inner.rr_cursors.resize(level + 1, 0);
@@ -879,66 +1322,92 @@ impl Db {
                 let idx = pick_file(picker, &run, next_run.as_ref(), &mut inner.rr_cursors[level]);
                 let victim = Arc::clone(&run.tables[idx]);
                 let (lo, hi) = (victim.meta().min_key.clone(), victim.meta().max_key.clone());
-                inputs.push(victim.clone());
+                inputs.push(victim);
                 if let Some(trun) = &next_run {
                     for t in &trun.tables {
-                        if t.meta().max_key.as_slice() < lo.as_slice() {
-                            keep_left.push(Arc::clone(t));
-                        } else if t.meta().min_key.as_slice() > hi.as_slice() {
-                            keep_right.push(Arc::clone(t));
-                        } else {
-                            inputs.push(Arc::clone(t));
+                        if t.meta().max_key.as_slice() < lo.as_slice()
+                            || t.meta().min_key.as_slice() > hi.as_slice()
+                        {
+                            continue;
                         }
+                        inputs.push(Arc::clone(t));
                     }
                 }
                 drop_tombstones = compaction::may_drop_tombstones(&version, target, true);
-                // remove the victim from the source run
-                let mut source_tables = run.tables.clone();
-                source_tables.remove(idx);
-                new_version.levels[level].runs = if source_tables.is_empty() {
-                    Vec::new()
-                } else {
-                    vec![SortedRun::from_tables(source_tables)]
-                };
-                apply = Apply::ReplaceTargetRun;
+                apply = CompactionApply::ReplaceTargetRun;
             }
         }
-
-        let result = merge_tables(
-            &self.device,
-            &self.cfg,
-            index_kind,
+        Ok(Some(PreparedCompaction {
+            level,
+            target,
             bits,
-            &inputs,
+            inputs,
             drop_tombstones,
-        )?;
+            apply,
+        }))
+    }
 
-        // splice the outputs into the new version
-        match apply {
-            Apply::ReplaceTargetRun => {
-                let mut tables = keep_left;
+    /// Installs a merge's outputs by *rebasing* onto the current version:
+    /// every input table is filtered out wherever it sits, surviving runs
+    /// are kept in order, and the outputs are spliced per the task shape.
+    /// With no concurrent version changes (the `Inline` path) this is
+    /// exactly the direct splice; under `Threaded`, runs flushed to L0
+    /// during the merge survive untouched — the single-compactor
+    /// invariant (`compaction_lock`) guarantees nothing else moved.
+    fn install_compaction(
+        &self,
+        inner: &mut Inner,
+        prep: &PreparedCompaction,
+        result: MergeResult,
+    ) -> StorageResult<()> {
+        let input_ids: std::collections::HashSet<u64> =
+            prep.inputs.iter().map(|t| t.id()).collect();
+        let cur = &inner.version;
+        let mut new_version = Version::new();
+        new_version.ensure_levels(cur.levels.len().max(prep.target + 1));
+        for (i, level) in cur.levels.iter().enumerate() {
+            for run in &level.runs {
+                let kept: Vec<Arc<Table>> = run
+                    .tables
+                    .iter()
+                    .filter(|t| !input_ids.contains(&t.id()))
+                    .cloned()
+                    .collect();
+                if !kept.is_empty() {
+                    new_version.levels[i].runs.push(SortedRun::from_tables(kept));
+                }
+            }
+        }
+        match prep.apply {
+            CompactionApply::ReplaceTargetRun => {
+                let mut tables: Vec<Arc<Table>> = new_version.levels[prep.target]
+                    .runs
+                    .drain(..)
+                    .flat_map(|r| r.tables)
+                    .collect();
                 tables.extend(result.tables.iter().cloned());
-                tables.extend(keep_right);
                 tables.sort_by(|a, b| a.meta().min_key.cmp(&b.meta().min_key));
-                new_version.levels[target].runs = if tables.is_empty() {
+                new_version.levels[prep.target].runs = if tables.is_empty() {
                     Vec::new()
                 } else {
                     vec![SortedRun::from_tables(tables)]
                 };
             }
-            Apply::AppendRun => {
+            CompactionApply::AppendRun => {
                 if !result.tables.is_empty() {
-                    new_version.levels[target]
+                    new_version.levels[prep.target]
                         .runs
                         .insert(0, SortedRun::from_tables(result.tables.clone()));
                 }
             }
-            Apply::InPlace => {
-                new_version.levels[level].runs = if result.tables.is_empty() {
-                    Vec::new()
-                } else {
-                    vec![SortedRun::from_tables(result.tables.clone())]
-                };
+            CompactionApply::InPlace => {
+                // outputs merge the *oldest* runs of the level, so they go
+                // after any runs flushed while the merge ran
+                if !result.tables.is_empty() {
+                    new_version.levels[prep.level]
+                        .runs
+                        .push(SortedRun::from_tables(result.tables.clone()));
+                }
             }
         }
 
@@ -955,13 +1424,13 @@ impl Db {
             result.entries_written,
         );
 
-        inner.version = Arc::new(new_version);
+        self.install_version(inner, new_version);
         self.persist_manifest(inner)?;
 
         // invalidate cached blocks of consumed tables and mark them
         // obsolete: their files are physically deleted when the last
         // reference (a snapshot or an in-flight iterator) drops
-        for t in &inputs {
+        for t in &prep.inputs {
             if let Some(cache) = &self.cache {
                 let max_block = t.meta().data_blocks.len().saturating_sub(1) as u64;
                 cache.invalidate_file(t.id(), max_block);
@@ -1016,6 +1485,7 @@ impl Db {
                 })
                 .collect(),
             wal: inner.wal.as_ref().map_or(0, |w| w.id().0),
+            wal_prev: inner.imm_wal.as_ref().map_or(0, |w| w.id().0),
             vlog: inner.vlog.as_ref().map_or(0, |v| v.id().0),
             next_seqno: inner.next_seqno,
         };
@@ -1037,7 +1507,7 @@ impl Db {
         if self.cfg.kv_separation.is_none() {
             return Ok((0, 0));
         }
-        if self.snapshot_count.load(std::sync::atomic::Ordering::Acquire) > 0 {
+        if self.snapshot_count.load(Ordering::Acquire) > 0 {
             return Err(StorageError::Corruption(
                 "value-log GC refused: outstanding snapshots reference the log".into(),
             ));
@@ -1076,7 +1546,11 @@ impl Db {
 
     /// Newest raw (unresolved) engine value for `key`, if any and live.
     fn raw_stored_value(&self, inner: &Inner, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
-        if let Some(e) = inner.mem.get(key) {
+        let mem_hit = inner
+            .mem
+            .get(key)
+            .or_else(|| inner.imm.as_ref().and_then(|m| m.get(key)));
+        if let Some(e) = mem_hit {
             return Ok(match e.kind {
                 ValueKind::Delete => None,
                 ValueKind::Put => Some(e.value),
@@ -1098,11 +1572,33 @@ impl Db {
     }
 }
 
+/// A compaction resolved to concrete inputs, ready to merge. Built under
+/// the write lock; the merge itself runs without it.
+struct PreparedCompaction {
+    level: usize,
+    target: usize,
+    bits: f64,
+    inputs: Vec<Arc<Table>>,
+    drop_tombstones: bool,
+    apply: CompactionApply,
+}
+
+/// How a merge's outputs are spliced back into the version.
+enum CompactionApply {
+    /// Replace the target level with one run: surviving target tables +
+    /// outputs, sorted by key.
+    ReplaceTargetRun,
+    /// Prepend the outputs as the target level's youngest run (tiering).
+    AppendRun,
+    /// The outputs replace the level's own merged runs (in-place merge).
+    InPlace,
+}
+
 /// A streaming snapshot iterator over live entries (see
-/// [`Db::iter_range`]). Yields `(key, value)` pairs in ascending key
+/// [`DbCore::iter_range`]). Yields `(key, value)` pairs in ascending key
 /// order; I/O errors surface as `Err` items and end the iteration.
 pub struct DbIterator<'a> {
-    db: &'a Db,
+    db: &'a DbCore,
     _guard: parking_lot::RwLockReadGuard<'a, Inner>,
     merger: crate::iter::MergingIter,
     end: Option<Vec<u8>>,
@@ -1133,16 +1629,48 @@ impl Iterator for DbIterator<'_> {
     }
 }
 
-impl Drop for Db {
-    /// Clean shutdown: pad the WAL tail so every acknowledged write is on
-    /// the device. Crash semantics (torn tails) are exercised by dropping
-    /// the device instead of the `Db`.
+impl DbCore {
+    /// Stops the worker pool and joins every worker thread (skipping the
+    /// current thread, in case a worker itself holds the last reference).
+    /// Idempotent: the second caller finds an empty handle list.
+    ///
+    /// The last user [`Db`] handle calls this from its `Drop` so that
+    /// `drop(db)` on the caller's thread always waits for in-flight
+    /// background jobs — even when a worker's per-job `Arc` keeps the
+    /// `DbCore` itself alive a little longer. Without that wait, a caller
+    /// could reopen the device while a background flush is still writing
+    /// tables and manifests into it.
+    fn shutdown_and_join(&self) {
+        self.bg.begin_shutdown();
+        let handles = std::mem::take(
+            &mut *self
+                .workers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        let me = std::thread::current().id();
+        for h in handles {
+            if h.thread().id() != me {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for DbCore {
+    /// Clean shutdown: stop the worker pool, then pad the WAL tails so
+    /// every acknowledged write is on the device. Crash semantics (torn
+    /// tails) are exercised by dropping the device instead of the `Db`.
     fn drop(&mut self) {
-        let mut inner = self.inner.write();
+        self.shutdown_and_join();
+        let inner = self.inner.get_mut();
         if let Some(vlog) = &mut inner.vlog {
             let _ = vlog.sync();
         }
         if let Some(wal) = &mut inner.wal {
+            let _ = wal.sync();
+        }
+        if let Some(wal) = &mut inner.imm_wal {
             let _ = wal.sync();
         }
     }
@@ -1193,6 +1721,7 @@ mod tests {
             )
             .unwrap();
         }
+        db.wait_background_idle();
         let s = db.stats().snapshot();
         assert!(s.flushes > 0, "no flush happened");
         assert!(s.compactions > 0, "no compaction happened");
@@ -1205,6 +1734,53 @@ mod tests {
                 "{key}"
             );
         }
+    }
+
+    #[test]
+    fn clones_share_one_engine() {
+        let db = Db::open_in_memory(small()).unwrap();
+        let db2 = db.clone();
+        db.put(b"a".to_vec(), b"1".to_vec()).unwrap();
+        db2.put(b"b".to_vec(), b"2".to_vec()).unwrap();
+        assert_eq!(db2.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"b").unwrap(), Some(b"2".to_vec()));
+        drop(db);
+        // the engine stays alive through the surviving clone
+        assert_eq!(db2.get(b"a").unwrap(), Some(b"1".to_vec()));
+    }
+
+    #[test]
+    fn handle_is_send_sync_clone() {
+        fn assert_handle<T: Send + Sync + Clone>() {}
+        assert_handle::<Db>();
+    }
+
+    #[test]
+    fn threaded_mode_basic_workload() {
+        let mut cfg = small();
+        cfg.background = BackgroundMode::Threaded;
+        let db = Db::open_in_memory(cfg).unwrap();
+        for i in 0..3000u32 {
+            db.put(
+                format!("key{i:06}").as_bytes().to_vec(),
+                format!("value{i:06}").into_bytes(),
+            )
+            .unwrap();
+        }
+        db.wait_background_idle();
+        assert!(db.stats().snapshot().flushes > 0, "no flush happened");
+        for i in (0..3000u32).step_by(113) {
+            let key = format!("key{i:06}");
+            assert_eq!(
+                db.get(key.as_bytes()).unwrap(),
+                Some(format!("value{i:06}").into_bytes()),
+                "{key}"
+            );
+        }
+        let got = db
+            .scan(b"key000000".to_vec()..b"key003000".to_vec(), usize::MAX)
+            .unwrap();
+        assert_eq!(got.len(), 3000);
     }
 
     #[test]

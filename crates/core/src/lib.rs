@@ -11,10 +11,15 @@
 //!
 //! Design notes:
 //!
-//! - **Synchronous maintenance.** Flushes and compactions run inline with
-//!   the write that triggers them, so experiments are deterministic and
-//!   I/O attribution is exact. Production engines run them in background
-//!   threads; the costs are identical, only the interleaving differs.
+//! - **Two maintenance modes.** In [`config::BackgroundMode::Inline`]
+//!   (the default) flushes and compactions run inline with the write that
+//!   triggers them, so experiments are deterministic and I/O attribution
+//!   is exact. [`config::BackgroundMode::Threaded`] moves them to a
+//!   background worker pool ([`background`]): a full memtable is frozen
+//!   into an immutable slot, readers snapshot the copy-on-write version
+//!   and never block on maintenance, and writers block only on L0
+//!   backpressure. The costs are identical, only the interleaving
+//!   differs.
 //! - **I/O accounting.** Every storage access is charged to the shared
 //!   [`lsm_storage::IoStats`] with a category (data/filter/index/WAL),
 //!   which is what the experiment suite reports.
@@ -36,6 +41,7 @@
 //! assert_eq!(scan.len(), 5);
 //! ```
 
+pub mod background;
 pub mod compaction;
 pub mod config;
 pub mod db;
@@ -52,9 +58,9 @@ pub mod version;
 pub mod wal;
 
 pub use config::{
-    CompactionGranularity, FilePicker, FilterAllocation, LsmConfig, MergeLayout,
+    BackgroundMode, CompactionGranularity, FilePicker, FilterAllocation, LsmConfig, MergeLayout,
 };
-pub use db::{Db, DbIterator};
+pub use db::{Db, DbCore, DbIterator};
 pub use partitioned::PartitionedDb;
 pub use snapshot::Snapshot;
 pub use entry::{InternalEntry, ValueKind};

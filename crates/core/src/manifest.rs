@@ -22,6 +22,10 @@ pub struct ManifestState {
     pub levels: Vec<Vec<Vec<u64>>>,
     /// Current WAL file id (0 = none).
     pub wal: u64,
+    /// WAL covering the frozen (immutable) memtable awaiting a background
+    /// flush (0 = none). Replayed *before* `wal` on recovery: its records
+    /// are strictly older than the active WAL's.
+    pub wal_prev: u64,
     /// Current value-log file id (0 = none).
     pub vlog: u64,
     /// Next sequence number to assign.
@@ -34,6 +38,7 @@ impl ManifestState {
         let mut out = Vec::new();
         out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
         put_varint(&mut out, self.wal);
+        put_varint(&mut out, self.wal_prev);
         put_varint(&mut out, self.vlog);
         put_varint(&mut out, self.next_seqno);
         put_varint(&mut out, self.levels.len() as u64);
@@ -61,6 +66,7 @@ impl ManifestState {
             Some(v)
         };
         let wal = next(&mut off)?;
+        let wal_prev = next(&mut off)?;
         let vlog = next(&mut off)?;
         let next_seqno = next(&mut off)?;
         let n_levels = next(&mut off)? as usize;
@@ -90,6 +96,7 @@ impl ManifestState {
         Some(ManifestState {
             levels,
             wal,
+            wal_prev,
             vlog,
             next_seqno,
         })
@@ -106,6 +113,9 @@ impl ManifestState {
             .collect();
         if self.wal != 0 {
             out.push(self.wal);
+        }
+        if self.wal_prev != 0 {
+            out.push(self.wal_prev);
         }
         if self.vlog != 0 {
             out.push(self.vlog);
@@ -181,6 +191,7 @@ mod tests {
                 vec![vec![3, 4, 5]],
             ],
             wal: 42,
+            wal_prev: 41,
             vlog: 0,
             next_seqno: 12345,
         }
@@ -230,7 +241,7 @@ mod tests {
     #[test]
     fn referenced_files_cover_everything() {
         let refs = sample().referenced_files();
-        for id in [10, 9, 3, 4, 5, 42] {
+        for id in [10, 9, 3, 4, 5, 42, 41] {
             assert!(refs.contains(&id), "{id} missing");
         }
         assert!(!refs.contains(&0), "vlog 0 means none");

@@ -24,6 +24,9 @@ use crate::version::Version;
 /// An immutable point-in-time view of the database.
 pub struct Snapshot {
     pub(crate) mem: Memtable,
+    /// Frozen memtable awaiting flush at snapshot time (`Threaded` mode);
+    /// older than `mem`, younger than every sorted run.
+    pub(crate) imm: Option<Arc<Memtable>>,
     pub(crate) version: Arc<Version>,
     pub(crate) cache: Option<Arc<ShardedCache<Block>>>,
     pub(crate) device: Arc<dyn StorageDevice>,
@@ -67,7 +70,11 @@ impl Snapshot {
 
     /// Point lookup against the snapshot.
     pub fn get(&self, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
-        if let Some(e) = self.mem.get(key) {
+        let mem_hit = self
+            .mem
+            .get(key)
+            .or_else(|| self.imm.as_ref().and_then(|m| m.get(key)));
+        if let Some(e) = mem_hit {
             return match e.kind {
                 ValueKind::Delete => Ok(None),
                 ValueKind::Put => Ok(Some(self.resolve(e.value)?)),
@@ -106,6 +113,12 @@ impl Snapshot {
             .range(Bound::Included(start), Bound::Excluded(end))
             .collect();
         sources.push(Source::Mem(mem_entries.into_iter()));
+        if let Some(imm) = &self.imm {
+            let imm_entries: Vec<InternalEntry> = imm
+                .range(Bound::Included(start), Bound::Excluded(end))
+                .collect();
+            sources.push(Source::Mem(imm_entries.into_iter()));
+        }
         for level in &self.version.levels {
             for run in &level.runs {
                 let tables: Vec<_> = run.overlapping(start, end).to_vec();
@@ -129,6 +142,8 @@ impl Snapshot {
     /// Number of entries visible to the snapshot (approximate: shadowed
     /// versions across runs counted once per run).
     pub fn approximate_entries(&self) -> u64 {
-        self.version.total_entries() + self.mem.len() as u64
+        self.version.total_entries()
+            + self.mem.len() as u64
+            + self.imm.as_ref().map_or(0, |m| m.len() as u64)
     }
 }

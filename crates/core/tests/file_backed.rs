@@ -82,6 +82,9 @@ fn file_backed_obsolete_files_are_deleted_from_disk() {
         }
     }
     db.major_compact().unwrap();
+    // quiesce before auditing the directory: in `Threaded` mode a worker
+    // may still be unlinking obsolete files
+    db.wait_background_idle();
     // compaction must physically delete superseded files: the directory's
     // live footprint stays within a small multiple of the logical data
     let live_bytes: u64 = std::fs::read_dir(&dir)

@@ -74,6 +74,8 @@ struct Counters {
     per_category: [CategoryCounters; 6],
     retries: AtomicU64,
     corruption_detected: AtomicU64,
+    write_slowdowns: AtomicU64,
+    write_stalls: AtomicU64,
 }
 
 /// Thread-safe I/O counters, cheap to clone (shared via `Arc`).
@@ -113,6 +115,16 @@ impl IoStats {
         self.inner.corruption_detected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one write delayed by L0 backpressure (slowdown band).
+    pub fn record_write_slowdown(&self) {
+        self.inner.write_slowdowns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one write blocked by L0 backpressure (stall threshold).
+    pub fn record_write_stall(&self) {
+        self.inner.write_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         let mut s = IoStatsSnapshot::default();
@@ -126,6 +138,8 @@ impl IoStats {
         }
         s.retries = self.inner.retries.load(Ordering::Relaxed);
         s.corruption_detected = self.inner.corruption_detected.load(Ordering::Relaxed);
+        s.write_slowdowns = self.inner.write_slowdowns.load(Ordering::Relaxed);
+        s.write_stalls = self.inner.write_stalls.load(Ordering::Relaxed);
         s
     }
 
@@ -139,6 +153,8 @@ impl IoStats {
         }
         self.inner.retries.store(0, Ordering::Relaxed);
         self.inner.corruption_detected.store(0, Ordering::Relaxed);
+        self.inner.write_slowdowns.store(0, Ordering::Relaxed);
+        self.inner.write_stalls.store(0, Ordering::Relaxed);
     }
 }
 
@@ -163,6 +179,10 @@ pub struct IoStatsSnapshot {
     pub retries: u64,
     /// Corruptions detected and rejected (checksum mismatches, torn tails).
     pub corruption_detected: u64,
+    /// Writes delayed by L0 backpressure (slowdown band).
+    pub write_slowdowns: u64,
+    /// Writes blocked by L0 backpressure (stall threshold).
+    pub write_stalls: u64,
 }
 
 impl IoStatsSnapshot {
@@ -209,6 +229,8 @@ impl IoStatsSnapshot {
         out.corruption_detected = self
             .corruption_detected
             .saturating_sub(earlier.corruption_detected);
+        out.write_slowdowns = self.write_slowdowns.saturating_sub(earlier.write_slowdowns);
+        out.write_stalls = self.write_stalls.saturating_sub(earlier.write_stalls);
         out
     }
 }
@@ -292,6 +314,24 @@ mod tests {
         s.reset();
         assert_eq!(s.snapshot().retries, 0);
         assert_eq!(s.snapshot().corruption_detected, 0);
+    }
+
+    #[test]
+    fn backpressure_counters() {
+        let s = IoStats::new();
+        s.record_write_slowdown();
+        s.record_write_slowdown();
+        s.record_write_stall();
+        let first = s.snapshot();
+        assert_eq!(first.write_slowdowns, 2);
+        assert_eq!(first.write_stalls, 1);
+        s.record_write_stall();
+        let d = s.snapshot().delta_since(&first);
+        assert_eq!(d.write_slowdowns, 0);
+        assert_eq!(d.write_stalls, 1);
+        s.reset();
+        assert_eq!(s.snapshot().write_slowdowns, 0);
+        assert_eq!(s.snapshot().write_stalls, 0);
     }
 
     #[test]

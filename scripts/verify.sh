@@ -7,10 +7,13 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
+echo "==> cargo test -q (inline background)"
 cargo test -q
+
+echo "==> LSM_BACKGROUND=threaded cargo test -q"
+LSM_BACKGROUND=threaded cargo test -q
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "OK: build, tests, and clippy all clean"
+echo "OK: build, tests (both background modes), and clippy all clean"

@@ -56,6 +56,9 @@ const SCRIPT_OPS: usize = 110;
 fn small_cfg() -> LsmConfig {
     LsmConfig {
         buffer_bytes: 2 << 10,
+        // The sweep schedules faults at exact I/O ordinals, which only
+        // line up when maintenance runs inline on the writer's stack.
+        background: lsm_core::BackgroundMode::Inline,
         ..LsmConfig::small_for_tests()
     }
 }
@@ -377,6 +380,7 @@ fn bogus_manifest() -> ManifestState {
         // References a table file that was never written.
         levels: vec![vec![vec![999_999]]],
         wal: 0,
+        wal_prev: 0,
         vlog: 0,
         next_seqno: 9,
     }

@@ -2,7 +2,7 @@
 //! workload generator driving the engine, and the analytical models
 //! agreeing with measured engine behaviour on direction.
 
-use lsm_design_space::core::{Db, LsmConfig, MergeLayout};
+use lsm_design_space::core::{BackgroundMode, Db, LsmConfig, MergeLayout};
 use lsm_design_space::model::{CostModel, LsmDesign, MergePolicy};
 use lsm_design_space::workload::{Operation, Trace, WorkloadGenerator, WorkloadSpec, YcsbWorkload};
 
@@ -71,7 +71,14 @@ fn identical_traces_give_identical_io_on_identical_configs() {
         8000,
     );
     let run = || {
-        let db = Db::open_in_memory(LsmConfig::small_for_tests()).unwrap();
+        // determinism is an `Inline`-mode guarantee: with threaded
+        // maintenance, flush timing (and hence I/O counts) depends on
+        // scheduling
+        let cfg = LsmConfig {
+            background: BackgroundMode::Inline,
+            ..LsmConfig::small_for_tests()
+        };
+        let db = Db::open_in_memory(cfg).unwrap();
         drive(&db, trace.clone());
         (
             db.io_stats().total_read_blocks(),
@@ -90,6 +97,9 @@ fn model_and_engine_agree_on_write_cost_direction() {
             layout,
             wal: false,
             cache_bytes: 0,
+            // deterministic shapes: worker timing decides which merges
+            // complete, which would blur the leveled/tiered comparison
+            background: BackgroundMode::Inline,
             ..LsmConfig::small_for_tests()
         };
         let db = Db::open_in_memory(cfg).unwrap();
@@ -136,6 +146,10 @@ fn model_and_engine_agree_on_lookup_cost_direction() {
             filter: lsm_design_space::core::FilterKind::None,
             wal: false,
             cache_bytes: 0,
+            // deterministic shapes: the run count each probe touches is
+            // exactly what the cost model predicts only when maintenance
+            // runs inline
+            background: BackgroundMode::Inline,
             ..LsmConfig::small_for_tests()
         };
         let db = Db::open_in_memory(cfg).unwrap();
