@@ -30,6 +30,11 @@ fn run(name: &str, cfg: LsmConfig, n: u64, t: &TablePrinter) {
         lat.push(clock.now_ns() - t0);
     }
     lat.sort_unstable();
+    write_metrics_artifact(
+        &db,
+        "e18_write_stalls",
+        &[("experiment", "e18_write_stalls"), ("config", name)],
+    );
     let s = db.stats().snapshot();
     t.print(&[
         name.to_string(),
@@ -43,7 +48,7 @@ fn run(name: &str, cfg: LsmConfig, n: u64, t: &TablePrinter) {
 }
 
 fn main() {
-    let n = DEFAULT_N;
+    let n = bench_n();
     println!("E18: per-put stall latency (simulated NVMe) — {n} keys, leveled T=4\n");
     let t = TablePrinter::new(&[
         "granularity",

@@ -1,0 +1,36 @@
+//! Validates metrics artifacts (`results/*.metrics.jsonl`): every line
+//! must be a well-formed JSON object. Used by `scripts/verify.sh` after
+//! the bench smoke run, so the artifact contract is enforced without any
+//! external tooling.
+//!
+//! Usage: `metrics_lint <file.jsonl>...` — exits nonzero listing the
+//! first offending line per file.
+
+use lsm_obs::json::validate_json_lines;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: metrics_lint <file.jsonl>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &files {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match validate_json_lines(&text) {
+                Ok(n) => println!("{path}: {n} valid JSON lines"),
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

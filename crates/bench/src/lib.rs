@@ -36,6 +36,63 @@ pub fn base_config() -> LsmConfig {
     }
 }
 
+/// Experiment scale: `LSM_BENCH_N` overrides [`DEFAULT_N`], so smoke
+/// runs (CI, `verify.sh`) can shrink every experiment without touching
+/// the binaries.
+pub fn bench_n() -> u64 {
+    std::env::var("LSM_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_N)
+}
+
+/// Whether the experiment was invoked with `--metrics` (or
+/// `LSM_BENCH_METRICS=1`): opt-in because the artifact drains the
+/// engine's event trace.
+pub fn metrics_enabled() -> bool {
+    std::env::args().any(|a| a == "--metrics")
+        || std::env::var("LSM_BENCH_METRICS").is_ok_and(|v| v == "1")
+}
+
+/// Files already written by this process, so one experiment appending
+/// several engines' metrics truncates stale artifacts exactly once.
+static METRICS_FILES: std::sync::OnceLock<std::sync::Mutex<std::collections::HashSet<String>>> =
+    std::sync::OnceLock::new();
+
+/// When metrics are enabled, appends one metrics-snapshot JSON line
+/// (tagged with `tags`) plus the drained event trace to
+/// `results/<bin>.metrics.jsonl`. The first write per process truncates
+/// the file; later writes append. No-op otherwise.
+pub fn write_metrics_artifact(db: &Db, bin: &str, tags: &[(&str, &str)]) {
+    use std::io::Write;
+    if !metrics_enabled() {
+        return;
+    }
+    let path = format!("results/{bin}.metrics.jsonl");
+    let first = METRICS_FILES
+        .get_or_init(Default::default)
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(path.clone());
+    let _ = std::fs::create_dir_all("results");
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(first)
+        .append(!first)
+        .open(&path)
+        .expect("open metrics artifact");
+    let mut out = String::new();
+    out.push_str(&db.metrics().to_json_line_tagged(tags));
+    out.push('\n');
+    for e in db.drain_events() {
+        out.push_str(&e.to_json_line());
+        out.push('\n');
+    }
+    f.write_all(out.as_bytes()).expect("write metrics artifact");
+}
+
 /// Deterministic value payload.
 pub fn value_of(id: u64, len: usize) -> Vec<u8> {
     lsm_workload::keyspace::make_value(id, len)

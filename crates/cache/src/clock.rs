@@ -95,10 +95,10 @@ impl<V: Clone + Send> CacheShard<V> for ClockShard<V> {
         Some(self.slots[idx].value.clone())
     }
 
-    fn insert(&mut self, key: CacheKey, value: V, charge: usize) {
+    fn insert(&mut self, key: CacheKey, value: V, charge: usize) -> usize {
         if charge > self.capacity {
             self.remove(&key);
-            return;
+            return 0;
         }
         if let Some(&idx) = self.map.get(&key) {
             self.used = self.used - self.slots[idx].charge + charge;
@@ -110,11 +110,14 @@ impl<V: Clone + Send> CacheShard<V> for ClockShard<V> {
             self.map.insert(key, idx);
             self.used += charge;
         }
+        let mut evicted = 0;
         while self.used > self.capacity {
             if !self.evict_one() {
                 break;
             }
+            evicted += 1;
         }
+        evicted
     }
 
     fn remove(&mut self, key: &CacheKey) -> bool {

@@ -52,10 +52,10 @@ impl<V: Clone + Send> CacheShard<V> for FifoShard<V> {
         self.map.get(key).map(|e| e.value.clone())
     }
 
-    fn insert(&mut self, key: CacheKey, value: V, charge: usize) {
+    fn insert(&mut self, key: CacheKey, value: V, charge: usize) -> usize {
         if charge > self.capacity {
             self.remove(&key);
-            return;
+            return 0;
         }
         self.generation += 1;
         if let Some(old) = self.map.insert(
@@ -70,11 +70,14 @@ impl<V: Clone + Send> CacheShard<V> for FifoShard<V> {
         }
         self.used += charge;
         self.queue.push_back((key, self.generation));
+        let mut evicted = 0;
         while self.used > self.capacity {
             if !self.evict_one() {
                 break;
             }
+            evicted += 1;
         }
+        evicted
     }
 
     fn remove(&mut self, key: &CacheKey) -> bool {

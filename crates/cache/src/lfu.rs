@@ -89,11 +89,11 @@ impl<V: Clone + Send> CacheShard<V> for LfuShard<V> {
         Some(v)
     }
 
-    fn insert(&mut self, key: CacheKey, value: V, charge: usize) {
+    fn insert(&mut self, key: CacheKey, value: V, charge: usize) -> usize {
         self.maybe_age();
         if charge > self.capacity {
             self.remove(&key);
-            return;
+            return 0;
         }
         self.tick += 1;
         if let Some(e) = self.map.get_mut(&key) {
@@ -119,11 +119,14 @@ impl<V: Clone + Send> CacheShard<V> for LfuShard<V> {
             self.order.insert((1, self.tick, key));
             self.used += charge;
         }
+        let mut evicted = 0;
         while self.used > self.capacity {
             if !self.evict_one() {
                 break;
             }
+            evicted += 1;
         }
+        evicted
     }
 
     fn remove(&mut self, key: &CacheKey) -> bool {

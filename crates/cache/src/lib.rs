@@ -28,5 +28,5 @@ pub use lfu::LfuShard;
 pub use lru::LruShard;
 pub use pinning::PinnedTier;
 pub use prefetch::{plan_prefetch, PrefetchCandidate};
-pub use sharded::{CacheStats, ShardedCache};
+pub use sharded::{CacheStats, ShardStatsSnapshot, ShardedCache};
 pub use traits::{CacheKey, CachePolicy, CacheShard};

@@ -89,11 +89,11 @@ impl<V: Clone + Send> CacheShard<V> for LruShard<V> {
         Some(self.slab[idx].value.clone())
     }
 
-    fn insert(&mut self, key: CacheKey, value: V, charge: usize) {
+    fn insert(&mut self, key: CacheKey, value: V, charge: usize) -> usize {
         if charge > self.capacity {
             // never admit an entry that cannot fit; also drop any stale copy
             self.remove(&key);
-            return;
+            return 0;
         }
         if let Some(&idx) = self.map.get(&key) {
             self.used = self.used - self.slab[idx].charge + charge;
@@ -125,11 +125,14 @@ impl<V: Clone + Send> CacheShard<V> for LruShard<V> {
             self.push_front(idx);
             self.used += charge;
         }
+        let mut evicted = 0;
         while self.used > self.capacity {
             if !self.evict_one() {
                 break;
             }
+            evicted += 1;
         }
+        evicted
     }
 
     fn remove(&mut self, key: &CacheKey) -> bool {

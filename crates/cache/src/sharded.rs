@@ -19,6 +19,7 @@ pub struct CacheStats {
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl CacheStats {
@@ -37,6 +38,11 @@ impl CacheStats {
         self.inserts.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted to make room for inserts.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Hit rate in `[0, 1]`; zero if no lookups yet.
     pub fn hit_rate(&self) -> f64 {
         let h = self.hits() as f64;
@@ -53,13 +59,40 @@ impl CacheStats {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.inserts.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
+}
+
+/// Point-in-time copy of one shard's counters (skew diagnostics: a hot
+/// shard shows up as a hit/miss outlier here, invisible in the totals).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStatsSnapshot {
+    /// Lookups served by this shard that hit.
+    pub hits: u64,
+    /// Lookups served by this shard that missed.
+    pub misses: u64,
+    /// Entries this shard evicted to admit inserts.
+    pub evictions: u64,
+}
+
+lsm_obs::impl_delta_since!(ShardStatsSnapshot {
+    hits,
+    misses,
+    evictions,
+});
+
+#[derive(Debug, Default)]
+struct ShardStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// A sharded, thread-safe block cache with a pluggable eviction policy.
 pub struct ShardedCache<V: Clone + Send> {
     shards: Vec<Mutex<Box<dyn CacheShard<V>>>>,
     stats: CacheStats,
+    shard_stats: Vec<ShardStats>,
     mask: u64,
 }
 
@@ -83,6 +116,7 @@ impl<V: Clone + Send + 'static> ShardedCache<V> {
         ShardedCache {
             shards,
             stats: CacheStats::default(),
+            shard_stats: (0..shards_pow2).map(|_| ShardStats::default()).collect(),
             mask: shards_pow2 as u64 - 1,
         }
     }
@@ -96,21 +130,32 @@ impl<V: Clone + Send + 'static> ShardedCache<V> {
         ((h >> 32) & self.mask) as usize
     }
 
-    /// Looks up a block, counting the hit or miss.
+    /// Looks up a block, counting the hit or miss (globally and on the
+    /// owning shard).
     pub fn get(&self, key: &CacheKey) -> Option<V> {
-        let res = self.shards[self.shard_of(key)].lock().get(key);
+        let shard = self.shard_of(key);
+        let res = self.shards[shard].lock().get(key);
         if res.is_some() {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            self.shard_stats[shard].hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            self.shard_stats[shard].misses.fetch_add(1, Ordering::Relaxed);
         }
         res
     }
 
-    /// Inserts a block.
+    /// Inserts a block, counting any evictions it forced.
     pub fn insert(&self, key: CacheKey, value: V, charge: usize) {
         self.stats.inserts.fetch_add(1, Ordering::Relaxed);
-        self.shards[self.shard_of(&key)].lock().insert(key, value, charge);
+        let shard = self.shard_of(&key);
+        let evicted = self.shards[shard].lock().insert(key, value, charge) as u64;
+        if evicted > 0 {
+            self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.shard_stats[shard]
+                .evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 
     /// Removes one block.
@@ -155,6 +200,18 @@ impl<V: Clone + Send + 'static> ShardedCache<V> {
     /// Hit/miss counters.
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// Per-shard counter snapshots, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStatsSnapshot> {
+        self.shard_stats
+            .iter()
+            .map(|s| ShardStatsSnapshot {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                evictions: s.evictions.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 
@@ -231,6 +288,27 @@ mod tests {
         assert_eq!(c.stats().inserts(), 2000);
         assert!(c.stats().hits() + c.stats().misses() == 2000);
         assert!(c.used() <= c.capacity());
+    }
+
+    #[test]
+    fn per_shard_stats_sum_to_totals() {
+        for policy in CachePolicy::ALL {
+            let c: ShardedCache<u64> = ShardedCache::new(policy, 256, 4);
+            for i in 0..200 {
+                c.insert(k(1, i), i, 8);
+                c.get(&k(1, i));
+                c.get(&k(9, i)); // never inserted
+            }
+            let per: Vec<ShardStatsSnapshot> = c.shard_stats();
+            let hits: u64 = per.iter().map(|s| s.hits).sum();
+            let misses: u64 = per.iter().map(|s| s.misses).sum();
+            let evictions: u64 = per.iter().map(|s| s.evictions).sum();
+            assert_eq!(hits, c.stats().hits(), "{}", policy.label());
+            assert_eq!(misses, c.stats().misses(), "{}", policy.label());
+            assert_eq!(evictions, c.stats().evictions(), "{}", policy.label());
+            // 200 inserts of charge 8 into 256 bytes must evict
+            assert!(evictions > 0, "{}: no evictions counted", policy.label());
+        }
     }
 
     #[test]

@@ -26,7 +26,8 @@ pub trait CacheShard<V: Clone>: Send {
 
     /// Inserts (or replaces) an entry with the given charge, evicting as
     /// needed. Entries larger than the whole capacity are not admitted.
-    fn insert(&mut self, key: CacheKey, value: V, charge: usize);
+    /// Returns how many resident entries were evicted to make room.
+    fn insert(&mut self, key: CacheKey, value: V, charge: usize) -> usize;
 
     /// Removes an entry; returns whether it was present. Used when a
     /// compaction deletes a file.

@@ -256,8 +256,14 @@ pub(crate) fn worker_loop(bg: std::sync::Arc<BgState>, core: Weak<DbCore>) {
             return;
         };
         let result = match job {
-            Job::Flush => db.run_flush(),
-            Job::Compact => run_compact_job(&bg, &db),
+            Job::Flush => {
+                db.obs().registry().counter("bg.flush_jobs").inc();
+                db.run_flush()
+            }
+            Job::Compact => {
+                db.obs().registry().counter("bg.compact_jobs").inc();
+                run_compact_job(&bg, &db)
+            }
         };
         bg.complete(job, result);
         drop(db);

@@ -21,6 +21,8 @@ pub struct MergeResult {
     pub tombstones_dropped: u64,
     /// Obsolete (shadowed) versions dropped by the merge.
     pub versions_dropped: u64,
+    /// Data bytes across the output tables (event-trace accounting).
+    pub output_bytes: u64,
 }
 
 /// Sort-merges `inputs` (ordered youngest first; tables within one run may
@@ -77,11 +79,13 @@ pub fn merge_tables(
     let versions_dropped = entries_in
         .saturating_sub(entries_written)
         .saturating_sub(tombstones_dropped);
+    let output_bytes = out_tables.iter().map(|t| t.data_bytes()).sum();
     Ok(MergeResult {
         tables: out_tables,
         entries_written,
         tombstones_dropped,
         versions_dropped,
+        output_bytes,
     })
 }
 

@@ -231,6 +231,9 @@ pub struct LsmConfig {
     pub l0_stall_runs: usize,
     /// Per-write delay applied in the slowdown band, in microseconds.
     pub slowdown_micros: u64,
+    /// Capacity of the structured event ring ([`crate::Db::drain_events`]);
+    /// when full, the oldest events are dropped and counted.
+    pub event_ring_capacity: usize,
 }
 
 impl Default for LsmConfig {
@@ -262,6 +265,7 @@ impl Default for LsmConfig {
             l0_slowdown_runs: 8,
             l0_stall_runs: 12,
             slowdown_micros: 100,
+            event_ring_capacity: 4096,
         }
     }
 }

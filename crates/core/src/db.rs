@@ -35,6 +35,9 @@ use crate::kv_sep::{
 };
 use crate::manifest::{find_manifest_candidates, write_manifest, ManifestState};
 use crate::memtable::Memtable;
+use crate::obs::EngineMetrics;
+use lsm_obs::{Event, EventKind, MetricsSnapshot, StallReason};
+use lsm_storage::IoCategory;
 use crate::sstable::{Table, TableBuilder};
 use crate::stats::DbStats;
 use crate::version::{SortedRun, Version};
@@ -126,6 +129,9 @@ pub struct DbCore {
     user_handles: AtomicUsize,
     /// Outstanding [`crate::Snapshot`]s (blocks value-log GC).
     snapshot_count: Arc<AtomicUsize>,
+    /// Metrics registry, latency histograms, and the structured event
+    /// trace (see [`crate::obs`]).
+    obs: EngineMetrics,
 }
 
 impl Db {
@@ -142,6 +148,15 @@ impl Db {
         }
         let cache = (cfg.cache_bytes > 0)
             .then(|| Arc::new(ShardedCache::new(cfg.cache_policy, cfg.cache_bytes, 8)));
+        // Inline mode times operations on the *simulated* device clock so
+        // metrics are reproducible; Threaded mode uses wall time.
+        let obs = match cfg.background {
+            BackgroundMode::Inline => EngineMetrics::simulated(
+                device.latency().clock().clone(),
+                cfg.event_ring_capacity,
+            ),
+            BackgroundMode::Threaded => EngineMetrics::wall(cfg.event_ring_capacity),
+        };
         let mut inner = Inner {
             mem: Memtable::with_front(cfg.buffer_front_bytes),
             imm: None,
@@ -165,8 +180,12 @@ impl Db {
         let mut old_wals: Vec<FileId> = Vec::new();
         let mut last_reject: Option<StorageError> = None;
         for (mid, state) in candidates {
-            match DbCore::recover_from_manifest(&device, &cfg, &state) {
+            match DbCore::recover_from_manifest(&device, &cfg, &state, &obs) {
                 Ok((version, mem, next_seqno)) => {
+                    obs.event(EventKind::RecoveryStep {
+                        step: "manifest_loaded",
+                        detail: format!("manifest {} levels {}", mid.0, state.levels.len()),
+                    });
                     inner.manifest = Some(mid);
                     inner.next_seqno = next_seqno;
                     inner.version = Arc::new(version);
@@ -185,6 +204,10 @@ impl Db {
                     | StorageError::UnknownFile(_)
                     | StorageError::OutOfBounds { .. }),
                 ) => {
+                    obs.event(EventKind::RecoveryStep {
+                        step: "manifest_rejected",
+                        detail: format!("manifest {}: {e}", mid.0),
+                    });
                     device.stats().record_corruption();
                     last_reject = Some(e);
                 }
@@ -233,6 +256,7 @@ impl Db {
                 compaction_lock: Mutex::new(()),
                 user_handles: AtomicUsize::new(1),
                 snapshot_count: Arc::new(AtomicUsize::new(0)),
+                obs,
             }),
         };
         {
@@ -294,6 +318,7 @@ impl DbCore {
         device: &Arc<dyn StorageDevice>,
         cfg: &LsmConfig,
         state: &ManifestState,
+        obs: &EngineMetrics,
     ) -> StorageResult<(Version, Memtable, u64)> {
         let mut version = Version::new();
         version.ensure_levels(state.levels.len());
@@ -317,6 +342,10 @@ impl DbCore {
             }
             match wal::recover(Arc::clone(device), FileId(wal_id)) {
                 Ok(records) => {
+                    obs.event(EventKind::RecoveryStep {
+                        step: "wal_replayed",
+                        detail: format!("wal {} records {}", wal_id, records.len()),
+                    });
                     for r in records {
                         next_seqno = next_seqno.max(r.seqno + 1);
                         mem.insert(r.key, r.seqno, r.kind, r.value);
@@ -358,6 +387,77 @@ impl DbCore {
         self.cache.as_ref().map(|c| (c.stats().hits(), c.stats().misses()))
     }
 
+    /// Point-in-time snapshot of every engine metric: `db.*` engine
+    /// counters, `io.*` per-category device counters, `cache.*`
+    /// block-cache counters (global and per shard), `latency.*`
+    /// histograms for get/put/scan/flush/compaction, and `engine.*`
+    /// gauges. Byte-identical across repeated runs of the same workload
+    /// under [`BackgroundMode::Inline`] (the histograms are driven by the
+    /// simulated device clock).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.sync_registry();
+        self.obs.snapshot()
+    }
+
+    /// Drains the structured event trace, oldest first. `seq` is globally
+    /// monotone, so a consumer can detect ring overflow as a gap (see
+    /// also [`DbCore::events_dropped`]).
+    pub fn drain_events(&self) -> Vec<Event> {
+        self.obs.drain_events()
+    }
+
+    /// Events evicted from the trace ring because it was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.obs.dropped_events()
+    }
+
+    /// Engine observability state (hook for the background workers).
+    pub(crate) fn obs(&self) -> &EngineMetrics {
+        &self.obs
+    }
+
+    /// Mirrors the engine/device/cache counters into the metrics registry
+    /// as absolute values. All sources are monotone, so registry counters
+    /// only ever move forward (asserted by the regression tests).
+    fn sync_registry(&self) {
+        let reg = self.obs.registry();
+        let sync = |name: &str, target: u64| {
+            let c = reg.counter(name);
+            let cur = c.get();
+            if target > cur {
+                c.add(target - cur);
+            }
+        };
+        for (name, value) in self.stats.snapshot().fields() {
+            sync(&format!("db.{name}"), value);
+        }
+        let io = self.device.stats().snapshot();
+        for cat in IoCategory::ALL {
+            let c = io.category(cat);
+            let label = cat.label();
+            sync(&format!("io.{label}.read_blocks"), c.read_blocks);
+            sync(&format!("io.{label}.written_blocks"), c.written_blocks);
+            sync(&format!("io.{label}.read_ops"), c.read_ops);
+            sync(&format!("io.{label}.write_ops"), c.write_ops);
+        }
+        sync("io.retries", io.retries);
+        sync("io.corruption_detected", io.corruption_detected);
+        sync("io.write_slowdowns", io.write_slowdowns);
+        sync("io.write_stalls", io.write_stalls);
+        if let Some(cache) = &self.cache {
+            let s = cache.stats();
+            sync("cache.hits", s.hits());
+            sync("cache.misses", s.misses());
+            sync("cache.inserts", s.inserts());
+            sync("cache.evictions", s.evictions());
+            for (i, shard) in cache.shard_stats().iter().enumerate() {
+                sync(&format!("cache.shard{i}.hits"), shard.hits);
+                sync(&format!("cache.shard{i}.misses"), shard.misses);
+                sync(&format!("cache.shard{i}.evictions"), shard.evictions);
+            }
+        }
+    }
+
     fn threaded(&self) -> bool {
         self.cfg.background == BackgroundMode::Threaded
     }
@@ -375,6 +475,7 @@ impl DbCore {
         let l0 = Self::count_l0_runs(&version);
         inner.version = Arc::new(version);
         self.l0_runs.store(l0, Ordering::Release);
+        self.obs.l0_runs_gauge.set(l0 as i64);
     }
 
     /// Surfaces the first background-job error on the calling thread.
@@ -412,12 +513,22 @@ impl DbCore {
     /// untouched while a writer sleeps or stalls.
     fn backpressure(&self) {
         let l0 = self.l0_runs.load(Ordering::Acquire);
+        self.obs
+            .backpressure_band(l0, self.cfg.l0_slowdown_runs, self.cfg.l0_stall_runs);
         if l0 >= self.cfg.l0_stall_runs {
             self.device.stats().record_write_stall();
             self.bg.schedule_compact();
             let stall = self.cfg.l0_stall_runs;
             self.bg
                 .wait_progress_until(|| self.l0_runs.load(Ordering::Acquire) < stall);
+            // Compaction drained L0 below the stall line while we slept;
+            // reconcile the band so the StallExit lands in the trace now
+            // rather than on some later write.
+            self.obs.backpressure_band(
+                self.l0_runs.load(Ordering::Acquire),
+                self.cfg.l0_slowdown_runs,
+                self.cfg.l0_stall_runs,
+            );
         } else if l0 >= self.cfg.l0_slowdown_runs {
             self.device.stats().record_write_slowdown();
             self.bg.schedule_compact();
@@ -425,7 +536,19 @@ impl DbCore {
         }
     }
 
+    /// Shared write path for puts and deletes, timed into the put
+    /// histogram (a write's latency includes any backpressure delay and,
+    /// under `Inline`, the flush/compaction cascade it triggers).
     fn write(&self, key: Vec<u8>, kind: ValueKind, value: Vec<u8>) -> StorageResult<()> {
+        let start = self.obs.now_ns();
+        let out = self.write_inner(key, kind, value);
+        self.obs
+            .put_ns
+            .record(self.obs.now_ns().saturating_sub(start));
+        out
+    }
+
+    fn write_inner(&self, key: Vec<u8>, kind: ValueKind, value: Vec<u8>) -> StorageResult<()> {
         if self.threaded() {
             self.check_bg_error()?;
             self.backpressure();
@@ -456,6 +579,7 @@ impl DbCore {
             wal.append(seqno, kind, &key, &stored)?;
         }
         inner.mem.insert(key, seqno, kind, stored);
+        self.obs.memtable_bytes_gauge.set(inner.mem.bytes() as i64);
         if inner.mem.bytes() >= self.cfg.buffer_bytes {
             if self.threaded() {
                 return self.freeze_or_wait(inner);
@@ -478,7 +602,16 @@ impl DbCore {
             }
             drop(inner);
             self.device.stats().record_write_stall();
+            let l0 = self.l0_runs.load(Ordering::Acquire) as u64;
+            self.obs.event(EventKind::StallEnter {
+                reason: StallReason::MemtableRotation,
+                l0_runs: l0,
+            });
             self.bg.wait_flush_drained();
+            self.obs.event(EventKind::StallExit {
+                reason: StallReason::MemtableRotation,
+                l0_runs: self.l0_runs.load(Ordering::Acquire) as u64,
+            });
             self.check_bg_error()?;
             inner = self.inner.write();
             if inner.mem.bytes() < self.cfg.buffer_bytes {
@@ -509,6 +642,13 @@ impl DbCore {
         if self.cfg.wal {
             inner.imm_wal = inner.wal.take();
             inner.wal = Some(Wal::create(Arc::clone(&self.device))?);
+            if let (Some(old), Some(new)) = (&inner.imm_wal, &inner.wal) {
+                self.obs.event(EventKind::WalRotation {
+                    old_wal: old.id().0,
+                    new_wal: new.id().0,
+                    old_records: old.records(),
+                });
+            }
         }
         // the manifest names both WALs, so a crash here replays the frozen
         // records (wal_prev) before the new active WAL
@@ -530,11 +670,18 @@ impl DbCore {
             }
         };
         let entries: Vec<InternalEntry> = imm.range(Bound::Unbounded, Bound::Unbounded).collect();
+        let flush_id = self.obs.next_flush_id();
+        let flush_start = self.obs.now_ns();
+        self.obs.event(EventKind::FlushStart {
+            id: flush_id,
+            entries: entries.len() as u64,
+        });
         let table = if entries.is_empty() {
             None
         } else {
             Some(self.build_l0_table(&version, &entries)?)
         };
+        let output_bytes = table.as_ref().map_or(0, |t| t.data_bytes());
         let old_wal = {
             let mut inner = self.inner.write();
             let still_ours = matches!(&inner.imm, Some(cur) if Arc::ptr_eq(cur, &imm));
@@ -542,10 +689,30 @@ impl DbCore {
                 if let Some(t) = &table {
                     t.mark_obsolete();
                 }
+                // The foreground flush won the race and installed this
+                // memtable itself; this job produced nothing.
+                self.obs.event(EventKind::FlushEnd {
+                    id: flush_id,
+                    entries: entries.len() as u64,
+                    output_bytes: 0,
+                    l0_runs: self.l0_runs.load(Ordering::Acquire) as u64,
+                });
+                self.obs
+                    .flush_ns
+                    .record(self.obs.now_ns().saturating_sub(flush_start));
                 return Ok(());
             }
             self.install_imm_flush(&mut inner, table)?
         };
+        self.obs.event(EventKind::FlushEnd {
+            id: flush_id,
+            entries: entries.len() as u64,
+            output_bytes,
+            l0_runs: self.l0_runs.load(Ordering::Acquire) as u64,
+        });
+        self.obs
+            .flush_ns
+            .record(self.obs.now_ns().saturating_sub(flush_start));
         if let Some(old) = old_wal {
             let old_file = old.seal()?;
             old_file.delete()?;
@@ -584,13 +751,29 @@ impl DbCore {
             return Ok(());
         };
         let entries: Vec<InternalEntry> = imm.range(Bound::Unbounded, Bound::Unbounded).collect();
+        let flush_id = self.obs.next_flush_id();
+        let flush_start = self.obs.now_ns();
+        self.obs.event(EventKind::FlushStart {
+            id: flush_id,
+            entries: entries.len() as u64,
+        });
         let version = Arc::clone(&inner.version);
         let table = if entries.is_empty() {
             None
         } else {
             Some(self.build_l0_table(&version, &entries)?)
         };
+        let output_bytes = table.as_ref().map_or(0, |t| t.data_bytes());
         let old_wal = self.install_imm_flush(inner, table)?;
+        self.obs.event(EventKind::FlushEnd {
+            id: flush_id,
+            entries: entries.len() as u64,
+            output_bytes,
+            l0_runs: self.l0_runs.load(Ordering::Acquire) as u64,
+        });
+        self.obs
+            .flush_ns
+            .record(self.obs.now_ns().saturating_sub(flush_start));
         if let Some(old) = old_wal {
             let old_file = old.seal()?;
             old_file.delete()?;
@@ -651,11 +834,23 @@ impl DbCore {
             return Ok(());
         }
         let bits = self.bits_for_level(&version, last);
+        let trace_id = self.obs.next_compaction_id();
+        let input_entries: u64 = inputs.iter().map(|t| t.meta().num_entries).sum();
+        let input_bytes: u64 = inputs.iter().map(|t| t.data_bytes()).sum();
+        let started_ns = self.obs.now_ns();
+        self.obs.event(EventKind::CompactionStart {
+            id: trace_id,
+            level: 0,
+            target: last as u32,
+            input_tables: inputs.len() as u64,
+            input_entries,
+            input_bytes,
+        });
         let result = merge_tables(&self.device, &self.cfg, self.cfg.index, bits, &inputs, true)?;
         let mut new_version = Version::new();
         new_version.ensure_levels(last + 1);
         if !result.tables.is_empty() {
-            new_version.levels[last].runs = vec![SortedRun::from_tables(result.tables)];
+            new_version.levels[last].runs = vec![SortedRun::from_tables(result.tables.clone())];
         }
         DbStats::bump(&self.stats.compactions);
         self.stats
@@ -666,6 +861,22 @@ impl DbCore {
             .add(&self.stats.versions_dropped, result.versions_dropped);
         self.install_version(&mut inner, new_version);
         self.persist_manifest(&mut inner)?;
+        self.obs.event(EventKind::CompactionEnd {
+            id: trace_id,
+            level: 0,
+            target: last as u32,
+            input_tables: inputs.len() as u64,
+            input_entries,
+            input_bytes,
+            output_tables: result.tables.len() as u64,
+            entries_written: result.entries_written,
+            output_bytes: result.output_bytes,
+            tombstones_dropped: result.tombstones_dropped,
+            versions_dropped: result.versions_dropped,
+        });
+        self.obs
+            .compaction_ns
+            .record(self.obs.now_ns().saturating_sub(started_ns));
         for t in &inputs {
             if let Some(cache) = &self.cache {
                 let max_block = t.meta().data_blocks.len().saturating_sub(1) as u64;
@@ -772,6 +983,15 @@ impl DbCore {
     /// Point lookup: the newest visible value for `key`. Takes a version
     /// snapshot and probes tables without holding any engine lock.
     pub fn get(&self, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        let start = self.obs.now_ns();
+        let out = self.get_inner(key);
+        self.obs
+            .get_ns
+            .record(self.obs.now_ns().saturating_sub(start));
+        out
+    }
+
+    fn get_inner(&self, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
         DbStats::bump(&self.stats.gets);
         self.heat.lock().record(heat_key(key));
         let version = {
@@ -852,6 +1072,19 @@ impl DbCore {
     /// state is copied under a brief read lock; table I/O and the merge
     /// run lock-free against the version snapshot.
     pub fn scan(&self, range: Range<Vec<u8>>, limit: usize) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let start = self.obs.now_ns();
+        let out = self.scan_inner(range, limit);
+        self.obs
+            .scan_ns
+            .record(self.obs.now_ns().saturating_sub(start));
+        out
+    }
+
+    fn scan_inner(
+        &self,
+        range: Range<Vec<u8>>,
+        limit: usize,
+    ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
         DbStats::bump(&self.stats.scans);
         if range.start >= range.end {
             return Ok(Vec::new());
@@ -1163,6 +1396,13 @@ impl DbCore {
         }
         let entries = inner.mem.drain_sorted();
         debug_assert!(inner.mem.is_empty());
+        self.obs.memtable_bytes_gauge.set(0);
+        let flush_id = self.obs.next_flush_id();
+        let flush_start = self.obs.now_ns();
+        self.obs.event(EventKind::FlushStart {
+            id: flush_id,
+            entries: entries.len() as u64,
+        });
         // Separated values referenced by these entries must be durable
         // before the table pointing at them is: once the flush lands, the
         // WAL that could replay the values is deleted.
@@ -1171,11 +1411,18 @@ impl DbCore {
         }
         let version = Arc::clone(&inner.version);
         let table = self.build_l0_table(&version, &entries)?;
+        let output_bytes = table.data_bytes();
         let mut new_version = (*inner.version).clone();
         new_version.ensure_levels(1);
         new_version.levels[0].runs.insert(0, SortedRun::single(table));
         self.install_version(inner, new_version);
         DbStats::bump(&self.stats.flushes);
+        self.obs.event(EventKind::FlushEnd {
+            id: flush_id,
+            entries: entries.len() as u64,
+            output_bytes,
+            l0_runs: self.l0_runs.load(Ordering::Acquire) as u64,
+        });
         // Rotate the WAL. Ordering matters for crash safety: the old WAL
         // may only be deleted after the manifest naming the new table (and
         // the new WAL) is durable. Deleting first opens a window where a
@@ -1184,6 +1431,13 @@ impl DbCore {
         let old_wal = if self.cfg.wal {
             let old = inner.wal.take();
             inner.wal = Some(Wal::create(Arc::clone(&self.device))?);
+            if let (Some(old), Some(new)) = (&old, &inner.wal) {
+                self.obs.event(EventKind::WalRotation {
+                    old_wal: old.id().0,
+                    new_wal: new.id().0,
+                    old_records: old.records(),
+                });
+            }
             old
         } else {
             None
@@ -1193,6 +1447,9 @@ impl DbCore {
             let old_file = old.seal()?;
             old_file.delete()?;
         }
+        self.obs
+            .flush_ns
+            .record(self.obs.now_ns().saturating_sub(flush_start));
         Ok(())
     }
 
@@ -1337,6 +1594,17 @@ impl DbCore {
                 apply = CompactionApply::ReplaceTargetRun;
             }
         }
+        let trace_id = self.obs.next_compaction_id();
+        let input_entries: u64 = inputs.iter().map(|t| t.meta().num_entries).sum();
+        let input_bytes: u64 = inputs.iter().map(|t| t.data_bytes()).sum();
+        self.obs.event(EventKind::CompactionStart {
+            id: trace_id,
+            level: level as u32,
+            target: target as u32,
+            input_tables: inputs.len() as u64,
+            input_entries,
+            input_bytes,
+        });
         Ok(Some(PreparedCompaction {
             level,
             target,
@@ -1344,6 +1612,10 @@ impl DbCore {
             inputs,
             drop_tombstones,
             apply,
+            trace_id,
+            input_entries,
+            input_bytes,
+            started_ns: self.obs.now_ns(),
         }))
     }
 
@@ -1426,6 +1698,22 @@ impl DbCore {
 
         self.install_version(inner, new_version);
         self.persist_manifest(inner)?;
+        self.obs.event(EventKind::CompactionEnd {
+            id: prep.trace_id,
+            level: prep.level as u32,
+            target: prep.target as u32,
+            input_tables: prep.inputs.len() as u64,
+            input_entries: prep.input_entries,
+            input_bytes: prep.input_bytes,
+            output_tables: result.tables.len() as u64,
+            entries_written: result.entries_written,
+            output_bytes: result.output_bytes,
+            tombstones_dropped: result.tombstones_dropped,
+            versions_dropped: result.versions_dropped,
+        });
+        self.obs
+            .compaction_ns
+            .record(self.obs.now_ns().saturating_sub(prep.started_ns));
 
         // invalidate cached blocks of consumed tables and mark them
         // obsolete: their files are physically deleted when the last
@@ -1581,6 +1869,15 @@ struct PreparedCompaction {
     inputs: Vec<Arc<Table>>,
     drop_tombstones: bool,
     apply: CompactionApply,
+    /// Trace pairing id (the `CompactionStart` was emitted at prepare
+    /// time; `install_compaction` emits the matching end).
+    trace_id: u64,
+    /// Input accounting captured at prepare time, repeated in the end
+    /// event so each event stands alone.
+    input_entries: u64,
+    input_bytes: u64,
+    /// Engine clock at prepare time, for the compaction-latency histogram.
+    started_ns: u64,
 }
 
 /// How a merge's outputs are spliced back into the version.

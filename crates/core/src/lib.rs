@@ -50,6 +50,7 @@ pub mod iter;
 pub mod kv_sep;
 pub mod manifest;
 pub mod memtable;
+pub mod obs;
 pub mod partitioned;
 pub mod snapshot;
 pub mod sstable;
@@ -70,5 +71,9 @@ pub use version::{SortedRun, Version};
 // Re-export the configuration enums that come from substrate crates, so
 // users configure everything through `lsm_core`.
 pub use lsm_cache::CachePolicy;
+// Observability types surfaced by `Db::metrics()` / `Db::drain_events()`.
+pub use lsm_obs::{
+    Event, EventKind, HistogramSnapshot, MetricsSnapshot, StallReason,
+};
 pub use lsm_filters::{FilterKind, RangeFilterKind};
 pub use lsm_index::IndexKind;

@@ -34,6 +34,7 @@ pub struct Memtable {
     front_bytes: usize,
     front_budget: usize,
     bytes: usize,
+    peak_bytes: usize,
 }
 
 impl Memtable {
@@ -70,6 +71,11 @@ impl Memtable {
 
     /// Inserts a put or tombstone, replacing any older version.
     pub fn insert(&mut self, key: Vec<u8>, seqno: u64, kind: ValueKind, value: Vec<u8>) {
+        self.insert_inner(key, seqno, kind, value);
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+    }
+
+    fn insert_inner(&mut self, key: Vec<u8>, seqno: u64, kind: ValueKind, value: Vec<u8>) {
         if self.front_budget > 0 {
             let new_cost = Self::entry_cost(&key, &value);
             let key_len = key.len();
@@ -103,6 +109,12 @@ impl Memtable {
     /// Current approximate footprint in bytes.
     pub fn bytes(&self) -> usize {
         self.bytes
+    }
+
+    /// High-water mark of [`Memtable::bytes`] over this memtable's
+    /// lifetime (observability gauge; survives `drain_sorted`).
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
     }
 
     /// Number of (latest-version) entries, including tombstones. With a

@@ -34,6 +34,17 @@ macro_rules! counters {
                 $(self.$name.store(0, Ordering::Relaxed);)+
             }
         }
+
+        impl DbStatsSnapshot {
+            /// Every counter as a `(name, value)` pair, in declaration
+            /// order (the metrics exporter re-sorts by name).
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($name), self.$name),)+]
+            }
+        }
+
+        // the workspace-wide saturating snapshot delta
+        lsm_obs::impl_delta_since!(DbStatsSnapshot { $($name),+ });
     };
 }
 
@@ -116,39 +127,6 @@ impl DbStatsSnapshot {
         }
     }
 
-    /// Counter-wise difference `self - earlier` (saturating).
-    pub fn delta_since(&self, earlier: &DbStatsSnapshot) -> DbStatsSnapshot {
-        macro_rules! sub {
-            ($($f:ident),+ $(,)?) => {
-                DbStatsSnapshot {
-                    $($f: self.$f.saturating_sub(earlier.$f),)+
-                }
-            };
-        }
-        sub!(
-            puts,
-            deletes,
-            gets,
-            gets_found,
-            scans,
-            scan_entries,
-            bytes_ingested,
-            flushes,
-            compactions,
-            compaction_entries,
-            tombstones_dropped,
-            versions_dropped,
-            runs_probed,
-            filter_prunes,
-            blocks_examined,
-            range_prunes,
-            range_filter_prunes,
-            prefetched_blocks,
-            vlog_values,
-            vlog_resolves,
-            largest_compaction_entries,
-        )
-    }
 }
 
 #[cfg(test)]

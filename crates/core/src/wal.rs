@@ -41,6 +41,7 @@ fn checksum(bytes: &[u8]) -> u32 {
 /// An open write-ahead log.
 pub struct Wal {
     file: WritableFile,
+    records: u64,
 }
 
 impl Wal {
@@ -48,12 +49,19 @@ impl Wal {
     pub fn create(device: Arc<dyn StorageDevice>) -> StorageResult<Self> {
         Ok(Wal {
             file: WritableFile::create(device, IoCategory::Wal)?,
+            records: 0,
         })
     }
 
     /// The log's file id (recorded in the manifest).
     pub fn id(&self) -> FileId {
         self.file.id()
+    }
+
+    /// Records appended to this log so far (event-trace accounting for
+    /// WAL rotations).
+    pub fn records(&self) -> u64 {
+        self.records
     }
 
     /// Appends one record. Full blocks reach the device immediately;
@@ -77,7 +85,9 @@ impl Wal {
         put_varint(&mut frame, payload.len() as u64);
         frame.extend_from_slice(&checksum(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.file.append(&frame)
+        self.file.append(&frame)?;
+        self.records += 1;
+        Ok(())
     }
 
     /// Forces the buffered tail to the device (pads to a block boundary) —

@@ -1,0 +1,413 @@
+//! The structured event trace: a bounded ring of typed engine events.
+//!
+//! Events capture *when* maintenance happened — flushes, compactions
+//! with their input/output accounting, WAL rotations, backpressure
+//! transitions, recovery steps — which flat counters cannot express.
+//! The ring is bounded: when full, the oldest events are dropped and
+//! counted, so a misbehaving workload can grow memory by at most the
+//! configured capacity. Sequence numbers are global and monotone even
+//! across drops and drains, so a trace consumer can detect gaps.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::json::JsonObj;
+
+/// Why the write path blocked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallReason {
+    /// L0 run count reached `l0_stall_runs`.
+    L0,
+    /// Both memtables were full and the frozen one had not flushed yet.
+    MemtableRotation,
+}
+
+impl StallReason {
+    fn label(self) -> &'static str {
+        match self {
+            StallReason::L0 => "l0",
+            StallReason::MemtableRotation => "memtable_rotation",
+        }
+    }
+}
+
+/// What happened. Byte/entry fields count logical table data (not
+/// device blocks); `l0_runs` fields record the L0 gauge at emit time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A memtable flush began (`id` pairs it with its end event).
+    FlushStart {
+        /// Pairing id, unique per engine lifetime.
+        id: u64,
+        /// Entries drained from the memtable.
+        entries: u64,
+    },
+    /// The paired flush completed.
+    FlushEnd {
+        /// Pairing id from the start event.
+        id: u64,
+        /// Entries written into the new L0 table.
+        entries: u64,
+        /// Data bytes of the new L0 table (0 if the flush lost the
+        /// race to a foreground flush and installed nothing).
+        output_bytes: u64,
+        /// L0 run count after install.
+        l0_runs: u64,
+    },
+    /// A compaction began (`id` pairs it with its end event).
+    CompactionStart {
+        /// Pairing id, unique per engine lifetime.
+        id: u64,
+        /// Source level.
+        level: u32,
+        /// Destination level.
+        target: u32,
+        /// Input tables merged.
+        input_tables: u64,
+        /// Entries across the input tables.
+        input_entries: u64,
+        /// Data bytes across the input tables.
+        input_bytes: u64,
+    },
+    /// The paired compaction completed and its version was installed.
+    CompactionEnd {
+        /// Pairing id from the start event.
+        id: u64,
+        /// Source level.
+        level: u32,
+        /// Destination level.
+        target: u32,
+        /// Input tables merged (repeated so each event stands alone).
+        input_tables: u64,
+        /// Entries across the input tables.
+        input_entries: u64,
+        /// Data bytes across the input tables.
+        input_bytes: u64,
+        /// Output tables produced.
+        output_tables: u64,
+        /// Entries written (`input_entries - tombstones_dropped -
+        /// versions_dropped`).
+        entries_written: u64,
+        /// Data bytes across the output tables.
+        output_bytes: u64,
+        /// Tombstones garbage-collected (last-level only).
+        tombstones_dropped: u64,
+        /// Shadowed versions dropped by the merge.
+        versions_dropped: u64,
+    },
+    /// The WAL rotated: the old log was frozen alongside the immutable
+    /// memtable and a fresh one now takes writes.
+    WalRotation {
+        /// File id of the sealed log.
+        old_wal: u64,
+        /// File id of the fresh log.
+        new_wal: u64,
+        /// Records the sealed log had absorbed.
+        old_records: u64,
+    },
+    /// Writes entered the slowdown band (per-write sleep).
+    SlowdownEnter {
+        /// L0 run count at the crossing.
+        l0_runs: u64,
+    },
+    /// Writes left the slowdown band.
+    SlowdownExit {
+        /// L0 run count at the crossing.
+        l0_runs: u64,
+    },
+    /// A write blocked.
+    StallEnter {
+        /// What it blocked on.
+        reason: StallReason,
+        /// L0 run count at the crossing.
+        l0_runs: u64,
+    },
+    /// The blocked write resumed.
+    StallExit {
+        /// What it had blocked on.
+        reason: StallReason,
+        /// L0 run count at the crossing.
+        l0_runs: u64,
+    },
+    /// One step of crash recovery during `Db::open`.
+    RecoveryStep {
+        /// Step name (`manifest_loaded`, `manifest_rejected`,
+        /// `wal_replayed`, ...).
+        step: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl EventKind {
+    /// Snake-case type tag, as emitted in the `type` field of the JSON
+    /// encoding — handy for asserting on event order in tests.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::FlushStart { .. } => "flush_start",
+            EventKind::FlushEnd { .. } => "flush_end",
+            EventKind::CompactionStart { .. } => "compaction_start",
+            EventKind::CompactionEnd { .. } => "compaction_end",
+            EventKind::WalRotation { .. } => "wal_rotation",
+            EventKind::SlowdownEnter { .. } => "slowdown_enter",
+            EventKind::SlowdownExit { .. } => "slowdown_exit",
+            EventKind::StallEnter { .. } => "stall_enter",
+            EventKind::StallExit { .. } => "stall_exit",
+            EventKind::RecoveryStep { .. } => "recovery_step",
+        }
+    }
+}
+
+/// One traced engine event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number: monotone, gap-free unless the ring
+    /// dropped events.
+    pub seq: u64,
+    /// Engine clock at emission — simulated-device nanoseconds under
+    /// `BackgroundMode::Inline`, wall nanoseconds since open otherwise.
+    pub at_ns: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// One JSON object per event (`{"seq":…,"at_ns":…,"type":…, …}`).
+    pub fn to_json_line(&self) -> String {
+        let obj = JsonObj::new()
+            .u64("seq", self.seq)
+            .u64("at_ns", self.at_ns)
+            .str("type", self.kind.label());
+        match &self.kind {
+            EventKind::FlushStart { id, entries } => {
+                obj.u64("id", *id).u64("entries", *entries).finish()
+            }
+            EventKind::FlushEnd {
+                id,
+                entries,
+                output_bytes,
+                l0_runs,
+            } => obj
+                .u64("id", *id)
+                .u64("entries", *entries)
+                .u64("output_bytes", *output_bytes)
+                .u64("l0_runs", *l0_runs)
+                .finish(),
+            EventKind::CompactionStart {
+                id,
+                level,
+                target,
+                input_tables,
+                input_entries,
+                input_bytes,
+            } => obj
+                .u64("id", *id)
+                .u64("level", *level as u64)
+                .u64("target", *target as u64)
+                .u64("input_tables", *input_tables)
+                .u64("input_entries", *input_entries)
+                .u64("input_bytes", *input_bytes)
+                .finish(),
+            EventKind::CompactionEnd {
+                id,
+                level,
+                target,
+                input_tables,
+                input_entries,
+                input_bytes,
+                output_tables,
+                entries_written,
+                output_bytes,
+                tombstones_dropped,
+                versions_dropped,
+            } => obj
+                .u64("id", *id)
+                .u64("level", *level as u64)
+                .u64("target", *target as u64)
+                .u64("input_tables", *input_tables)
+                .u64("input_entries", *input_entries)
+                .u64("input_bytes", *input_bytes)
+                .u64("output_tables", *output_tables)
+                .u64("entries_written", *entries_written)
+                .u64("output_bytes", *output_bytes)
+                .u64("tombstones_dropped", *tombstones_dropped)
+                .u64("versions_dropped", *versions_dropped)
+                .finish(),
+            EventKind::WalRotation {
+                old_wal,
+                new_wal,
+                old_records,
+            } => obj
+                .u64("old_wal", *old_wal)
+                .u64("new_wal", *new_wal)
+                .u64("old_records", *old_records)
+                .finish(),
+            EventKind::SlowdownEnter { l0_runs } | EventKind::SlowdownExit { l0_runs } => {
+                obj.u64("l0_runs", *l0_runs).finish()
+            }
+            EventKind::StallEnter { reason, l0_runs } | EventKind::StallExit { reason, l0_runs } => {
+                obj.str("reason", reason.label()).u64("l0_runs", *l0_runs).finish()
+            }
+            EventKind::RecoveryStep { step, detail } => {
+                obj.str("step", step).str("detail", detail).finish()
+            }
+        }
+    }
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// Bounded, thread-safe event buffer. Push is a short mutex hold on
+/// maintenance-rate paths; per-key read/write paths never touch it.
+pub struct EventRing {
+    ring: Mutex<Ring>,
+    next_seq: AtomicU64,
+    capacity: usize,
+}
+
+impl EventRing {
+    /// Ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            ring: Mutex::new(Ring {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
+            next_seq: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends an event stamped with the next sequence number, evicting
+    /// the oldest if full.
+    pub fn record(&self, at_ns: u64, kind: EventKind) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut g = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if g.events.len() == self.capacity {
+            g.events.pop_front();
+            g.dropped += 1;
+        }
+        g.events.push_back(Event { seq, at_ns, kind });
+    }
+
+    /// Removes and returns all buffered events, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut g = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        g.events.drain(..).collect()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .dropped
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .events
+            .len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json_lines;
+
+    #[test]
+    fn bounded_with_drop_accounting() {
+        let ring = EventRing::new(3);
+        for i in 0..5 {
+            ring.record(i, EventKind::SlowdownEnter { l0_runs: i });
+        }
+        assert_eq!(ring.dropped(), 2);
+        let events = ring.drain();
+        assert_eq!(events.len(), 3);
+        // oldest two evicted; seq numbers expose the gap
+        assert_eq!(events[0].seq, 2);
+        assert_eq!(events[2].seq, 4);
+        assert!(ring.is_empty());
+        // seq keeps counting after a drain
+        ring.record(9, EventKind::SlowdownExit { l0_runs: 0 });
+        assert_eq!(ring.drain()[0].seq, 5);
+    }
+
+    #[test]
+    fn every_kind_serializes_to_valid_json() {
+        let kinds = vec![
+            EventKind::FlushStart { id: 1, entries: 10 },
+            EventKind::FlushEnd {
+                id: 1,
+                entries: 10,
+                output_bytes: 4096,
+                l0_runs: 2,
+            },
+            EventKind::CompactionStart {
+                id: 7,
+                level: 0,
+                target: 1,
+                input_tables: 4,
+                input_entries: 100,
+                input_bytes: 8192,
+            },
+            EventKind::CompactionEnd {
+                id: 7,
+                level: 0,
+                target: 1,
+                input_tables: 4,
+                input_entries: 100,
+                input_bytes: 8192,
+                output_tables: 1,
+                entries_written: 90,
+                output_bytes: 7168,
+                tombstones_dropped: 4,
+                versions_dropped: 6,
+            },
+            EventKind::WalRotation {
+                old_wal: 3,
+                new_wal: 9,
+                old_records: 512,
+            },
+            EventKind::SlowdownEnter { l0_runs: 8 },
+            EventKind::SlowdownExit { l0_runs: 5 },
+            EventKind::StallEnter {
+                reason: StallReason::L0,
+                l0_runs: 12,
+            },
+            EventKind::StallExit {
+                reason: StallReason::MemtableRotation,
+                l0_runs: 3,
+            },
+            EventKind::RecoveryStep {
+                step: "wal_replayed",
+                detail: "wal 4: 37 records".into(),
+            },
+        ];
+        let ring = EventRing::new(64);
+        for (i, k) in kinds.into_iter().enumerate() {
+            ring.record(i as u64 * 10, k);
+        }
+        let text: String = ring
+            .drain()
+            .iter()
+            .map(|e| e.to_json_line() + "\n")
+            .collect();
+        assert_eq!(validate_json_lines(&text).unwrap(), 10);
+        assert!(text.contains("\"type\":\"compaction_end\""));
+        assert!(text.contains("\"reason\":\"memtable_rotation\""));
+    }
+}

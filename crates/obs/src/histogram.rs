@@ -1,0 +1,311 @@
+//! Fixed-bucket log-scale latency histograms.
+//!
+//! Bucket `i` covers values whose binary magnitude is `i`: bucket 0
+//! holds exactly `{0}`, and bucket `i ≥ 1` covers `[2^(i-1), 2^i)`
+//! nanoseconds. 64 buckets span the full `u64` range, so recording
+//! never clips and the layout never depends on observed data — two runs
+//! that record the same values produce identical snapshots, which is
+//! what makes Inline-mode metrics byte-reproducible.
+//!
+//! Quantiles are *bucket upper bounds* (the largest value the bucket
+//! can hold), not interpolations. That keeps them deterministic and
+//! gives the merge bound the property tests rely on: because the merged
+//! cumulative distribution lies pointwise between the inputs', the
+//! merged p-quantile bucket lies between the inputs' p-quantile
+//! buckets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::DeltaSince;
+
+/// Number of buckets; one per binary magnitude of a `u64`.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a recorded value.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (the quantile representative).
+#[inline]
+pub fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ if i >= BUCKETS - 1 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A thread-safe log-scale histogram. Recording is a few relaxed atomic
+/// adds; reading is only ever done through [`Histogram::snapshot`].
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    /// Stored as `u64::MAX - min` so zero means "no samples".
+    inv_min: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            inv_min: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Fresh empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value (typically nanoseconds).
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.inv_min.fetch_max(u64::MAX - v, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy. Concurrent recording may tear across fields
+    /// (count vs. buckets) by a handful of samples; within Inline mode
+    /// snapshots are exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut s = HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: 0,
+            buckets: [0; BUCKETS],
+        };
+        let inv = self.inv_min.load(Ordering::Relaxed);
+        if s.count > 0 {
+            s.min = u64::MAX - inv;
+        }
+        for (i, b) in self.buckets.iter().enumerate() {
+            s.buckets[i] = b.load(Ordering::Relaxed);
+        }
+        s
+    }
+}
+
+/// Immutable copy of a [`Histogram`]; mergeable and deltable.
+#[derive(Clone, Copy)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see module docs for the layout).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping only past `u64::MAX` total).
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+    /// Smallest recorded value (exact); 0 when `count == 0`.
+    pub min: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: 0,
+        }
+    }
+}
+
+impl PartialEq for HistogramSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.buckets == other.buckets
+            && self.count == other.count
+            && self.sum == other.sum
+            && self.max == other.max
+            && self.min == other.min
+    }
+}
+impl Eq for HistogramSnapshot {}
+
+impl std::fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramSnapshot")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank quantile: the upper bound of the bucket holding the
+    /// `ceil(p·count)`-th smallest sample. Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(BUCKETS - 1)
+    }
+
+    /// Median (see [`Self::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds `other`'s samples into `self`. Exact for buckets, count,
+    /// and sum; max/min combine as watermarks.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+        self.min = match (self.count - other.count > 0, other.count > 0) {
+            (true, true) => self.min.min(other.min),
+            (false, true) => other.min,
+            _ => self.min,
+        };
+    }
+}
+
+impl DeltaSince for HistogramSnapshot {
+    /// Sample-wise difference: buckets, count, and sum subtract
+    /// (saturating); `max`/`min` are high/low watermarks since process
+    /// start and carry over from `self`, which makes
+    /// `earlier.merge(&later.delta_since(&earlier)) == later` hold —
+    /// the same round-trip contract as `IoStatsSnapshot::delta_since`.
+    fn delta_since(&self, earlier: &Self) -> Self {
+        HistogramSnapshot {
+            buckets: self.buckets.delta_since(&earlier.buckets),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            min: self.min,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Inherent mirror of the [`DeltaSince`] impl (callers don't need
+    /// the trait in scope).
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        <Self as DeltaSince>::delta_since(self, earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // boundaries are strictly monotone
+        for i in 1..BUCKETS {
+            assert!(bucket_bound(i) > bucket_bound(i - 1), "bucket {i}");
+        }
+        // every value lands in the bucket whose bound covers it
+        for v in [0u64, 1, 2, 5, 100, 1023, 1024, 1 << 40, u64::MAX] {
+            assert!(v <= bucket_bound(bucket_of(v)), "{v}");
+            if bucket_of(v) > 0 {
+                assert!(v > bucket_bound(bucket_of(v) - 1), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_and_watermarks() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1100);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.min, 10);
+        // rank 3 of 5 → 30's bucket [16,32) → bound 31
+        assert_eq!(s.p50(), 31);
+        // rank 5 → 1000's bucket [512,1024) → bound 1023
+        assert_eq!(s.p99(), 1023);
+        assert_eq!(HistogramSnapshot::default().p50(), 0);
+    }
+
+    #[test]
+    fn merge_is_exact_for_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            a.record(v);
+            b.record(v * 1000);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 200);
+        assert_eq!(m.max, 99_000);
+        assert_eq!(m.min, 0);
+    }
+
+    #[test]
+    fn delta_round_trips_through_merge() {
+        let h = Histogram::new();
+        for v in [5u64, 50, 500] {
+            h.record(v);
+        }
+        let first = h.snapshot();
+        for v in [2u64, 5000] {
+            h.record(v);
+        }
+        let second = h.snapshot();
+        let delta = second.delta_since(&first);
+        assert_eq!(delta.count, 2);
+        let mut merged = first;
+        merged.merge(&delta);
+        assert_eq!(merged, second);
+    }
+}

@@ -1,0 +1,126 @@
+//! Histogram property tests (satellite: proptest via the offline stub).
+//!
+//! Properties checked, per the issue:
+//! - merge(a, b) quantiles are bounded by the input quantiles,
+//! - counts are exact,
+//! - bucket boundaries are monotone,
+//! - snapshot/delta round-trips match `IoStatsSnapshot::delta_since`
+//!   semantics (saturating, `earlier.merge(delta) == later`).
+
+use lsm_obs::histogram::{bucket_bound, Histogram, HistogramSnapshot, BUCKETS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn counts_are_exact(values in vec(0u64..u64::MAX, 0..200)) {
+        let s = hist_of(&values);
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), values.len() as u64);
+        let sum: u64 = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(s.sum, sum);
+        if let Some(&max) = values.iter().max() {
+            prop_assert_eq!(s.max, max);
+            prop_assert_eq!(s.min, *values.iter().min().unwrap());
+        }
+    }
+
+    #[test]
+    fn merge_quantiles_bound_inputs(
+        a in vec(0u64..1_000_000_000, 1..120),
+        b in vec(0u64..1_000_000_000, 1..120),
+        p_millis in 1u64..1000,
+    ) {
+        let p = p_millis as f64 / 1000.0;
+        let sa = hist_of(&a);
+        let sb = hist_of(&b);
+        let qa = sa.quantile(p);
+        let qb = sb.quantile(p);
+        let mut merged = sa;
+        merged.merge(&sb);
+        let qm = merged.quantile(p);
+        prop_assert!(
+            qa.min(qb) <= qm && qm <= qa.max(qb),
+            "p={}: merged quantile {} outside [{}, {}]",
+            p, qm, qa.min(qb), qa.max(qb)
+        );
+    }
+
+    #[test]
+    fn merge_count_and_extremes(
+        a in vec(0u64..u64::MAX, 0..100),
+        b in vec(0u64..u64::MAX, 0..100),
+    ) {
+        let sa = hist_of(&a);
+        let sb = hist_of(&b);
+        let mut merged = sa;
+        merged.merge(&sb);
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist_of(&all));
+    }
+
+    #[test]
+    fn delta_round_trips_like_iostats(
+        first in vec(0u64..1_000_000, 0..100),
+        more in vec(0u64..1_000_000, 0..100),
+    ) {
+        // one histogram observed at two points in time
+        let h = Histogram::new();
+        for &v in &first {
+            h.record(v);
+        }
+        let early = h.snapshot();
+        for &v in &more {
+            h.record(v);
+        }
+        let late = h.snapshot();
+
+        let delta = late.delta_since(&early);
+        prop_assert_eq!(delta.count, more.len() as u64);
+
+        // IoStatsSnapshot::delta_since semantics: earlier + delta == later
+        let mut rebuilt = early;
+        rebuilt.merge(&delta);
+        prop_assert_eq!(rebuilt, late);
+
+        // and the reverse delta saturates to zero counts, never wraps
+        let rev = early.delta_since(&late);
+        prop_assert_eq!(rev.count, 0);
+        prop_assert!(rev.buckets.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn quantile_is_an_upper_bound_for_its_rank(
+        values in vec(0u64..1_000_000_000, 1..150),
+        p_millis in 1u64..1000,
+    ) {
+        let p = p_millis as f64 / 1000.0;
+        let s = hist_of(&values);
+        let q = s.quantile(p);
+        let rank = ((p * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        // the nearest-rank sample fits inside the reported bucket bound
+        prop_assert!(sorted[rank - 1] <= q);
+    }
+}
+
+#[test]
+fn bucket_boundaries_are_monotone() {
+    for i in 1..BUCKETS {
+        assert!(bucket_bound(i) > bucket_bound(i - 1), "bucket {i}");
+    }
+    assert_eq!(bucket_bound(0), 0);
+    assert_eq!(bucket_bound(BUCKETS - 1), u64::MAX);
+}

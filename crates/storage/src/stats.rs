@@ -211,29 +211,23 @@ impl IoStatsSnapshot {
         self.per_category.iter().map(|c| c.write_ops).sum()
     }
 
-    /// Counter-wise difference `self - earlier`; saturates at zero so a
-    /// reset between snapshots cannot produce nonsense.
-    pub fn delta_since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
-        let mut out = IoStatsSnapshot::default();
-        for i in 0..6 {
-            let a = self.per_category[i];
-            let b = earlier.per_category[i];
-            out.per_category[i] = CategorySnapshot {
-                read_blocks: a.read_blocks.saturating_sub(b.read_blocks),
-                written_blocks: a.written_blocks.saturating_sub(b.written_blocks),
-                read_ops: a.read_ops.saturating_sub(b.read_ops),
-                write_ops: a.write_ops.saturating_sub(b.write_ops),
-            };
-        }
-        out.retries = self.retries.saturating_sub(earlier.retries);
-        out.corruption_detected = self
-            .corruption_detected
-            .saturating_sub(earlier.corruption_detected);
-        out.write_slowdowns = self.write_slowdowns.saturating_sub(earlier.write_slowdowns);
-        out.write_stalls = self.write_stalls.saturating_sub(earlier.write_stalls);
-        out
-    }
 }
+
+// Both snapshots share the workspace-wide saturating delta (one
+// implementation for IoStats, DbStats, and metrics snapshots alike).
+lsm_obs::impl_delta_since!(CategorySnapshot {
+    read_blocks,
+    written_blocks,
+    read_ops,
+    write_ops,
+});
+lsm_obs::impl_delta_since!(IoStatsSnapshot {
+    per_category,
+    retries,
+    corruption_detected,
+    write_slowdowns,
+    write_stalls,
+});
 
 #[cfg(test)]
 mod tests {

@@ -13,7 +13,15 @@ cargo test -q
 echo "==> LSM_BACKGROUND=threaded cargo test -q"
 LSM_BACKGROUND=threaded cargo test -q
 
+echo "==> cargo test -q -p lsm-obs (both background modes)"
+cargo test -q -p lsm-obs
+LSM_BACKGROUND=threaded cargo test -q -p lsm-obs
+
+echo "==> bench smoke run with metrics artifact"
+LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e18_write_stalls -- --metrics
+cargo run -q -p lsm-bench --release --bin metrics_lint results/e18_write_stalls.metrics.jsonl
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "OK: build, tests (both background modes), and clippy all clean"
+echo "OK: build, tests (both modes), obs suite, metrics artifact, clippy all clean"
