@@ -1,0 +1,113 @@
+//! E19 — parallel sub-compactions vs write-stall tails (RocksDB's
+//! `max_subcompactions`; the scheduler/parallelism axis of the design
+//! space).
+//!
+//! A threaded engine under sustained load stalls a put whenever L0
+//! reaches the stall line and the writer must wait for compaction to
+//! drain it. Sharding each merge across the worker pool shortens the
+//! critical section that the stalled writer waits on, so the put tail
+//! (p99 and up) should fall — or at worst stay flat — as
+//! `max_subcompactions` goes 1 → 2 → 4 with the same worker pool.
+//! Medians stay put: most writes never see a stall, and the sharded
+//! merge writes byte-identical tables (that equivalence is enforced by
+//! `crates/core/tests/parallel_compaction.rs`, so this experiment is
+//! purely about the tail).
+//!
+//! Wall-clock timing on a real threaded engine is noisy; run with a
+//! larger `LSM_BENCH_N` for stable tails.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lsm_bench::*;
+use lsm_core::{BackgroundMode, Db, LsmConfig};
+use lsm_storage::{DeviceProfile, MemDevice, StorageDevice};
+use lsm_workload::encode_key;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p) as usize;
+    sorted[idx]
+}
+
+fn config(subcompactions: usize) -> LsmConfig {
+    LsmConfig {
+        background: BackgroundMode::Threaded,
+        background_workers: 4,
+        max_subcompactions: subcompactions,
+        // small tables + tight stall line keep compactions (and stalls)
+        // frequent enough to measure at bench scale
+        buffer_bytes: 16 << 10,
+        target_table_bytes: 32 << 10,
+        l0_run_cap: 4,
+        l0_slowdown_runs: 6,
+        l0_stall_runs: 8,
+        ..base_config()
+    }
+}
+
+fn run(subcompactions: usize, n: u64, t: &TablePrinter) {
+    let cfg = config(subcompactions);
+    let device: Arc<dyn StorageDevice> =
+        Arc::new(MemDevice::new(cfg.block_size, DeviceProfile::free()));
+    let db = Db::open(device, cfg).unwrap();
+    let mut lat: Vec<u64> = Vec::with_capacity(n as usize);
+    let wall = Instant::now();
+    for i in 0..n {
+        let id = i.wrapping_mul(2654435761) % n;
+        let t0 = Instant::now();
+        db.put(encode_key(id), value_of(id, 64)).unwrap();
+        lat.push(t0.elapsed().as_nanos() as u64);
+    }
+    db.wait_background_idle();
+    let elapsed = wall.elapsed();
+    lat.sort_unstable();
+    let s = db.stats().snapshot();
+    let io = db.device().stats().snapshot();
+    write_metrics_artifact(
+        &db,
+        "e19_parallel_compaction",
+        &[
+            ("experiment", "e19_parallel_compaction"),
+            ("config", &format!("subcompactions{subcompactions}")),
+        ],
+    );
+    t.print(&[
+        subcompactions.to_string(),
+        format!("{:.1}", percentile(&lat, 0.50) as f64 / 1000.0),
+        format!("{:.1}", percentile(&lat, 0.99) as f64 / 1000.0),
+        format!("{:.0}", percentile(&lat, 0.999) as f64 / 1000.0),
+        format!("{:.0}", *lat.last().unwrap() as f64 / 1000.0),
+        io.write_stalls.to_string(),
+        s.compactions.to_string(),
+        f2(write_amp(&db)),
+        format!("{:.0}", n as f64 / elapsed.as_secs_f64() / 1000.0),
+    ]);
+}
+
+fn main() {
+    let n = bench_n();
+    println!("E19: put tail latency vs max_subcompactions (threaded, 4 workers) — {n} keys\n");
+    let t = TablePrinter::new(&[
+        "subcompactions",
+        "p50 µs",
+        "p99 µs",
+        "p99.9 µs",
+        "max µs",
+        "stalls",
+        "compactions",
+        "write-amp",
+        "kops/s",
+    ]);
+    for subcompactions in [1, 2, 4] {
+        run(subcompactions, n, &t);
+    }
+    println!("\nexpected shape: identical p50 (the bare memtable insert) and");
+    println!("identical write-amp (sharded merges write byte-identical");
+    println!("tables); the tail (p99 and up) falls or stays flat as the");
+    println!("fan-out grows, because a stalled writer waits on a merge whose");
+    println!("critical path is divided across the worker pool. The *max*");
+    println!("stall drops even on a single-core host (the longest merge is");
+    println!("interleaved with the drain instead of serializing ahead of");
+    println!("it), but true p99/throughput gains need real cores — on one");
+    println!("core the extra scheduling shows up as more (shorter) stalls.");
+}

@@ -18,7 +18,7 @@
 //! panicking worker cannot wedge the engine.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, Weak};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::time::Duration;
 
 use lsm_storage::StorageError;
@@ -34,10 +34,50 @@ pub(crate) enum Job {
     Compact,
 }
 
+/// One sub-compaction shard, boxed for the queue. Tasks own everything
+/// they touch (`Arc` clones), so workers need no engine reference to run
+/// them.
+pub(crate) type ShardTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// What a worker pulled off the queue.
+enum Work {
+    Job(Job),
+    Shard(ShardTask),
+}
+
+/// Completion tracker for one batch of shard tasks.
+struct ShardBatch {
+    remaining: Mutex<usize>,
+    done_cv: Condvar,
+}
+
+/// Decrements the batch counter on drop, so a panicking shard task still
+/// releases the coordinator instead of wedging it.
+struct ShardDoneGuard {
+    batch: Arc<ShardBatch>,
+}
+
+impl Drop for ShardDoneGuard {
+    fn drop(&mut self) {
+        let mut n = self
+            .batch
+            .remaining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *n -= 1;
+        drop(n);
+        self.batch.done_cv.notify_all();
+    }
+}
+
 /// Queue state shared by user handles and workers.
 #[derive(Default)]
 pub(crate) struct BgQueue {
     jobs: VecDeque<Job>,
+    /// Sub-compaction shards awaiting a thread. Workers prefer these over
+    /// whole jobs (a shard is part of an already-running compaction, so
+    /// finishing it unblocks more than starting new work would).
+    shard_tasks: VecDeque<ShardTask>,
     /// Jobs popped but not yet completed.
     inflight: usize,
     /// A freeze happened and its flush has not completed yet. Writers
@@ -192,6 +232,59 @@ impl BgState {
         }
     }
 
+    /// Runs a batch of sub-compaction shard tasks, fanning them out across
+    /// the worker pool, and returns once every task has finished.
+    ///
+    /// The calling thread (the compaction coordinator) **helps**: it pops
+    /// and runs queued shard tasks itself while waiting. That makes the
+    /// batch deadlock-free by construction — even with every worker busy
+    /// (or a one-worker pool whose only worker *is* the coordinator), the
+    /// coordinator alone drains the queue. Shutdown mid-batch is likewise
+    /// safe: workers stop taking shard tasks, and the coordinator finishes
+    /// the remainder before returning.
+    pub(crate) fn run_shard_batch(&self, tasks: Vec<ShardTask>) {
+        let batch = Arc::new(ShardBatch {
+            remaining: Mutex::new(tasks.len()),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut q = lock(&self.q);
+            for task in tasks {
+                let guard = ShardDoneGuard {
+                    batch: Arc::clone(&batch),
+                };
+                q.shard_tasks.push_back(Box::new(move || {
+                    let _guard = guard;
+                    task();
+                }));
+            }
+        }
+        self.work_cv.notify_all();
+        loop {
+            let task = lock(&self.q).shard_tasks.pop_front();
+            match task {
+                Some(t) => t(),
+                None => {
+                    let n = batch
+                        .remaining
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    if *n == 0 {
+                        return;
+                    }
+                    // bounded wait: a worker may still be mid-shard
+                    let (n, _) = batch
+                        .done_cv
+                        .wait_timeout(n, Duration::from_millis(20))
+                        .unwrap_or_else(PoisonError::into_inner);
+                    if *n == 0 {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
     /// Signals shutdown and wakes every waiter. Called by `DbCore::drop`.
     pub(crate) fn begin_shutdown(&self) {
         lock(&self.q).shutdown = true;
@@ -199,14 +292,18 @@ impl BgState {
         self.done_cv.notify_all();
     }
 
-    /// Pops the next runnable job; blocks while none is runnable. Returns
-    /// `None` on shutdown. Flushes always run; compact jobs are skipped
-    /// while compaction is paused.
-    fn next_job(&self) -> Option<Job> {
+    /// Pops the next runnable work item; blocks while none is runnable.
+    /// Returns `None` on shutdown. Shard tasks take priority (they belong
+    /// to a compaction already in flight); flushes always run; compact
+    /// jobs are skipped while compaction is paused.
+    fn next_work(&self) -> Option<Work> {
         let mut q = lock(&self.q);
         loop {
             if q.shutdown {
                 return None;
+            }
+            if let Some(t) = q.shard_tasks.pop_front() {
+                return Some(Work::Shard(t));
             }
             let runnable = q
                 .jobs
@@ -215,7 +312,7 @@ impl BgState {
             if let Some(idx) = runnable {
                 let job = q.jobs.remove(idx).unwrap();
                 q.inflight += 1;
-                return Some(job);
+                return Some(Work::Job(job));
             }
             let (g, _) = self
                 .work_cv
@@ -249,8 +346,17 @@ impl BgState {
 /// reference is taken per job. If the last handle drops *during* a job,
 /// `DbCore::drop` runs on this worker thread — its join loop skips the
 /// current thread to avoid self-join.
-pub(crate) fn worker_loop(bg: std::sync::Arc<BgState>, core: Weak<DbCore>) {
-    while let Some(job) = bg.next_job() {
+pub(crate) fn worker_loop(bg: Arc<BgState>, core: Weak<DbCore>) {
+    while let Some(work) = bg.next_work() {
+        let job = match work {
+            // shard tasks are self-contained (they own their inputs); run
+            // and go back for more without touching the engine
+            Work::Shard(t) => {
+                t();
+                continue;
+            }
+            Work::Job(job) => job,
+        };
         let Some(db) = core.upgrade() else {
             bg.complete(job, Ok(()));
             return;

@@ -8,6 +8,7 @@ use lsm_index::IndexKind;
 use lsm_storage::{StorageDevice, StorageResult};
 
 use crate::config::LsmConfig;
+use crate::entry::InternalEntry;
 use crate::iter::{MergingIter, Source};
 use crate::sstable::{Table, TableBuilder};
 
@@ -23,6 +24,77 @@ pub struct MergeResult {
     pub versions_dropped: u64,
     /// Data bytes across the output tables (event-trace accounting).
     pub output_bytes: u64,
+}
+
+/// Streams merged entries into output tables partitioned at
+/// `target_table_bytes`. This is the one and only cut loop: both the
+/// serial [`merge_tables`] path and the sharded stitch phase
+/// ([`crate::compaction::subcompact`]) feed it the same global-key-order
+/// entry stream, which is what makes their outputs byte-identical.
+pub(crate) struct OutputWriter<'a> {
+    device: &'a Arc<dyn StorageDevice>,
+    cfg: &'a LsmConfig,
+    index_kind: IndexKind,
+    bits_per_key: f64,
+    builder: Option<TableBuilder>,
+    tables: Vec<Arc<Table>>,
+    entries_written: u64,
+}
+
+impl<'a> OutputWriter<'a> {
+    pub(crate) fn new(
+        device: &'a Arc<dyn StorageDevice>,
+        cfg: &'a LsmConfig,
+        index_kind: IndexKind,
+        bits_per_key: f64,
+    ) -> Self {
+        OutputWriter {
+            device,
+            cfg,
+            index_kind,
+            bits_per_key,
+            builder: None,
+            tables: Vec::new(),
+            entries_written: 0,
+        }
+    }
+
+    /// Appends one visible entry, cutting a new output table whenever the
+    /// current one reaches the target size. The builder is created lazily
+    /// so an all-dropped merge creates no file at all.
+    pub(crate) fn push(&mut self, e: &InternalEntry) -> StorageResult<()> {
+        let b = match &mut self.builder {
+            Some(b) => b,
+            None => {
+                self.builder = Some(TableBuilder::new(
+                    Arc::clone(self.device),
+                    self.cfg,
+                    self.bits_per_key,
+                )?);
+                self.builder.as_mut().unwrap()
+            }
+        };
+        b.add(&e.key, e.seqno, e.kind, &e.value)?;
+        self.entries_written += 1;
+        if b.estimated_file_bytes() >= self.cfg.target_table_bytes {
+            let full = self.builder.take().unwrap();
+            let (file, _meta) = full.finish()?;
+            self.tables.push(Table::open(file, self.index_kind)?);
+        }
+        Ok(())
+    }
+
+    /// Seals the trailing partial table (if any) and returns the outputs
+    /// with the entry count written.
+    pub(crate) fn finish(mut self) -> StorageResult<(Vec<Arc<Table>>, u64)> {
+        if let Some(b) = self.builder.take() {
+            if !b.is_empty() {
+                let (file, _meta) = b.finish()?;
+                self.tables.push(Table::open(file, self.index_kind)?);
+            }
+        }
+        Ok((self.tables, self.entries_written))
+    }
 }
 
 /// Sort-merges `inputs` (ordered youngest first; tables within one run may
@@ -46,36 +118,16 @@ pub fn merge_tables(
         sources.push(Source::Table(t.iter_from(b"", None)?));
     }
     let mut merger = MergingIter::new(sources, true)?;
-    let mut out_tables = Vec::new();
-    let mut builder: Option<TableBuilder> = None;
-    let mut entries_written = 0u64;
+    let mut writer = OutputWriter::new(device, cfg, index_kind, bits_per_key);
     let mut tombstones_dropped = 0u64;
     while let Some(e) = merger.next_visible()? {
         if drop_tombstones && e.is_tombstone() {
             tombstones_dropped += 1;
             continue;
         }
-        let b = match &mut builder {
-            Some(b) => b,
-            None => {
-                builder = Some(TableBuilder::new(Arc::clone(device), cfg, bits_per_key)?);
-                builder.as_mut().unwrap()
-            }
-        };
-        b.add(&e.key, e.seqno, e.kind, &e.value)?;
-        entries_written += 1;
-        if b.estimated_file_bytes() >= cfg.target_table_bytes {
-            let full = builder.take().unwrap();
-            let (file, _meta) = full.finish()?;
-            out_tables.push(Table::open(file, index_kind)?);
-        }
+        writer.push(&e)?;
     }
-    if let Some(b) = builder {
-        if !b.is_empty() {
-            let (file, _meta) = b.finish()?;
-            out_tables.push(Table::open(file, index_kind)?);
-        }
-    }
+    let (out_tables, entries_written) = writer.finish()?;
     let versions_dropped = entries_in
         .saturating_sub(entries_written)
         .saturating_sub(tombstones_dropped);

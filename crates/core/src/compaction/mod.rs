@@ -7,6 +7,8 @@
 
 pub mod exec;
 pub mod picker;
+pub mod scheduler;
+pub mod subcompact;
 
 use crate::config::LsmConfig;
 use crate::version::Version;

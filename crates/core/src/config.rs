@@ -222,6 +222,28 @@ pub struct LsmConfig {
     pub background: BackgroundMode,
     /// Worker threads for [`BackgroundMode::Threaded`] (ignored inline).
     pub background_workers: usize,
+    /// Key-range shards per compaction merge (degree of compaction
+    /// parallelism — Sarkar et al.'s explicit design axis). `1` (the
+    /// default) keeps the serial `merge_tables` path and its exact I/O
+    /// ordering, so existing Inline experiments stay byte-identical.
+    /// Values above 1 split each merge at input-index fence keys into
+    /// balanced sub-compactions that fan out across the worker pool in
+    /// `Threaded` mode (and run serially, but through the sharded path,
+    /// inline) — the output tables are byte-identical either way.
+    pub max_subcompactions: usize,
+    /// Concurrent compaction jobs the scheduler admits (jobs must be
+    /// disjoint in (level, key-range); see
+    /// [`crate::compaction::scheduler::CompactionScheduler`]).
+    pub max_background_jobs: usize,
+    /// Token-bucket compaction I/O throttle: sustained merge byte rate
+    /// (input + output data bytes) per second. `0` disables. Waits are
+    /// real sleeps, so the throttle shapes *wall-clock* pacing in
+    /// `Threaded` mode; under `Inline`'s simulated clock it never changes
+    /// any byte written, only elapsed wall time.
+    pub compaction_throttle_bytes_per_sec: u64,
+    /// Token-bucket burst capacity in bytes (the largest debit that never
+    /// waits). Ignored when the throttle is disabled.
+    pub compaction_throttle_burst_bytes: u64,
     /// L0 run count at which writers are *slowed* (a short sleep per
     /// write) in threaded mode, giving compaction a chance to catch up.
     pub l0_slowdown_runs: usize,
@@ -262,6 +284,10 @@ impl Default for LsmConfig {
             buffer_front_bytes: 0,
             background: BackgroundMode::from_env(),
             background_workers: 2,
+            max_subcompactions: 1,
+            max_background_jobs: 2,
+            compaction_throttle_bytes_per_sec: 0,
+            compaction_throttle_burst_bytes: 1 << 20,
             l0_slowdown_runs: 8,
             l0_stall_runs: 12,
             slowdown_micros: 100,
@@ -320,6 +346,17 @@ impl LsmConfig {
         if self.background == BackgroundMode::Threaded && self.background_workers == 0 {
             return Err("threaded background mode needs ≥ 1 worker".into());
         }
+        if self.max_subcompactions == 0 || self.max_subcompactions > 64 {
+            return Err("max_subcompactions must be in 1..=64".into());
+        }
+        if self.max_background_jobs == 0 {
+            return Err("max_background_jobs must be ≥ 1".into());
+        }
+        if self.compaction_throttle_bytes_per_sec > 0
+            && self.compaction_throttle_burst_bytes == 0
+        {
+            return Err("an enabled compaction throttle needs a nonzero burst".into());
+        }
         if self.l0_slowdown_runs == 0 || self.l0_stall_runs < self.l0_slowdown_runs {
             return Err("need 1 ≤ l0_slowdown_runs ≤ l0_stall_runs".into());
         }
@@ -345,7 +382,14 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let cases: [LsmConfig; 8] = [
+        let cases: [LsmConfig; 11] = [
+            LsmConfig { max_subcompactions: 0, ..Default::default() },
+            LsmConfig { max_background_jobs: 0, ..Default::default() },
+            LsmConfig {
+                compaction_throttle_bytes_per_sec: 1 << 20,
+                compaction_throttle_burst_bytes: 0,
+                ..Default::default()
+            },
             LsmConfig { size_ratio: 1, ..Default::default() },
             LsmConfig { block_size: 8, ..Default::default() },
             LsmConfig { buffer_bytes: 100, ..Default::default() },

@@ -27,6 +27,8 @@ use lsm_storage::{
 };
 
 use crate::background::BgState;
+use crate::compaction::scheduler::{CompactionScheduler, JobIoReport, JobPriority, JobSpec, TokenBucket};
+use crate::compaction::subcompact::{self, ShardExec};
 use crate::compaction::{self, exec::merge_tables, exec::MergeResult, picker::pick_file, CompactionTask};
 use crate::config::{BackgroundMode, CompactionGranularity, FilterAllocation, LsmConfig};
 use crate::entry::{InternalEntry, ValueKind};
@@ -132,6 +134,10 @@ pub struct DbCore {
     /// Metrics registry, latency histograms, and the structured event
     /// trace (see [`crate::obs`]).
     obs: EngineMetrics,
+    /// Compaction job admission + accounting + I/O throttle (see
+    /// [`crate::compaction::scheduler`]). Every merge the engine runs is
+    /// submitted, admitted, and completed through it.
+    sched: CompactionScheduler,
 }
 
 impl Db {
@@ -242,6 +248,13 @@ impl Db {
         }
         let threaded = cfg.background == BackgroundMode::Threaded;
         let workers = cfg.background_workers;
+        let sched = CompactionScheduler::new(
+            cfg.max_background_jobs,
+            TokenBucket::new(
+                cfg.compaction_throttle_bytes_per_sec,
+                cfg.compaction_throttle_burst_bytes,
+            ),
+        );
         let db = Db {
             core: Arc::new(DbCore {
                 device,
@@ -257,6 +270,7 @@ impl Db {
                 user_handles: AtomicUsize::new(1),
                 snapshot_count: Arc::new(AtomicUsize::new(0)),
                 obs,
+                sched,
             }),
         };
         {
@@ -272,6 +286,11 @@ impl Db {
         for w in old_wals {
             let _ = db.device.delete(w);
         }
+        // A crash during a (possibly parallel) compaction can strand fully
+        // written output tables that no manifest ever came to reference.
+        // Now that the recovered state is durable, those orphans are dead
+        // weight — delete them.
+        db.cleanup_orphan_tables();
         if threaded {
             let mut handles = db
                 .workers
@@ -444,6 +463,15 @@ impl DbCore {
         sync("io.corruption_detected", io.corruption_detected);
         sync("io.write_slowdowns", io.write_slowdowns);
         sync("io.write_stalls", io.write_stalls);
+        let sched = self.sched.totals();
+        sync("sched.jobs_submitted", sched.submitted);
+        sync("sched.jobs_admitted", sched.admitted);
+        sync("sched.jobs_completed", sched.completed);
+        sync("sched.jobs_failed", sched.failed);
+        sync("sched.input_bytes", sched.input_bytes);
+        sync("sched.output_bytes", sched.output_bytes);
+        sync("sched.throttle_waits", sched.throttle_waits);
+        sync("sched.throttle_wait_ns", sched.throttle_wait_ns);
         if let Some(cache) = &self.cache {
             let s = cache.stats();
             sync("cache.hits", s.hits());
@@ -846,7 +874,19 @@ impl DbCore {
             input_entries,
             input_bytes,
         });
-        let result = merge_tables(&self.device, &self.cfg, self.cfg.index, bits, &inputs, true)?;
+        let prep = PreparedCompaction {
+            level: 0,
+            target: last,
+            bits,
+            inputs: inputs.clone(),
+            drop_tombstones: true,
+            apply: CompactionApply::InPlace,
+            trace_id,
+            input_entries,
+            input_bytes,
+            started_ns,
+        };
+        let result = self.run_merge_scheduled(&prep)?;
         let mut new_version = Version::new();
         new_version.ensure_levels(last + 1);
         if !result.tables.is_empty() {
@@ -957,14 +997,7 @@ impl DbCore {
                     None => return Ok(()),
                 }
             };
-            let result = merge_tables(
-                &self.device,
-                &self.cfg,
-                self.cfg.index,
-                prep.bits,
-                &prep.inputs,
-                prep.drop_tombstones,
-            )?;
+            let result = self.run_merge_scheduled(&prep)?;
             {
                 let mut inner = self.inner.write();
                 self.install_compaction(&mut inner, &prep, result)?;
@@ -974,6 +1007,196 @@ impl DbCore {
         Err(StorageError::Corruption(
             "compaction cascade failed to converge".into(),
         ))
+    }
+
+    /// Runs one prepared compaction's merge through the scheduler:
+    /// submit → admit → merge (serial or sharded per
+    /// `max_subcompactions`) → throttle → complete with the job's I/O
+    /// report. The engine runs one compaction at a time
+    /// (`compaction_lock`), so admission always succeeds immediately; the
+    /// scheduler still enforces and accounts the full policy so its
+    /// invariants hold when tests drive it with N jobs.
+    fn run_merge_scheduled(&self, prep: &PreparedCompaction) -> StorageResult<MergeResult> {
+        let lo = prep
+            .inputs
+            .iter()
+            .map(|t| t.meta().min_key.clone())
+            .min()
+            .unwrap_or_default();
+        let hi = prep
+            .inputs
+            .iter()
+            .map(|t| t.meta().max_key.clone())
+            .max()
+            .unwrap_or_default();
+        let priority = if prep.level == 0 {
+            JobPriority::L0Pressure
+        } else {
+            JobPriority::SizeTriggered
+        };
+        let job = self.sched.submit(JobSpec {
+            level: prep.level,
+            target: prep.target,
+            lo,
+            hi,
+            priority,
+        });
+        let admitted = self.sched.try_dequeue();
+        debug_assert!(
+            admitted.as_ref().is_some_and(|(id, _)| *id == job),
+            "single-compactor engine must admit its own job"
+        );
+        let result = self.execute_merge(prep);
+        match &result {
+            Ok(m) => {
+                // The throttle paces *wall* bytes: debit input + output and
+                // sleep the owed time. Inline mode accounts nothing and
+                // never sleeps — its determinism (and the byte-identity
+                // battery) must not depend on wall time.
+                if self.threaded() {
+                    let wait = self
+                        .sched
+                        .throttle_debit(prep.input_bytes + m.output_bytes);
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait.min(std::time::Duration::from_secs(1)));
+                    }
+                }
+                self.sched.complete(
+                    job,
+                    Ok(JobIoReport {
+                        input_bytes: prep.input_bytes,
+                        output_bytes: m.output_bytes,
+                        input_entries: prep.input_entries,
+                        entries_written: m.entries_written,
+                    }),
+                );
+            }
+            Err(e) => self.sched.complete(job, Err(e.to_string())),
+        }
+        result
+    }
+
+    /// The merge itself: serial `merge_tables` when `max_subcompactions`
+    /// is 1 (or no boundary exists), otherwise the sharded path — fanned
+    /// out across the worker pool under `Threaded`, executed serially
+    /// under `Inline` (same shards, same bytes, no threads). Emits
+    /// per-shard `SubcompactionStart`/`End` events around the fan-out.
+    fn execute_merge(&self, prep: &PreparedCompaction) -> StorageResult<MergeResult> {
+        let boundaries = if self.cfg.max_subcompactions > 1 {
+            subcompact::shard_boundaries(&prep.inputs, self.cfg.max_subcompactions)
+        } else {
+            Vec::new()
+        };
+        if boundaries.is_empty() {
+            // one shard ≡ the legacy serial path, I/O pattern included
+            return merge_tables(
+                &self.device,
+                &self.cfg,
+                self.cfg.index,
+                prep.bits,
+                &prep.inputs,
+                prep.drop_tombstones,
+            );
+        }
+        let shards = boundaries.len() + 1;
+        let ids: Vec<u64> = (0..shards)
+            .map(|_| self.obs.next_subcompaction_id())
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            self.obs.event(EventKind::SubcompactionStart {
+                id: *id,
+                compaction: prep.trace_id,
+                shard: i as u32,
+                shards: shards as u32,
+            });
+        }
+        let exec = if self.threaded() {
+            ShardExec::Pool(&self.bg)
+        } else {
+            ShardExec::Serial
+        };
+        let sharded = subcompact::merge_tables_sharded_with(
+            &self.device,
+            &self.cfg,
+            self.cfg.index,
+            prep.bits,
+            &prep.inputs,
+            prep.drop_tombstones,
+            &boundaries,
+            exec,
+        )?;
+        for (i, (id, acc)) in ids.iter().zip(&sharded.shards).enumerate() {
+            self.obs.event(EventKind::SubcompactionEnd {
+                id: *id,
+                compaction: prep.trace_id,
+                shard: i as u32,
+                input_entries: acc.entries_in,
+                entries_written: acc.entries_written,
+                tombstones_dropped: acc.tombstones_dropped,
+                versions_dropped: acc.versions_dropped,
+            });
+        }
+        Ok(sharded.merge)
+    }
+
+    /// Deletes files that carry a valid table footer but are referenced by
+    /// nothing the engine knows — the stranded outputs of a compaction
+    /// (serial or sharded) that crashed before its manifest rewrite.
+    /// WAL/value-log/manifest files carry no table footer and are never
+    /// touched; a torn table (footer unwritten) is left behind as inert
+    /// garbage rather than misclassified. Returns the number deleted.
+    fn cleanup_orphan_tables(&self) -> u64 {
+        let referenced: std::collections::HashSet<u64> = {
+            let inner = self.inner.read();
+            let mut r: std::collections::HashSet<u64> =
+                inner.version.all_table_ids().into_iter().collect();
+            if let Some(w) = &inner.wal {
+                r.insert(w.id().0);
+            }
+            if let Some(w) = &inner.imm_wal {
+                r.insert(w.id().0);
+            }
+            if let Some(v) = &inner.vlog {
+                r.insert(v.id().0);
+            }
+            if let Some(m) = inner.manifest {
+                r.insert(m.0);
+            }
+            r
+        };
+        let mut files = self.device.live_files();
+        files.sort_by_key(|f| f.0);
+        let mut deleted = 0u64;
+        for f in files {
+            if referenced.contains(&f.0) {
+                continue;
+            }
+            let Ok(n) = self.device.len_blocks(f) else { continue };
+            if n == 0 {
+                continue;
+            }
+            let Ok(block) = self.device.read(f, n - 1, 1, IoCategory::Misc) else {
+                continue;
+            };
+            let Some((meta_start, meta_len)) = crate::sstable::meta::decode_footer(&block) else {
+                continue;
+            };
+            // bounds sanity so a lucky bit pattern in a non-table file
+            // (e.g. raw value bytes) cannot pass as a footer
+            if meta_start >= n || meta_len == 0 {
+                continue;
+            }
+            if self.device.delete(f).is_ok() {
+                deleted += 1;
+            }
+        }
+        if deleted > 0 {
+            self.obs.event(EventKind::RecoveryStep {
+                step: "orphans_deleted",
+                detail: format!("{deleted} unreferenced table file(s)"),
+            });
+        }
+        deleted
     }
 
     // ------------------------------------------------------------------
@@ -1465,14 +1688,7 @@ impl DbCore {
             let Some(prep) = self.prepare_compaction(inner, task)? else {
                 return Ok(());
             };
-            let result = merge_tables(
-                &self.device,
-                &self.cfg,
-                self.cfg.index,
-                prep.bits,
-                &prep.inputs,
-                prep.drop_tombstones,
-            )?;
+            let result = self.run_merge_scheduled(&prep)?;
             self.install_compaction(inner, &prep, result)?;
         }
         Err(StorageError::Corruption(

@@ -61,6 +61,55 @@ impl RunIterator {
     }
 }
 
+/// A table iterator clipped to `[start, hi)` that counts every entry it
+/// yields — the per-shard input view of a sub-compaction (see
+/// [`crate::compaction::subcompact`]). The entry that first reaches `hi`
+/// belongs to the next shard; it ends this source without being counted.
+pub struct BoundedTableIter {
+    it: TableIterator,
+    hi: Option<Vec<u8>>,
+    /// Entries pulled in-range, shared so a shard can sum its sources.
+    pulled: Arc<std::sync::atomic::AtomicU64>,
+    done: bool,
+}
+
+impl BoundedTableIter {
+    /// Iterator over `table` from `start` (inclusive) up to `hi`
+    /// (exclusive; `None` = unbounded), counting pulls into `pulled`.
+    pub fn new(
+        table: &Arc<Table>,
+        start: &[u8],
+        hi: Option<Vec<u8>>,
+        pulled: Arc<std::sync::atomic::AtomicU64>,
+    ) -> StorageResult<Self> {
+        Ok(BoundedTableIter {
+            it: table.iter_from(start, None)?,
+            hi,
+            pulled,
+            done: false,
+        })
+    }
+
+    fn next_entry(&mut self) -> StorageResult<Option<crate::sstable::BlockEntry>> {
+        if self.done {
+            return Ok(None);
+        }
+        let Some(e) = self.it.next_entry()? else {
+            self.done = true;
+            return Ok(None);
+        };
+        if let Some(hi) = &self.hi {
+            if e.key.as_slice() >= hi.as_slice() {
+                self.done = true;
+                return Ok(None);
+            }
+        }
+        self.pulled
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(Some(e))
+    }
+}
+
 /// A source of key-ordered entries.
 pub enum Source {
     /// Drained memtable entries (already key-ordered).
@@ -69,6 +118,8 @@ pub enum Source {
     Table(TableIterator),
     /// A lazy iterator over one sorted run.
     Run(RunIterator),
+    /// A key-range-clipped, pull-counting table iterator (sub-compactions).
+    BoundedTable(BoundedTableIter),
 }
 
 struct PeekedSource {
@@ -93,6 +144,7 @@ impl PeekedSource {
             Source::Mem(it) => Ok(it.next()),
             Source::Table(it) => Ok(it.next_entry()?.map(convert)),
             Source::Run(it) => Ok(it.next_entry()?.map(convert)),
+            Source::BoundedTable(it) => Ok(it.next_entry()?.map(convert)),
         }
     }
 

@@ -86,6 +86,7 @@ pub struct EngineMetrics {
     /// be correlated in the trace.
     next_flush_id: AtomicU64,
     next_compaction_id: AtomicU64,
+    next_subcompaction_id: AtomicU64,
 
     /// Current backpressure band (`BAND_*`), plus the leaf lock that
     /// serializes transitions so enter/exit events nest properly.
@@ -126,6 +127,7 @@ impl EngineMetrics {
             memtable_bytes_gauge,
             next_flush_id: AtomicU64::new(1),
             next_compaction_id: AtomicU64::new(1),
+            next_subcompaction_id: AtomicU64::new(1),
             bp_band: AtomicU8::new(BAND_NONE),
             bp_lock: Mutex::new(()),
         }
@@ -164,6 +166,11 @@ impl EngineMetrics {
     /// Allocates the next compaction id.
     pub fn next_compaction_id(&self) -> u64 {
         self.next_compaction_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates the next sub-compaction (shard) id.
+    pub fn next_subcompaction_id(&self) -> u64 {
+        self.next_subcompaction_id.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Point-in-time snapshot of every registered metric.

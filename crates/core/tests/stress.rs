@@ -4,15 +4,36 @@
 //! A million keys through a realistic configuration: multi-level tree,
 //! update churn, deletes, scans, recovery — the closest thing to a
 //! production soak this repo ships.
+//!
+//! The workload is seeded: set `LSM_SEED=<u64>` to replay a particular
+//! run (the seed in use is printed up front, so a failure is
+//! reproducible from the test log alone).
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use lsm_core::{Db, LsmConfig};
 use lsm_storage::{DeviceProfile, MemDevice, StorageDevice};
 
+/// `LSM_SEED` env override, else a fixed default.
+fn seed() -> u64 {
+    match std::env::var("LSM_SEED") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("LSM_SEED must be a u64, got {s:?}")),
+        Err(_) => 0x50A4_5EED,
+    }
+}
+
 #[test]
 #[ignore = "large: ~1M keys; run in release"]
 fn million_key_soak() {
+    let seed = seed();
+    eprintln!("million_key_soak: LSM_SEED={seed}");
+    let mut rng = StdRng::seed_from_u64(seed);
     let n: u64 = 1_000_000;
     let cfg = LsmConfig {
         buffer_bytes: 1 << 20,
@@ -25,7 +46,7 @@ fn million_key_soak() {
     let device: Arc<dyn StorageDevice> =
         Arc::new(MemDevice::new(cfg.block_size, DeviceProfile::free()));
     let db = Db::open(Arc::clone(&device), cfg.clone()).unwrap();
-    // load
+    // load in a seeded permutation-ish order
     for i in 0..n {
         let id = i.wrapping_mul(2654435761) % n;
         db.put(
@@ -34,25 +55,35 @@ fn million_key_soak() {
         )
         .unwrap();
     }
-    // churn: 10% updates, 5% deletes
-    for i in 0..n / 10 {
-        let id = (i * 7) % n;
+    // churn: ~10% seeded updates, ~5% seeded deletes
+    let mut updated: BTreeSet<u64> = BTreeSet::new();
+    for _ in 0..n / 10 {
+        let id = rng.gen_range(0u64..n);
         db.put(format!("user{id:012}").into_bytes(), b"updated".to_vec())
             .unwrap();
+        updated.insert(id);
     }
-    for i in 0..n / 20 {
-        let id = (i * 13 + 1) % n;
+    let mut deleted: BTreeSet<u64> = BTreeSet::new();
+    for _ in 0..n / 20 {
+        let id = rng.gen_range(0u64..n);
         db.delete(format!("user{id:012}").into_bytes()).unwrap();
+        deleted.insert(id);
+        updated.remove(&id);
     }
     // verify a sample
     let mut checked = 0;
     for i in (0..n).step_by(9973) {
         let got = db.get(format!("user{i:012}").as_bytes()).unwrap();
-        let deleted = (0..n / 20).any(|j| (j * 13 + 1) % n == i);
-        if deleted {
-            assert_eq!(got, None, "key {i} should be deleted");
+        if deleted.contains(&i) {
+            assert_eq!(got, None, "key {i} should be deleted (LSM_SEED={seed})");
+        } else if updated.contains(&i) {
+            assert_eq!(
+                got.as_deref(),
+                Some(b"updated".as_slice()),
+                "key {i} lost its update (LSM_SEED={seed})"
+            );
         } else {
-            assert!(got.is_some(), "key {i} lost");
+            assert!(got.is_some(), "key {i} lost (LSM_SEED={seed})");
         }
         checked += 1;
     }
@@ -62,12 +93,17 @@ fn million_key_soak() {
         .scan(b"user000000500000".to_vec()..b"user000000501000".to_vec(), 10_000)
         .unwrap();
     for w in page.windows(2) {
-        assert!(w[0].0 < w[1].0);
+        assert!(w[0].0 < w[1].0, "scan out of order (LSM_SEED={seed})");
     }
     // recovery at scale
     let s = db.stats().snapshot();
     assert!(s.compactions > 10, "expected a real compaction history");
     drop(db);
     let db = Db::open(device, cfg).unwrap();
-    assert!(db.get(b"user000000000003").unwrap().is_some());
+    assert!(
+        db.get(format!("user{:012}", (0..n).find(|i| !deleted.contains(i)).unwrap()).as_bytes())
+            .unwrap()
+            .is_some(),
+        "recovery lost data (LSM_SEED={seed})"
+    );
 }

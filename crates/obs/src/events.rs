@@ -96,6 +96,39 @@ pub enum EventKind {
         /// Shadowed versions dropped by the merge.
         versions_dropped: u64,
     },
+    /// One key-range shard of a parallel compaction was dispatched
+    /// (`id` pairs it with its end event; `compaction` links it to the
+    /// enclosing compaction's pairing id).
+    SubcompactionStart {
+        /// Pairing id, unique per engine lifetime.
+        id: u64,
+        /// Pairing id of the enclosing compaction.
+        compaction: u64,
+        /// Shard index within the compaction (0-based, key order).
+        shard: u32,
+        /// Total shards in the compaction.
+        shards: u32,
+    },
+    /// The paired shard finished merging its key range. Accounting is
+    /// conserved per shard (`input_entries = entries_written +
+    /// tombstones_dropped + versions_dropped`) and sums across a
+    /// compaction's shards to the enclosing `CompactionEnd` accounting.
+    SubcompactionEnd {
+        /// Pairing id from the start event.
+        id: u64,
+        /// Pairing id of the enclosing compaction.
+        compaction: u64,
+        /// Shard index within the compaction.
+        shard: u32,
+        /// Input entries the shard consumed.
+        input_entries: u64,
+        /// Visible entries the shard contributed to the output.
+        entries_written: u64,
+        /// Tombstones the shard garbage-collected.
+        tombstones_dropped: u64,
+        /// Shadowed versions the shard dropped.
+        versions_dropped: u64,
+    },
     /// The WAL rotated: the old log was frozen alongside the immutable
     /// memtable and a fresh one now takes writes.
     WalRotation {
@@ -149,6 +182,8 @@ impl EventKind {
             EventKind::FlushEnd { .. } => "flush_end",
             EventKind::CompactionStart { .. } => "compaction_start",
             EventKind::CompactionEnd { .. } => "compaction_end",
+            EventKind::SubcompactionStart { .. } => "subcompaction_start",
+            EventKind::SubcompactionEnd { .. } => "subcompaction_end",
             EventKind::WalRotation { .. } => "wal_rotation",
             EventKind::SlowdownEnter { .. } => "slowdown_enter",
             EventKind::SlowdownExit { .. } => "slowdown_exit",
@@ -231,6 +266,34 @@ impl Event {
                 .u64("output_tables", *output_tables)
                 .u64("entries_written", *entries_written)
                 .u64("output_bytes", *output_bytes)
+                .u64("tombstones_dropped", *tombstones_dropped)
+                .u64("versions_dropped", *versions_dropped)
+                .finish(),
+            EventKind::SubcompactionStart {
+                id,
+                compaction,
+                shard,
+                shards,
+            } => obj
+                .u64("id", *id)
+                .u64("compaction", *compaction)
+                .u64("shard", *shard as u64)
+                .u64("shards", *shards as u64)
+                .finish(),
+            EventKind::SubcompactionEnd {
+                id,
+                compaction,
+                shard,
+                input_entries,
+                entries_written,
+                tombstones_dropped,
+                versions_dropped,
+            } => obj
+                .u64("id", *id)
+                .u64("compaction", *compaction)
+                .u64("shard", *shard as u64)
+                .u64("input_entries", *input_entries)
+                .u64("entries_written", *entries_written)
                 .u64("tombstones_dropped", *tombstones_dropped)
                 .u64("versions_dropped", *versions_dropped)
                 .finish(),
@@ -377,6 +440,21 @@ mod tests {
                 tombstones_dropped: 4,
                 versions_dropped: 6,
             },
+            EventKind::SubcompactionStart {
+                id: 21,
+                compaction: 7,
+                shard: 0,
+                shards: 4,
+            },
+            EventKind::SubcompactionEnd {
+                id: 21,
+                compaction: 7,
+                shard: 0,
+                input_entries: 25,
+                entries_written: 22,
+                tombstones_dropped: 1,
+                versions_dropped: 2,
+            },
             EventKind::WalRotation {
                 old_wal: 3,
                 new_wal: 9,
@@ -406,8 +484,9 @@ mod tests {
             .iter()
             .map(|e| e.to_json_line() + "\n")
             .collect();
-        assert_eq!(validate_json_lines(&text).unwrap(), 10);
+        assert_eq!(validate_json_lines(&text).unwrap(), 12);
         assert!(text.contains("\"type\":\"compaction_end\""));
+        assert!(text.contains("\"type\":\"subcompaction_end\""));
         assert!(text.contains("\"reason\":\"memtable_rotation\""));
     }
 }

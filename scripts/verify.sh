@@ -17,9 +17,15 @@ echo "==> cargo test -q -p lsm-obs (both background modes)"
 cargo test -q -p lsm-obs
 LSM_BACKGROUND=threaded cargo test -q -p lsm-obs
 
+echo "==> parallel-compaction differential battery (both background modes)"
+cargo test -q -p lsm-core --test parallel_compaction
+LSM_BACKGROUND=threaded cargo test -q -p lsm-core --test parallel_compaction
+
 echo "==> bench smoke run with metrics artifact"
 LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e18_write_stalls -- --metrics
 cargo run -q -p lsm-bench --release --bin metrics_lint results/e18_write_stalls.metrics.jsonl
+LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e19_parallel_compaction -- --metrics
+cargo run -q -p lsm-bench --release --bin metrics_lint results/e19_parallel_compaction.metrics.jsonl
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
