@@ -60,11 +60,13 @@ pub fn metrics_enabled() -> bool {
 static METRICS_FILES: std::sync::OnceLock<std::sync::Mutex<std::collections::HashSet<String>>> =
     std::sync::OnceLock::new();
 
-/// When metrics are enabled, appends one metrics-snapshot JSON line
-/// (tagged with `tags`) plus the drained event trace to
+/// When metrics are enabled, appends raw JSON lines to
 /// `results/<bin>.metrics.jsonl`. The first write per process truncates
-/// the file; later writes append. No-op otherwise.
-pub fn write_metrics_artifact(db: &Db, bin: &str, tags: &[(&str, &str)]) {
+/// the file; later writes append. No-op otherwise. This is the generic
+/// sink — [`write_metrics_artifact`] is the engine-shaped convenience
+/// over it; benches with non-engine sources (e.g. a server's own
+/// registry) call this directly.
+pub fn write_metrics_lines(bin: &str, lines: &[String]) {
     use std::io::Write;
     if !metrics_enabled() {
         return;
@@ -84,13 +86,25 @@ pub fn write_metrics_artifact(db: &Db, bin: &str, tags: &[(&str, &str)]) {
         .open(&path)
         .expect("open metrics artifact");
     let mut out = String::new();
-    out.push_str(&db.metrics().to_json_line_tagged(tags));
-    out.push('\n');
-    for e in db.drain_events() {
-        out.push_str(&e.to_json_line());
+    for line in lines {
+        out.push_str(line);
         out.push('\n');
     }
     f.write_all(out.as_bytes()).expect("write metrics artifact");
+}
+
+/// When metrics are enabled, appends one metrics-snapshot JSON line
+/// (tagged with `tags`) plus the drained event trace to
+/// `results/<bin>.metrics.jsonl`. No-op otherwise.
+pub fn write_metrics_artifact(db: &Db, bin: &str, tags: &[(&str, &str)]) {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut lines = vec![db.metrics().to_json_line_tagged(tags)];
+    for e in db.drain_events() {
+        lines.push(e.to_json_line());
+    }
+    write_metrics_lines(bin, &lines);
 }
 
 /// Deterministic value payload.

@@ -61,7 +61,7 @@ pub mod wal;
 pub use config::{
     BackgroundMode, CompactionGranularity, FilePicker, FilterAllocation, LsmConfig, MergeLayout,
 };
-pub use db::{Db, DbCore, DbIterator};
+pub use db::{Db, DbCore, DbIterator, WriteBatch};
 pub use partitioned::PartitionedDb;
 pub use snapshot::Snapshot;
 pub use entry::{InternalEntry, ValueKind};

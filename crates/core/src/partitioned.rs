@@ -183,6 +183,9 @@ fn add_snapshots(a: &DbStatsSnapshot, b: &DbStatsSnapshot) -> DbStatsSnapshot {
         vlog_values: a.vlog_values + b.vlog_values,
         vlog_resolves: a.vlog_resolves + b.vlog_resolves,
         largest_compaction_entries: a.largest_compaction_entries.max(b.largest_compaction_entries),
+        wal_appends: a.wal_appends + b.wal_appends,
+        write_batches: a.write_batches + b.write_batches,
+        batched_writes: a.batched_writes + b.batched_writes,
     }
 }
 

@@ -92,6 +92,13 @@ counters! {
     /// Entries moved by the single largest compaction (tail-latency proxy:
     /// synchronous maintenance stalls the write path for this long).
     largest_compaction_entries,
+    /// Logical WAL appends issued (one per single write, one per
+    /// group-commit batch — the denominator of the batching win).
+    wal_appends,
+    /// `write_batch` calls accepted.
+    write_batches,
+    /// Individual operations carried inside `write_batch` calls.
+    batched_writes,
 }
 
 impl DbStats {

@@ -73,20 +73,29 @@ impl Wal {
         key: &[u8],
         value: &[u8],
     ) -> StorageResult<()> {
-        let mut payload = Vec::with_capacity(key.len() + value.len() + 16);
-        put_varint(&mut payload, seqno);
-        payload.push(kind.to_u8());
-        put_varint(&mut payload, key.len() as u64);
-        payload.extend_from_slice(key);
-        put_varint(&mut payload, value.len() as u64);
-        payload.extend_from_slice(value);
-        let mut frame = Vec::with_capacity(payload.len() + 10);
-        frame.push(RECORD_MARKER);
-        put_varint(&mut frame, payload.len() as u64);
-        frame.extend_from_slice(&checksum(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
+        let mut frame = Vec::with_capacity(key.len() + value.len() + 26);
+        encode_frame(&mut frame, seqno, kind, key, value);
         self.file.append(&frame)?;
         self.records += 1;
+        Ok(())
+    }
+
+    /// Appends a group of records as **one** file append (group commit):
+    /// the frames are concatenated into a single buffer, so the whole
+    /// batch costs one pass through the file's block pipeline instead of
+    /// one per record. Recovery sees the same frame stream as if each
+    /// record had been appended individually.
+    pub fn append_batch(&mut self, records: &[(u64, ValueKind, Vec<u8>, Vec<u8>)]) -> StorageResult<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let bytes: usize = records.iter().map(|(_, _, k, v)| k.len() + v.len() + 26).sum();
+        let mut buf = Vec::with_capacity(bytes);
+        for (seqno, kind, key, value) in records {
+            encode_frame(&mut buf, *seqno, *kind, key, value);
+        }
+        self.file.append(&buf)?;
+        self.records += records.len() as u64;
         Ok(())
     }
 
@@ -100,6 +109,21 @@ impl Wal {
     pub fn seal(self) -> StorageResult<ImmutableFile> {
         self.file.seal()
     }
+}
+
+/// Encodes one marker + length + checksum + payload frame into `out`.
+fn encode_frame(out: &mut Vec<u8>, seqno: u64, kind: ValueKind, key: &[u8], value: &[u8]) {
+    let mut payload = Vec::with_capacity(key.len() + value.len() + 16);
+    put_varint(&mut payload, seqno);
+    payload.push(kind.to_u8());
+    put_varint(&mut payload, key.len() as u64);
+    payload.extend_from_slice(key);
+    put_varint(&mut payload, value.len() as u64);
+    payload.extend_from_slice(value);
+    out.push(RECORD_MARKER);
+    put_varint(out, payload.len() as u64);
+    out.extend_from_slice(&checksum(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
 }
 
 /// Decodes one checksummed payload. `None` means the frame checksummed
@@ -324,6 +348,36 @@ mod tests {
         assert_eq!(records.len(), 3, "records past sync padding lost");
         assert_eq!(records[1].key, b"after".to_vec());
         assert_eq!(records[2].key, b"third".to_vec());
+    }
+
+    #[test]
+    fn batch_append_recovers_identically_to_singles() {
+        let singles = device();
+        let mut w1 = Wal::create(singles.clone()).unwrap();
+        let batched = device();
+        let mut w2 = Wal::create(batched.clone()).unwrap();
+        let records: Vec<(u64, ValueKind, Vec<u8>, Vec<u8>)> = (0..50u64)
+            .map(|i| {
+                let kind = if i % 7 == 0 { ValueKind::Delete } else { ValueKind::Put };
+                (i, kind, format!("key{i:04}").into_bytes(), format!("value{i}").into_bytes())
+            })
+            .collect();
+        for (s, k, key, value) in &records {
+            w1.append(*s, *k, key, value).unwrap();
+        }
+        w1.sync().unwrap();
+        w2.append_batch(&records).unwrap();
+        w2.sync().unwrap();
+        assert_eq!(w2.records(), 50);
+        let r1 = recover(singles, w1.id()).unwrap();
+        let r2 = recover(batched.clone(), w2.id()).unwrap();
+        assert_eq!(r1, r2, "batch framing must replay like per-record framing");
+        // one logical append: a 50-record batch of ~25-byte frames fills
+        // far fewer block-pipeline passes than 50 separate appends would
+        assert_eq!(r2.len(), 50);
+        let mut w3 = Wal::create(batched).unwrap();
+        w3.append_batch(&[]).unwrap();
+        assert_eq!(w3.records(), 0);
     }
 
     #[test]

@@ -171,6 +171,28 @@ pub enum EventKind {
         /// Human-readable detail.
         detail: String,
     },
+    /// The serving layer accepted a client connection.
+    ServerAccept {
+        /// Connection id, unique per server lifetime.
+        conn: u64,
+    },
+    /// The serving layer refused a write (admission control): the target
+    /// shard's L0 gauge was at or past the shed line, so the client got
+    /// a `Busy` reply instead of a writer wedging inside the engine.
+    ServerShed {
+        /// Shard whose backpressure gauge triggered the shed.
+        shard: u32,
+        /// That shard's L0 run count at the decision.
+        l0_runs: u64,
+    },
+    /// One phase of a graceful server drain (`begin` → `flushed` →
+    /// `done`).
+    ServerDrain {
+        /// Phase name.
+        phase: &'static str,
+        /// Live client connections when the phase was entered.
+        connections: u64,
+    },
 }
 
 impl EventKind {
@@ -190,6 +212,9 @@ impl EventKind {
             EventKind::StallEnter { .. } => "stall_enter",
             EventKind::StallExit { .. } => "stall_exit",
             EventKind::RecoveryStep { .. } => "recovery_step",
+            EventKind::ServerAccept { .. } => "server_accept",
+            EventKind::ServerShed { .. } => "server_shed",
+            EventKind::ServerDrain { .. } => "server_drain",
         }
     }
 }
@@ -314,6 +339,13 @@ impl Event {
             }
             EventKind::RecoveryStep { step, detail } => {
                 obj.str("step", step).str("detail", detail).finish()
+            }
+            EventKind::ServerAccept { conn } => obj.u64("conn", *conn).finish(),
+            EventKind::ServerShed { shard, l0_runs } => {
+                obj.u64("shard", *shard as u64).u64("l0_runs", *l0_runs).finish()
+            }
+            EventKind::ServerDrain { phase, connections } => {
+                obj.str("phase", phase).u64("connections", *connections).finish()
             }
         }
     }
@@ -474,6 +506,15 @@ mod tests {
                 step: "wal_replayed",
                 detail: "wal 4: 37 records".into(),
             },
+            EventKind::ServerAccept { conn: 17 },
+            EventKind::ServerShed {
+                shard: 2,
+                l0_runs: 12,
+            },
+            EventKind::ServerDrain {
+                phase: "begin",
+                connections: 4,
+            },
         ];
         let ring = EventRing::new(64);
         for (i, k) in kinds.into_iter().enumerate() {
@@ -484,9 +525,11 @@ mod tests {
             .iter()
             .map(|e| e.to_json_line() + "\n")
             .collect();
-        assert_eq!(validate_json_lines(&text).unwrap(), 12);
+        assert_eq!(validate_json_lines(&text).unwrap(), 15);
         assert!(text.contains("\"type\":\"compaction_end\""));
         assert!(text.contains("\"type\":\"subcompaction_end\""));
         assert!(text.contains("\"reason\":\"memtable_rotation\""));
+        assert!(text.contains("\"type\":\"server_shed\""));
+        assert!(text.contains("\"phase\":\"begin\""));
     }
 }

@@ -1,0 +1,43 @@
+//! `lsm-server`: a dependency-free TCP serving layer over hash-sharded
+//! LSM engines.
+//!
+//! The crate turns N independent [`lsm_core::Db`] instances into one
+//! network-addressable store:
+//!
+//! - [`protocol`] — the length-prefixed binary wire format (GET / PUT /
+//!   DELETE / SCAN / STATS), request-id'd so clients can pipeline;
+//! - [`router`] — FNV hash partitioning across shards, with cross-shard
+//!   scan stitching;
+//! - [`batcher`] — per-shard group commit: concurrent writes coalesce
+//!   into one `Db::write_batch` (one WAL append, one sync) per batch;
+//! - [`server`] — the accept loop, per-connection reader/writer threads
+//!   with bounded in-flight pipelining, admission control wired to the
+//!   engine's L0 backpressure gauge, and graceful drain;
+//! - [`client`] — a small blocking client library;
+//! - [`metrics`] — serving-side histograms, gauges, and event trace;
+//! - [`harness`] — an in-process loopback cluster for deterministic
+//!   tests, including kill-the-server recovery.
+//!
+//! Everything is `std`-only (`std::net` + threads), mirroring the thread
+//! patterns of `lsm_core::background`.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod harness;
+pub mod metrics;
+pub mod protocol;
+pub mod router;
+pub mod server;
+
+pub use batcher::{GroupCommitter, WriteOp, WriteReq};
+pub use client::Client;
+pub use harness::{reopen_shards, start_cluster, TestCluster};
+pub use metrics::ServerMetrics;
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, FrameError, FrameReader,
+    ProtocolError, Request, Response, MAX_FRAME_BYTES,
+};
+pub use router::{shard_of, ShardSet};
+pub use server::{Server, ServerConfig};

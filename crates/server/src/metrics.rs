@@ -1,0 +1,115 @@
+//! Server-side observability: a [`MetricsRegistry`] and [`EventRing`] of
+//! its own, separate from each shard engine's metrics.
+//!
+//! Engine metrics describe storage behaviour (flushes, compactions,
+//! backpressure); these describe *serving* behaviour — per-operation
+//! latency as a client would see it minus the network, connection and
+//! in-flight gauges, group-commit batch sizes, and admission-control
+//! sheds. Timestamps are wall nanoseconds since server start (serving is
+//! inherently wall-clocked; there is no inline/simulated mode here).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lsm_obs::{Counter, EventKind, EventRing, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+
+/// Bounded event capacity; drains happen per artifact write, so this
+/// only bounds worst-case memory between drains.
+const EVENT_CAPACITY: usize = 4096;
+
+/// Shared server metrics handle (cheap to clone via `Arc`).
+pub struct ServerMetrics {
+    registry: MetricsRegistry,
+    events: EventRing,
+    start: Instant,
+    /// GET service time (request decoded → response queued), ns.
+    pub get_ns: Arc<Histogram>,
+    /// PUT service time (request decoded → batch durable), ns.
+    pub put_ns: Arc<Histogram>,
+    /// DELETE service time, ns.
+    pub delete_ns: Arc<Histogram>,
+    /// SCAN service time, ns.
+    pub scan_ns: Arc<Histogram>,
+    /// Operations coalesced per group-commit batch.
+    pub batch_ops: Arc<Histogram>,
+    /// Live client connections.
+    pub connections: Arc<Gauge>,
+    /// Requests admitted but not yet answered, across connections.
+    pub inflight: Arc<Gauge>,
+    /// Connections accepted over the server lifetime.
+    pub accepts: Arc<Counter>,
+    /// Requests served (any opcode, any outcome).
+    pub requests: Arc<Counter>,
+    /// Writes refused by admission control.
+    pub sheds: Arc<Counter>,
+    /// Frames or payloads that failed to decode.
+    pub malformed: Arc<Counter>,
+    /// Group-commit batches committed.
+    pub batches: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    /// Fresh registry with every instrument registered.
+    pub fn new() -> Arc<Self> {
+        let registry = MetricsRegistry::new();
+        Arc::new(ServerMetrics {
+            get_ns: registry.histogram("server.get_ns"),
+            put_ns: registry.histogram("server.put_ns"),
+            delete_ns: registry.histogram("server.delete_ns"),
+            scan_ns: registry.histogram("server.scan_ns"),
+            batch_ops: registry.histogram("server.batch_ops"),
+            connections: registry.gauge("server.connections"),
+            inflight: registry.gauge("server.inflight"),
+            accepts: registry.counter("server.accepts"),
+            requests: registry.counter("server.requests"),
+            sheds: registry.counter("server.sheds"),
+            malformed: registry.counter("server.malformed"),
+            batches: registry.counter("server.batches"),
+            events: EventRing::new(EVENT_CAPACITY),
+            start: Instant::now(),
+            registry,
+        })
+    }
+
+    /// Wall nanoseconds since server start.
+    pub fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Records `kind` in the server event trace at the current time.
+    pub fn event(&self, kind: EventKind) {
+        self.events.record(self.now_ns(), kind);
+    }
+
+    /// Point-in-time snapshot of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Removes and returns all buffered server events, oldest first.
+    pub fn drain_events(&self) -> Vec<lsm_obs::Event> {
+        self.events.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_round_through_snapshot() {
+        let m = ServerMetrics::new();
+        m.accepts.inc();
+        m.sheds.add(3);
+        m.connections.set(2);
+        m.put_ns.record(1500);
+        m.event(EventKind::ServerAccept { conn: 1 });
+        let snap = m.snapshot();
+        assert_eq!(snap.counters.get("server.accepts"), Some(&1));
+        assert_eq!(snap.counters.get("server.sheds"), Some(&3));
+        assert_eq!(snap.gauges.get("server.connections"), Some(&2));
+        let events = m.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind.label(), "server_accept");
+    }
+}

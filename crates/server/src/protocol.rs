@@ -1,0 +1,569 @@
+//! The wire protocol: length-prefixed binary frames carrying tagged,
+//! request-id'd operations.
+//!
+//! ## Framing
+//!
+//! Every message (either direction) is one *frame*:
+//!
+//! ```text
+//! [u32 LE payload_len][payload_len bytes]
+//! ```
+//!
+//! `payload_len` must be in `1..=max_frame_bytes`. A zero or oversized
+//! length prefix is a *framing* error: the stream can no longer be
+//! resynchronized (nothing marks the next frame boundary), so the server
+//! closes the connection. Errors *inside* a well-framed payload leave the
+//! stream intact, so the server replies with a typed [`Response::Error`]
+//! and keeps the connection.
+//!
+//! ## Payloads
+//!
+//! A request payload is `[u64 LE request_id][u8 opcode][operands]`; a
+//! response payload is `[u64 LE request_id][u8 status][operands]`. The
+//! request id is chosen by the client and echoed verbatim, which is what
+//! lets a client pipeline many requests and match responses arriving in
+//! completion order. Keys, values and messages are length-prefixed with
+//! `u32 LE`. Every multi-byte integer on the wire is little-endian.
+//!
+//! | opcode | request | operands                                  |
+//! |-------:|---------|-------------------------------------------|
+//! | 1      | GET     | key                                       |
+//! | 2      | PUT     | key, value                                |
+//! | 3      | DELETE  | key                                       |
+//! | 4      | SCAN    | start, end, `u32` limit                   |
+//! | 5      | STATS   | —                                         |
+//!
+//! | status | response       | operands                            |
+//! |-------:|----------------|-------------------------------------|
+//! | 0      | OK             | —                                   |
+//! | 1      | VALUE          | value                               |
+//! | 2      | NOT_FOUND      | —                                   |
+//! | 3      | ENTRIES        | `u32` count, then key/value pairs   |
+//! | 4      | STATS          | JSON metrics text                   |
+//! | 5      | ERROR          | UTF-8 message                       |
+//! | 6      | BUSY           | — (admission control shed; retry)   |
+//! | 7      | SHUTTING_DOWN  | — (server is draining)              |
+
+use std::fmt;
+use std::io::Read;
+
+/// Default cap on a frame's payload size (1 MiB).
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// One decoded client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Point lookup.
+    Get {
+        /// Key to look up.
+        key: Vec<u8>,
+    },
+    /// Insert or update.
+    Put {
+        /// Key to write.
+        key: Vec<u8>,
+        /// Value to associate.
+        value: Vec<u8>,
+    },
+    /// Tombstone write.
+    Delete {
+        /// Key to delete.
+        key: Vec<u8>,
+    },
+    /// Ordered range scan over `[start, end)`, at most `limit` entries.
+    Scan {
+        /// Inclusive start key.
+        start: Vec<u8>,
+        /// Exclusive end key.
+        end: Vec<u8>,
+        /// Maximum entries returned.
+        limit: u32,
+    },
+    /// Server metrics snapshot.
+    Stats,
+}
+
+/// One decoded server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Write acknowledged (durable per the server's sync policy).
+    Ok,
+    /// Get hit.
+    Value(Vec<u8>),
+    /// Get miss.
+    NotFound,
+    /// Scan results, ordered by key.
+    Entries(Vec<(Vec<u8>, Vec<u8>)>),
+    /// Metrics snapshot as a JSON line.
+    Stats(String),
+    /// The request was well-framed but could not be executed.
+    Error(String),
+    /// Admission control shed the write; the client should back off.
+    Busy,
+    /// The server is draining and takes no new work.
+    ShuttingDown,
+}
+
+/// A payload-level decode failure (the frame itself was sound, so the
+/// connection survives and the server replies [`Response::Error`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The payload ended before the operands it promised.
+    Truncated,
+    /// Unknown opcode or status byte.
+    BadTag(u8),
+    /// Bytes remained after a complete message.
+    TrailingBytes(usize),
+    /// A string field was not UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Truncated => write!(f, "payload truncated"),
+            ProtocolError::BadTag(t) => write!(f, "unknown opcode/status {t}"),
+            ProtocolError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            ProtocolError::BadUtf8 => write!(f, "string field is not utf-8"),
+        }
+    }
+}
+
+/// A framing-level failure (the stream cannot be resynchronized; the
+/// connection must close).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The length prefix was zero.
+    ZeroLength,
+    /// The length prefix exceeded the frame cap.
+    Oversize {
+        /// Announced payload length.
+        len: u64,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// The stream ended inside a frame.
+    Truncated,
+    /// Transport error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::ZeroLength => write!(f, "zero-length frame"),
+            FrameError::Oversize { len, max } => {
+                write!(f, "frame of {len} bytes exceeds cap of {max}")
+            }
+            FrameError::Truncated => write!(f, "stream ended inside a frame"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn finish_frame(mut payload: Vec<u8>) -> Vec<u8> {
+    let len = (payload.len() - 4) as u32;
+    payload[..4].copy_from_slice(&len.to_le_bytes());
+    payload
+}
+
+fn frame_header(id: u64, tag: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&[0u8; 4]); // length, patched by finish_frame
+    out.extend_from_slice(&id.to_le_bytes());
+    out.push(tag);
+    out
+}
+
+/// Encodes a request as a complete frame (length prefix included).
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut out;
+    match req {
+        Request::Get { key } => {
+            out = frame_header(id, 1);
+            put_bytes(&mut out, key);
+        }
+        Request::Put { key, value } => {
+            out = frame_header(id, 2);
+            put_bytes(&mut out, key);
+            put_bytes(&mut out, value);
+        }
+        Request::Delete { key } => {
+            out = frame_header(id, 3);
+            put_bytes(&mut out, key);
+        }
+        Request::Scan { start, end, limit } => {
+            out = frame_header(id, 4);
+            put_bytes(&mut out, start);
+            put_bytes(&mut out, end);
+            out.extend_from_slice(&limit.to_le_bytes());
+        }
+        Request::Stats => {
+            out = frame_header(id, 5);
+        }
+    }
+    finish_frame(out)
+}
+
+/// Encodes a response as a complete frame (length prefix included).
+pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
+    let mut out;
+    match resp {
+        Response::Ok => out = frame_header(id, 0),
+        Response::Value(v) => {
+            out = frame_header(id, 1);
+            put_bytes(&mut out, v);
+        }
+        Response::NotFound => out = frame_header(id, 2),
+        Response::Entries(entries) => {
+            out = frame_header(id, 3);
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (k, v) in entries {
+                put_bytes(&mut out, k);
+                put_bytes(&mut out, v);
+            }
+        }
+        Response::Stats(json) => {
+            out = frame_header(id, 4);
+            put_bytes(&mut out, json.as_bytes());
+        }
+        Response::Error(msg) => {
+            out = frame_header(id, 5);
+            put_bytes(&mut out, msg.as_bytes());
+        }
+        Response::Busy => out = frame_header(id, 6),
+        Response::ShuttingDown => out = frame_header(id, 7),
+    }
+    finish_frame(out)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian cursor; every accessor fails with
+/// [`ProtocolError::Truncated`] instead of slicing out of range, so
+/// arbitrary payload bytes can never panic the decoder.
+struct Cur<'a> {
+    b: &'a [u8],
+    p: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Cur { b, p: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        let v = *self.b.get(self.p).ok_or(ProtocolError::Truncated)?;
+        self.p += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        let s = self
+            .b
+            .get(self.p..self.p + 4)
+            .ok_or(ProtocolError::Truncated)?;
+        self.p += 4;
+        Ok(u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        let s = self
+            .b
+            .get(self.p..self.p + 8)
+            .ok_or(ProtocolError::Truncated)?;
+        self.p += 8;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, ProtocolError> {
+        let len = self.u32()? as usize;
+        let end = self.p.checked_add(len).ok_or(ProtocolError::Truncated)?;
+        let s = self.b.get(self.p..end).ok_or(ProtocolError::Truncated)?;
+        self.p = end;
+        Ok(s.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        String::from_utf8(self.bytes()?).map_err(|_| ProtocolError::BadUtf8)
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        let rest = self.b.len() - self.p;
+        if rest == 0 {
+            Ok(())
+        } else {
+            Err(ProtocolError::TrailingBytes(rest))
+        }
+    }
+}
+
+/// Extracts the request id from a payload, if it is long enough to carry
+/// one. Used to address a typed error reply for a payload that failed to
+/// decode.
+pub fn peek_request_id(payload: &[u8]) -> Option<u64> {
+    payload
+        .get(..8)
+        .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+}
+
+/// Decodes a request payload (the bytes after the length prefix).
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtocolError> {
+    let mut c = Cur::new(payload);
+    let id = c.u64()?;
+    let op = c.u8()?;
+    let req = match op {
+        1 => Request::Get { key: c.bytes()? },
+        2 => Request::Put {
+            key: c.bytes()?,
+            value: c.bytes()?,
+        },
+        3 => Request::Delete { key: c.bytes()? },
+        4 => Request::Scan {
+            start: c.bytes()?,
+            end: c.bytes()?,
+            limit: c.u32()?,
+        },
+        5 => Request::Stats,
+        other => return Err(ProtocolError::BadTag(other)),
+    };
+    c.finish()?;
+    Ok((id, req))
+}
+
+/// Decodes a response payload (the bytes after the length prefix).
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError> {
+    let mut c = Cur::new(payload);
+    let id = c.u64()?;
+    let status = c.u8()?;
+    let resp = match status {
+        0 => Response::Ok,
+        1 => Response::Value(c.bytes()?),
+        2 => Response::NotFound,
+        3 => {
+            let count = c.u32()? as usize;
+            // each entry is at least 8 bytes of length prefixes; cap the
+            // pre-allocation so a lying count cannot balloon memory
+            let mut entries = Vec::with_capacity(count.min(payload.len() / 8 + 1));
+            for _ in 0..count {
+                let k = c.bytes()?;
+                let v = c.bytes()?;
+                entries.push((k, v));
+            }
+            Response::Entries(entries)
+        }
+        4 => Response::Stats(c.string()?),
+        5 => Response::Error(c.string()?),
+        6 => Response::Busy,
+        7 => Response::ShuttingDown,
+        other => return Err(ProtocolError::BadTag(other)),
+    };
+    c.finish()?;
+    Ok((id, resp))
+}
+
+// ---------------------------------------------------------------------------
+// Frame reading
+// ---------------------------------------------------------------------------
+
+/// Reads frames off a byte stream, tolerating read timeouts.
+///
+/// `next_frame` polls `keep_waiting` whenever the underlying reader
+/// times out with no bytes pending; returning `false` ends the stream
+/// (clean [`None`] at a frame boundary, [`FrameError::Truncated`] inside
+/// one). This is how a server drain interrupts readers parked on idle
+/// connections without an extra thread per socket.
+pub struct FrameReader<R: Read> {
+    r: R,
+    max: usize,
+    buf: Vec<u8>,
+    /// Bytes of `buf` that are valid.
+    filled: usize,
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `r`; payloads above `max` bytes are rejected as
+    /// [`FrameError::Oversize`].
+    pub fn new(r: R, max: usize) -> Self {
+        FrameReader {
+            r,
+            max,
+            buf: vec![0u8; 4096],
+            filled: 0,
+        }
+    }
+
+    /// Reads until `buf[..want]` is filled. `Ok(false)` means the stream
+    /// ended (EOF or abandoned wait) first.
+    fn fill(&mut self, want: usize, keep_waiting: &mut dyn FnMut() -> bool) -> Result<bool, FrameError> {
+        if self.buf.len() < want {
+            self.buf.resize(want, 0);
+        }
+        while self.filled < want {
+            match self.r.read(&mut self.buf[self.filled..want]) {
+                Ok(0) => return Ok(false),
+                Ok(n) => self.filled += n,
+                Err(e) if is_timeout(&e) => {
+                    if !keep_waiting() {
+                        return Ok(false);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Returns the next frame's payload, `Ok(None)` on a clean end of
+    /// stream (EOF or `keep_waiting() == false` at a frame boundary), or
+    /// a [`FrameError`] the connection cannot recover from.
+    pub fn next_frame(
+        &mut self,
+        mut keep_waiting: impl FnMut() -> bool,
+    ) -> Result<Option<Vec<u8>>, FrameError> {
+        if !self.fill(4, &mut keep_waiting)? {
+            return if self.filled == 0 {
+                Ok(None)
+            } else {
+                Err(FrameError::Truncated)
+            };
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if len == 0 {
+            return Err(FrameError::ZeroLength);
+        }
+        if len > self.max {
+            return Err(FrameError::Oversize {
+                len: len as u64,
+                max: self.max,
+            });
+        }
+        if !self.fill(4 + len, &mut keep_waiting)? {
+            return Err(FrameError::Truncated);
+        }
+        let payload = self.buf[4..4 + len].to_vec();
+        self.filled = 0;
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let frame = encode_request(42, &req);
+        let (id, back) = decode_request(&frame[4..]).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(back, req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let frame = encode_response(7, &resp);
+        let (id, back) = decode_response(&frame[4..]).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Get { key: b"k".to_vec() });
+        roundtrip_request(Request::Put {
+            key: b"key".to_vec(),
+            value: vec![0, 255, 7],
+        });
+        roundtrip_request(Request::Delete { key: Vec::new() });
+        roundtrip_request(Request::Scan {
+            start: b"a".to_vec(),
+            end: b"z".to_vec(),
+            limit: 1000,
+        });
+        roundtrip_request(Request::Stats);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(Response::Ok);
+        roundtrip_response(Response::Value(vec![1, 2, 3]));
+        roundtrip_response(Response::NotFound);
+        roundtrip_response(Response::Entries(vec![
+            (b"a".to_vec(), b"1".to_vec()),
+            (b"b".to_vec(), Vec::new()),
+        ]));
+        roundtrip_response(Response::Stats("{\"x\":1}".into()));
+        roundtrip_response(Response::Error("boom".into()));
+        roundtrip_response(Response::Busy);
+        roundtrip_response(Response::ShuttingDown);
+    }
+
+    #[test]
+    fn decode_rejects_bad_payloads_without_panic() {
+        assert_eq!(decode_request(&[]), Err(ProtocolError::Truncated));
+        assert_eq!(decode_request(&[0; 8]), Err(ProtocolError::Truncated));
+        assert_eq!(decode_request(&[0; 9]), Err(ProtocolError::BadTag(0)));
+        // GET with a key length promising more bytes than the payload has
+        let mut p = vec![0u8; 9];
+        p[8] = 1;
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&p), Err(ProtocolError::Truncated));
+        // trailing garbage after a complete message
+        let mut frame = encode_request(1, &Request::Stats);
+        frame.push(0xEE);
+        assert_eq!(decode_request(&frame[4..]), Err(ProtocolError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn frame_reader_reads_back_to_back_frames() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_request(1, &Request::Get { key: b"a".to_vec() }));
+        stream.extend_from_slice(&encode_request(2, &Request::Stats));
+        let mut fr = FrameReader::new(&stream[..], MAX_FRAME_BYTES);
+        let p1 = fr.next_frame(|| true).unwrap().unwrap();
+        assert_eq!(decode_request(&p1).unwrap().0, 1);
+        let p2 = fr.next_frame(|| true).unwrap().unwrap();
+        assert_eq!(decode_request(&p2).unwrap().0, 2);
+        assert!(fr.next_frame(|| true).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn frame_reader_rejects_bad_prefixes() {
+        let zero = 0u32.to_le_bytes();
+        let mut fr = FrameReader::new(&zero[..], 64);
+        assert!(matches!(fr.next_frame(|| true), Err(FrameError::ZeroLength)));
+
+        let huge = u32::MAX.to_le_bytes();
+        let mut fr = FrameReader::new(&huge[..], 64);
+        assert!(matches!(fr.next_frame(|| true), Err(FrameError::Oversize { .. })));
+
+        // truncated: header promises 10 bytes, stream has 3
+        let mut bytes = 10u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let mut fr = FrameReader::new(&bytes[..], 64);
+        assert!(matches!(fr.next_frame(|| true), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn peek_id_needs_eight_bytes() {
+        assert_eq!(peek_request_id(&[1, 0, 0, 0, 0, 0, 0, 0]), Some(1));
+        assert_eq!(peek_request_id(&[1, 2, 3]), None);
+    }
+}

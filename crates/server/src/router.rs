@@ -1,0 +1,187 @@
+//! Hash-partitioned shard routing over independent `Db` instances.
+//!
+//! Each shard is a fully independent engine on its own device: its own
+//! memtable, WAL, levels, and background workers. A key's home shard is
+//! `fnv1a(key) % shards`, so writes spread uniformly regardless of key
+//! skew in the keyspace *prefix* (contrast with `lsm_core::PartitionedDb`,
+//! which range-partitions to shrink compactions; hash partitioning
+//! instead maximizes load spread for a serving front-end). The cost is
+//! that range scans touch every shard: each shard is asked for the first
+//! `limit` entries of the range, and the per-shard runs are merged by key
+//! and truncated — correct because the global first-`limit` entries are a
+//! subset of the union of the per-shard first-`limit` entries.
+
+use lsm_core::Db;
+use lsm_storage::StorageResult;
+
+/// FNV-1a over the key, reduced mod `shards`. Stable across runs and
+/// processes (the protocol does not carry shard ids; clients never need
+/// to know the layout).
+pub fn shard_of(key: &[u8], shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// A set of independent shard engines addressed by key hash.
+pub struct ShardSet {
+    shards: Vec<Db>,
+}
+
+impl ShardSet {
+    /// Wraps `shards` (must be non-empty).
+    pub fn new(shards: Vec<Db>) -> Self {
+        assert!(!shards.is_empty(), "a shard set needs at least one shard");
+        ShardSet { shards }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True only for an (invalid) empty set; present for clippy symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard index owning `key`.
+    pub fn shard_index(&self, key: &[u8]) -> usize {
+        shard_of(key, self.shards.len())
+    }
+
+    /// The engine at `idx`.
+    pub fn db(&self, idx: usize) -> &Db {
+        &self.shards[idx]
+    }
+
+    /// All shard engines, index order.
+    pub fn dbs(&self) -> &[Db] {
+        &self.shards
+    }
+
+    /// Routed point lookup.
+    pub fn get(&self, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        self.shards[self.shard_index(key)].get(key)
+    }
+
+    /// Cross-shard ordered scan of `[start, end)`, at most `limit`
+    /// entries: per-shard scans stitched by a k-way merge.
+    pub fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        if limit == 0 || start >= end {
+            return Ok(Vec::new());
+        }
+        let mut per_shard: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::with_capacity(self.shards.len());
+        for db in &self.shards {
+            per_shard.push(db.scan(start.to_vec()..end.to_vec(), limit)?);
+        }
+        // k-way merge by key; shards partition the keyspace disjointly,
+        // so no key appears twice and ties cannot happen
+        let mut cursors = vec![0usize; per_shard.len()];
+        let mut out = Vec::with_capacity(limit.min(1024));
+        while out.len() < limit {
+            let mut best: Option<usize> = None;
+            for (s, list) in per_shard.iter().enumerate() {
+                if cursors[s] >= list.len() {
+                    continue;
+                }
+                let candidate = &list[cursors[s]].0;
+                if best.is_none_or(|b| candidate < &per_shard[b][cursors[b]].0) {
+                    best = Some(s);
+                }
+            }
+            match best {
+                Some(s) => {
+                    out.push(per_shard[s][cursors[s]].clone());
+                    cursors[s] += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Flushes every shard to quiescence (graceful-drain step).
+    pub fn flush_all(&self) -> StorageResult<()> {
+        for db in &self.shards {
+            db.flush_all()?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the set, returning the shard engines.
+    pub fn into_dbs(self) -> Vec<Db> {
+        self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_core::LsmConfig;
+
+    fn shard_set(n: usize) -> ShardSet {
+        ShardSet::new(
+            (0..n)
+                .map(|_| Db::open_in_memory(LsmConfig::small_for_tests()).unwrap())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn hashing_is_stable_and_spreads() {
+        assert_eq!(shard_of(b"key", 4), shard_of(b"key", 4));
+        let mut hits = vec![0usize; 4];
+        for i in 0..4000u32 {
+            hits[shard_of(format!("user{i:08}").as_bytes(), 4)] += 1;
+        }
+        for (s, &h) in hits.iter().enumerate() {
+            assert!(
+                (700..1300).contains(&h),
+                "shard {s} got {h} of 4000 keys — hash is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn routed_roundtrip() {
+        let set = shard_set(3);
+        for i in 0..500u32 {
+            let key = format!("k{i:05}").into_bytes();
+            set.db(set.shard_index(&key))
+                .put(key, format!("v{i}").into_bytes())
+                .unwrap();
+        }
+        for i in 0..500u32 {
+            assert_eq!(
+                set.get(format!("k{i:05}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes())
+            );
+        }
+    }
+
+    #[test]
+    fn cross_shard_scan_stitches_in_key_order() {
+        let set = shard_set(4);
+        for i in 0..300u32 {
+            let key = format!("s{i:05}").into_bytes();
+            set.db(set.shard_index(&key)).put(key, vec![0u8; 4]).unwrap();
+        }
+        let got = set.scan(b"s00050", b"s00150", 40).unwrap();
+        assert_eq!(got.len(), 40);
+        for (i, (k, _)) in got.iter().enumerate() {
+            assert_eq!(k, format!("s{:05}", 50 + i).as_bytes(), "entry {i} out of order");
+        }
+        // unlimited-enough scan sees the whole range, still ordered
+        let all = set.scan(b"s00000", b"s00300", 1000).unwrap();
+        assert_eq!(all.len(), 300);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        // degenerate ranges
+        assert!(set.scan(b"z", b"a", 10).unwrap().is_empty());
+        assert!(set.scan(b"a", b"z", 0).unwrap().is_empty());
+    }
+}

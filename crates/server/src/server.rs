@@ -1,0 +1,475 @@
+//! The TCP server: accept loop, per-connection reader/writer threads,
+//! bounded pipelining, admission control, and graceful drain.
+//!
+//! ## Thread model
+//!
+//! One accept thread polls a non-blocking listener. Each accepted
+//! connection gets a **reader** thread (decodes frames, executes reads,
+//! routes writes to the owning shard's group committer) and a **writer**
+//! thread (serializes response frames from an mpsc channel onto the
+//! socket). Write completions are callbacks fired by the committer, so a
+//! connection can keep `pipeline_depth` writes in flight while the
+//! reader keeps decoding — that queue depth is precisely what the
+//! group-commit batcher converts into batch size.
+//!
+//! ## Ordering contract
+//!
+//! Responses carry the request id and may arrive out of order across
+//! *different* operation kinds (a pipelined write's ack can overtake
+//! nothing, but a later read's reply can overtake an earlier write's
+//! ack is *not* possible either: reads wait). Concretely, each
+//! connection gets **read-your-writes**: a GET/SCAN blocks until every
+//! write this connection has submitted is acked, so a client that
+//! pipelines `PUT k` then issues `GET k` observes its own write.
+//!
+//! ## Admission control
+//!
+//! Before queueing a write, the reader checks the target shard's
+//! [`l0_run_count`](lsm_core::DbCore::l0_run_count) — the same lock-free
+//! gauge the engine's own backpressure bands read. At or past the shed
+//! line (default: the shard's `l0_stall_runs`) the server answers
+//! [`Response::Busy`] instead of queueing, so a wedged shard surfaces as
+//! fast typed pushback at the edge rather than a writer thread blocked
+//! deep inside the engine. Below the shed line, the engine's own
+//! slowdown band still applies inside `write_batch` — the server sheds
+//! where the engine would stall, and delays where it would slow down.
+
+use std::io::{BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use lsm_core::Db;
+use lsm_obs::EventKind;
+use lsm_storage::StorageResult;
+
+use crate::batcher::{GroupCommitter, WriteOp, WriteReq};
+use crate::metrics::ServerMetrics;
+use crate::protocol::{
+    decode_request, encode_response, peek_request_id, FrameReader, Request, Response,
+    MAX_FRAME_BYTES,
+};
+use crate::router::ShardSet;
+
+/// Serving-layer knobs (the engine's own knobs stay in `LsmConfig`).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum writes a connection may have in flight before its reader
+    /// blocks; this queue depth is what group commit batches.
+    pub pipeline_depth: usize,
+    /// Maximum operations folded into one group-commit batch.
+    pub max_batch: usize,
+    /// Sync the shard WAL once per batch, so an `Ok` ack implies the
+    /// write survives a crash.
+    pub sync_each_batch: bool,
+    /// Shed writes (reply `Busy`) when the target shard's L0 run count
+    /// reaches this; `None` derives each shard's line from its
+    /// `l0_stall_runs`.
+    pub shed_l0_runs: Option<usize>,
+    /// Per-frame payload cap.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            pipeline_depth: 32,
+            max_batch: 64,
+            sync_each_batch: true,
+            shed_l0_runs: None,
+            max_frame_bytes: MAX_FRAME_BYTES,
+        }
+    }
+}
+
+struct ServerInner {
+    shards: ShardSet,
+    committers: Vec<GroupCommitter>,
+    cfg: ServerConfig,
+    /// Per-shard shed line.
+    shed_l0: Vec<usize>,
+    draining: AtomicBool,
+    next_conn: AtomicU64,
+    metrics: Arc<ServerMetrics>,
+}
+
+/// A running server. [`Server::shutdown`] drains gracefully;
+/// [`Server::abort`] stops without flushing (a crash stand-in for
+/// recovery tests). Both return the shard engines.
+pub struct Server {
+    /// `None` once serving has stopped (shutdown, abort, or drop).
+    inner: Option<Arc<ServerInner>>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:0` and starts serving `shards`.
+    pub fn start(shards: Vec<Db>, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let metrics = ServerMetrics::new();
+        let shed_l0: Vec<usize> = shards
+            .iter()
+            .map(|db| cfg.shed_l0_runs.unwrap_or(db.config().l0_stall_runs))
+            .collect();
+        let committers = shards
+            .iter()
+            .map(|db| {
+                GroupCommitter::start(
+                    db.clone(),
+                    cfg.max_batch,
+                    cfg.sync_each_batch,
+                    Arc::clone(&metrics),
+                )
+            })
+            .collect();
+        let inner = Arc::new(ServerInner {
+            shards: ShardSet::new(shards),
+            committers,
+            cfg,
+            shed_l0,
+            draining: AtomicBool::new(false),
+            next_conn: AtomicU64::new(0),
+            metrics,
+        });
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+        let accept = {
+            let inner = Arc::clone(&inner);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("lsm-server-accept".into())
+                .spawn(move || accept_loop(listener, inner, conns))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            inner: Some(inner),
+            addr,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (`127.0.0.1:<ephemeral port>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared handle to the server metrics; survives shutdown, so a
+    /// harness can snapshot after the server is gone.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.inner.as_ref().expect("server running").metrics)
+    }
+
+    /// Stops accepting, lets in-flight requests finish, commits every
+    /// queued write, flushes all shards to quiescence, and returns the
+    /// shard engines.
+    pub fn shutdown(mut self) -> StorageResult<Vec<Db>> {
+        let inner = self.stop_serving().expect("server already stopped");
+        inner.metrics.event(EventKind::ServerDrain {
+            phase: "flush",
+            connections: 0,
+        });
+        inner.shards.flush_all()?;
+        inner.metrics.event(EventKind::ServerDrain {
+            phase: "done",
+            connections: 0,
+        });
+        Ok(inner.shards.into_dbs())
+    }
+
+    /// Stops serving *without* flushing the shards — the in-process
+    /// stand-in for killing the server: whatever the WAL sync policy
+    /// made durable is all a reopen gets.
+    pub fn abort(mut self) -> Vec<Db> {
+        self.stop_serving()
+            .expect("server already stopped")
+            .shards
+            .into_dbs()
+    }
+
+    /// Common teardown: refuse new connections, join every connection
+    /// (readers finish their in-flight work against still-live
+    /// committers), then commit the committers' remaining queues.
+    /// Idempotent; `None` after the first call.
+    fn stop_serving(&mut self) -> Option<ServerInner> {
+        let inner = self.inner.take()?;
+        inner.metrics.event(EventKind::ServerDrain {
+            phase: "begin",
+            connections: inner.metrics.connections.get().max(0) as u64,
+        });
+        inner.draining.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        loop {
+            let handles: Vec<_> = self.conns.lock().unwrap().drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        let mut inner = match Arc::try_unwrap(inner) {
+            Ok(inner) => inner,
+            Err(_) => unreachable!("all server threads joined but inner still shared"),
+        };
+        for c in &mut inner.committers {
+            c.shutdown();
+        }
+        Some(inner)
+    }
+}
+
+impl Drop for Server {
+    /// A dropped server still tears down cleanly (no flush — that is
+    /// what [`Server::shutdown`] adds).
+    fn drop(&mut self) {
+        let _ = self.stop_serving();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inner: Arc<ServerInner>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    while !inner.draining.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_id = inner.next_conn.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.accepts.inc();
+                inner.metrics.connections.add(1);
+                inner.metrics.event(EventKind::ServerAccept { conn: conn_id });
+                let inner2 = Arc::clone(&inner);
+                let handle = std::thread::Builder::new()
+                    .name(format!("lsm-server-conn-{conn_id}"))
+                    .spawn(move || {
+                        serve_conn(inner2, stream);
+                    })
+                    .expect("spawn connection reader");
+                conns.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Per-connection state shared between the reader and write callbacks.
+struct ConnState {
+    /// Writes submitted to a committer but not yet acked.
+    pending: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl ConnState {
+    fn wait_until(&self, limit: usize) {
+        let mut g = self.pending.lock().unwrap();
+        while *g > limit {
+            let (g2, _) = self.cv.wait_timeout(g, Duration::from_millis(50)).unwrap();
+            g = g2;
+        }
+    }
+
+    fn incr(&self) {
+        *self.pending.lock().unwrap() += 1;
+    }
+
+    fn decr(&self) {
+        let mut g = self.pending.lock().unwrap();
+        *g = g.saturating_sub(1);
+        drop(g);
+        self.cv.notify_all();
+    }
+}
+
+fn writer_loop(stream: TcpStream, rx: Receiver<Vec<u8>>) {
+    let mut w = BufWriter::new(stream);
+    while let Ok(frame) = rx.recv() {
+        if w.write_all(&frame).is_err() {
+            break;
+        }
+        // coalesce whatever else is queued before paying the flush
+        let mut dead = false;
+        while let Ok(next) = rx.try_recv() {
+            if w.write_all(&next).is_err() {
+                dead = true;
+                break;
+            }
+        }
+        if dead || w.flush().is_err() {
+            break;
+        }
+    }
+    // wake the reader out of its timeout loop if we died first
+    let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
+}
+
+fn serve_conn(inner: Arc<ServerInner>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let (resp_tx, resp_rx) = channel::<Vec<u8>>();
+    let writer = {
+        let ws = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                inner.metrics.connections.add(-1);
+                return;
+            }
+        };
+        std::thread::Builder::new()
+            .name("lsm-server-conn-writer".into())
+            .spawn(move || writer_loop(ws, resp_rx))
+            .expect("spawn connection writer")
+    };
+    let state = Arc::new(ConnState {
+        pending: Mutex::new(0),
+        cv: Condvar::new(),
+    });
+    let mut reader = FrameReader::new(stream, inner.cfg.max_frame_bytes);
+    loop {
+        let keep_waiting = || !inner.draining.load(Ordering::Acquire);
+        match reader.next_frame(keep_waiting) {
+            Ok(Some(payload)) => {
+                if !handle_frame(&inner, &state, &resp_tx, &payload) {
+                    break;
+                }
+            }
+            Ok(None) => break, // clean EOF or drain at a frame boundary
+            Err(e) => {
+                // framing is unrecoverable: best-effort typed error, close
+                inner.metrics.malformed.inc();
+                let _ = resp_tx.send(encode_response(0, &Response::Error(e.to_string())));
+                break;
+            }
+        }
+    }
+    // finish in-flight writes so their acks reach the wire before close
+    state.wait_until(0);
+    drop(resp_tx); // writer drains and exits once callbacks release theirs
+    let _ = writer.join();
+    inner.metrics.connections.add(-1);
+}
+
+/// Handles one well-framed payload. Returns `false` to close the
+/// connection.
+fn handle_frame(
+    inner: &Arc<ServerInner>,
+    state: &Arc<ConnState>,
+    resp_tx: &Sender<Vec<u8>>,
+    payload: &[u8],
+) -> bool {
+    inner.metrics.requests.inc();
+    let (id, req) = match decode_request(payload) {
+        Ok(ok) => ok,
+        Err(e) => {
+            // the frame boundary is intact, so the connection survives a
+            // payload the decoder rejects — reply typed, keep reading
+            inner.metrics.malformed.inc();
+            let id = peek_request_id(payload).unwrap_or(0);
+            return resp_tx
+                .send(encode_response(id, &Response::Error(e.to_string())))
+                .is_ok();
+        }
+    };
+    if inner.draining.load(Ordering::Acquire) {
+        return resp_tx
+            .send(encode_response(id, &Response::ShuttingDown))
+            .is_ok();
+    }
+    match req {
+        Request::Get { key } => {
+            state.wait_until(0); // read-your-writes
+            let t0 = inner.metrics.now_ns();
+            let resp = match inner.shards.get(&key) {
+                Ok(Some(v)) => Response::Value(v),
+                Ok(None) => Response::NotFound,
+                Err(e) => Response::Error(e.to_string()),
+            };
+            inner.metrics.get_ns.record(inner.metrics.now_ns().saturating_sub(t0));
+            resp_tx.send(encode_response(id, &resp)).is_ok()
+        }
+        Request::Scan { start, end, limit } => {
+            state.wait_until(0);
+            let t0 = inner.metrics.now_ns();
+            let resp = match inner.shards.scan(&start, &end, limit as usize) {
+                Ok(entries) => Response::Entries(entries),
+                Err(e) => Response::Error(e.to_string()),
+            };
+            inner.metrics.scan_ns.record(inner.metrics.now_ns().saturating_sub(t0));
+            resp_tx.send(encode_response(id, &resp)).is_ok()
+        }
+        Request::Stats => {
+            let json = inner
+                .metrics
+                .snapshot()
+                .to_json_line_tagged(&[("scope", "server")]);
+            resp_tx.send(encode_response(id, &Response::Stats(json))).is_ok()
+        }
+        Request::Put { key, value } => {
+            submit_write(inner, state, resp_tx, id, WriteOp::Put { key, value })
+        }
+        Request::Delete { key } => {
+            submit_write(inner, state, resp_tx, id, WriteOp::Delete { key })
+        }
+    }
+}
+
+fn submit_write(
+    inner: &Arc<ServerInner>,
+    state: &Arc<ConnState>,
+    resp_tx: &Sender<Vec<u8>>,
+    id: u64,
+    op: WriteOp,
+) -> bool {
+    let key = match &op {
+        WriteOp::Put { key, .. } => key,
+        WriteOp::Delete { key } => key,
+    };
+    let shard = inner.shards.shard_index(key);
+    // admission control: shed where the engine would hard-stall
+    let l0 = inner.shards.db(shard).l0_run_count();
+    if l0 >= inner.shed_l0[shard] {
+        inner.metrics.sheds.inc();
+        inner.metrics.event(EventKind::ServerShed {
+            shard: shard as u32,
+            l0_runs: l0 as u64,
+        });
+        return resp_tx.send(encode_response(id, &Response::Busy)).is_ok();
+    }
+    // bounded pipelining: cap this connection's in-flight writes
+    state.wait_until(inner.cfg.pipeline_depth.saturating_sub(1));
+    state.incr();
+    inner.metrics.inflight.add(1);
+    let is_delete = matches!(op, WriteOp::Delete { .. });
+    let metrics = Arc::clone(&inner.metrics);
+    let state2 = Arc::clone(state);
+    let resp_tx2 = resp_tx.clone();
+    let t0 = metrics.now_ns();
+    let submitted = inner.committers[shard].submit(WriteReq {
+        op,
+        done: Box::new(move |result| {
+            let resp = match result {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(e.to_string()),
+            };
+            let h = if is_delete { &metrics.delete_ns } else { &metrics.put_ns };
+            h.record(metrics.now_ns().saturating_sub(t0));
+            metrics.inflight.add(-1);
+            // the connection may already be gone; the ack bookkeeping
+            // must still run so drains observe pending == 0
+            let _ = resp_tx2.send(encode_response(id, &resp));
+            state2.decr();
+        }),
+    });
+    // on a shut-down committer the callback already fired with an error
+    submitted || !inner.draining.load(Ordering::Acquire)
+}

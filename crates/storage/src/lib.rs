@@ -12,7 +12,10 @@
 //!   without the authors' hardware, and
 //! - deterministic fault injection ([`FaultDevice`]) plus bounded
 //!   retry-with-backoff ([`RetryDevice`]) for exercising and hardening the
-//!   engine's crash-recovery paths.
+//!   engine's crash-recovery paths, and
+//! - a wall-clock latency wrapper ([`WallLatencyDevice`]) that blocks the
+//!   calling thread for each op's profiled cost, so multi-shard serving
+//!   experiments overlap I/O waits the way real disks do.
 //!
 //! Files are append-only and immutable once sealed, matching the LSM
 //! invariant that sorted runs are never updated in place.
@@ -24,6 +27,7 @@ pub mod fault;
 pub mod file;
 pub mod latency;
 pub mod stats;
+pub mod wall;
 
 pub use block::{Block, BlockBuf, DEFAULT_BLOCK_SIZE};
 pub use device::{FileDevice, MemDevice, StorageDevice};
@@ -32,3 +36,4 @@ pub use fault::{FaultDevice, FaultKind, FaultSpec, RetryDevice, RetryPolicy};
 pub use file::{FileId, FileRegistry, ImmutableFile, WritableFile};
 pub use latency::{DeviceProfile, LatencyModel, SimClock};
 pub use stats::{IoCategory, IoStats, IoStatsSnapshot};
+pub use wall::WallLatencyDevice;

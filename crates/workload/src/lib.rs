@@ -11,16 +11,21 @@
 //!   operation mixes;
 //! - [`ycsb`]: the YCSB A–F presets;
 //! - [`trace`]: record/replay so an identical operation sequence can be
-//!   run against different engine configurations.
+//!   run against different engine configurations;
+//! - [`openloop`]: deterministic open-loop arrival schedules (uniform and
+//!   Poisson), so offered load is fixed up front and queueing delay is
+//!   measured instead of coordinated away.
 
 pub mod generator;
 pub mod keyspace;
+pub mod openloop;
 pub mod trace;
 pub mod ycsb;
 pub mod zipf;
 
 pub use generator::{KeyDistribution, Operation, OpMix, WorkloadGenerator, WorkloadSpec};
 pub use keyspace::{decode_key, encode_key, KEY_LEN};
+pub use openloop::{Arrivals, OpenLoopSchedule};
 pub use trace::Trace;
 pub use ycsb::YcsbWorkload;
 pub use zipf::ZipfSampler;

@@ -21,13 +21,19 @@ echo "==> parallel-compaction differential battery (both background modes)"
 cargo test -q -p lsm-core --test parallel_compaction
 LSM_BACKGROUND=threaded cargo test -q -p lsm-core --test parallel_compaction
 
+echo "==> server suite: protocol fuzz + differential + crash (both background modes)"
+cargo test -q -p lsm-server
+LSM_BACKGROUND=threaded cargo test -q -p lsm-server
+
 echo "==> bench smoke run with metrics artifact"
 LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e18_write_stalls -- --metrics
 cargo run -q -p lsm-bench --release --bin metrics_lint results/e18_write_stalls.metrics.jsonl
 LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e19_parallel_compaction -- --metrics
 cargo run -q -p lsm-bench --release --bin metrics_lint results/e19_parallel_compaction.metrics.jsonl
+LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e20_server_throughput -- --metrics
+cargo run -q -p lsm-bench --release --bin metrics_lint results/e20_server_throughput.metrics.jsonl
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "OK: build, tests (both modes), obs suite, metrics artifact, clippy all clean"
+echo "OK: build, tests (both modes), obs + server suites, metrics artifacts, clippy all clean"
