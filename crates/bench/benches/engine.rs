@@ -42,10 +42,23 @@ fn bench_block_codec(c: &mut Criterion) {
             n
         })
     });
+    // same walk through borrowed views — the zero-copy cursor the read
+    // path uses; the gap vs `block_decode_64_entries` is the per-entry
+    // key/value Vec churn the owned API pays
+    c.bench_function("block_decode_64_entries_ref", |b| {
+        b.iter(|| {
+            let mut it = BlockIter::new(block.as_slice()).unwrap();
+            let mut n = 0u64;
+            while it.advance().unwrap() {
+                n += it.value().len() as u64;
+            }
+            n
+        })
+    });
     c.bench_function("block_seek", |b| {
         b.iter(|| {
             let mut it = BlockIter::new(block.as_slice()).unwrap();
-            it.seek(b"user000000000032").map(|e| e.seqno)
+            it.seek(b"user000000000032").unwrap().then(|| it.seqno())
         })
     });
 }
@@ -63,10 +76,10 @@ fn bench_memtable(c: &mut Criterion) {
                     let mut m = Memtable::with_front(front);
                     for i in 0..100_000u32 {
                         m.insert(
-                            format!("key{i:08}").into_bytes(),
+                            format!("key{i:08}").as_bytes(),
                             i as u64,
                             ValueKind::Put,
-                            vec![0u8; 32],
+                            &[0u8; 32],
                         );
                     }
                     if front > 0 {
@@ -79,10 +92,10 @@ fn bench_memtable(c: &mut Criterion) {
                     for i in 0..4096u32 {
                         let hot = (i * 7919) % 64;
                         m.insert(
-                            format!("key{hot:08}").into_bytes(),
+                            format!("key{hot:08}").as_bytes(),
                             1_000_000 + i as u64,
                             ValueKind::Put,
-                            vec![1u8; 32],
+                            &[1u8; 32],
                         );
                     }
                     m
@@ -98,10 +111,10 @@ fn bench_memtable(c: &mut Criterion) {
             |mut m| {
                 for i in 0..1000u32 {
                     m.insert(
-                        format!("key{i:08}").into_bytes(),
+                        format!("key{i:08}").as_bytes(),
                         i as u64,
                         ValueKind::Put,
-                        vec![0u8; 64],
+                        &[0u8; 64],
                     );
                 }
                 m
@@ -112,10 +125,10 @@ fn bench_memtable(c: &mut Criterion) {
     let mut m = Memtable::new();
     for i in 0..10_000u32 {
         m.insert(
-            format!("key{i:08}").into_bytes(),
+            format!("key{i:08}").as_bytes(),
             i as u64,
             ValueKind::Put,
-            vec![0u8; 64],
+            &[0u8; 64],
         );
     }
     c.bench_function("memtable_get", |b| {
@@ -187,19 +200,29 @@ fn bench_learned_index(c: &mut Criterion) {
         .collect();
     let fence_idx = FencePointers::new(b"user000000000000".to_vec(), fences.clone());
     let pla_idx = PlaIndex::build(&fences, 8);
+    // probe keys precomputed so the loop times locate(), not format!()
+    let probes: Vec<Vec<u8>> = {
+        let mut i = 0u64;
+        (0..1024)
+            .map(|_| {
+                i = (i + 48271) % 500_000;
+                format!("user{i:012}").into_bytes()
+            })
+            .collect()
+    };
     let mut group = c.benchmark_group("block_locate");
     group.bench_function("fence_pointers", |b| {
-        let mut i = 0u64;
+        let mut i = 0usize;
         b.iter(|| {
-            i = (i + 48271) % 500_000;
-            fence_idx.locate(format!("user{i:012}").as_bytes())
+            i = (i + 1) % probes.len();
+            fence_idx.locate(&probes[i])
         })
     });
     group.bench_function("pla", |b| {
-        let mut i = 0u64;
+        let mut i = 0usize;
         b.iter(|| {
-            i = (i + 48271) % 500_000;
-            pla_idx.locate(format!("user{i:012}").as_bytes())
+            i = (i + 1) % probes.len();
+            pla_idx.locate(&probes[i])
         })
     });
     group.finish();

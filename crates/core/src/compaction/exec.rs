@@ -63,6 +63,19 @@ impl<'a> OutputWriter<'a> {
     /// current one reaches the target size. The builder is created lazily
     /// so an all-dropped merge creates no file at all.
     pub(crate) fn push(&mut self, e: &InternalEntry) -> StorageResult<()> {
+        self.push_parts(&e.key, e.seqno, e.kind, &e.value)
+    }
+
+    /// Borrowed-slice variant of [`OutputWriter::push`]: lets the merge
+    /// cursor feed entry bytes straight from pinned blocks into the
+    /// builder — one copy, block to builder.
+    pub(crate) fn push_parts(
+        &mut self,
+        key: &[u8],
+        seqno: u64,
+        kind: crate::entry::ValueKind,
+        value: &[u8],
+    ) -> StorageResult<()> {
         let b = match &mut self.builder {
             Some(b) => b,
             None => {
@@ -74,7 +87,7 @@ impl<'a> OutputWriter<'a> {
                 self.builder.as_mut().unwrap()
             }
         };
-        b.add(&e.key, e.seqno, e.kind, &e.value)?;
+        b.add(key, seqno, kind, value)?;
         self.entries_written += 1;
         if b.estimated_file_bytes() >= self.cfg.target_table_bytes {
             let full = self.builder.take().unwrap();
@@ -120,12 +133,14 @@ pub fn merge_tables(
     let mut merger = MergingIter::new(sources, true)?;
     let mut writer = OutputWriter::new(device, cfg, index_kind, bits_per_key);
     let mut tombstones_dropped = 0u64;
-    while let Some(e) = merger.next_visible()? {
-        if drop_tombstones && e.is_tombstone() {
+    // cursor merge: each surviving entry's bytes move once, from the
+    // pinned input block into the output builder
+    while merger.advance_visible()? {
+        if drop_tombstones && merger.kind() == crate::entry::ValueKind::Delete {
             tombstones_dropped += 1;
             continue;
         }
-        writer.push(&e)?;
+        writer.push_parts(merger.key(), merger.seqno(), merger.kind(), merger.value())?;
     }
     let (out_tables, entries_written) = writer.finish()?;
     let versions_dropped = entries_in

@@ -87,6 +87,13 @@ impl WriteBatch {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+
+    /// Empties the batch, keeping its allocation for reuse — pairs with
+    /// [`DbCore::write_batch_mut`] so a long-lived committer recycles one
+    /// batch instead of allocating a fresh `Vec` per group commit.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
 }
 
 struct Inner {
@@ -403,7 +410,7 @@ impl DbCore {
                     });
                     for r in records {
                         next_seqno = next_seqno.max(r.seqno + 1);
-                        mem.insert(r.key, r.seqno, r.kind, r.value);
+                        mem.insert(&r.key, r.seqno, r.kind, &r.value);
                     }
                 }
                 // A missing WAL is consistent: rotation deletes the old WAL
@@ -643,7 +650,7 @@ impl DbCore {
             wal.append(seqno, kind, &key, &stored)?;
             DbStats::bump(&self.stats.wal_appends);
         }
-        inner.mem.insert(key, seqno, kind, stored);
+        inner.mem.insert(&key, seqno, kind, &stored);
         self.obs.memtable_bytes_gauge.set(inner.mem.bytes() as i64);
         if inner.mem.bytes() >= self.cfg.buffer_bytes {
             if self.threaded() {
@@ -665,6 +672,15 @@ impl DbCore {
     /// is the entry point a serving layer's group-commit batcher uses to
     /// coalesce concurrent client writes per shard.
     pub fn write_batch(&self, batch: WriteBatch) -> StorageResult<()> {
+        let mut batch = batch;
+        self.write_batch_mut(&mut batch)
+    }
+
+    /// [`DbCore::write_batch`] for a reusable batch: applies and drains
+    /// the operations, leaving the batch empty with its capacity intact.
+    /// A group-commit loop calls this with one long-lived batch so the
+    /// per-commit `Vec` allocation disappears from the steady state.
+    pub fn write_batch_mut(&self, batch: &mut WriteBatch) -> StorageResult<()> {
         if batch.is_empty() {
             return Ok(());
         }
@@ -676,7 +692,7 @@ impl DbCore {
         out
     }
 
-    fn write_batch_inner(&self, batch: WriteBatch) -> StorageResult<()> {
+    fn write_batch_inner(&self, batch: &mut WriteBatch) -> StorageResult<()> {
         if self.threaded() {
             self.check_bg_error()?;
             self.backpressure();
@@ -687,7 +703,7 @@ impl DbCore {
         let mut inner = self.inner.write();
         let mut records: Vec<(u64, ValueKind, Vec<u8>, Vec<u8>)> =
             Vec::with_capacity(batch.ops.len());
-        for (key, kind, value) in batch.ops {
+        for (key, kind, value) in batch.ops.drain(..) {
             let seqno = inner.next_seqno;
             inner.next_seqno += 1;
             match kind {
@@ -725,8 +741,8 @@ impl DbCore {
             wal.append_batch(&records)?;
             DbStats::bump(&self.stats.wal_appends);
         }
-        for (seqno, kind, key, stored) in records {
-            inner.mem.insert(key, seqno, kind, stored);
+        for (seqno, kind, key, stored) in &records {
+            inner.mem.insert(key, *seqno, *kind, stored);
         }
         self.obs.memtable_bytes_gauge.set(inner.mem.bytes() as i64);
         if inner.mem.bytes() >= self.cfg.buffer_bytes {
@@ -1348,30 +1364,69 @@ impl DbCore {
     /// Point lookup: the newest visible value for `key`. Takes a version
     /// snapshot and probes tables without holding any engine lock.
     pub fn get(&self, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        self.get_with(key, |v| v.to_vec())
+    }
+
+    /// Point lookup into a caller-owned buffer: `buf` is cleared and
+    /// filled with the value when the key is live. Returns whether the
+    /// key was found. With a warm block cache this path performs no heap
+    /// allocation at all (without key-value separation) — the value bytes
+    /// are copied straight from the cached block into `buf`.
+    pub fn get_into(&self, key: &[u8], buf: &mut Vec<u8>) -> StorageResult<bool> {
+        Ok(self
+            .get_with(key, |v| {
+                buf.clear();
+                buf.extend_from_slice(v);
+            })?
+            .is_some())
+    }
+
+    /// Point lookup through a borrowed view: `f` runs on the value bytes
+    /// in place — in the memtable arena or the cached block — and its
+    /// result is returned. This is the zero-copy primitive [`DbCore::get`]
+    /// and [`DbCore::get_into`] are wrappers over. `f` is called at most
+    /// once, and never for a tombstone.
+    pub fn get_with<R>(
+        &self,
+        key: &[u8],
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> StorageResult<Option<R>> {
         let start = self.obs.now_ns();
-        let out = self.get_inner(key);
+        let out = self.get_with_inner(key, f);
         self.obs
             .get_ns
             .record(self.obs.now_ns().saturating_sub(start));
         out
     }
 
-    fn get_inner(&self, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+    fn get_with_inner<R>(
+        &self,
+        key: &[u8],
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> StorageResult<Option<R>> {
         DbStats::bump(&self.stats.gets);
         self.heat.lock().record(heat_key(key));
+        let kv_sep = self.cfg.kv_separation.is_some();
+        let mut f = Some(f);
         let version = {
             let inner = self.inner.read();
             let mem_hit = inner
                 .mem
-                .get(key)
-                .or_else(|| inner.imm.as_ref().and_then(|m| m.get(key)));
+                .get_ref(key)
+                .or_else(|| inner.imm.as_ref().and_then(|m| m.get_ref(key)));
             if let Some(e) = mem_hit {
                 return match e.kind {
                     ValueKind::Delete => Ok(None),
                     ValueKind::Put => {
-                        let v = self.resolve_value(&inner, e.value)?;
-                        DbStats::bump(&self.stats.gets_found);
-                        Ok(Some(v))
+                        if kv_sep {
+                            // pointer chase may read the value log
+                            let v = self.resolve_value(&inner, e.value.to_vec())?;
+                            DbStats::bump(&self.stats.gets_found);
+                            Ok(Some((f.take().unwrap())(&v)))
+                        } else {
+                            DbStats::bump(&self.stats.gets_found);
+                            Ok(Some((f.take().unwrap())(e.value)))
+                        }
                     }
                 };
             }
@@ -1384,25 +1439,52 @@ impl DbCore {
                     continue;
                 };
                 DbStats::bump(&self.stats.runs_probed);
-                let got = table.get(key, self.cache.as_deref())?;
-                if got.filter_pruned {
-                    DbStats::bump(&self.stats.filter_prunes);
-                }
-                self.stats
-                    .add(&self.stats.blocks_examined, got.blocks_examined as u64);
-                if let Some(e) = got.entry {
-                    return match e.kind {
-                        ValueKind::Delete => Ok(None),
-                        ValueKind::Put => {
-                            let v = self.resolve_raw(e.value)?;
+                let outcome = if kv_sep {
+                    // owned detour: a stored pointer needs a value-log read
+                    let (hit, probe) =
+                        table.get_with(key, self.cache.as_deref(), |e| (e.kind, e.value.to_vec()))?;
+                    self.note_probe(&probe);
+                    match hit {
+                        Some((ValueKind::Delete, _)) => Some(None),
+                        Some((ValueKind::Put, raw)) => {
+                            let v = self.resolve_raw(raw)?;
+                            Some(Some((f.take().unwrap())(&v)))
+                        }
+                        None => None,
+                    }
+                } else {
+                    // borrowed fast path: `f` runs on the block bytes in
+                    // place; the slot dance keeps it available for the
+                    // next table when this one misses
+                    let slot = &mut f;
+                    let (hit, probe) =
+                        table.get_with(key, self.cache.as_deref(), |e| match e.kind {
+                            ValueKind::Delete => None,
+                            ValueKind::Put => Some((slot.take().unwrap())(e.value)),
+                        })?;
+                    self.note_probe(&probe);
+                    hit
+                };
+                if let Some(found) = outcome {
+                    return match found {
+                        None => Ok(None),
+                        Some(r) => {
                             DbStats::bump(&self.stats.gets_found);
-                            Ok(Some(v))
+                            Ok(Some(r))
                         }
                     };
                 }
             }
         }
         Ok(None)
+    }
+
+    fn note_probe(&self, probe: &crate::sstable::TableProbe) {
+        if probe.filter_pruned {
+            DbStats::bump(&self.stats.filter_prunes);
+        }
+        self.stats
+            .add(&self.stats.blocks_examined, probe.blocks_examined as u64);
     }
 
     /// Resolves a raw stored value when no read guard is held (the table
@@ -1456,26 +1538,40 @@ impl DbCore {
         }
         let start = range.start.as_slice();
         let end = range.end.as_slice();
+        let sources = self.scan_sources(start, end);
+        let mut merger = crate::iter::MergingIter::new(sources, false)?;
+        let entries = merger.collect_until(Some(end), false, limit)?;
+        self.stats
+            .add(&self.stats.scan_entries, entries.len() as u64);
+        let inner = self.inner.read();
+        entries
+            .into_iter()
+            .map(|e| Ok((e.key, self.resolve_value(&inner, e.value)?)))
+            .collect()
+    }
+
+    /// Assembles merge sources for a `[start, end)` scan: memtable
+    /// snapshots (rank 0 = youngest, frozen memtable next), then sorted
+    /// runs youngest level/run first. Range-filter pruning is an in-memory
+    /// probe, so it happens up front, while data blocks are only read
+    /// lazily as the merge reaches each table.
+    fn scan_sources(&self, start: &[u8], end: &[u8]) -> Vec<crate::iter::Source> {
         let mut sources = Vec::new();
         let version = {
             let inner = self.inner.read();
-            // memtable snapshots (rank 0 = youngest, frozen memtable next)
             let mem_entries: Vec<InternalEntry> = inner
                 .mem
                 .range(Bound::Included(start), Bound::Excluded(end))
                 .collect();
-            sources.push(crate::iter::Source::Mem(mem_entries.into_iter()));
+            sources.push(crate::iter::Source::mem(mem_entries));
             if let Some(imm) = &inner.imm {
                 let imm_entries: Vec<InternalEntry> = imm
                     .range(Bound::Included(start), Bound::Excluded(end))
                     .collect();
-                sources.push(crate::iter::Source::Mem(imm_entries.into_iter()));
+                sources.push(crate::iter::Source::mem(imm_entries));
             }
             Arc::clone(&inner.version)
         };
-        // sorted runs, youngest level/run first; range-filter pruning is an
-        // in-memory probe, so it happens up front, while data blocks are
-        // only read lazily as the merge reaches each table
         for level in &version.levels {
             for run in &level.runs {
                 let tables: Vec<_> = run
@@ -1500,15 +1596,60 @@ impl DbCore {
                 }
             }
         }
+        sources
+    }
+
+    /// Streaming range scan through borrowed views: calls `f(key, value)`
+    /// for each live entry with `start ≤ key < end`, in key order, up to
+    /// `limit` entries, and returns how many were visited. The bytes are
+    /// borrowed from the merge cursor (cached blocks / memtable copies) —
+    /// no per-entry key/value `Vec`s are materialized, which is what
+    /// [`DbCore::scan`] pays to build its owned result.
+    pub fn scan_with(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+        f: impl FnMut(&[u8], &[u8]),
+    ) -> StorageResult<usize> {
+        let t0 = self.obs.now_ns();
+        let out = self.scan_with_inner(start, end, limit, f);
+        self.obs
+            .scan_ns
+            .record(self.obs.now_ns().saturating_sub(t0));
+        out
+    }
+
+    fn scan_with_inner(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+        mut f: impl FnMut(&[u8], &[u8]),
+    ) -> StorageResult<usize> {
+        DbStats::bump(&self.stats.scans);
+        if start >= end {
+            return Ok(0);
+        }
+        let sources = self.scan_sources(start, end);
         let mut merger = crate::iter::MergingIter::new(sources, false)?;
-        let entries = merger.collect_until(Some(end), false, limit)?;
-        self.stats
-            .add(&self.stats.scan_entries, entries.len() as u64);
-        let inner = self.inner.read();
-        entries
-            .into_iter()
-            .map(|e| Ok((e.key, self.resolve_value(&inner, e.value)?)))
-            .collect()
+        let kv_sep = self.cfg.kv_separation.is_some();
+        let mut n = 0usize;
+        while n < limit && merger.advance_visible()? {
+            if merger.key() >= end {
+                break;
+            }
+            if kv_sep {
+                // pointer chase: the resolved value is owned by necessity
+                let v = self.resolve_raw(merger.value().to_vec())?;
+                f(merger.key(), &v);
+            } else {
+                f(merger.key(), merger.value());
+            }
+            n += 1;
+        }
+        self.stats.add(&self.stats.scan_entries, n as u64);
+        Ok(n)
     }
 
     /// Takes a long-lived point-in-time snapshot. Unlike
@@ -1569,12 +1710,12 @@ impl DbCore {
             .mem
             .range(Bound::Included(start.as_slice()), hi_bound)
             .collect();
-        sources.push(crate::iter::Source::Mem(mem_entries.into_iter()));
+        sources.push(crate::iter::Source::mem(mem_entries));
         if let Some(imm) = &guard.imm {
             let imm_entries: Vec<InternalEntry> = imm
                 .range(Bound::Included(start.as_slice()), hi_bound)
                 .collect();
-            sources.push(crate::iter::Source::Mem(imm_entries.into_iter()));
+            sources.push(crate::iter::Source::mem(imm_entries));
         }
         let version = Arc::clone(&guard.version);
         for level in &version.levels {

@@ -4,6 +4,11 @@
 //! sorted run), merges them in key order, keeps only the newest version of
 //! each key (sources are ranked youngest-first), and suppresses tombstoned
 //! keys. Compaction reuses the same merge with tombstone retention.
+//!
+//! Every source is a *cursor* — `advance()` then `key()`/`value()` — so
+//! merged entries are borrowed views into pinned blocks; bytes are copied
+//! only where a caller materializes them ([`MergingIter::next_visible`],
+//! a table builder, a wire encoder).
 
 use std::sync::Arc;
 
@@ -11,6 +16,7 @@ use lsm_cache::ShardedCache;
 use lsm_storage::{Block, StorageResult};
 
 use crate::entry::{InternalEntry, ValueKind};
+use crate::sstable::block::KeyBuf;
 use crate::sstable::{Table, TableIterator};
 
 /// Lazily chains the iterators of a run's key-ordered, disjoint tables:
@@ -41,16 +47,17 @@ impl RunIterator {
         }
     }
 
-    fn next_entry(&mut self) -> StorageResult<Option<crate::sstable::BlockEntry>> {
+    /// Moves to the next entry; `Ok(false)` = run exhausted.
+    pub fn advance(&mut self) -> StorageResult<bool> {
         loop {
             if let Some(it) = &mut self.current {
-                if let Some(e) = it.next_entry()? {
-                    return Ok(Some(e));
+                if it.advance()? {
+                    return Ok(true);
                 }
                 self.current = None;
             }
             let Some(table) = self.tables.next() else {
-                return Ok(None);
+                return Ok(false);
             };
             // only the first table needs to seek; later tables start past
             // `start` by disjointness
@@ -58,6 +65,30 @@ impl RunIterator {
             self.first = false;
             self.current = Some(table.iter_from(from, self.cache.clone())?);
         }
+    }
+
+    fn cur(&self) -> &TableIterator {
+        self.current.as_ref().expect("valid cursor")
+    }
+
+    /// Current key.
+    pub fn key(&self) -> &[u8] {
+        self.cur().key()
+    }
+
+    /// Current value, borrowed from the pinned block.
+    pub fn value(&self) -> &[u8] {
+        self.cur().value()
+    }
+
+    /// Current sequence number.
+    pub fn seqno(&self) -> u64 {
+        self.cur().seqno()
+    }
+
+    /// Current entry kind.
+    pub fn kind(&self) -> ValueKind {
+        self.cur().kind()
     }
 }
 
@@ -90,30 +121,65 @@ impl BoundedTableIter {
         })
     }
 
-    fn next_entry(&mut self) -> StorageResult<Option<crate::sstable::BlockEntry>> {
+    /// Moves to the next in-range entry; `Ok(false)` = clipped or done.
+    pub fn advance(&mut self) -> StorageResult<bool> {
         if self.done {
-            return Ok(None);
+            return Ok(false);
         }
-        let Some(e) = self.it.next_entry()? else {
+        if !self.it.advance()? {
             self.done = true;
-            return Ok(None);
-        };
+            return Ok(false);
+        }
         if let Some(hi) = &self.hi {
-            if e.key.as_slice() >= hi.as_slice() {
+            if self.it.key() >= hi.as_slice() {
                 self.done = true;
-                return Ok(None);
+                return Ok(false);
             }
         }
         self.pulled
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        Ok(Some(e))
+        Ok(true)
+    }
+
+    /// Current key.
+    pub fn key(&self) -> &[u8] {
+        self.it.key()
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &[u8] {
+        self.it.value()
+    }
+
+    /// Current sequence number.
+    pub fn seqno(&self) -> u64 {
+        self.it.seqno()
+    }
+
+    /// Current entry kind.
+    pub fn kind(&self) -> ValueKind {
+        self.it.kind()
+    }
+}
+
+/// In-memory source over already-sorted owned entries (memtable drains,
+/// tests).
+pub struct MemSource {
+    entries: Vec<InternalEntry>,
+    /// Index of the next entry to serve; `cur = next - 1` once advanced.
+    next: usize,
+}
+
+impl MemSource {
+    fn cur(&self) -> &InternalEntry {
+        &self.entries[self.next - 1]
     }
 }
 
 /// A source of key-ordered entries.
 pub enum Source {
     /// Drained memtable entries (already key-ordered).
-    Mem(std::vec::IntoIter<InternalEntry>),
+    Mem(MemSource),
     /// A table iterator.
     Table(TableIterator),
     /// A lazy iterator over one sorted run.
@@ -122,35 +188,62 @@ pub enum Source {
     BoundedTable(BoundedTableIter),
 }
 
-struct PeekedSource {
-    source: Source,
-    head: Option<InternalEntry>,
-}
-
-impl PeekedSource {
-    fn new(mut source: Source) -> StorageResult<Self> {
-        let head = Self::pull(&mut source)?;
-        Ok(PeekedSource { source, head })
+impl Source {
+    /// In-memory source over sorted owned entries.
+    pub fn mem(entries: Vec<InternalEntry>) -> Source {
+        Source::Mem(MemSource { entries, next: 0 })
     }
 
-    fn pull(source: &mut Source) -> StorageResult<Option<InternalEntry>> {
-        let convert = |e: crate::sstable::BlockEntry| InternalEntry {
-            key: e.key,
-            seqno: e.seqno,
-            kind: e.kind,
-            value: e.value,
-        };
-        match source {
-            Source::Mem(it) => Ok(it.next()),
-            Source::Table(it) => Ok(it.next_entry()?.map(convert)),
-            Source::Run(it) => Ok(it.next_entry()?.map(convert)),
-            Source::BoundedTable(it) => Ok(it.next_entry()?.map(convert)),
+    fn advance(&mut self) -> StorageResult<bool> {
+        match self {
+            Source::Mem(s) => {
+                if s.next < s.entries.len() {
+                    s.next += 1;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+            Source::Table(it) => it.advance(),
+            Source::Run(it) => it.advance(),
+            Source::BoundedTable(it) => it.advance(),
         }
     }
 
-    fn advance(&mut self) -> StorageResult<()> {
-        self.head = Self::pull(&mut self.source)?;
-        Ok(())
+    fn key(&self) -> &[u8] {
+        match self {
+            Source::Mem(s) => &s.cur().key,
+            Source::Table(it) => it.key(),
+            Source::Run(it) => it.key(),
+            Source::BoundedTable(it) => it.key(),
+        }
+    }
+
+    fn value(&self) -> &[u8] {
+        match self {
+            Source::Mem(s) => &s.cur().value,
+            Source::Table(it) => it.value(),
+            Source::Run(it) => it.value(),
+            Source::BoundedTable(it) => it.value(),
+        }
+    }
+
+    fn seqno(&self) -> u64 {
+        match self {
+            Source::Mem(s) => s.cur().seqno,
+            Source::Table(it) => it.seqno(),
+            Source::Run(it) => it.seqno(),
+            Source::BoundedTable(it) => it.seqno(),
+        }
+    }
+
+    fn kind(&self) -> ValueKind {
+        match self {
+            Source::Mem(s) => s.cur().kind,
+            Source::Table(it) => it.kind(),
+            Source::Run(it) => it.kind(),
+            Source::BoundedTable(it) => it.kind(),
+        }
     }
 }
 
@@ -159,8 +252,20 @@ impl PeekedSource {
 /// Sources must be supplied **youngest first**: on equal keys the
 /// lowest-index source provides the visible version (its seqno is
 /// necessarily the highest, by the LSM invariant).
+///
+/// The merge itself is a cursor: [`MergingIter::advance_visible`] then
+/// `key()`/`value()` borrow the winning entry in place. The previous
+/// winner's key is kept in an inline scratch buffer for duplicate
+/// suppression, so steady-state merging allocates nothing.
 pub struct MergingIter {
-    sources: Vec<PeekedSource>,
+    sources: Vec<Source>,
+    valid: Vec<bool>,
+    /// Source holding the current visible entry (not yet stepped past).
+    winner: Option<usize>,
+    /// Key (and seqno) of the winner being stepped past, for duplicate
+    /// suppression across sources.
+    prev_key: KeyBuf,
+    prev_seqno: u64,
     /// Keep tombstones in the output (compaction into non-last levels).
     keep_tombstones: bool,
 }
@@ -168,61 +273,108 @@ pub struct MergingIter {
 impl MergingIter {
     /// Builds the merge; pulls the first entry of every source.
     pub fn new(sources: Vec<Source>, keep_tombstones: bool) -> StorageResult<Self> {
-        let sources = sources
-            .into_iter()
-            .map(PeekedSource::new)
-            .collect::<StorageResult<Vec<_>>>()?;
+        let mut sources = sources;
+        let mut valid = Vec::with_capacity(sources.len());
+        for s in sources.iter_mut() {
+            valid.push(s.advance()?);
+        }
         Ok(MergingIter {
             sources,
+            valid,
+            winner: None,
+            prev_key: KeyBuf::new(),
+            prev_seqno: 0,
             keep_tombstones,
         })
     }
 
-    /// Next visible entry in ascending key order.
+    /// Moves to the next visible entry in ascending key order;
+    /// `Ok(false)` = merge exhausted. On `Ok(true)` the accessors view
+    /// the winning entry without copying.
     ///
     /// With `keep_tombstones`, tombstones are emitted (newest version per
     /// key, including `Delete` kinds); without it, tombstoned keys are
     /// silently skipped — the read-path behaviour.
-    pub fn next_visible(&mut self) -> StorageResult<Option<InternalEntry>> {
+    pub fn advance_visible(&mut self) -> StorageResult<bool> {
         loop {
-            // find the smallest head key; among equals, the youngest source
-            let mut best: Option<usize> = None;
-            for (i, s) in self.sources.iter().enumerate() {
-                let Some(h) = &s.head else { continue };
-                match best {
-                    None => best = Some(i),
-                    Some(b) => {
-                        let bh = self.sources[b].head.as_ref().unwrap();
-                        if h.key < bh.key {
-                            best = Some(i);
-                        }
+            if let Some(w) = self.winner.take() {
+                // step past the previous winner and every older version of
+                // its key in all sources
+                let sources = &mut self.sources;
+                let prev_key = &mut self.prev_key;
+                prev_key.set(sources[w].key());
+                self.prev_seqno = sources[w].seqno();
+                self.valid[w] = sources[w].advance()?;
+                for (i, src) in sources.iter_mut().enumerate() {
+                    while self.valid[i] && src.key() == prev_key.as_slice() {
+                        debug_assert!(
+                            src.seqno() <= self.prev_seqno,
+                            "older source carried a newer seqno"
+                        );
+                        self.valid[i] = src.advance()?;
                     }
                 }
             }
-            let Some(winner) = best else {
-                return Ok(None);
-            };
-            let entry = self.sources[winner].head.take().unwrap();
-            self.sources[winner].advance()?;
-            // drop older versions of the same key from every source
-            for s in &mut self.sources {
-                while s
-                    .head
-                    .as_ref()
-                    .is_some_and(|h| h.key == entry.key)
-                {
-                    debug_assert!(
-                        s.head.as_ref().unwrap().seqno <= entry.seqno,
-                        "older source carried a newer seqno"
-                    );
-                    s.advance()?;
+            // find the smallest head key; among equals, the youngest source
+            let mut best: Option<usize> = None;
+            for i in 0..self.sources.len() {
+                if !self.valid[i] {
+                    continue;
                 }
+                best = match best {
+                    None => Some(i),
+                    Some(b) if self.sources[i].key() < self.sources[b].key() => Some(i),
+                    b => b,
+                };
             }
-            if entry.kind == ValueKind::Delete && !self.keep_tombstones {
+            let Some(w) = best else {
+                return Ok(false);
+            };
+            self.winner = Some(w);
+            if self.sources[w].kind() == ValueKind::Delete && !self.keep_tombstones {
                 continue;
             }
-            return Ok(Some(entry));
+            return Ok(true);
         }
+    }
+
+    fn cur(&self) -> &Source {
+        &self.sources[self.winner.expect("valid merge cursor")]
+    }
+
+    /// Current key.
+    pub fn key(&self) -> &[u8] {
+        self.cur().key()
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &[u8] {
+        self.cur().value()
+    }
+
+    /// Current sequence number.
+    pub fn seqno(&self) -> u64 {
+        self.cur().seqno()
+    }
+
+    /// Current entry kind.
+    pub fn kind(&self) -> ValueKind {
+        self.cur().kind()
+    }
+
+    /// Next visible entry, materialized (owned convenience wrapper over
+    /// [`MergingIter::advance_visible`]).
+    pub fn next_visible(&mut self) -> StorageResult<Option<InternalEntry>> {
+        Ok(if self.advance_visible()? {
+            Some(InternalEntry {
+                key: self.key().to_vec(),
+                seqno: self.seqno(),
+                kind: self.kind(),
+                value: self.value().to_vec(),
+            })
+        } else {
+            None
+        })
     }
 
     /// Collects up to `limit` visible entries with key ≤ `end` (inclusive
@@ -235,18 +387,25 @@ impl MergingIter {
     ) -> StorageResult<Vec<InternalEntry>> {
         let mut out = Vec::new();
         while out.len() < limit {
-            let Some(e) = self.next_visible()? else { break };
+            if !self.advance_visible()? {
+                break;
+            }
             if let Some(end) = end {
                 let past = if end_inclusive {
-                    e.key.as_slice() > end
+                    self.key() > end
                 } else {
-                    e.key.as_slice() >= end
+                    self.key() >= end
                 };
                 if past {
                     break;
                 }
             }
-            out.push(e);
+            out.push(InternalEntry {
+                key: self.key().to_vec(),
+                seqno: self.seqno(),
+                kind: self.kind(),
+                value: self.value().to_vec(),
+            });
         }
         Ok(out)
     }
@@ -257,7 +416,7 @@ mod tests {
     use super::*;
 
     fn mem(entries: Vec<(&str, u64, ValueKind, &str)>) -> Source {
-        Source::Mem(
+        Source::mem(
             entries
                 .into_iter()
                 .map(|(k, s, kind, v)| InternalEntry {
@@ -266,8 +425,7 @@ mod tests {
                     kind,
                     value: v.as_bytes().to_vec(),
                 })
-                .collect::<Vec<_>>()
-                .into_iter(),
+                .collect(),
         )
     }
 
@@ -349,5 +507,42 @@ mod tests {
         let mut m = MergingIter::new(vec![s1, s2, s3], false).unwrap();
         let e = m.next_visible().unwrap().unwrap();
         assert_eq!(e.value, b"v3".to_vec(), "newest put wins over older tombstone");
+    }
+
+    #[test]
+    fn cursor_accessors_match_owned_output() {
+        let a = mem(vec![
+            ("a", 5, ValueKind::Put, "va"),
+            ("c", 6, ValueKind::Delete, ""),
+            ("e", 7, ValueKind::Put, "ve"),
+        ]);
+        let b = mem(vec![
+            ("a", 2, ValueKind::Put, "old"),
+            ("b", 3, ValueKind::Put, "vb"),
+        ]);
+        let mut owned = MergingIter::new(
+            vec![
+                mem(vec![
+                    ("a", 5, ValueKind::Put, "va"),
+                    ("c", 6, ValueKind::Delete, ""),
+                    ("e", 7, ValueKind::Put, "ve"),
+                ]),
+                mem(vec![
+                    ("a", 2, ValueKind::Put, "old"),
+                    ("b", 3, ValueKind::Put, "vb"),
+                ]),
+            ],
+            true,
+        )
+        .unwrap();
+        let mut cursor = MergingIter::new(vec![a, b], true).unwrap();
+        while let Some(e) = owned.next_visible().unwrap() {
+            assert!(cursor.advance_visible().unwrap());
+            assert_eq!(e.key.as_slice(), cursor.key());
+            assert_eq!(e.value.as_slice(), cursor.value());
+            assert_eq!(e.seqno, cursor.seqno());
+            assert_eq!(e.kind, cursor.kind());
+        }
+        assert!(!cursor.advance_visible().unwrap());
     }
 }

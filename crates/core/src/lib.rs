@@ -41,6 +41,11 @@
 //! assert_eq!(scan.len(), 5);
 //! ```
 
+// The hot paths run on borrowed views; a stray `.to_owned()`/`.to_vec()`
+// where a borrow suffices is exactly the regression the zero-copy work
+// removed, so it is a hard error here.
+#![deny(clippy::unnecessary_to_owned)]
+
 pub mod background;
 pub mod compaction;
 pub mod config;

@@ -1,9 +1,15 @@
 //! The mutable in-memory write buffer (tutorial Module I.1).
 //!
-//! Keeps the newest version of each key in a sorted map; a flush drains it
-//! into one SSTable. Updates are absorbed in place (the LSM buffer's
-//! write-absorption effect), so the flushed run never carries two versions
-//! of one key.
+//! Backed by a bump-arena skiplist: node metadata lives in one `Vec`,
+//! key/value bytes in a single offset-addressed arena, so a put performs
+//! **zero per-entry heap allocations** in steady state (the arena and
+//! node vector grow geometrically, amortized). Updates append the new
+//! value to the arena and repoint the node — the superseded bytes stay
+//! until the flush drops the whole arena at once, which is the classic
+//! bump-arena trade (RocksDB/LevelDB memtables work the same way).
+//! Immutable memtables keep their arena alive until the flush completes;
+//! readers borrow value bytes straight out of it via
+//! [`Memtable::get_ref`].
 //!
 //! Optionally runs as a *two-level buffer* (FloDB, EuroSys '17; tutorial
 //! Module II.5): a small unsorted hash front absorbs writes in O(1) and
@@ -11,9 +17,10 @@
 //! against a large sorted level — hot keys are overwritten in the cheap
 //! hash and (since replacements don't grow the front) may never touch the
 //! tree; on unique-key ingest the front is overhead, which the criterion
-//! bench shows honestly.
+//! bench shows honestly. The front stores owned buffers (it is opt-in
+//! and off by default).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::ops::Bound;
 
 use crate::entry::{InternalEntry, ValueKind};
@@ -25,10 +32,227 @@ struct MemValue {
     value: Vec<u8>,
 }
 
+/// Skiplist fanout: p = 1/4, so 12 levels cover ~4^12 entries.
+const MAX_HEIGHT: usize = 12;
+/// Null link (also "head" when used as a predecessor).
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    key_off: u32,
+    key_len: u32,
+    val_off: u32,
+    val_len: u32,
+    seqno: u64,
+    kind: ValueKind,
+    next: [u32; MAX_HEIGHT],
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Index-based skiplist over a bump arena. No unsafe: links are `u32`
+/// node ids, bytes are `(offset, len)` into the arena `Vec`, so the
+/// structure stays valid across reallocation and is trivially `Clone`
+/// (snapshots) and `Send`.
+#[derive(Clone, Debug)]
+struct SkipArena {
+    nodes: Vec<Node>,
+    head: [u32; MAX_HEIGHT],
+    arena: Vec<u8>,
+    height: usize,
+    /// Deterministic height source: node heights come from a hash of the
+    /// insertion counter, so runs are reproducible.
+    counter: u64,
+}
+
+impl Default for SkipArena {
+    fn default() -> Self {
+        SkipArena {
+            nodes: Vec::new(),
+            head: [NIL; MAX_HEIGHT],
+            arena: Vec::new(),
+            height: 1,
+            counter: 0,
+        }
+    }
+}
+
+impl SkipArena {
+    fn push_bytes(&mut self, bytes: &[u8]) -> (u32, u32) {
+        let off = self.arena.len() as u32;
+        self.arena.extend_from_slice(bytes);
+        (off, bytes.len() as u32)
+    }
+
+    fn bytes_at(&self, off: u32, len: u32) -> &[u8] {
+        &self.arena[off as usize..(off + len) as usize]
+    }
+
+    fn key_of(&self, id: u32) -> &[u8] {
+        let n = &self.nodes[id as usize];
+        self.bytes_at(n.key_off, n.key_len)
+    }
+
+    fn value_of(&self, id: u32) -> &[u8] {
+        let n = &self.nodes[id as usize];
+        self.bytes_at(n.val_off, n.val_len)
+    }
+
+    fn next_of(&self, pred: u32, level: usize) -> u32 {
+        if pred == NIL {
+            self.head[level]
+        } else {
+            self.nodes[pred as usize].next[level]
+        }
+    }
+
+    fn random_height(&mut self) -> usize {
+        self.counter += 1;
+        let mut x = splitmix64(self.counter);
+        let mut h = 1;
+        while h < MAX_HEIGHT && x & 3 == 0 {
+            h += 1;
+            x >>= 2;
+        }
+        h
+    }
+
+    /// First node with key ≥ `key` (NIL if none), filling `prevs` with
+    /// the per-level predecessors (NIL = head).
+    fn find(&self, key: &[u8], prevs: &mut [u32; MAX_HEIGHT]) -> u32 {
+        let mut pred = NIL;
+        let mut level = self.height - 1;
+        loop {
+            let next = self.next_of(pred, level);
+            if next != NIL && self.key_of(next) < key {
+                pred = next;
+                continue;
+            }
+            prevs[level] = pred;
+            if level == 0 {
+                return next;
+            }
+            level -= 1;
+        }
+    }
+
+    /// First node with key ≥ `key`, without tracking predecessors.
+    fn seek(&self, key: &[u8]) -> u32 {
+        let mut pred = NIL;
+        let mut level = self.height - 1;
+        loop {
+            let next = self.next_of(pred, level);
+            if next != NIL && self.key_of(next) < key {
+                pred = next;
+                continue;
+            }
+            if level == 0 {
+                return next;
+            }
+            level -= 1;
+        }
+    }
+
+    fn seek_exact(&self, key: &[u8]) -> Option<u32> {
+        let id = self.seek(key);
+        (id != NIL && self.key_of(id) == key).then_some(id)
+    }
+
+    /// Inserts or updates. Returns the replaced value's length on update
+    /// (for byte accounting); `None` for a fresh key.
+    fn insert(&mut self, key: &[u8], seqno: u64, kind: ValueKind, value: &[u8]) -> Option<u32> {
+        let mut prevs = [NIL; MAX_HEIGHT];
+        let found = self.find(key, &mut prevs);
+        if found != NIL && self.key_of(found) == key {
+            // in-place update: bump-append the value, repoint the node
+            let (off, len) = self.push_bytes(value);
+            let n = &mut self.nodes[found as usize];
+            let old_len = n.val_len;
+            n.val_off = off;
+            n.val_len = len;
+            n.seqno = seqno;
+            n.kind = kind;
+            return Some(old_len);
+        }
+        let h = self.random_height();
+        if h > self.height {
+            // prevs above the old height are head links (already NIL)
+            self.height = h;
+        }
+        let (key_off, key_len) = self.push_bytes(key);
+        let (val_off, val_len) = self.push_bytes(value);
+        let id = self.nodes.len() as u32;
+        let mut node = Node {
+            key_off,
+            key_len,
+            val_off,
+            val_len,
+            seqno,
+            kind,
+            next: [NIL; MAX_HEIGHT],
+        };
+        for (level, slot) in node.next.iter_mut().enumerate().take(h) {
+            *slot = self.next_of(prevs[level], level);
+        }
+        self.nodes.push(node);
+        for (level, &pred) in prevs.iter().enumerate().take(h) {
+            if pred == NIL {
+                self.head[level] = id;
+            } else {
+                self.nodes[pred as usize].next[level] = id;
+            }
+        }
+        None
+    }
+
+    fn first(&self) -> u32 {
+        self.head[0]
+    }
+
+    fn last_key(&self) -> Option<&[u8]> {
+        let mut pred = NIL;
+        for level in (0..self.height).rev() {
+            loop {
+                let next = self.next_of(pred, level);
+                if next == NIL {
+                    break;
+                }
+                pred = next;
+            }
+        }
+        (pred != NIL).then(|| self.key_of(pred))
+    }
+
+    fn reset(&mut self) {
+        self.nodes.clear();
+        self.arena.clear();
+        self.head = [NIL; MAX_HEIGHT];
+        self.height = 1;
+        self.counter = 0;
+    }
+}
+
+/// Borrowed view of a buffered entry; `value` points into the memtable
+/// arena (or the hash front) and is valid while the memtable is.
+#[derive(Clone, Copy, Debug)]
+pub struct MemEntryRef<'a> {
+    /// Sequence number.
+    pub seqno: u64,
+    /// Put or tombstone.
+    pub kind: ValueKind,
+    /// Value bytes.
+    pub value: &'a [u8],
+}
+
 /// A sorted, size-tracked write buffer with an optional hash front.
 #[derive(Clone, Debug, Default)]
 pub struct Memtable {
-    map: BTreeMap<Vec<u8>, MemValue>,
+    list: SkipArena,
     /// FloDB-style unsorted front (disabled when `front_budget == 0`).
     front: HashMap<Vec<u8>, MemValue>,
     front_bytes: usize,
@@ -60,28 +284,35 @@ impl Memtable {
     /// both levels release the superseded sorted copy's cost.
     fn spill_front(&mut self) {
         for (k, v) in std::mem::take(&mut self.front) {
-            let key_len = k.len();
-            if let Some(old) = self.map.insert(k, v) {
-                let old_cost = key_len + old.value.len() + 24;
+            if let Some(old_len) = self.list.insert(&k, v.seqno, v.kind, &v.value) {
+                let old_cost = k.len() + old_len as usize + 24;
                 self.bytes = self.bytes.saturating_sub(old_cost);
             }
         }
         self.front_bytes = 0;
     }
 
-    /// Inserts a put or tombstone, replacing any older version.
-    pub fn insert(&mut self, key: Vec<u8>, seqno: u64, kind: ValueKind, value: Vec<u8>) {
+    /// Inserts a put or tombstone, replacing any older version. Takes
+    /// slices: the bytes are bump-copied into the arena, so the caller's
+    /// buffers can be reused — no per-entry `Vec` churn on the write path.
+    pub fn insert(&mut self, key: &[u8], seqno: u64, kind: ValueKind, value: &[u8]) {
         self.insert_inner(key, seqno, kind, value);
         self.peak_bytes = self.peak_bytes.max(self.bytes);
     }
 
-    fn insert_inner(&mut self, key: Vec<u8>, seqno: u64, kind: ValueKind, value: Vec<u8>) {
+    fn insert_inner(&mut self, key: &[u8], seqno: u64, kind: ValueKind, value: &[u8]) {
+        let new_cost = Self::entry_cost(key, value);
         if self.front_budget > 0 {
-            let new_cost = Self::entry_cost(&key, &value);
-            let key_len = key.len();
-            match self.front.insert(key, MemValue { seqno, kind, value }) {
+            match self.front.insert(
+                key.to_vec(),
+                MemValue {
+                    seqno,
+                    kind,
+                    value: value.to_vec(),
+                },
+            ) {
                 Some(old) => {
-                    let old_cost = key_len + old.value.len() + 24;
+                    let old_cost = key.len() + old.value.len() + 24;
                     self.front_bytes = self.front_bytes + new_cost - old_cost;
                     self.bytes = self.bytes + new_cost - old_cost;
                 }
@@ -95,18 +326,18 @@ impl Memtable {
             }
             return;
         }
-        let key_len = key.len();
-        let new_cost = key_len + value.len() + 24;
-        match self.map.insert(key, MemValue { seqno, kind, value }) {
-            Some(old) => {
-                let old_cost = key_len + old.value.len() + 24;
+        match self.list.insert(key, seqno, kind, value) {
+            Some(old_len) => {
+                let old_cost = key.len() + old_len as usize + 24;
                 self.bytes = self.bytes + new_cost - old_cost;
             }
             None => self.bytes += new_cost,
         }
     }
 
-    /// Current approximate footprint in bytes.
+    /// Current approximate logical footprint in bytes (latest versions
+    /// only; superseded arena bytes are excluded — they are reclaimed
+    /// wholesale at flush).
     pub fn bytes(&self) -> usize {
         self.bytes
     }
@@ -120,36 +351,52 @@ impl Memtable {
     /// Number of (latest-version) entries, including tombstones. With a
     /// front active this may double-count keys present in both levels.
     pub fn len(&self) -> usize {
-        self.map.len() + self.front.len()
+        self.list.nodes.len() + self.front.len()
     }
 
     /// Whether the buffer holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty() && self.front.is_empty()
+        self.list.nodes.is_empty() && self.front.is_empty()
     }
 
-    /// Latest version of `key`, if buffered. The hash front is newer than
-    /// the sorted level, so it wins.
-    pub fn get(&self, key: &[u8]) -> Option<InternalEntry> {
-        self.front
-            .get(key)
-            .or_else(|| self.map.get(key))
-            .map(|v| InternalEntry {
-                key: key.to_vec(),
+    /// Latest version of `key` as a borrowed view — the allocation-free
+    /// read path. The hash front is newer than the sorted level, so it
+    /// wins.
+    pub fn get_ref(&self, key: &[u8]) -> Option<MemEntryRef<'_>> {
+        if let Some(v) = self.front.get(key) {
+            return Some(MemEntryRef {
                 seqno: v.seqno,
                 kind: v.kind,
-                value: v.value.clone(),
-            })
+                value: &v.value,
+            });
+        }
+        let id = self.list.seek_exact(key)?;
+        let n = &self.list.nodes[id as usize];
+        Some(MemEntryRef {
+            seqno: n.seqno,
+            kind: n.kind,
+            value: self.list.value_of(id),
+        })
+    }
+
+    /// Latest version of `key`, if buffered (owned convenience wrapper).
+    pub fn get(&self, key: &[u8]) -> Option<InternalEntry> {
+        self.get_ref(key).map(|r| InternalEntry {
+            key: key.to_vec(),
+            seqno: r.seqno,
+            kind: r.kind,
+            value: r.value.to_vec(),
+        })
     }
 
     /// Entries within the bound pair, ascending by key. With a hash front
     /// active, its in-range entries are sorted and merged on the fly
     /// (front entries shadow sorted ones) — the price FloDB pays on scans.
-    pub fn range(
-        &self,
-        lo: Bound<&[u8]>,
-        hi: Bound<&[u8]>,
-    ) -> impl Iterator<Item = InternalEntry> + '_ {
+    pub fn range<'a>(
+        &'a self,
+        lo: Bound<&'a [u8]>,
+        hi: Bound<&'a [u8]>,
+    ) -> impl Iterator<Item = InternalEntry> + 'a {
         let in_bounds = |k: &[u8]| -> bool {
             (match lo {
                 Bound::Included(b) => k >= b,
@@ -168,54 +415,87 @@ impl Memtable {
             .collect();
         front.sort_by(|a, b| a.0.cmp(b.0));
         let mut front = front.into_iter().peekable();
-        let mut sorted = self.map.range::<[u8], _>((lo, hi)).peekable();
+        // position the sorted cursor at the lower bound
+        let mut cur = match lo {
+            Bound::Included(b) => self.list.seek(b),
+            Bound::Excluded(b) => {
+                let mut id = self.list.seek(b);
+                if id != NIL && self.list.key_of(id) == b {
+                    id = self.list.nodes[id as usize].next[0];
+                }
+                id
+            }
+            Bound::Unbounded => self.list.first(),
+        };
+        let past_hi = move |k: &[u8]| -> bool {
+            match hi {
+                Bound::Included(b) => k > b,
+                Bound::Excluded(b) => k >= b,
+                Bound::Unbounded => false,
+            }
+        };
         std::iter::from_fn(move || {
-            let take_front = match (front.peek(), sorted.peek()) {
-                (Some((fk, _)), Some((sk, _))) => {
-                    if fk == sk {
-                        sorted.next(); // front shadows the sorted copy
+            let sorted_key = (cur != NIL)
+                .then(|| self.list.key_of(cur))
+                .filter(|k| !past_hi(k));
+            let take_front = match (front.peek(), sorted_key) {
+                (Some((fk, _)), Some(sk)) => {
+                    if fk.as_slice() == sk {
+                        // front shadows the sorted copy
+                        cur = self.list.nodes[cur as usize].next[0];
                         true
                     } else {
-                        fk < sk
+                        fk.as_slice() < sk
                     }
                 }
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
                 (None, None) => return None,
             };
-            let (k, v) = if take_front {
-                front.next().unwrap()
+            if take_front {
+                let (k, v) = front.next().unwrap();
+                Some(InternalEntry {
+                    key: k.clone(),
+                    seqno: v.seqno,
+                    kind: v.kind,
+                    value: v.value.clone(),
+                })
             } else {
-                sorted.next().unwrap()
-            };
-            Some(InternalEntry {
-                key: k.clone(),
-                seqno: v.seqno,
-                kind: v.kind,
-                value: v.value.clone(),
-            })
+                let id = cur;
+                cur = self.list.nodes[id as usize].next[0];
+                let n = &self.list.nodes[id as usize];
+                Some(InternalEntry {
+                    key: self.list.key_of(id).to_vec(),
+                    seqno: n.seqno,
+                    kind: n.kind,
+                    value: self.list.value_of(id).to_vec(),
+                })
+            }
         })
     }
 
     /// Drains into a sorted entry list for flushing; the memtable is empty
-    /// afterwards.
+    /// afterwards (the arena is released wholesale).
     pub fn drain_sorted(&mut self) -> Vec<InternalEntry> {
         if !self.front.is_empty() {
-            for (k, v) in std::mem::take(&mut self.front) {
-                self.map.insert(k, v);
-            }
+            self.spill_front();
         }
+        let mut out = Vec::with_capacity(self.list.nodes.len());
+        let mut cur = self.list.first();
+        while cur != NIL {
+            let n = &self.list.nodes[cur as usize];
+            out.push(InternalEntry {
+                key: self.list.key_of(cur).to_vec(),
+                seqno: n.seqno,
+                kind: n.kind,
+                value: self.list.value_of(cur).to_vec(),
+            });
+            cur = n.next[0];
+        }
+        self.list.reset();
         self.bytes = 0;
         self.front_bytes = 0;
-        std::mem::take(&mut self.map)
-            .into_iter()
-            .map(|(k, v)| InternalEntry {
-                key: k,
-                seqno: v.seqno,
-                kind: v.kind,
-                value: v.value,
-            })
-            .collect()
+        out
     }
 
     /// Benchmark helper: force-spills the front into the sorted level so
@@ -227,8 +507,8 @@ impl Memtable {
 
     /// Smallest and largest buffered keys.
     pub fn key_range(&self) -> Option<(Vec<u8>, Vec<u8>)> {
-        let mut first = self.map.keys().next().cloned();
-        let mut last = self.map.keys().next_back().cloned();
+        let mut first = (self.list.first() != NIL).then(|| self.list.key_of(self.list.first()).to_vec());
+        let mut last = self.list.last_key().map(|k| k.to_vec());
         for k in self.front.keys() {
             if first.as_ref().is_none_or(|f| k < f) {
                 first = Some(k.clone());
@@ -248,7 +528,7 @@ mod tests {
     #[test]
     fn insert_and_get() {
         let mut m = Memtable::new();
-        m.insert(b"a".to_vec(), 1, ValueKind::Put, b"1".to_vec());
+        m.insert(b"a", 1, ValueKind::Put, b"1");
         let e = m.get(b"a").unwrap();
         assert_eq!(e.value, b"1");
         assert_eq!(e.seqno, 1);
@@ -258,8 +538,8 @@ mod tests {
     #[test]
     fn newer_version_replaces() {
         let mut m = Memtable::new();
-        m.insert(b"a".to_vec(), 1, ValueKind::Put, b"old".to_vec());
-        m.insert(b"a".to_vec(), 2, ValueKind::Put, b"new".to_vec());
+        m.insert(b"a", 1, ValueKind::Put, b"old");
+        m.insert(b"a", 2, ValueKind::Put, b"new");
         assert_eq!(m.len(), 1);
         assert_eq!(m.get(b"a").unwrap().value, b"new");
         assert_eq!(m.get(b"a").unwrap().seqno, 2);
@@ -268,8 +548,8 @@ mod tests {
     #[test]
     fn tombstone_shadows() {
         let mut m = Memtable::new();
-        m.insert(b"a".to_vec(), 1, ValueKind::Put, b"v".to_vec());
-        m.insert(b"a".to_vec(), 2, ValueKind::Delete, vec![]);
+        m.insert(b"a", 1, ValueKind::Put, b"v");
+        m.insert(b"a", 2, ValueKind::Delete, b"");
         let e = m.get(b"a").unwrap();
         assert!(e.is_tombstone());
     }
@@ -278,18 +558,42 @@ mod tests {
     fn bytes_grow_with_inserts() {
         let mut m = Memtable::new();
         assert_eq!(m.bytes(), 0);
-        m.insert(b"key1".to_vec(), 1, ValueKind::Put, vec![0u8; 100]);
+        m.insert(b"key1", 1, ValueKind::Put, &[0u8; 100]);
         let one = m.bytes();
         assert!(one >= 104);
-        m.insert(b"key2".to_vec(), 2, ValueKind::Put, vec![0u8; 100]);
+        m.insert(b"key2", 2, ValueKind::Put, &[0u8; 100]);
         assert!(m.bytes() > one);
+    }
+
+    #[test]
+    fn replacement_does_not_grow_logical_bytes() {
+        let mut m = Memtable::new();
+        m.insert(b"k", 1, ValueKind::Put, &[0u8; 64]);
+        let one = m.bytes();
+        for s in 2..50u64 {
+            m.insert(b"k", s, ValueKind::Put, &[1u8; 64]);
+        }
+        assert_eq!(m.bytes(), one, "in-place update must not grow logical bytes");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(b"k").unwrap().seqno, 49);
+    }
+
+    #[test]
+    fn get_ref_borrows_latest_value() {
+        let mut m = Memtable::new();
+        m.insert(b"a", 1, ValueKind::Put, b"first");
+        m.insert(b"a", 2, ValueKind::Put, b"second");
+        let r = m.get_ref(b"a").unwrap();
+        assert_eq!(r.value, b"second");
+        assert_eq!(r.seqno, 2);
+        assert!(m.get_ref(b"zz").is_none());
     }
 
     #[test]
     fn drain_is_sorted_and_empties() {
         let mut m = Memtable::new();
         for k in ["c", "a", "b"] {
-            m.insert(k.as_bytes().to_vec(), 1, ValueKind::Put, vec![]);
+            m.insert(k.as_bytes(), 1, ValueKind::Put, b"");
         }
         let drained = m.drain_sorted();
         assert_eq!(
@@ -301,10 +605,26 @@ mod tests {
     }
 
     #[test]
+    fn large_random_order_insert_drains_sorted() {
+        let mut m = Memtable::new();
+        // deterministic pseudo-shuffle over 4000 keys
+        for i in 0..4000u64 {
+            let k = (i * 2654435761) % 4000;
+            m.insert(format!("key{k:06}").as_bytes(), i, ValueKind::Put, format!("v{k}").as_bytes());
+        }
+        assert_eq!(m.len(), 4000);
+        let drained = m.drain_sorted();
+        assert_eq!(drained.len(), 4000);
+        for w in drained.windows(2) {
+            assert!(w[0].key < w[1].key, "drain must be strictly sorted");
+        }
+    }
+
+    #[test]
     fn range_scans() {
         let mut m = Memtable::new();
         for i in 0..10u8 {
-            m.insert(vec![i], i as u64, ValueKind::Put, vec![i]);
+            m.insert(&[i], i as u64, ValueKind::Put, &[i]);
         }
         let hits: Vec<_> = m
             .range(Bound::Included(&[3][..]), Bound::Excluded(&[7][..]))
@@ -315,10 +635,24 @@ mod tests {
     }
 
     #[test]
+    fn range_excluded_lower_bound() {
+        let mut m = Memtable::new();
+        for i in 0..5u8 {
+            m.insert(&[i], i as u64, ValueKind::Put, &[]);
+        }
+        let hits: Vec<_> = m
+            .range(Bound::Excluded(&[1][..]), Bound::Included(&[3][..]))
+            .collect();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].key, vec![2]);
+        assert_eq!(hits[1].key, vec![3]);
+    }
+
+    #[test]
     fn two_level_front_absorbs_and_spills() {
         let mut m = Memtable::with_front(200);
         for i in 0..20u32 {
-            m.insert(format!("k{i:03}").into_bytes(), i as u64, ValueKind::Put, vec![i as u8; 8]);
+            m.insert(format!("k{i:03}").as_bytes(), i as u64, ValueKind::Put, &vec![i as u8; 8]);
         }
         // everything readable regardless of which level holds it
         for i in 0..20u32 {
@@ -326,7 +660,7 @@ mod tests {
             assert_eq!(e.value, vec![i as u8; 8]);
         }
         // newer front version shadows an older spilled one
-        m.insert(b"k005".to_vec(), 99, ValueKind::Put, b"newest".to_vec());
+        m.insert(b"k005", 99, ValueKind::Put, b"newest");
         assert_eq!(m.get(b"k005").unwrap().value, b"newest".to_vec());
         assert_eq!(m.get(b"k005").unwrap().seqno, 99);
     }
@@ -336,12 +670,12 @@ mod tests {
         let mut m = Memtable::with_front(10_000); // never spills
         // interleave: evens via a pre-spilled path, odds stay in the front
         for i in (0..20u32).step_by(2) {
-            m.insert(format!("k{i:03}").into_bytes(), i as u64, ValueKind::Put, vec![]);
+            m.insert(format!("k{i:03}").as_bytes(), i as u64, ValueKind::Put, b"");
         }
         m.drain_sorted(); // reset
         let mut m = Memtable::with_front(10_000);
         for i in 0..20u32 {
-            m.insert(format!("k{i:03}").into_bytes(), i as u64, ValueKind::Put, vec![i as u8]);
+            m.insert(format!("k{i:03}").as_bytes(), i as u64, ValueKind::Put, &[i as u8]);
         }
         let got: Vec<_> = m
             .range(Bound::Included(&b"k003"[..]), Bound::Excluded(&b"k015"[..]))
@@ -356,7 +690,7 @@ mod tests {
     fn two_level_drain_is_complete_and_sorted() {
         let mut m = Memtable::with_front(150);
         for i in (0..30u32).rev() {
-            m.insert(format!("k{i:03}").into_bytes(), i as u64, ValueKind::Put, vec![1u8; 4]);
+            m.insert(format!("k{i:03}").as_bytes(), i as u64, ValueKind::Put, &[1u8; 4]);
         }
         let drained = m.drain_sorted();
         assert_eq!(drained.len(), 30);
@@ -371,9 +705,21 @@ mod tests {
     fn key_range() {
         let mut m = Memtable::new();
         assert!(m.key_range().is_none());
-        m.insert(b"m".to_vec(), 1, ValueKind::Put, vec![]);
-        m.insert(b"a".to_vec(), 2, ValueKind::Put, vec![]);
-        m.insert(b"z".to_vec(), 3, ValueKind::Put, vec![]);
+        m.insert(b"m", 1, ValueKind::Put, b"");
+        m.insert(b"a", 2, ValueKind::Put, b"");
+        m.insert(b"z", 3, ValueKind::Put, b"");
         assert_eq!(m.key_range(), Some((b"a".to_vec(), b"z".to_vec())));
+    }
+
+    #[test]
+    fn clone_snapshots_are_independent() {
+        let mut m = Memtable::new();
+        m.insert(b"a", 1, ValueKind::Put, b"1");
+        let snap = m.clone();
+        m.insert(b"a", 2, ValueKind::Put, b"2");
+        m.insert(b"b", 3, ValueKind::Put, b"3");
+        assert_eq!(snap.get(b"a").unwrap().value, b"1");
+        assert!(snap.get(b"b").is_none());
+        assert_eq!(m.get(b"a").unwrap().value, b"2");
     }
 }

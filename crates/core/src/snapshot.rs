@@ -112,12 +112,12 @@ impl Snapshot {
             .mem
             .range(Bound::Included(start), Bound::Excluded(end))
             .collect();
-        sources.push(Source::Mem(mem_entries.into_iter()));
+        sources.push(Source::mem(mem_entries));
         if let Some(imm) = &self.imm {
             let imm_entries: Vec<InternalEntry> = imm
                 .range(Bound::Included(start), Bound::Excluded(end))
                 .collect();
-            sources.push(Source::Mem(imm_entries.into_iter()));
+            sources.push(Source::mem(imm_entries));
         }
         for level in &self.version.levels {
             for run in &level.runs {

@@ -13,6 +13,12 @@
 //! hash_index_len: u32      (0 = no hash index)
 //! checksum: u32            (FNV-1a over everything above)
 //! ```
+//!
+//! Decoding is zero-copy: [`BlockIter`] is a cursor whose `key()`/`value()`
+//! accessors borrow from the block bytes (restart-aligned keys directly;
+//! prefix-compressed keys from a scratch buffer that is reused across
+//! entries and never clones). Owned [`BlockEntry`]s are produced only at
+//! API boundaries via [`EntryRef::to_entry`] / [`BlockIter::next_entry`].
 
 use lsm_index::block_hash::{BlockHashIndex, HashProbe};
 use lsm_storage::{StorageError, StorageResult};
@@ -32,7 +38,9 @@ fn block_checksum(bytes: &[u8]) -> u32 {
     (h ^ (h >> 32)) as u32
 }
 
-/// One decoded block entry.
+/// One decoded block entry (owned). The hot paths work with
+/// [`EntryRef`] views instead; this exists for API boundaries that
+/// need ownership.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BlockEntry {
     /// User key.
@@ -43,6 +51,117 @@ pub struct BlockEntry {
     pub kind: ValueKind,
     /// Value bytes.
     pub value: Vec<u8>,
+}
+
+/// Borrowed view of one block entry. `key` and `value` point into the
+/// iterator's block (or its scratch buffer) and are valid until the
+/// cursor moves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryRef<'a> {
+    /// User key.
+    pub key: &'a [u8],
+    /// Sequence number.
+    pub seqno: u64,
+    /// Put or tombstone.
+    pub kind: ValueKind,
+    /// Value bytes.
+    pub value: &'a [u8],
+}
+
+impl EntryRef<'_> {
+    /// Copies the view into an owned [`BlockEntry`] — the explicit
+    /// allocation point when an entry must outlive the cursor.
+    pub fn to_entry(&self) -> BlockEntry {
+        BlockEntry {
+            key: self.key.to_vec(),
+            seqno: self.seqno,
+            kind: self.kind,
+            value: self.value.to_vec(),
+        }
+    }
+}
+
+/// Keys at most this long rebuild in a fixed inline buffer; the scratch
+/// only touches the heap for longer keys.
+const KEY_INLINE: usize = 64;
+
+/// Inline-first growable byte buffer for rebuilding prefix-compressed
+/// keys. Short keys (the overwhelmingly common case) stay in the inline
+/// array, which is what keeps warm point lookups and scans at zero heap
+/// allocations.
+#[derive(Debug)]
+pub(crate) struct KeyBuf {
+    inline: [u8; KEY_INLINE],
+    ilen: usize,
+    heap: Vec<u8>,
+    spilled: bool,
+}
+
+impl KeyBuf {
+    pub(crate) fn new() -> Self {
+        KeyBuf {
+            inline: [0; KEY_INLINE],
+            ilen: 0,
+            heap: Vec::new(),
+            spilled: false,
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.ilen = 0;
+        self.heap.clear();
+        self.spilled = false;
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        if self.spilled {
+            self.heap.len()
+        } else {
+            self.ilen
+        }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        if self.spilled {
+            &self.heap
+        } else {
+            &self.inline[..self.ilen]
+        }
+    }
+
+    pub(crate) fn truncate(&mut self, n: usize) {
+        if self.spilled {
+            self.heap.truncate(n);
+        } else {
+            self.ilen = self.ilen.min(n);
+        }
+    }
+
+    pub(crate) fn extend_from_slice(&mut self, bytes: &[u8]) {
+        if !self.spilled {
+            if self.ilen + bytes.len() <= KEY_INLINE {
+                self.inline[self.ilen..self.ilen + bytes.len()].copy_from_slice(bytes);
+                self.ilen += bytes.len();
+                return;
+            }
+            // spill: move the inline prefix to the heap once, keep growing there
+            self.heap.clear();
+            self.heap.extend_from_slice(&self.inline[..self.ilen]);
+            self.spilled = true;
+        }
+        self.heap.extend_from_slice(bytes);
+    }
+
+    pub(crate) fn set(&mut self, bytes: &[u8]) {
+        self.truncate(0);
+        self.extend_from_slice(bytes);
+    }
+}
+
+impl Default for KeyBuf {
+    fn default() -> Self {
+        KeyBuf::new()
+    }
 }
 
 /// Builds one prefix-compressed data block.
@@ -164,24 +283,48 @@ impl BlockBuilder {
     }
 }
 
-/// Iterates a decoded block. Generic over the backing storage so it can
-/// borrow a slice (tests, merges) or own a cached block (table scans).
+/// Where the cursor's current key lives.
+#[derive(Clone, Copy, Debug)]
+enum KeyLoc {
+    /// Borrowed from the block bytes (restart-aligned entry, `shared == 0`).
+    Direct { start: usize, len: usize },
+    /// Rebuilt in the reusable scratch buffer.
+    Scratch,
+}
+
+/// Cursor over a decoded block. Generic over the backing storage so it
+/// can borrow a slice (tests, merges) or own a cached block (table
+/// scans — cloning a [`lsm_storage::Block`] is a refcount bump).
+///
+/// Opening the cursor allocates nothing: restart offsets are read from
+/// the trailer bytes on demand, and the key scratch buffer is inline
+/// for keys up to 64 bytes. Use [`BlockIter::advance`]/[`BlockIter::seek`]
+/// to position, then `key()`/`value()`/`current()` to view the entry
+/// without copying.
 pub struct BlockIter<D: AsRef<[u8]>> {
     entries_end: usize,
     data: D,
-    restarts: Vec<u32>,
+    /// Byte offset of the restart-offset array in `data`.
+    restarts_off: usize,
+    num_restarts: usize,
     /// Byte range of the serialized hash index (empty = none); probed
     /// zero-copy, so opening an iterator never allocates for it.
     hash_range: std::ops::Range<usize>,
     /// Byte offset of the next entry to decode.
     offset: usize,
-    current_key: Vec<u8>,
+    key_loc: KeyLoc,
+    scratch: KeyBuf,
+    val_start: usize,
+    val_len: usize,
+    seqno: u64,
+    kind: ValueKind,
+    valid: bool,
 }
 
 impl<D: AsRef<[u8]>> BlockIter<D> {
     /// Parses a block produced by [`BlockBuilder::finish`].
     pub fn new(data: D) -> Option<Self> {
-        let (entries_end, restarts, hash_range) = {
+        let (entries_end, restarts_off, num_restarts, hash_range) = {
             let d = data.as_ref();
             if d.len() < 16 {
                 return None;
@@ -197,52 +340,101 @@ impl<D: AsRef<[u8]>> BlockIter<D> {
                 u32::from_le_bytes(d[d.len() - 8..d.len() - 4].try_into().ok()?) as usize;
             let restarts_off = d.len().checked_sub(8 + n_restarts * 4)?;
             let hash_off = restarts_off.checked_sub(hash_len)?;
-            let mut restarts = Vec::with_capacity(n_restarts);
-            for i in 0..n_restarts {
-                let off = restarts_off + i * 4;
-                restarts.push(u32::from_le_bytes(d[off..off + 4].try_into().ok()?));
-            }
-            (hash_off, restarts, hash_off..hash_off + hash_len)
+            (hash_off, restarts_off, n_restarts, hash_off..hash_off + hash_len)
         };
         Some(BlockIter {
             entries_end,
             data,
-            restarts,
+            restarts_off,
+            num_restarts,
             hash_range,
             offset: 0,
-            current_key: Vec::new(),
+            key_loc: KeyLoc::Scratch,
+            scratch: KeyBuf::new(),
+            val_start: 0,
+            val_len: 0,
+            seqno: 0,
+            kind: ValueKind::Put,
+            valid: false,
         })
     }
 
-    /// Positions at the first entry.
+    /// Positions before the first entry; the next [`BlockIter::advance`]
+    /// lands on it.
     pub fn seek_to_first(&mut self) {
         self.offset = 0;
-        self.current_key.clear();
+        self.scratch.clear();
+        self.key_loc = KeyLoc::Scratch;
+        self.valid = false;
     }
 
-    /// Decodes the entry at the current offset and advances. `None` when
-    /// the entries are exhausted or the block is corrupt. Use
-    /// [`BlockIter::try_next_entry`] where the two must be distinguished.
-    pub fn next_entry(&mut self) -> Option<BlockEntry> {
-        self.try_next_entry().ok().flatten()
+    /// Whether the cursor currently points at an entry.
+    pub fn valid(&self) -> bool {
+        self.valid
     }
 
-    /// Fallible variant of [`BlockIter::next_entry`]: `Ok(None)` means the
-    /// entries are cleanly exhausted, `Err(Corruption)` means the bytes at
-    /// the current offset do not decode even though the block's checksum
-    /// verified — in-memory corruption after verification, or a writer bug.
-    pub fn try_next_entry(&mut self) -> StorageResult<Option<BlockEntry>> {
+    /// Current key; valid until the cursor moves.
+    pub fn key(&self) -> &[u8] {
+        debug_assert!(self.valid, "key() on an invalid cursor");
+        match self.key_loc {
+            KeyLoc::Direct { start, len } => &self.data.as_ref()[start..start + len],
+            KeyLoc::Scratch => self.scratch.as_slice(),
+        }
+    }
+
+    /// Current value, borrowed from the block bytes.
+    pub fn value(&self) -> &[u8] {
+        debug_assert!(self.valid, "value() on an invalid cursor");
+        &self.data.as_ref()[self.val_start..self.val_start + self.val_len]
+    }
+
+    /// Current sequence number.
+    pub fn seqno(&self) -> u64 {
+        debug_assert!(self.valid, "seqno() on an invalid cursor");
+        self.seqno
+    }
+
+    /// Current entry kind.
+    pub fn kind(&self) -> ValueKind {
+        debug_assert!(self.valid, "kind() on an invalid cursor");
+        self.kind
+    }
+
+    /// Borrowed view of the current entry.
+    pub fn current(&self) -> EntryRef<'_> {
+        EntryRef {
+            key: self.key(),
+            seqno: self.seqno,
+            kind: self.kind,
+            value: self.value(),
+        }
+    }
+
+    /// Moves to the next entry. `Ok(false)` means the entries are cleanly
+    /// exhausted (the cursor is no longer valid); `Err(Corruption)` means
+    /// the bytes at the current offset do not decode even though the
+    /// block's checksum verified — in-memory corruption after
+    /// verification, or a writer bug.
+    pub fn advance(&mut self) -> StorageResult<bool> {
         if self.offset >= self.entries_end {
-            return Ok(None);
+            self.valid = false;
+            return Ok(false);
         }
         let at = self.offset;
-        self.decode_at_offset().map(Some).ok_or_else(|| {
-            StorageError::Corruption(format!("undecodable block entry at byte {at}"))
-        })
+        if self.decode_current().is_none() {
+            self.valid = false;
+            return Err(StorageError::Corruption(format!(
+                "undecodable block entry at byte {at}"
+            )));
+        }
+        Ok(true)
     }
 
-    fn decode_at_offset(&mut self) -> Option<BlockEntry> {
-        let d = &self.data.as_ref()[self.offset..self.entries_end];
+    /// Decodes the entry at `self.offset` into the cursor state. `None`
+    /// on malformed bytes.
+    fn decode_current(&mut self) -> Option<()> {
+        let base = self.offset;
+        let d = &self.data.as_ref()[base..self.entries_end];
         let mut at = 0usize;
         let (shared, n) = get_varint(&d[at..])?;
         at += n;
@@ -255,28 +447,71 @@ impl<D: AsRef<[u8]>> BlockIter<D> {
         let kind = ValueKind::from_u8(*d.get(at)?)?;
         at += 1;
         let (shared, unshared, vlen) = (shared as usize, unshared as usize, vlen as usize);
-        if shared > self.current_key.len() || at + unshared + vlen > d.len() {
+        let cur_key_len = match self.key_loc {
+            KeyLoc::Direct { len, .. } => len,
+            KeyLoc::Scratch => self.scratch.len(),
+        };
+        if shared > cur_key_len || at + unshared + vlen > d.len() {
             return None;
         }
-        self.current_key.truncate(shared);
-        self.current_key.extend_from_slice(&d[at..at + unshared]);
+        if shared == 0 {
+            // restart-aligned: the full key sits in the block — borrow it
+            self.key_loc = KeyLoc::Direct {
+                start: base + at,
+                len: unshared,
+            };
+        } else {
+            if let KeyLoc::Direct { start, .. } = self.key_loc {
+                // previous key was borrowed: seed the scratch with its prefix
+                self.scratch.truncate(0);
+                let prefix = &self.data.as_ref()[start..start + shared];
+                self.scratch.extend_from_slice(prefix);
+            } else {
+                self.scratch.truncate(shared);
+            }
+            self.scratch.extend_from_slice(&d[at..at + unshared]);
+            self.key_loc = KeyLoc::Scratch;
+        }
         at += unshared;
-        let value = d[at..at + vlen].to_vec();
-        at += vlen;
-        self.offset += at;
-        Some(BlockEntry {
-            key: self.current_key.clone(),
-            seqno,
-            kind,
-            value,
+        self.val_start = base + at;
+        self.val_len = vlen;
+        self.seqno = seqno;
+        self.kind = kind;
+        self.offset = base + at + vlen;
+        self.valid = true;
+        Some(())
+    }
+
+    /// Decodes the entry at the current offset and advances. `None` when
+    /// the entries are exhausted or the block is corrupt. Use
+    /// [`BlockIter::try_next_entry`] where the two must be distinguished.
+    pub fn next_entry(&mut self) -> Option<BlockEntry> {
+        self.try_next_entry().ok().flatten()
+    }
+
+    /// Owned-entry variant of [`BlockIter::advance`]: `Ok(None)` means the
+    /// entries are cleanly exhausted, `Err(Corruption)` means undecodable
+    /// bytes.
+    pub fn try_next_entry(&mut self) -> StorageResult<Option<BlockEntry>> {
+        Ok(if self.advance()? {
+            Some(self.current().to_entry())
+        } else {
+            None
         })
     }
 
-    /// Restart-point full key at ordinal `r` (restart entries always have
-    /// `shared == 0`).
-    fn restart_key(&self, r: usize) -> Option<Vec<u8>> {
-        let off = self.restarts[r] as usize;
-        let d = &self.data.as_ref()[off..self.entries_end];
+    /// Restart offset at ordinal `r`, read from the trailer on demand.
+    fn restart_off(&self, r: usize) -> usize {
+        let off = self.restarts_off + r * 4;
+        let d = self.data.as_ref();
+        u32::from_le_bytes(d[off..off + 4].try_into().unwrap()) as usize
+    }
+
+    /// Restart-point full key at ordinal `r`, borrowed from the block
+    /// (restart entries always have `shared == 0`).
+    fn restart_key(&self, r: usize) -> Option<&[u8]> {
+        let off = self.restart_off(r);
+        let d = self.data.as_ref().get(off..self.entries_end)?;
         let mut at = 0usize;
         let (_shared, n) = get_varint(&d[at..])?;
         at += n;
@@ -287,38 +522,46 @@ impl<D: AsRef<[u8]>> BlockIter<D> {
         let (_seq, n) = get_varint(&d[at..])?;
         at += n;
         at += 1; // kind
-        let unshared = unshared as usize;
-        d.get(at..at + unshared).map(|k| k.to_vec())
+        d.get(at..at + unshared as usize)
     }
 
     fn seek_to_restart(&mut self, r: usize) {
-        self.offset = self.restarts[r] as usize;
-        self.current_key.clear();
+        self.offset = self.restart_off(r);
+        self.scratch.clear();
+        self.key_loc = KeyLoc::Scratch;
+        self.valid = false;
     }
 
-    /// Positions at the first entry with key ≥ `target`; returns it.
-    pub fn seek(&mut self, target: &[u8]) -> Option<BlockEntry> {
+    /// Positions at the first entry with key ≥ `target`. Returns whether
+    /// such an entry exists; on `true` the cursor is valid and points at
+    /// it.
+    pub fn seek(&mut self, target: &[u8]) -> StorageResult<bool> {
+        if self.num_restarts == 0 {
+            self.valid = false;
+            return Ok(false);
+        }
         // binary search over restart points: last restart whose key ≤ target
-        let (mut lo, mut hi) = (0usize, self.restarts.len());
+        let (mut lo, mut hi) = (0usize, self.num_restarts);
         while hi - lo > 1 {
             let mid = (lo + hi) / 2;
             match self.restart_key(mid) {
-                Some(k) if k.as_slice() <= target => lo = mid,
+                Some(k) if k <= target => lo = mid,
                 _ => hi = mid,
             }
         }
         self.seek_to_restart(lo);
-        while let Some(e) = self.next_entry() {
-            if e.key.as_slice() >= target {
-                return Some(e);
+        while self.advance()? {
+            if self.key() >= target {
+                return Ok(true);
             }
         }
-        None
+        Ok(false)
     }
 
     /// Point lookup using the hash index when available: O(1) restart
-    /// location instead of binary search. Returns `(entry, used_hash)`.
-    pub fn get(&mut self, target: &[u8]) -> (Option<BlockEntry>, bool) {
+    /// location instead of binary search. Returns `(found, used_hash)`;
+    /// on `found` the cursor points at the matching entry.
+    pub fn get(&mut self, target: &[u8]) -> StorageResult<(bool, bool)> {
         if !self.hash_range.is_empty() {
             let probe = BlockHashIndex::probe_raw(
                 &self.data.as_ref()[self.hash_range.clone()],
@@ -326,26 +569,31 @@ impl<D: AsRef<[u8]>> BlockIter<D> {
             )
             .unwrap_or(HashProbe::Fallback);
             match probe {
-                HashProbe::Absent => return (None, true),
-                HashProbe::Restart(r) if (r as usize) < self.restarts.len() => {
+                HashProbe::Absent => {
+                    self.valid = false;
+                    return Ok((false, true));
+                }
+                HashProbe::Restart(r) if (r as usize) < self.num_restarts => {
                     self.seek_to_restart(r as usize);
-                    while let Some(e) = self.next_entry() {
-                        if e.key.as_slice() == target {
-                            return (Some(e), true);
+                    while self.advance()? {
+                        if self.key() == target {
+                            return Ok((true, true));
                         }
-                        if e.key.as_slice() > target {
-                            return (None, true);
+                        if self.key() > target {
+                            self.valid = false;
+                            return Ok((false, true));
                         }
                     }
-                    return (None, true);
+                    return Ok((false, true));
                 }
                 _ => {} // collision or corrupt ordinal: fall back
             }
         }
-        match self.seek(target) {
-            Some(e) if e.key == target => (Some(e), false),
-            _ => (None, false),
+        let found = self.seek(target)? && self.key() == target;
+        if !found {
+            self.valid = false;
         }
+        Ok((found, false))
     }
 }
 
@@ -379,23 +627,44 @@ mod tests {
     }
 
     #[test]
+    fn cursor_roundtrip_matches_owned() {
+        let data = build_block(100, 16, true);
+        let mut owned = BlockIter::new(&data).unwrap();
+        let mut cursor = BlockIter::new(&data).unwrap();
+        loop {
+            let o = owned.try_next_entry().unwrap();
+            let c = cursor.advance().unwrap();
+            match (o, c) {
+                (Some(e), true) => {
+                    assert_eq!(e.key.as_slice(), cursor.key());
+                    assert_eq!(e.value.as_slice(), cursor.value());
+                    assert_eq!(e.seqno, cursor.seqno());
+                    assert_eq!(e.kind, cursor.kind());
+                }
+                (None, false) => break,
+                (o, c) => panic!("owned={o:?} cursor_valid={c}"),
+            }
+        }
+    }
+
+    #[test]
     fn seek_finds_exact_and_successor() {
         let data = build_block(100, 8, false);
         let mut it = BlockIter::new(&data).unwrap();
-        let e = it.seek(b"key00050").unwrap();
-        assert_eq!(e.key, b"key00050".to_vec());
-        let e = it.seek(b"key00050x").unwrap();
-        assert_eq!(e.key, b"key00051".to_vec());
-        let e = it.seek(b"").unwrap();
-        assert_eq!(e.key, b"key00000".to_vec());
-        assert!(it.seek(b"zzz").is_none());
+        assert!(it.seek(b"key00050").unwrap());
+        assert_eq!(it.key(), b"key00050");
+        assert!(it.seek(b"key00050x").unwrap());
+        assert_eq!(it.key(), b"key00051");
+        assert!(it.seek(b"").unwrap());
+        assert_eq!(it.key(), b"key00000");
+        assert!(!it.seek(b"zzz").unwrap());
     }
 
     #[test]
     fn seek_then_next_continues() {
         let data = build_block(50, 4, false);
         let mut it = BlockIter::new(&data).unwrap();
-        it.seek(b"key00030").unwrap();
+        assert!(it.seek(b"key00030").unwrap());
         let e = it.next_entry().unwrap();
         assert_eq!(e.key, b"key00031".to_vec());
     }
@@ -409,23 +678,25 @@ mod tests {
         let mut hash_hits = 0;
         for i in 0..100 {
             let key = format!("key{i:05}");
-            let (e, used_hash) = it.get(key.as_bytes());
-            assert_eq!(e.unwrap().value, format!("value-{i}").into_bytes());
+            let (found, used_hash) = it.get(key.as_bytes()).unwrap();
+            assert!(found);
+            assert_eq!(it.value(), format!("value-{i}").as_bytes());
             if used_hash {
                 hash_hits += 1;
             }
         }
         assert!(hash_hits > 50, "only {hash_hits} hash-path hits");
-        let (none, _) = it.get(b"key99999");
-        assert!(none.is_none());
+        let (found, _) = it.get(b"key99999").unwrap();
+        assert!(!found);
     }
 
     #[test]
     fn get_without_hash_index() {
         let data = build_block(100, 8, false);
         let mut it = BlockIter::new(&data).unwrap();
-        let (e, used_hash) = it.get(b"key00042");
-        assert_eq!(e.unwrap().value, b"value-42".to_vec());
+        let (found, used_hash) = it.get(b"key00042").unwrap();
+        assert!(found);
+        assert_eq!(it.value(), b"value-42");
         assert!(!used_hash);
     }
 
@@ -536,8 +807,9 @@ mod tests {
         b.add(b"only", 7, ValueKind::Put, b"value");
         let data = b.finish();
         let mut it = BlockIter::new(&data).unwrap();
-        let (e, _) = it.get(b"only");
-        assert_eq!(e.unwrap().seqno, 7);
+        let (found, _) = it.get(b"only").unwrap();
+        assert!(found);
+        assert_eq!(it.seqno(), 7);
     }
 
     #[test]
@@ -547,7 +819,49 @@ mod tests {
         b.add(&[0, 1, 0], 2, ValueKind::Put, &[]);
         let data = b.finish();
         let mut it = BlockIter::new(&data).unwrap();
-        let e = it.seek(&[0, 0, 1]).unwrap();
-        assert_eq!(e.value, vec![0xFF, 0x00]);
+        assert!(it.seek(&[0, 0, 1]).unwrap());
+        assert_eq!(it.value(), &[0xFF, 0x00]);
+    }
+
+    #[test]
+    fn long_keys_spill_scratch_to_heap() {
+        // keys longer than the inline scratch exercise the heap spill path
+        let mut b = BlockBuilder::new(4, false);
+        let prefix = "p".repeat(100);
+        let mut keys = Vec::new();
+        for i in 0..20 {
+            keys.push(format!("{prefix}{i:04}"));
+        }
+        for (i, k) in keys.iter().enumerate() {
+            b.add(k.as_bytes(), i as u64, ValueKind::Put, b"v");
+        }
+        let data = b.finish();
+        let mut it = BlockIter::new(&data).unwrap();
+        for k in &keys {
+            assert!(it.advance().unwrap());
+            assert_eq!(it.key(), k.as_bytes());
+        }
+        assert!(!it.advance().unwrap());
+        // and seek still works on long keys
+        assert!(it.seek(keys[13].as_bytes()).unwrap());
+        assert_eq!(it.key(), keys[13].as_bytes());
+    }
+
+    #[test]
+    fn keybuf_inline_and_spill() {
+        let mut k = KeyBuf::new();
+        k.extend_from_slice(b"abc");
+        assert_eq!(k.as_slice(), b"abc");
+        k.truncate(2);
+        assert_eq!(k.as_slice(), b"ab");
+        k.extend_from_slice(&[b'x'; 100]);
+        assert_eq!(k.len(), 102);
+        assert_eq!(&k.as_slice()[..2], b"ab");
+        k.truncate(3);
+        assert_eq!(&k.as_slice()[..2], b"ab");
+        k.set(b"fresh");
+        assert_eq!(k.as_slice(), b"fresh");
+        k.clear();
+        assert_eq!(k.len(), 0);
     }
 }

@@ -15,7 +15,7 @@ pub mod builder;
 pub mod meta;
 pub mod reader;
 
-pub use block::{BlockBuilder, BlockEntry, BlockIter};
+pub use block::{BlockBuilder, BlockEntry, BlockIter, EntryRef};
 pub use builder::TableBuilder;
 pub use meta::TableMeta;
-pub use reader::{Table, TableIterator};
+pub use reader::{Table, TableGet, TableIterator, TableProbe};

@@ -17,7 +17,8 @@ use lsm_filters::{
 use lsm_index::{BlockLocator, FencePointers, IndexKind, PlaIndex, RadixSplineIndex, SparseIndex};
 use lsm_storage::{Block, ImmutableFile, IoCategory, StorageError, StorageResult};
 
-use crate::sstable::block::{BlockEntry, BlockIter};
+use crate::entry::ValueKind;
+use crate::sstable::block::{BlockEntry, BlockIter, EntryRef};
 use crate::sstable::builder::{
     FILTER_TAG_BLOCKED, FILTER_TAG_BLOOM, FILTER_TAG_CUCKOO, FILTER_TAG_RIBBON, FILTER_TAG_XOR,
 };
@@ -86,6 +87,16 @@ impl Locator {
 pub struct TableGet {
     /// The matching entry, if the key is present in this table.
     pub entry: Option<BlockEntry>,
+    /// Whether the point filter pruned the lookup (no data I/O happened).
+    pub filter_pruned: bool,
+    /// Data blocks actually read (cache hits included).
+    pub blocks_examined: u32,
+}
+
+/// Lookup-path statistics shared by [`Table::get`] and
+/// [`Table::get_with`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TableProbe {
     /// Whether the point filter pruned the lookup (no data I/O happened).
     pub filter_pruned: bool,
     /// Data blocks actually read (cache hits included).
@@ -293,45 +304,41 @@ impl Table {
         Ok(block)
     }
 
-    /// Point lookup within this table.
-    pub fn get(
+    /// Point lookup within this table, yielding a borrowed view.
+    ///
+    /// `f` runs at most once, on the matching entry, while the block is
+    /// still pinned — so the caller can copy the value straight into its
+    /// own buffer (or hand it to the wire encoder) without an
+    /// intermediate allocation. [`Table::get`] wraps this with an owned
+    /// [`BlockEntry`] for callers that need ownership.
+    pub fn get_with<R>(
         &self,
         key: &[u8],
         cache: Option<&ShardedCache<Block>>,
-    ) -> StorageResult<TableGet> {
+        f: impl FnOnce(EntryRef<'_>) -> R,
+    ) -> StorageResult<(Option<R>, TableProbe)> {
+        let mut f = Some(f);
         self.accesses.fetch_add(1, Ordering::Relaxed);
+        let miss = |filter_pruned: bool, blocks_examined: u32| TableProbe {
+            filter_pruned,
+            blocks_examined,
+        };
         if !self.meta.key_in_range(key) {
-            return Ok(TableGet {
-                entry: None,
-                filter_pruned: false,
-                blocks_examined: 0,
-            });
+            return Ok((None, miss(false, 0)));
         }
-        if let Some(f) = &self.filter {
-            if !f.may_contain(key) {
-                return Ok(TableGet {
-                    entry: None,
-                    filter_pruned: true,
-                    blocks_examined: 0,
-                });
+        if let Some(flt) = &self.filter {
+            if !flt.may_contain(key) {
+                return Ok((None, miss(true, 0)));
             }
         }
         let Some(window) = self.locator.window(key) else {
-            return Ok(TableGet {
-                entry: None,
-                filter_pruned: false,
-                blocks_examined: 0,
-            });
+            return Ok((None, miss(false, 0)));
         };
         let mut blocks_examined = 0u32;
         let mut lo = *window.start();
         let mut hi = (*window.end()).min(self.meta.data_blocks.len().saturating_sub(1));
         if self.meta.data_blocks.is_empty() || lo > hi {
-            return Ok(TableGet {
-                entry: None,
-                filter_pruned: false,
-                blocks_examined: 0,
-            });
+            return Ok((None, miss(false, 0)));
         }
         // partitioned filters: probe the candidate blocks' partitions
         // first — each probe is a small cached read — and narrow the window
@@ -344,13 +351,7 @@ impl Table {
                 }
             }
             match candidates.len() {
-                0 => {
-                    return Ok(TableGet {
-                        entry: None,
-                        filter_pruned: true,
-                        blocks_examined: 0,
-                    });
-                }
+                0 => return Ok((None, miss(true, 0))),
                 1 => {
                     lo = candidates[0];
                     hi = candidates[0];
@@ -369,12 +370,9 @@ impl Table {
                 self.file.stats().record_corruption();
                 StorageError::Corruption("bad data block".into())
             })?;
-            let (hit, _used_hash) = it.get(key);
-            return Ok(TableGet {
-                entry: hit,
-                filter_pruned: false,
-                blocks_examined,
-            });
+            let (found, _used_hash) = it.get(key)?;
+            let r = found.then(|| (f.take().unwrap())(it.current()));
+            return Ok((r, miss(false, blocks_examined)));
         }
         // binary search within the candidate window: the first probe lands
         // on the window's center — the locator's predicted block — so an
@@ -387,31 +385,37 @@ impl Table {
                 self.file.stats().record_corruption();
                 StorageError::Corruption("bad data block".into())
             })?;
-            match it.seek(key) {
-                Some(e) if e.key.as_slice() == key => {
-                    return Ok(TableGet {
-                        entry: Some(e),
-                        filter_pruned: false,
-                        blocks_examined,
-                    });
+            if it.seek(key)? {
+                if it.key() == key {
+                    let r = (f.take().unwrap())(it.current());
+                    return Ok((Some(r), miss(false, blocks_examined)));
                 }
-                Some(_) => {
-                    // this block holds the key's successor; the key lives
-                    // here or to the left
-                    it.seek_to_first();
-                    let first_gt = it.next_entry().is_some_and(|f| f.key.as_slice() > key);
-                    if !first_gt || mid == 0 {
-                        break; // the key would be in this block: absent
-                    }
-                    hi = mid - 1;
+                // this block holds the key's successor; the key lives
+                // here or to the left
+                it.seek_to_first();
+                let first_gt = it.advance()? && it.key() > key;
+                if !first_gt || mid == 0 {
+                    break; // the key would be in this block: absent
                 }
-                None => lo = mid + 1, // every entry < key: look right
+                hi = mid - 1;
+            } else {
+                lo = mid + 1; // every entry < key: look right
             }
         }
+        Ok((None, miss(false, blocks_examined)))
+    }
+
+    /// Point lookup within this table (owned result).
+    pub fn get(
+        &self,
+        key: &[u8],
+        cache: Option<&ShardedCache<Block>>,
+    ) -> StorageResult<TableGet> {
+        let (entry, probe) = self.get_with(key, cache, |e| e.to_entry())?;
         Ok(TableGet {
-            entry: None,
-            filter_pruned: false,
-            blocks_examined,
+            entry,
+            filter_pruned: probe.filter_pruned,
+            blocks_examined: probe.blocks_examined,
         })
     }
 
@@ -451,17 +455,17 @@ impl Table {
             cache,
             next_block: block_idx,
             current: None,
-            pending: None,
+            primed: false,
         };
         iter.load_next_block()?;
-        if let Some(it) = &mut iter.current {
-            // skip entries < start within the first block
-            if let Some(e) = it.seek(start) {
-                iter.pending = Some(e);
-            } else {
-                iter.current = None;
-                iter.load_next_block()?;
+        // position at the first entry ≥ start; the first advance() serves it
+        while let Some(it) = &mut iter.current {
+            if it.seek(start)? {
+                iter.primed = true;
+                break;
             }
+            iter.current = None;
+            iter.load_next_block()?;
         }
         Ok(iter)
     }
@@ -476,15 +480,21 @@ impl Drop for Table {
     }
 }
 
-/// Streaming forward iterator over one table.
+/// Streaming forward cursor over one table.
+///
+/// `advance()` moves to the next entry; `key()`/`value()`/`current()`
+/// borrow from the pinned block, so a scan copies entry bytes only where
+/// the caller decides to. [`TableIterator::next_entry`] is the owned
+/// convenience wrapper.
 pub struct TableIterator {
     table: Arc<Table>,
     cache: Option<Arc<ShardedCache<Block>>>,
     /// Index of the next data block to load.
     next_block: usize,
     current: Option<BlockIter<Block>>,
-    /// Entry produced by the initial seek, returned before decoding more.
-    pending: Option<BlockEntry>,
+    /// The initial seek already positioned the cursor on an entry the
+    /// first `advance()` must serve rather than step past.
+    primed: bool,
 }
 
 impl TableIterator {
@@ -512,23 +522,64 @@ impl TableIterator {
         Ok(())
     }
 
-    /// Next entry in key order, or `None` at the end of the table.
-    pub fn next_entry(&mut self) -> StorageResult<Option<BlockEntry>> {
-        if let Some(e) = self.pending.take() {
-            return Ok(Some(e));
+    /// Moves to the next entry. `Ok(false)` = end of table.
+    pub fn advance(&mut self) -> StorageResult<bool> {
+        if self.primed {
+            self.primed = false;
+            return Ok(self.current.as_ref().is_some_and(|it| it.valid()));
         }
         loop {
             match &mut self.current {
-                None => return Ok(None),
+                None => return Ok(false),
                 Some(it) => {
-                    if let Some(e) = it.try_next_entry()? {
-                        return Ok(Some(e));
+                    if it.advance()? {
+                        return Ok(true);
                     }
                     self.current = None;
                     self.load_next_block()?;
                 }
             }
         }
+    }
+
+    /// Whether the cursor points at an entry.
+    pub fn valid(&self) -> bool {
+        self.current.as_ref().is_some_and(|it| it.valid())
+    }
+
+    /// Current key; valid until the cursor moves.
+    pub fn key(&self) -> &[u8] {
+        self.current.as_ref().expect("valid cursor").key()
+    }
+
+    /// Current value, borrowed from the pinned block.
+    pub fn value(&self) -> &[u8] {
+        self.current.as_ref().expect("valid cursor").value()
+    }
+
+    /// Current sequence number.
+    pub fn seqno(&self) -> u64 {
+        self.current.as_ref().expect("valid cursor").seqno()
+    }
+
+    /// Current entry kind.
+    pub fn kind(&self) -> ValueKind {
+        self.current.as_ref().expect("valid cursor").kind()
+    }
+
+    /// Borrowed view of the current entry.
+    pub fn current(&self) -> EntryRef<'_> {
+        self.current.as_ref().expect("valid cursor").current()
+    }
+
+    /// Next entry in key order, or `None` at the end of the table
+    /// (owned convenience wrapper over [`TableIterator::advance`]).
+    pub fn next_entry(&mut self) -> StorageResult<Option<BlockEntry>> {
+        Ok(if self.advance()? {
+            Some(self.current().to_entry())
+        } else {
+            None
+        })
     }
 }
 

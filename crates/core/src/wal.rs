@@ -42,6 +42,9 @@ fn checksum(bytes: &[u8]) -> u32 {
 pub struct Wal {
     file: WritableFile,
     records: u64,
+    /// Reused frame buffer: after warm-up, appends encode into this
+    /// allocation instead of a fresh `Vec` per record/batch.
+    scratch: Vec<u8>,
 }
 
 impl Wal {
@@ -50,6 +53,7 @@ impl Wal {
         Ok(Wal {
             file: WritableFile::create(device, IoCategory::Wal)?,
             records: 0,
+            scratch: Vec::new(),
         })
     }
 
@@ -73,9 +77,9 @@ impl Wal {
         key: &[u8],
         value: &[u8],
     ) -> StorageResult<()> {
-        let mut frame = Vec::with_capacity(key.len() + value.len() + 26);
-        encode_frame(&mut frame, seqno, kind, key, value);
-        self.file.append(&frame)?;
+        self.scratch.clear();
+        encode_frame(&mut self.scratch, seqno, kind, key, value);
+        self.file.append(&self.scratch)?;
         self.records += 1;
         Ok(())
     }
@@ -89,12 +93,11 @@ impl Wal {
         if records.is_empty() {
             return Ok(());
         }
-        let bytes: usize = records.iter().map(|(_, _, k, v)| k.len() + v.len() + 26).sum();
-        let mut buf = Vec::with_capacity(bytes);
+        self.scratch.clear();
         for (seqno, kind, key, value) in records {
-            encode_frame(&mut buf, *seqno, *kind, key, value);
+            encode_frame(&mut self.scratch, *seqno, *kind, key, value);
         }
-        self.file.append(&buf)?;
+        self.file.append(&self.scratch)?;
         self.records += records.len() as u64;
         Ok(())
     }
@@ -111,19 +114,39 @@ impl Wal {
     }
 }
 
-/// Encodes one marker + length + checksum + payload frame into `out`.
+fn varint_len(mut x: u64) -> usize {
+    let mut n = 1;
+    while x >= 0x80 {
+        x >>= 7;
+        n += 1;
+    }
+    n
+}
+
+/// Encodes one marker + length + checksum + payload frame into `out`,
+/// in place: the payload length is computed up front and the checksum is
+/// patched in after the payload lands, so no intermediate buffer exists.
 fn encode_frame(out: &mut Vec<u8>, seqno: u64, kind: ValueKind, key: &[u8], value: &[u8]) {
-    let mut payload = Vec::with_capacity(key.len() + value.len() + 16);
-    put_varint(&mut payload, seqno);
-    payload.push(kind.to_u8());
-    put_varint(&mut payload, key.len() as u64);
-    payload.extend_from_slice(key);
-    put_varint(&mut payload, value.len() as u64);
-    payload.extend_from_slice(value);
+    let payload_len = varint_len(seqno)
+        + 1
+        + varint_len(key.len() as u64)
+        + key.len()
+        + varint_len(value.len() as u64)
+        + value.len();
     out.push(RECORD_MARKER);
-    put_varint(out, payload.len() as u64);
-    out.extend_from_slice(&checksum(&payload).to_le_bytes());
-    out.extend_from_slice(&payload);
+    put_varint(out, payload_len as u64);
+    let sum_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    let payload_start = out.len();
+    put_varint(out, seqno);
+    out.push(kind.to_u8());
+    put_varint(out, key.len() as u64);
+    out.extend_from_slice(key);
+    put_varint(out, value.len() as u64);
+    out.extend_from_slice(value);
+    debug_assert_eq!(out.len() - payload_start, payload_len);
+    let sum = checksum(&out[payload_start..]).to_le_bytes();
+    out[sum_at..sum_at + 4].copy_from_slice(&sum);
 }
 
 /// Decodes one checksummed payload. `None` means the frame checksummed

@@ -5,25 +5,61 @@
 //! from O(log blocks) I/Os into one I/O, which is the reason every LSM
 //! engine ships them (they are a special form of Moerkotte's Zonemaps /
 //! small materialized aggregates).
+//!
+//! Layout: instead of a `Vec<Vec<u8>>` (one heap object and one pointer
+//! chase per probed fence), the keys live concatenated in a single byte
+//! buffer addressed by a `u32` offset array, with an 8-byte big-endian
+//! prefix of each key pre-extracted into a contiguous `u64` array. The
+//! binary search compares register-width prefixes with no indirection and
+//! touches actual key bytes only on a prefix tie — the cache-friendly
+//! fence layout production engines use.
+
+use std::cmp::Ordering;
 
 use crate::traits::BlockLocator;
+
+/// Big-endian 8-byte prefix, zero-padded: preserves byte-wise key order,
+/// so `prefix(a) < prefix(b)` implies `a < b` and only equal prefixes
+/// need a full compare.
+fn prefix8(key: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = key.len().min(8);
+    buf[..n].copy_from_slice(&key[..n]);
+    u64::from_be_bytes(buf)
+}
 
 /// Fence pointers over one sorted run.
 #[derive(Clone, Debug)]
 pub struct FencePointers {
-    /// Last key of each block, in block order.
-    last_keys: Vec<Vec<u8>>,
     /// First key of the run (min key), for range pruning.
     first_key: Vec<u8>,
+    /// Concatenated last-key bytes of every block, in block order.
+    bytes: Vec<u8>,
+    /// `offsets[i]..offsets[i+1]` bounds key `i`; length is `blocks + 1`.
+    offsets: Vec<u32>,
+    /// 8-byte big-endian prefix of each key — the binary search's hot array.
+    prefixes: Vec<u64>,
 }
 
 impl FencePointers {
     /// Builds from the last key of each block plus the run's first key.
     pub fn new(first_key: Vec<u8>, last_keys: Vec<Vec<u8>>) -> Self {
         debug_assert!(last_keys.windows(2).all(|w| w[0] <= w[1]), "fences must be sorted");
+        let total: usize = last_keys.iter().map(|k| k.len()).sum();
+        let mut bytes = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(last_keys.len() + 1);
+        let mut prefixes = Vec::with_capacity(last_keys.len());
+        offsets.push(0u32);
+        for k in &last_keys {
+            bytes.extend_from_slice(k);
+            offsets.push(bytes.len() as u32);
+            prefixes.push(prefix8(k));
+        }
         FencePointers {
-            last_keys,
             first_key,
+            bytes,
+            offsets,
+            prefixes,
         }
     }
 
@@ -33,6 +69,36 @@ impl FencePointers {
         Self::new(first_key, boundaries.into_iter().collect())
     }
 
+    fn key_at(&self, i: usize) -> &[u8] {
+        &self.bytes[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// First fence index whose key is ≥ `key` (i.e. the block that would
+    /// hold `key`); `num_blocks()` when every fence is smaller.
+    fn lower_bound(&self, key: &[u8]) -> usize {
+        let kp = prefix8(key);
+        let mut lo = 0usize;
+        let mut len = self.prefixes.len();
+        while len > 0 {
+            let half = len / 2;
+            let mid = lo + half;
+            // register-width compare on the contiguous prefix array;
+            // key bytes are touched only when the prefixes tie
+            let fence_is_less = match self.prefixes[mid].cmp(&kp) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => self.key_at(mid) < key,
+            };
+            if fence_is_less {
+                lo = mid + 1;
+                len -= half + 1;
+            } else {
+                len = half;
+            }
+        }
+        lo
+    }
+
     /// The run's smallest key.
     pub fn first_key(&self) -> &[u8] {
         &self.first_key
@@ -40,7 +106,8 @@ impl FencePointers {
 
     /// The run's largest key.
     pub fn last_key(&self) -> Option<&[u8]> {
-        self.last_keys.last().map(|k| k.as_slice())
+        let n = self.prefixes.len();
+        (n > 0).then(|| self.key_at(n - 1))
     }
 
     /// Whether `key` falls outside `[first_key, last_key]`.
@@ -56,8 +123,9 @@ impl FencePointers {
         let mut out = Vec::new();
         out.extend_from_slice(&(self.first_key.len() as u32).to_le_bytes());
         out.extend_from_slice(&self.first_key);
-        out.extend_from_slice(&(self.last_keys.len() as u32).to_le_bytes());
-        for k in &self.last_keys {
+        out.extend_from_slice(&(self.prefixes.len() as u32).to_le_bytes());
+        for i in 0..self.prefixes.len() {
+            let k = self.key_at(i);
             out.extend_from_slice(&(k.len() as u32).to_le_bytes());
             out.extend_from_slice(k);
         }
@@ -76,15 +144,23 @@ impl FencePointers {
         let first_key = bytes.get(off..off + fk_len)?.to_vec();
         off += fk_len;
         let n = read_u32(bytes, &mut off)? as usize;
-        let mut last_keys = Vec::with_capacity(n);
+        let mut key_bytes = Vec::new();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut prefixes = Vec::with_capacity(n);
+        offsets.push(0u32);
         for _ in 0..n {
             let len = read_u32(bytes, &mut off)? as usize;
-            last_keys.push(bytes.get(off..off + len)?.to_vec());
+            let k = bytes.get(off..off + len)?;
             off += len;
+            key_bytes.extend_from_slice(k);
+            offsets.push(key_bytes.len() as u32);
+            prefixes.push(prefix8(k));
         }
         Some(FencePointers {
-            last_keys,
             first_key,
+            bytes: key_bytes,
+            offsets,
+            prefixes,
         })
     }
 }
@@ -95,25 +171,23 @@ impl BlockLocator for FencePointers {
             return None;
         }
         // first block whose last key ≥ key holds the key if present
-        let idx = self
-            .last_keys
-            .partition_point(|last| last.as_slice() < key);
-        (idx < self.last_keys.len()).then_some(idx)
+        let idx = self.lower_bound(key);
+        (idx < self.prefixes.len()).then_some(idx)
     }
 
     fn locate_lower_bound(&self, key: &[u8]) -> Option<usize> {
-        let idx = self
-            .last_keys
-            .partition_point(|last| last.as_slice() < key);
-        (idx < self.last_keys.len()).then_some(idx)
+        let idx = self.lower_bound(key);
+        (idx < self.prefixes.len()).then_some(idx)
     }
 
     fn num_blocks(&self) -> usize {
-        self.last_keys.len()
+        self.prefixes.len()
     }
 
     fn size_bits(&self) -> usize {
-        let bytes: usize = self.last_keys.iter().map(|k| k.len() + 4).sum();
+        // same accounting as the serialized form: per-key bytes + u32
+        // length, plus the first key and its length fields
+        let bytes = self.bytes.len() + 4 * self.prefixes.len();
         (bytes + self.first_key.len() + 8) * 8
     }
 }
@@ -203,5 +277,35 @@ mod tests {
         let f = sample();
         let one = FencePointers::new(b"000000".to_vec(), vec![b"000099".to_vec()]);
         assert!(f.size_bits() > one.size_bits() * 4);
+    }
+
+    #[test]
+    fn keys_sharing_an_8_byte_prefix_still_order_correctly() {
+        // all fences share the first 8 bytes: every probe is a prefix tie,
+        // forcing the memcmp fallback
+        let last_keys: Vec<Vec<u8>> = (0..16u32)
+            .map(|i| format!("sameprefix{i:04}").into_bytes())
+            .collect();
+        let f = FencePointers::new(b"sameprefix0000".to_vec(), last_keys.clone());
+        for (i, k) in last_keys.iter().enumerate() {
+            assert_eq!(f.locate(k), Some(i), "exact fence key {i}");
+        }
+        assert_eq!(f.locate(b"sameprefix0007x"), Some(8));
+        assert_eq!(f.locate(b"sameprefix9999"), None);
+    }
+
+    #[test]
+    fn short_keys_and_prefix_padding() {
+        // keys shorter than 8 bytes exercise the zero-padded prefix path;
+        // "ab" must sort before "ab\0...\0nonzero" style neighbors
+        let f = FencePointers::new(
+            b"a".to_vec(),
+            vec![b"ab".to_vec(), b"abc".to_vec(), b"b".to_vec()],
+        );
+        assert_eq!(f.locate(b"ab"), Some(0));
+        assert_eq!(f.locate(b"abb"), Some(1));
+        assert_eq!(f.locate(b"abc"), Some(1));
+        assert_eq!(f.locate(b"abd"), Some(2));
+        assert_eq!(f.locate(b"b"), Some(2));
     }
 }

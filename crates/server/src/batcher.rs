@@ -136,17 +136,21 @@ fn committer_loop(
     sync_each_batch: bool,
     metrics: Arc<ServerMetrics>,
 ) {
+    // one batch and one callback list live for the thread's lifetime:
+    // commits drain them but keep their capacity, so a busy shard's
+    // steady state builds every batch in recycled memory
+    let mut batch = WriteBatch::new();
+    let mut dones: Vec<WriteCallback> = Vec::new();
+    let mut reqs: Vec<WriteReq> = Vec::new();
     while let Ok(first) = rx.recv() {
-        let mut reqs = vec![first];
+        reqs.push(first);
         while reqs.len() < max_batch {
             match rx.try_recv() {
                 Ok(r) => reqs.push(r),
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
         }
-        let mut batch = WriteBatch::new();
-        let mut dones = Vec::with_capacity(reqs.len());
-        for r in reqs {
+        for r in reqs.drain(..) {
             match r.op {
                 WriteOp::Put { key, value } => batch.put(key, value),
                 WriteOp::Delete { key } => batch.delete(key),
@@ -155,13 +159,13 @@ fn committer_loop(
         }
         metrics.batch_ops.record(dones.len() as u64);
         metrics.batches.inc();
-        let mut result = db.write_batch(batch);
+        let mut result = db.write_batch_mut(&mut batch);
         if result.is_ok() && sync_each_batch {
             // the ack promises durability: pad the WAL tail once per
             // batch, not once per operation — the group-commit win
             result = db.sync();
         }
-        for done in dones {
+        for done in dones.drain(..) {
             done(replicate(&result));
         }
     }

@@ -83,6 +83,62 @@ pub enum Request {
     Stats,
 }
 
+/// A request decoded as borrowed views into the frame payload — the
+/// zero-copy twin of [`Request`] used on the server's hot path, where
+/// key/value bytes are either forwarded into the engine's borrowed APIs
+/// (GET/SCAN) or copied exactly once into the write queue (PUT/DELETE).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestRef<'a> {
+    /// Point lookup.
+    Get {
+        /// Key to look up.
+        key: &'a [u8],
+    },
+    /// Insert or update.
+    Put {
+        /// Key to write.
+        key: &'a [u8],
+        /// Value to associate.
+        value: &'a [u8],
+    },
+    /// Tombstone write.
+    Delete {
+        /// Key to delete.
+        key: &'a [u8],
+    },
+    /// Ordered range scan over `[start, end)`, at most `limit` entries.
+    Scan {
+        /// Inclusive start key.
+        start: &'a [u8],
+        /// Exclusive end key.
+        end: &'a [u8],
+        /// Maximum entries returned.
+        limit: u32,
+    },
+    /// Server metrics snapshot.
+    Stats,
+}
+
+impl RequestRef<'_> {
+    /// Copies the borrowed views into an owned [`Request`].
+    pub fn to_owned(self) -> Request {
+        match self {
+            RequestRef::Get { key } => Request::Get { key: key.to_vec() },
+            RequestRef::Put { key, value } => Request::Put {
+                key: key.to_vec(),
+                value: value.to_vec(),
+            },
+            RequestRef::Delete { key } => Request::Delete { key: key.to_vec() },
+            RequestRef::Scan { start, end, limit } => Request::Scan {
+                start: start.to_vec(),
+                end: end.to_vec(),
+                limit,
+            },
+            RequestRef::Stats => Request::Stats,
+        }
+    }
+}
+
 /// One decoded server response.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -184,6 +240,23 @@ fn frame_header(id: u64, tag: u8) -> Vec<u8> {
     out
 }
 
+/// Starts a frame appended to `out` (which may already hold other
+/// frames); returns the offset of its length prefix for
+/// [`end_frame_at`].
+fn begin_frame_at(out: &mut Vec<u8>, id: u64, tag: u8) -> usize {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.push(tag);
+    start
+}
+
+/// Patches the length prefix of the frame opened at `start`.
+fn end_frame_at(out: &mut [u8], start: usize) {
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
 /// Encodes a request as a complete frame (length prefix included).
 pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
     let mut out;
@@ -216,34 +289,99 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
 
 /// Encodes a response as a complete frame (length prefix included).
 pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
-    let mut out;
+    let mut out = Vec::with_capacity(64);
+    encode_response_into(&mut out, id, resp);
+    out
+}
+
+/// Appends a complete response frame to `out` — the reusable-buffer form
+/// of [`encode_response`]: a connection's writer recycles one buffer per
+/// response instead of allocating a fresh frame `Vec` each time.
+pub fn encode_response_into(out: &mut Vec<u8>, id: u64, resp: &Response) {
     match resp {
-        Response::Ok => out = frame_header(id, 0),
-        Response::Value(v) => {
-            out = frame_header(id, 1);
-            put_bytes(&mut out, v);
+        Response::Ok => {
+            let s = begin_frame_at(out, id, 0);
+            end_frame_at(out, s);
         }
-        Response::NotFound => out = frame_header(id, 2),
+        Response::Value(v) => encode_value_response_into(out, id, v),
+        Response::NotFound => {
+            let s = begin_frame_at(out, id, 2);
+            end_frame_at(out, s);
+        }
         Response::Entries(entries) => {
-            out = frame_header(id, 3);
-            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            let mut enc = begin_entries_response(out, id);
             for (k, v) in entries {
-                put_bytes(&mut out, k);
-                put_bytes(&mut out, v);
+                enc.push(k, v);
             }
+            enc.finish();
         }
         Response::Stats(json) => {
-            out = frame_header(id, 4);
-            put_bytes(&mut out, json.as_bytes());
+            let s = begin_frame_at(out, id, 4);
+            put_bytes(out, json.as_bytes());
+            end_frame_at(out, s);
         }
         Response::Error(msg) => {
-            out = frame_header(id, 5);
-            put_bytes(&mut out, msg.as_bytes());
+            let s = begin_frame_at(out, id, 5);
+            put_bytes(out, msg.as_bytes());
+            end_frame_at(out, s);
         }
-        Response::Busy => out = frame_header(id, 6),
-        Response::ShuttingDown => out = frame_header(id, 7),
+        Response::Busy => {
+            let s = begin_frame_at(out, id, 6);
+            end_frame_at(out, s);
+        }
+        Response::ShuttingDown => {
+            let s = begin_frame_at(out, id, 7);
+            end_frame_at(out, s);
+        }
     }
-    finish_frame(out)
+}
+
+/// Appends a VALUE response frame carrying `value` — lets a GET copy the
+/// value bytes straight from the engine's borrowed view into the wire
+/// buffer, with no intermediate `Response::Value(Vec)`.
+pub fn encode_value_response_into(out: &mut Vec<u8>, id: u64, value: &[u8]) {
+    let s = begin_frame_at(out, id, 1);
+    put_bytes(out, value);
+    end_frame_at(out, s);
+}
+
+/// Streaming encoder for an ENTRIES response: push borrowed key/value
+/// pairs as a scan cursor yields them, then [`EntriesEncoder::finish`].
+/// The entry count is patched in at the end, so no intermediate
+/// `Vec<(Vec<u8>, Vec<u8>)>` is materialized.
+pub struct EntriesEncoder<'a> {
+    out: &'a mut Vec<u8>,
+    start: usize,
+    count_at: usize,
+    count: u32,
+}
+
+/// Opens an ENTRIES response frame appended to `out`.
+pub fn begin_entries_response(out: &mut Vec<u8>, id: u64) -> EntriesEncoder<'_> {
+    let start = begin_frame_at(out, id, 3);
+    let count_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    EntriesEncoder {
+        out,
+        start,
+        count_at,
+        count: 0,
+    }
+}
+
+impl EntriesEncoder<'_> {
+    /// Appends one key/value pair.
+    pub fn push(&mut self, key: &[u8], value: &[u8]) {
+        put_bytes(self.out, key);
+        put_bytes(self.out, value);
+        self.count += 1;
+    }
+
+    /// Patches the count and length prefix, sealing the frame.
+    pub fn finish(self) {
+        self.out[self.count_at..self.count_at + 4].copy_from_slice(&self.count.to_le_bytes());
+        end_frame_at(self.out, self.start);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -287,12 +425,16 @@ impl<'a> Cur<'a> {
         Ok(u64::from_le_bytes(s.try_into().unwrap()))
     }
 
-    fn bytes(&mut self) -> Result<Vec<u8>, ProtocolError> {
+    fn bytes_ref(&mut self) -> Result<&'a [u8], ProtocolError> {
         let len = self.u32()? as usize;
         let end = self.p.checked_add(len).ok_or(ProtocolError::Truncated)?;
         let s = self.b.get(self.p..end).ok_or(ProtocolError::Truncated)?;
         self.p = end;
-        Ok(s.to_vec())
+        Ok(s)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, ProtocolError> {
+        self.bytes_ref().map(<[u8]>::to_vec)
     }
 
     fn string(&mut self) -> Result<String, ProtocolError> {
@@ -320,22 +462,29 @@ pub fn peek_request_id(payload: &[u8]) -> Option<u64> {
 
 /// Decodes a request payload (the bytes after the length prefix).
 pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtocolError> {
+    decode_request_ref(payload).map(|(id, r)| (id, r.to_owned()))
+}
+
+/// Decodes a request payload into borrowed views — no key/value copies.
+/// The views live as long as `payload`, so the server can dispatch a GET
+/// or SCAN straight off the connection's read buffer.
+pub fn decode_request_ref(payload: &[u8]) -> Result<(u64, RequestRef<'_>), ProtocolError> {
     let mut c = Cur::new(payload);
     let id = c.u64()?;
     let op = c.u8()?;
     let req = match op {
-        1 => Request::Get { key: c.bytes()? },
-        2 => Request::Put {
-            key: c.bytes()?,
-            value: c.bytes()?,
+        1 => RequestRef::Get { key: c.bytes_ref()? },
+        2 => RequestRef::Put {
+            key: c.bytes_ref()?,
+            value: c.bytes_ref()?,
         },
-        3 => Request::Delete { key: c.bytes()? },
-        4 => Request::Scan {
-            start: c.bytes()?,
-            end: c.bytes()?,
+        3 => RequestRef::Delete { key: c.bytes_ref()? },
+        4 => RequestRef::Scan {
+            start: c.bytes_ref()?,
+            end: c.bytes_ref()?,
             limit: c.u32()?,
         },
-        5 => Request::Stats,
+        5 => RequestRef::Stats,
         other => return Err(ProtocolError::BadTag(other)),
     };
     c.finish()?;
@@ -438,8 +587,20 @@ impl<R: Read> FrameReader<R> {
     /// a [`FrameError`] the connection cannot recover from.
     pub fn next_frame(
         &mut self,
-        mut keep_waiting: impl FnMut() -> bool,
+        keep_waiting: impl FnMut() -> bool,
     ) -> Result<Option<Vec<u8>>, FrameError> {
+        Ok(self.next_frame_ref(keep_waiting)?.map(<[u8]>::to_vec))
+    }
+
+    /// Like [`FrameReader::next_frame`] but returns the payload as a view
+    /// into the reader's internal buffer — valid until the next call.
+    /// This is the server's steady-state read path: the buffer is filled
+    /// in place, decoded in place, and never reallocated once it has
+    /// grown to the connection's largest frame.
+    pub fn next_frame_ref(
+        &mut self,
+        mut keep_waiting: impl FnMut() -> bool,
+    ) -> Result<Option<&[u8]>, FrameError> {
         if !self.fill(4, &mut keep_waiting)? {
             return if self.filled == 0 {
                 Ok(None)
@@ -460,9 +621,8 @@ impl<R: Read> FrameReader<R> {
         if !self.fill(4 + len, &mut keep_waiting)? {
             return Err(FrameError::Truncated);
         }
-        let payload = self.buf[4..4 + len].to_vec();
         self.filled = 0;
-        Ok(Some(payload))
+        Ok(Some(&self.buf[4..4 + len]))
     }
 }
 
@@ -565,5 +725,75 @@ mod tests {
     fn peek_id_needs_eight_bytes() {
         assert_eq!(peek_request_id(&[1, 0, 0, 0, 0, 0, 0, 0]), Some(1));
         assert_eq!(peek_request_id(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn decode_request_ref_matches_owned_decode() {
+        let reqs = [
+            Request::Get { key: b"k".to_vec() },
+            Request::Put {
+                key: b"key".to_vec(),
+                value: vec![0, 255, 7],
+            },
+            Request::Delete { key: Vec::new() },
+            Request::Scan {
+                start: b"a".to_vec(),
+                end: b"z".to_vec(),
+                limit: 1000,
+            },
+            Request::Stats,
+        ];
+        for req in reqs {
+            let frame = encode_request(9, &req);
+            let (id, by_ref) = decode_request_ref(&frame[4..]).unwrap();
+            assert_eq!(id, 9);
+            assert_eq!(by_ref.to_owned(), req);
+        }
+        assert_eq!(decode_request_ref(&[]), Err(ProtocolError::Truncated));
+        assert_eq!(decode_request_ref(&[0; 9]), Err(ProtocolError::BadTag(0)));
+    }
+
+    #[test]
+    fn encode_into_appends_frames_to_a_shared_buffer() {
+        let mut out = Vec::new();
+        encode_response_into(&mut out, 1, &Response::Ok);
+        encode_value_response_into(&mut out, 2, b"vv");
+        let mut enc = begin_entries_response(&mut out, 3);
+        enc.push(b"a", b"1");
+        enc.push(b"b", b"");
+        enc.finish();
+        let mut fr = FrameReader::new(&out[..], MAX_FRAME_BYTES);
+        let p1 = fr.next_frame(|| true).unwrap().unwrap();
+        assert_eq!(decode_response(&p1).unwrap(), (1, Response::Ok));
+        let p2 = fr.next_frame(|| true).unwrap().unwrap();
+        assert_eq!(decode_response(&p2).unwrap(), (2, Response::Value(b"vv".to_vec())));
+        let p3 = fr.next_frame(|| true).unwrap().unwrap();
+        assert_eq!(
+            decode_response(&p3).unwrap(),
+            (
+                3,
+                Response::Entries(vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), Vec::new())])
+            )
+        );
+        assert!(fr.next_frame(|| true).unwrap().is_none());
+    }
+
+    #[test]
+    fn next_frame_ref_reads_back_to_back_frames_in_place() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_request(1, &Request::Get { key: b"a".to_vec() }));
+        stream.extend_from_slice(&encode_request(2, &Request::Stats));
+        let mut fr = FrameReader::new(&stream[..], MAX_FRAME_BYTES);
+        {
+            let p = fr.next_frame_ref(|| true).unwrap().unwrap();
+            let (id, req) = decode_request_ref(p).unwrap();
+            assert_eq!(id, 1);
+            assert_eq!(req, RequestRef::Get { key: b"a" });
+        }
+        {
+            let p = fr.next_frame_ref(|| true).unwrap().unwrap();
+            assert_eq!(decode_request_ref(p).unwrap(), (2, RequestRef::Stats));
+        }
+        assert!(fr.next_frame_ref(|| true).unwrap().is_none(), "clean EOF");
     }
 }

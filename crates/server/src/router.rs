@@ -69,6 +69,39 @@ impl ShardSet {
         self.shards[self.shard_index(key)].get(key)
     }
 
+    /// Routed point lookup through a borrowed view: `f` runs on the value
+    /// bytes in place (memtable arena or cached block), so the server can
+    /// copy them straight into a wire buffer with no intermediate `Vec`.
+    pub fn get_with<R>(&self, key: &[u8], f: impl FnOnce(&[u8]) -> R) -> StorageResult<Option<R>> {
+        self.shards[self.shard_index(key)].get_with(key, f)
+    }
+
+    /// Streaming cross-shard scan: calls `f(key, value)` for each entry
+    /// in key order, up to `limit`, and returns how many were visited.
+    /// With a single shard this streams borrowed views straight off the
+    /// engine's merge cursor; with multiple shards the per-shard results
+    /// must be materialized for the k-way merge first.
+    pub fn scan_with(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+        mut f: impl FnMut(&[u8], &[u8]),
+    ) -> StorageResult<usize> {
+        if limit == 0 || start >= end {
+            return Ok(0);
+        }
+        if self.shards.len() == 1 {
+            return self.shards[0].scan_with(start, end, limit, f);
+        }
+        let merged = self.scan(start, end, limit)?;
+        let n = merged.len();
+        for (k, v) in &merged {
+            f(k, v);
+        }
+        Ok(n)
+    }
+
     /// Cross-shard ordered scan of `[start, end)`, at most `limit`
     /// entries: per-shard scans stitched by a k-way merge.
     pub fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {

@@ -48,10 +48,49 @@ use lsm_storage::StorageResult;
 use crate::batcher::{GroupCommitter, WriteOp, WriteReq};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    decode_request, encode_response, peek_request_id, FrameReader, Request, Response,
-    MAX_FRAME_BYTES,
+    begin_entries_response, encode_response_into, encode_value_response_into, peek_request_id,
+    FrameReader, RequestRef, Response, MAX_FRAME_BYTES,
 };
 use crate::router::ShardSet;
+
+/// Pool of response-frame buffers shared by a connection's reader, its
+/// write-completion callbacks, and its writer thread. A buffer makes one
+/// round trip — taken, filled with a frame, sent to the writer, written,
+/// returned — so a connection in steady state encodes every response into
+/// recycled memory instead of allocating a `Vec` per reply.
+struct BufPool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+}
+
+/// Buffers retained per connection; more in flight than this (deep write
+/// pipelines) fall back to fresh allocations that the pool then absorbs.
+const POOL_MAX_BUFS: usize = 64;
+/// A buffer that grew past this (a huge scan) is dropped rather than
+/// pooled, so one outlier response can't pin megabytes per connection.
+const POOL_MAX_BUF_BYTES: usize = 64 * 1024;
+
+impl BufPool {
+    fn new() -> Arc<Self> {
+        Arc::new(BufPool {
+            bufs: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn take(&self) -> Vec<u8> {
+        self.bufs.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > POOL_MAX_BUF_BYTES {
+            return;
+        }
+        buf.clear();
+        let mut g = self.bufs.lock().unwrap();
+        if g.len() < POOL_MAX_BUFS {
+            g.push(buf);
+        }
+    }
+}
 
 /// Serving-layer knobs (the engine's own knobs stay in `LsmConfig`).
 #[derive(Clone, Debug)]
@@ -291,16 +330,20 @@ impl ConnState {
     }
 }
 
-fn writer_loop(stream: TcpStream, rx: Receiver<Vec<u8>>) {
+fn writer_loop(stream: TcpStream, rx: Receiver<Vec<u8>>, pool: Arc<BufPool>) {
     let mut w = BufWriter::new(stream);
     while let Ok(frame) = rx.recv() {
-        if w.write_all(&frame).is_err() {
+        let ok = w.write_all(&frame).is_ok();
+        pool.put(frame);
+        if !ok {
             break;
         }
         // coalesce whatever else is queued before paying the flush
         let mut dead = false;
         while let Ok(next) = rx.try_recv() {
-            if w.write_all(&next).is_err() {
+            let ok = w.write_all(&next).is_ok();
+            pool.put(next);
+            if !ok {
                 dead = true;
                 break;
             }
@@ -317,6 +360,7 @@ fn serve_conn(inner: Arc<ServerInner>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
     let (resp_tx, resp_rx) = channel::<Vec<u8>>();
+    let pool = BufPool::new();
     let writer = {
         let ws = match stream.try_clone() {
             Ok(s) => s,
@@ -325,9 +369,10 @@ fn serve_conn(inner: Arc<ServerInner>, stream: TcpStream) {
                 return;
             }
         };
+        let pool = Arc::clone(&pool);
         std::thread::Builder::new()
             .name("lsm-server-conn-writer".into())
-            .spawn(move || writer_loop(ws, resp_rx))
+            .spawn(move || writer_loop(ws, resp_rx, pool))
             .expect("spawn connection writer")
     };
     let state = Arc::new(ConnState {
@@ -337,9 +382,9 @@ fn serve_conn(inner: Arc<ServerInner>, stream: TcpStream) {
     let mut reader = FrameReader::new(stream, inner.cfg.max_frame_bytes);
     loop {
         let keep_waiting = || !inner.draining.load(Ordering::Acquire);
-        match reader.next_frame(keep_waiting) {
+        match reader.next_frame_ref(keep_waiting) {
             Ok(Some(payload)) => {
-                if !handle_frame(&inner, &state, &resp_tx, &payload) {
+                if !handle_frame(&inner, &state, &resp_tx, &pool, payload) {
                     break;
                 }
             }
@@ -347,7 +392,9 @@ fn serve_conn(inner: Arc<ServerInner>, stream: TcpStream) {
             Err(e) => {
                 // framing is unrecoverable: best-effort typed error, close
                 inner.metrics.malformed.inc();
-                let _ = resp_tx.send(encode_response(0, &Response::Error(e.to_string())));
+                let mut buf = pool.take();
+                encode_response_into(&mut buf, 0, &Response::Error(e.to_string()));
+                let _ = resp_tx.send(buf);
                 break;
             }
         }
@@ -359,66 +406,96 @@ fn serve_conn(inner: Arc<ServerInner>, stream: TcpStream) {
     inner.metrics.connections.add(-1);
 }
 
+/// Encodes `resp` into a pooled buffer and queues it for the writer.
+fn send_pooled(resp_tx: &Sender<Vec<u8>>, pool: &BufPool, id: u64, resp: &Response) -> bool {
+    let mut buf = pool.take();
+    encode_response_into(&mut buf, id, resp);
+    resp_tx.send(buf).is_ok()
+}
+
 /// Handles one well-framed payload. Returns `false` to close the
 /// connection.
 fn handle_frame(
     inner: &Arc<ServerInner>,
     state: &Arc<ConnState>,
     resp_tx: &Sender<Vec<u8>>,
+    pool: &Arc<BufPool>,
     payload: &[u8],
 ) -> bool {
     inner.metrics.requests.inc();
-    let (id, req) = match decode_request(payload) {
+    let (id, req) = match crate::protocol::decode_request_ref(payload) {
         Ok(ok) => ok,
         Err(e) => {
             // the frame boundary is intact, so the connection survives a
             // payload the decoder rejects — reply typed, keep reading
             inner.metrics.malformed.inc();
             let id = peek_request_id(payload).unwrap_or(0);
-            return resp_tx
-                .send(encode_response(id, &Response::Error(e.to_string())))
-                .is_ok();
+            return send_pooled(resp_tx, pool, id, &Response::Error(e.to_string()));
         }
     };
     if inner.draining.load(Ordering::Acquire) {
-        return resp_tx
-            .send(encode_response(id, &Response::ShuttingDown))
-            .is_ok();
+        return send_pooled(resp_tx, pool, id, &Response::ShuttingDown);
     }
     match req {
-        Request::Get { key } => {
+        RequestRef::Get { key } => {
             state.wait_until(0); // read-your-writes
             let t0 = inner.metrics.now_ns();
-            let resp = match inner.shards.get(&key) {
-                Ok(Some(v)) => Response::Value(v),
-                Ok(None) => Response::NotFound,
-                Err(e) => Response::Error(e.to_string()),
-            };
+            // the value bytes go straight from the engine's borrowed view
+            // (cached block / memtable arena) into the wire buffer
+            let mut buf = pool.take();
+            match inner
+                .shards
+                .get_with(key, |v| encode_value_response_into(&mut buf, id, v))
+            {
+                Ok(Some(())) => {}
+                Ok(None) => encode_response_into(&mut buf, id, &Response::NotFound),
+                Err(e) => {
+                    buf.clear();
+                    encode_response_into(&mut buf, id, &Response::Error(e.to_string()));
+                }
+            }
             inner.metrics.get_ns.record(inner.metrics.now_ns().saturating_sub(t0));
-            resp_tx.send(encode_response(id, &resp)).is_ok()
+            resp_tx.send(buf).is_ok()
         }
-        Request::Scan { start, end, limit } => {
+        RequestRef::Scan { start, end, limit } => {
             state.wait_until(0);
             let t0 = inner.metrics.now_ns();
-            let resp = match inner.shards.scan(&start, &end, limit as usize) {
-                Ok(entries) => Response::Entries(entries),
-                Err(e) => Response::Error(e.to_string()),
-            };
+            // stream entries off the merge cursor into the wire buffer;
+            // the count is patched in when the scan completes
+            let mut buf = pool.take();
+            let mut enc = begin_entries_response(&mut buf, id);
+            match inner
+                .shards
+                .scan_with(start, end, limit as usize, |k, v| enc.push(k, v))
+            {
+                Ok(_) => enc.finish(),
+                Err(e) => {
+                    buf.clear();
+                    encode_response_into(&mut buf, id, &Response::Error(e.to_string()));
+                }
+            }
             inner.metrics.scan_ns.record(inner.metrics.now_ns().saturating_sub(t0));
-            resp_tx.send(encode_response(id, &resp)).is_ok()
+            resp_tx.send(buf).is_ok()
         }
-        Request::Stats => {
+        RequestRef::Stats => {
             let json = inner
                 .metrics
                 .snapshot()
                 .to_json_line_tagged(&[("scope", "server")]);
-            resp_tx.send(encode_response(id, &Response::Stats(json))).is_ok()
+            send_pooled(resp_tx, pool, id, &Response::Stats(json))
         }
-        Request::Put { key, value } => {
-            submit_write(inner, state, resp_tx, id, WriteOp::Put { key, value })
+        RequestRef::Put { key, value } => {
+            // the single copy on the write path: key/value leave the read
+            // buffer here to cross into the committer's queue
+            let op = WriteOp::Put {
+                key: key.to_vec(),
+                value: value.to_vec(),
+            };
+            submit_write(inner, state, resp_tx, pool, id, op)
         }
-        Request::Delete { key } => {
-            submit_write(inner, state, resp_tx, id, WriteOp::Delete { key })
+        RequestRef::Delete { key } => {
+            let op = WriteOp::Delete { key: key.to_vec() };
+            submit_write(inner, state, resp_tx, pool, id, op)
         }
     }
 }
@@ -427,6 +504,7 @@ fn submit_write(
     inner: &Arc<ServerInner>,
     state: &Arc<ConnState>,
     resp_tx: &Sender<Vec<u8>>,
+    pool: &Arc<BufPool>,
     id: u64,
     op: WriteOp,
 ) -> bool {
@@ -443,7 +521,7 @@ fn submit_write(
             shard: shard as u32,
             l0_runs: l0 as u64,
         });
-        return resp_tx.send(encode_response(id, &Response::Busy)).is_ok();
+        return send_pooled(resp_tx, pool, id, &Response::Busy);
     }
     // bounded pipelining: cap this connection's in-flight writes
     state.wait_until(inner.cfg.pipeline_depth.saturating_sub(1));
@@ -453,6 +531,7 @@ fn submit_write(
     let metrics = Arc::clone(&inner.metrics);
     let state2 = Arc::clone(state);
     let resp_tx2 = resp_tx.clone();
+    let pool2 = Arc::clone(pool);
     let t0 = metrics.now_ns();
     let submitted = inner.committers[shard].submit(WriteReq {
         op,
@@ -466,7 +545,7 @@ fn submit_write(
             metrics.inflight.add(-1);
             // the connection may already be gone; the ack bookkeeping
             // must still run so drains observe pending == 0
-            let _ = resp_tx2.send(encode_response(id, &resp));
+            let _ = send_pooled(&resp_tx2, &pool2, id, &resp);
             state2.decr();
         }),
     });

@@ -25,6 +25,10 @@ echo "==> server suite: protocol fuzz + differential + crash (both background mo
 cargo test -q -p lsm-server
 LSM_BACKGROUND=threaded cargo test -q -p lsm-server
 
+echo "==> allocation-regression battery (counting allocator + borrowed-vs-owned differential)"
+cargo test -q -p lsm-core --release --test alloc_regression
+LSM_BACKGROUND=threaded cargo test -q -p lsm-core --release --test alloc_regression
+
 echo "==> bench smoke run with metrics artifact"
 LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e18_write_stalls -- --metrics
 cargo run -q -p lsm-bench --release --bin metrics_lint results/e18_write_stalls.metrics.jsonl
@@ -32,6 +36,8 @@ LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e19_parallel_compacti
 cargo run -q -p lsm-bench --release --bin metrics_lint results/e19_parallel_compaction.metrics.jsonl
 LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e20_server_throughput -- --metrics
 cargo run -q -p lsm-bench --release --bin metrics_lint results/e20_server_throughput.metrics.jsonl
+LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e21_hot_path -- --metrics
+cargo run -q -p lsm-bench --release --bin metrics_lint results/e21_hot_path.metrics.jsonl
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
