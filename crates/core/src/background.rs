@@ -169,6 +169,21 @@ impl BgState {
         lock(&self.q).failed
     }
 
+    /// Records a *foreground* failure as the sticky engine error. Used
+    /// when a fallible step between freezing the memtable and enqueuing
+    /// its flush dies: the immutable slot is occupied but no flush will
+    /// ever drain it, so waiters must bail on `failed` instead of
+    /// blocking (or spinning) on a drain that cannot come.
+    pub(crate) fn record_failure(&self, e: StorageError) {
+        let mut q = lock(&self.q);
+        q.failed = true;
+        if q.error.is_none() {
+            q.error = Some(e);
+        }
+        drop(q);
+        self.done_cv.notify_all();
+    }
+
     pub(crate) fn pause_compaction(&self) {
         lock(&self.q).paused_compaction = true;
     }

@@ -107,6 +107,12 @@ struct Inner {
     wal: Option<Wal>,
     vlog: Option<ValueLog>,
     next_seqno: u64,
+    /// Replication watermark: highest replication-log sequence applied
+    /// through [`DbCore::write_batch_replicated`] (0 = never a replica).
+    /// Persisted in the manifest on every manifest write; between
+    /// manifests the applied batches are covered by the WAL, so a crash
+    /// can only leave this *behind* the data — never ahead.
+    applied_seq: u64,
     manifest: Option<FileId>,
     /// Round-robin partial-compaction cursors, one per level.
     rr_cursors: Vec<usize>,
@@ -214,6 +220,7 @@ impl Db {
             wal: None,
             vlog: None,
             next_seqno: 1,
+            applied_seq: 0,
             manifest: None,
             rr_cursors: vec![0; 32],
         };
@@ -237,6 +244,7 @@ impl Db {
                     });
                     inner.manifest = Some(mid);
                     inner.next_seqno = next_seqno;
+                    inner.applied_seq = state.applied_seq;
                     inner.version = Arc::new(version);
                     inner.mem = mem;
                     old_wals.extend(
@@ -685,14 +693,49 @@ impl DbCore {
             return Ok(());
         }
         let start = self.obs.now_ns();
-        let out = self.write_batch_inner(batch);
+        let out = self.write_batch_inner(batch, None);
         self.obs
             .put_ns
             .record(self.obs.now_ns().saturating_sub(start));
         out
     }
 
-    fn write_batch_inner(&self, batch: &mut WriteBatch) -> StorageResult<()> {
+    /// Replica apply: [`DbCore::write_batch_mut`] plus an atomic advance
+    /// of the replication watermark to `seq`, under the same write lock —
+    /// so the engine state and the watermark can never disagree about
+    /// which replication-log batches are reflected. Used by a replica
+    /// applying a shipped `REPL_BATCH`; the watermark reaches the
+    /// manifest at the next manifest write (see
+    /// [`lsm_core::manifest::ManifestState::applied_seq`]).
+    ///
+    /// An empty batch still advances the watermark (a replicated batch
+    /// whose ops all routed to other shards is applied "by omission").
+    pub fn write_batch_replicated(&self, batch: &mut WriteBatch, seq: u64) -> StorageResult<()> {
+        if batch.is_empty() {
+            let mut inner = self.inner.write();
+            inner.applied_seq = inner.applied_seq.max(seq);
+            return Ok(());
+        }
+        let start = self.obs.now_ns();
+        let out = self.write_batch_inner(batch, Some(seq));
+        self.obs
+            .put_ns
+            .record(self.obs.now_ns().saturating_sub(start));
+        out
+    }
+
+    /// Current replication watermark: the highest replication-log
+    /// sequence applied via [`DbCore::write_batch_replicated`] (0 if this
+    /// engine never acted as a replica). After a crash this is recovered
+    /// from the manifest and may lag the data (the WAL carries the
+    /// batches applied since the last manifest write), so resubscribing
+    /// from `applied_seq + 1` may re-deliver a suffix — which re-applies
+    /// idempotently as long as delivery stays in sequence order.
+    pub fn applied_seq(&self) -> u64 {
+        self.inner.read().applied_seq
+    }
+
+    fn write_batch_inner(&self, batch: &mut WriteBatch, replicated_seq: Option<u64>) -> StorageResult<()> {
         if self.threaded() {
             self.check_bg_error()?;
             self.backpressure();
@@ -743,6 +786,9 @@ impl DbCore {
         }
         for (seqno, kind, key, stored) in &records {
             inner.mem.insert(key, *seqno, *kind, stored);
+        }
+        if let Some(seq) = replicated_seq {
+            inner.applied_seq = inner.applied_seq.max(seq);
         }
         self.obs.memtable_bytes_gauge.set(inner.mem.bytes() as i64);
         if inner.mem.bytes() >= self.cfg.buffer_bytes {
@@ -804,6 +850,26 @@ impl DbCore {
             Memtable::with_front(self.cfg.buffer_front_bytes),
         );
         inner.imm = Some(Arc::new(frozen));
+        if let Err(e) = self.rotate_logs_for_frozen(inner) {
+            // The frozen memtable's flush never got enqueued, so the
+            // immutable slot stays occupied with nothing scheduled to
+            // drain it. Without a sticky failure, `freeze_or_wait` (and
+            // any stalled writer) would wait forever for that drain —
+            // poison the engine so they bail with this error instead.
+            let copy = StorageError::Io(std::io::Error::other(e.to_string()));
+            self.bg.record_failure(e);
+            return Err(copy);
+        }
+        self.bg.enqueue_flush();
+        Ok(())
+    }
+
+    /// The fallible tail of a memtable freeze: WAL rotation and the
+    /// manifest write that records it. Split out so `freeze_memtable`
+    /// can turn any failure here into a sticky engine error — after the
+    /// immutable slot is occupied, an unrecorded failure would strand
+    /// every later writer.
+    fn rotate_logs_for_frozen(&self, inner: &mut Inner) -> StorageResult<()> {
         if self.cfg.wal {
             inner.imm_wal = inner.wal.take();
             inner.wal = Some(Wal::create(Arc::clone(&self.device))?);
@@ -817,9 +883,7 @@ impl DbCore {
         }
         // the manifest names both WALs, so a crash here replays the frozen
         // records (wal_prev) before the new active WAL
-        self.persist_manifest(inner)?;
-        self.bg.enqueue_flush();
-        Ok(())
+        self.persist_manifest(inner)
     }
 
     /// Background flush job: persist the frozen memtable as an L0 table.
@@ -2275,6 +2339,7 @@ impl DbCore {
             wal_prev: inner.imm_wal.as_ref().map_or(0, |w| w.id().0),
             vlog: inner.vlog.as_ref().map_or(0, |v| v.id().0),
             next_seqno: inner.next_seqno,
+            applied_seq: inner.applied_seq,
         };
         inner.manifest = Some(write_manifest(&self.device, &state, inner.manifest)?);
         Ok(())
@@ -2563,6 +2628,38 @@ mod tests {
                 "ck{i:03}"
             );
         }
+    }
+
+    #[test]
+    fn replicated_batches_advance_and_persist_the_watermark() {
+        let cfg = LsmConfig {
+            wal: true,
+            ..small()
+        };
+        let device: Arc<dyn StorageDevice> =
+            Arc::new(lsm_storage::MemDevice::new(cfg.block_size, Default::default()));
+        {
+            let db = Db::open(Arc::clone(&device), cfg.clone()).unwrap();
+            assert_eq!(db.applied_seq(), 0, "fresh engine is not a replica");
+            let mut batch = WriteBatch::new();
+            batch.put(b"rk1".to_vec(), b"rv1".to_vec());
+            db.write_batch_replicated(&mut batch, 1).unwrap();
+            assert_eq!(db.applied_seq(), 1);
+            // an empty batch (all ops routed to other shards) still moves it
+            db.write_batch_replicated(&mut WriteBatch::new(), 2).unwrap();
+            assert_eq!(db.applied_seq(), 2);
+            // the watermark never regresses on out-of-order maxima
+            let mut batch = WriteBatch::new();
+            batch.put(b"rk2".to_vec(), b"rv2".to_vec());
+            db.write_batch_replicated(&mut batch, 1).unwrap();
+            assert_eq!(db.applied_seq(), 2);
+            // flush writes a manifest carrying the watermark
+            db.flush_all().unwrap();
+        }
+        let db = Db::open(device, cfg).unwrap();
+        assert_eq!(db.applied_seq(), 2, "watermark must survive reopen");
+        assert_eq!(db.get(b"rk1").unwrap(), Some(b"rv1".to_vec()));
+        assert_eq!(db.get(b"rk2").unwrap(), Some(b"rv2".to_vec()));
     }
 
     #[test]

@@ -30,6 +30,14 @@ pub struct ManifestState {
     pub vlog: u64,
     /// Next sequence number to assign.
     pub next_seqno: u64,
+    /// Replication watermark: the highest replication-log sequence this
+    /// engine has applied (0 = never a replica). Persisted so a promoted
+    /// replica can adopt the committed sequence and a restarted replica
+    /// knows where to resubscribe. The watermark is only as fresh as the
+    /// last manifest write; batches applied since then are recovered from
+    /// the WAL and may be legally re-applied (replication apply is
+    /// idempotent for a suffix re-delivered in order).
+    pub applied_seq: u64,
 }
 
 impl ManifestState {
@@ -41,6 +49,7 @@ impl ManifestState {
         put_varint(&mut out, self.wal_prev);
         put_varint(&mut out, self.vlog);
         put_varint(&mut out, self.next_seqno);
+        put_varint(&mut out, self.applied_seq);
         put_varint(&mut out, self.levels.len() as u64);
         for level in &self.levels {
             put_varint(&mut out, level.len() as u64);
@@ -69,6 +78,7 @@ impl ManifestState {
         let wal_prev = next(&mut off)?;
         let vlog = next(&mut off)?;
         let next_seqno = next(&mut off)?;
+        let applied_seq = next(&mut off)?;
         let n_levels = next(&mut off)? as usize;
         if n_levels > 64 {
             return None;
@@ -99,6 +109,7 @@ impl ManifestState {
             wal_prev,
             vlog,
             next_seqno,
+            applied_seq,
         })
     }
 
@@ -194,7 +205,21 @@ mod tests {
             wal_prev: 41,
             vlog: 0,
             next_seqno: 12345,
+            applied_seq: 678,
         }
+    }
+
+    #[test]
+    fn applied_seq_roundtrips() {
+        let mut s = sample();
+        s.applied_seq = u64::MAX;
+        assert_eq!(ManifestState::from_bytes(&s.to_bytes()), Some(s));
+        let fresh = ManifestState::default();
+        assert_eq!(fresh.applied_seq, 0);
+        assert_eq!(
+            ManifestState::from_bytes(&fresh.to_bytes()).unwrap().applied_seq,
+            0
+        );
     }
 
     #[test]

@@ -193,6 +193,21 @@ pub enum EventKind {
         /// Live client connections when the phase was entered.
         connections: u64,
     },
+    /// A replica subscribed to the primary's replication log (emitted on
+    /// the primary when its shipper completes the handshake).
+    ReplicaConnect {
+        /// Replica id (index in the primary's replica list).
+        replica: u64,
+        /// First sequence the shipper will send — the replica's durable
+        /// applied watermark plus one.
+        from_seq: u64,
+    },
+    /// A replica was promoted to primary: its WAL tail was replayed and
+    /// it adopted the highest replication sequence it had applied.
+    Failover {
+        /// Replication sequence the promoted node adopted as committed.
+        adopted_seq: u64,
+    },
 }
 
 impl EventKind {
@@ -215,6 +230,8 @@ impl EventKind {
             EventKind::ServerAccept { .. } => "server_accept",
             EventKind::ServerShed { .. } => "server_shed",
             EventKind::ServerDrain { .. } => "server_drain",
+            EventKind::ReplicaConnect { .. } => "replica_connect",
+            EventKind::Failover { .. } => "failover",
         }
     }
 }
@@ -346,6 +363,12 @@ impl Event {
             }
             EventKind::ServerDrain { phase, connections } => {
                 obj.str("phase", phase).u64("connections", *connections).finish()
+            }
+            EventKind::ReplicaConnect { replica, from_seq } => {
+                obj.u64("replica", *replica).u64("from_seq", *from_seq).finish()
+            }
+            EventKind::Failover { adopted_seq } => {
+                obj.u64("adopted_seq", *adopted_seq).finish()
             }
         }
     }
@@ -515,6 +538,11 @@ mod tests {
                 phase: "begin",
                 connections: 4,
             },
+            EventKind::ReplicaConnect {
+                replica: 1,
+                from_seq: 33,
+            },
+            EventKind::Failover { adopted_seq: 32 },
         ];
         let ring = EventRing::new(64);
         for (i, k) in kinds.into_iter().enumerate() {
@@ -525,11 +553,13 @@ mod tests {
             .iter()
             .map(|e| e.to_json_line() + "\n")
             .collect();
-        assert_eq!(validate_json_lines(&text).unwrap(), 15);
+        assert_eq!(validate_json_lines(&text).unwrap(), 17);
         assert!(text.contains("\"type\":\"compaction_end\""));
         assert!(text.contains("\"type\":\"subcompaction_end\""));
         assert!(text.contains("\"reason\":\"memtable_rotation\""));
         assert!(text.contains("\"type\":\"server_shed\""));
         assert!(text.contains("\"phase\":\"begin\""));
+        assert!(text.contains("\"type\":\"replica_connect\""));
+        assert!(text.contains("\"adopted_seq\":32"));
     }
 }

@@ -22,12 +22,27 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use lsm_core::{Db, WriteBatch};
-use lsm_storage::{StorageError, StorageResult};
+use lsm_storage::StorageError;
 
 use crate::metrics::ServerMetrics;
+use crate::protocol::ReplOpsBuilder;
+use crate::replication::Replicator;
 
-/// Completion callback: receives the batch's commit result.
-pub type WriteCallback = Box<dyn FnOnce(StorageResult<()>) + Send + 'static>;
+/// How a submitted write ended.
+#[derive(Debug)]
+pub enum WriteOutcome {
+    /// Committed, durable per the sync policy, and (when replicating)
+    /// acked by the configured quorum.
+    Ok,
+    /// Committed and durable on the primary, but the replica quorum did
+    /// not ack within the timeout.
+    ReplicaLag,
+    /// The batch failed to commit; nothing is promised.
+    Err(StorageError),
+}
+
+/// Completion callback: receives the batch's commit outcome.
+pub type WriteCallback = Box<dyn FnOnce(WriteOutcome) + Send + 'static>;
 
 /// The write operation carried by a [`WriteReq`].
 pub enum WriteOp {
@@ -53,13 +68,22 @@ pub struct WriteReq {
     pub done: WriteCallback,
 }
 
-/// `StorageResult` is not `Clone` (it may carry an `io::Error`);
-/// replicate an outcome for each callback in a batch.
-fn replicate(res: &StorageResult<()>) -> StorageResult<()> {
-    match res {
-        Ok(()) => Ok(()),
-        Err(e) => Err(StorageError::Io(std::io::Error::other(e.to_string()))),
+/// `WriteOutcome` is not `Clone` (its error may carry an `io::Error`);
+/// duplicate an outcome for each callback in a batch.
+fn duplicate(out: &WriteOutcome) -> WriteOutcome {
+    match out {
+        WriteOutcome::Ok => WriteOutcome::Ok,
+        WriteOutcome::ReplicaLag => WriteOutcome::ReplicaLag,
+        WriteOutcome::Err(e) => {
+            WriteOutcome::Err(StorageError::Io(std::io::Error::other(e.to_string())))
+        }
     }
+}
+
+fn shutdown_outcome() -> WriteOutcome {
+    WriteOutcome::Err(StorageError::Io(std::io::Error::other(
+        "write batcher is shut down",
+    )))
 }
 
 /// A shard's group-commit thread. Dropping (or [`shutdown`]) closes the
@@ -73,17 +97,22 @@ pub struct GroupCommitter {
 }
 
 impl GroupCommitter {
-    /// Spawns the committer thread for `db`.
+    /// Spawns the committer thread for `db`. With a [`Replicator`], every
+    /// committed batch is published to it and the callbacks are held
+    /// until the replica quorum acks (or the wait times out).
     pub fn start(
         db: Db,
         max_batch: usize,
         sync_each_batch: bool,
         metrics: Arc<ServerMetrics>,
+        replicator: Option<Arc<Replicator>>,
     ) -> Self {
         let (tx, rx) = channel::<WriteReq>();
         let handle = std::thread::Builder::new()
             .name("lsm-server-committer".into())
-            .spawn(move || committer_loop(db, rx, max_batch.max(1), sync_each_batch, metrics))
+            .spawn(move || {
+                committer_loop(db, rx, max_batch.max(1), sync_each_batch, metrics, replicator)
+            })
             .expect("spawn committer thread");
         GroupCommitter {
             tx: Some(tx),
@@ -98,16 +127,12 @@ impl GroupCommitter {
             Some(tx) => match tx.send(req) {
                 Ok(()) => true,
                 Err(e) => {
-                    (e.0.done)(Err(StorageError::Io(std::io::Error::other(
-                        "write batcher is shut down",
-                    ))));
+                    (e.0.done)(shutdown_outcome());
                     false
                 }
             },
             None => {
-                (req.done)(Err(StorageError::Io(std::io::Error::other(
-                    "write batcher is shut down",
-                ))));
+                (req.done)(shutdown_outcome());
                 false
             }
         }
@@ -135,6 +160,7 @@ fn committer_loop(
     max_batch: usize,
     sync_each_batch: bool,
     metrics: Arc<ServerMetrics>,
+    replicator: Option<Arc<Replicator>>,
 ) {
     // one batch and one callback list live for the thread's lifetime:
     // commits drain them but keep their capacity, so a busy shard's
@@ -150,7 +176,16 @@ fn committer_loop(
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
         }
+        // when replicating, encode the ops region while folding: the
+        // shipped frame is built exactly once per batch, here
+        let mut ops = replicator.as_ref().map(|_| ReplOpsBuilder::new());
         for r in reqs.drain(..) {
+            if let Some(b) = &mut ops {
+                match &r.op {
+                    WriteOp::Put { key, value } => b.put(key, value),
+                    WriteOp::Delete { key } => b.delete(key),
+                }
+            }
             match r.op {
                 WriteOp::Put { key, value } => batch.put(key, value),
                 WriteOp::Delete { key } => batch.delete(key),
@@ -165,8 +200,28 @@ fn committer_loop(
             // batch, not once per operation — the group-commit win
             result = db.sync();
         }
+        let outcome = match result {
+            Ok(()) => match (&replicator, ops) {
+                (Some(rep), Some(ops)) => {
+                    // publish only what committed locally: a batch that
+                    // failed here must never reach a replica, or a
+                    // failover could resurrect a write the client saw fail
+                    let t0 = metrics.now_ns();
+                    let seq = rep.publish(ops.finish());
+                    if rep.wait_quorum(seq) {
+                        metrics.repl_ack_ns.record(metrics.now_ns().saturating_sub(t0));
+                        WriteOutcome::Ok
+                    } else {
+                        metrics.repl_lag_timeouts.inc();
+                        WriteOutcome::ReplicaLag
+                    }
+                }
+                _ => WriteOutcome::Ok,
+            },
+            Err(e) => WriteOutcome::Err(e),
+        };
         for done in dones.drain(..) {
-            done(replicate(&result));
+            done(duplicate(&outcome));
         }
     }
 }
@@ -188,8 +243,10 @@ mod tests {
             },
             done: Box::new(move |r| {
                 match r {
-                    Ok(()) => acks.fetch_add(1, Ordering::SeqCst),
-                    Err(_) => errs.fetch_add(1, Ordering::SeqCst),
+                    WriteOutcome::Ok => acks.fetch_add(1, Ordering::SeqCst),
+                    WriteOutcome::ReplicaLag | WriteOutcome::Err(_) => {
+                        errs.fetch_add(1, Ordering::SeqCst)
+                    }
                 };
             }),
         }
@@ -205,7 +262,7 @@ mod tests {
         let metrics = ServerMetrics::new();
         let acks = Arc::new(AtomicUsize::new(0));
         let errs = Arc::new(AtomicUsize::new(0));
-        let mut committer = GroupCommitter::start(db.clone(), 64, true, Arc::clone(&metrics));
+        let mut committer = GroupCommitter::start(db.clone(), 64, true, Arc::clone(&metrics), None);
         for i in 0..500u32 {
             assert!(committer.submit(put_req(i, &acks, &errs)));
         }
@@ -235,7 +292,7 @@ mod tests {
         let metrics = ServerMetrics::new();
         let acks = Arc::new(AtomicUsize::new(0));
         let errs = Arc::new(AtomicUsize::new(0));
-        let mut committer = GroupCommitter::start(db, 8, false, metrics);
+        let mut committer = GroupCommitter::start(db, 8, false, metrics, None);
         committer.shutdown();
         assert!(!committer.submit(put_req(0, &acks, &errs)));
         assert_eq!(errs.load(Ordering::SeqCst), 1);
@@ -247,7 +304,7 @@ mod tests {
         let db = Db::open_in_memory(LsmConfig::small_for_tests()).unwrap();
         let metrics = ServerMetrics::new();
         let order = Arc::new(Mutex::new(Vec::new()));
-        let mut committer = GroupCommitter::start(db, 16, false, metrics);
+        let mut committer = GroupCommitter::start(db, 16, false, metrics, None);
         for i in 0..200u32 {
             let order = Arc::clone(&order);
             committer.submit(WriteReq {

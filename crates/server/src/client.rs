@@ -152,6 +152,9 @@ fn unexpected(resp: Response) -> io::Error {
     let msg = match resp {
         Response::Error(m) => format!("server error: {m}"),
         Response::Busy => "server busy (admission control)".to_string(),
+        Response::ReplicaLag => {
+            "replica quorum not reached in time (write durable on primary)".to_string()
+        }
         Response::ShuttingDown => "server shutting down".to_string(),
         other => format!("unexpected response: {other:?}"),
     };

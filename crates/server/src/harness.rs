@@ -14,6 +14,7 @@ use lsm_core::{Db, LsmConfig};
 use lsm_storage::{DeviceProfile, MemDevice, StorageDevice, StorageResult};
 
 use crate::client::Client;
+use crate::replication::{PrimaryReplication, ReplicationRole};
 use crate::server::{Server, ServerConfig};
 
 /// A running loopback cluster plus the handles tests need to poke it.
@@ -70,6 +71,43 @@ impl TestCluster {
     pub fn reopen(&self) -> StorageResult<Vec<Db>> {
         reopen_shards(&self.devices, &self.cfg)
     }
+}
+
+/// A primary plus N replica servers, each over its own in-memory
+/// devices, wired together over loopback.
+pub struct ReplicatedCluster {
+    /// The writable primary.
+    pub primary: TestCluster,
+    /// The read-only replicas, in replica-id order.
+    pub replicas: Vec<TestCluster>,
+}
+
+/// Starts `n_replicas` replica servers, then a primary configured to
+/// ship to all of them with the given `ack_quorum`. Every node runs
+/// `shards` shards of the same `cfg` (replication routes by the same
+/// FNV partition, so shard counts must match).
+pub fn start_replicated_cluster(
+    shards: usize,
+    n_replicas: usize,
+    cfg: LsmConfig,
+    server_cfg: ServerConfig,
+    ack_quorum: usize,
+) -> ReplicatedCluster {
+    let replicas: Vec<TestCluster> = (0..n_replicas)
+        .map(|_| {
+            let mut rc = server_cfg.clone();
+            rc.role = ReplicationRole::Replica;
+            start_cluster(shards, cfg.clone(), rc)
+        })
+        .collect();
+    let mut pc = server_cfg;
+    pc.role = ReplicationRole::Primary(PrimaryReplication {
+        replicas: replicas.iter().map(TestCluster::addr).collect(),
+        ack_quorum,
+        ..PrimaryReplication::default()
+    });
+    let primary = start_cluster(shards, cfg, pc);
+    ReplicatedCluster { primary, replicas }
 }
 
 #[cfg(test)]

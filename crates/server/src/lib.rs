@@ -14,9 +14,13 @@
 //!   with bounded in-flight pipelining, admission control wired to the
 //!   engine's L0 backpressure gauge, and graceful drain;
 //! - [`client`] — a small blocking client library;
+//! - [`replication`] — primary → replica shipping of committed
+//!   group-commit batches, quorum acks, and the replica apply path;
+//! - [`failover`] — promotion of a replica to primary via the
+//!   crash-recovery path;
 //! - [`metrics`] — serving-side histograms, gauges, and event trace;
 //! - [`harness`] — an in-process loopback cluster for deterministic
-//!   tests, including kill-the-server recovery.
+//!   tests, including kill-the-server recovery and replicated clusters.
 //!
 //! Everything is `std`-only (`std::net` + threads), mirroring the thread
 //! patterns of `lsm_core::background`.
@@ -25,19 +29,28 @@
 
 pub mod batcher;
 pub mod client;
+pub mod failover;
 pub mod harness;
 pub mod metrics;
 pub mod protocol;
+pub mod replication;
 pub mod router;
 pub mod server;
 
-pub use batcher::{GroupCommitter, WriteOp, WriteReq};
+pub use batcher::{GroupCommitter, WriteOp, WriteOutcome, WriteReq};
 pub use client::Client;
-pub use harness::{reopen_shards, start_cluster, TestCluster};
+pub use failover::{promote_replica, Promotion};
+pub use harness::{
+    reopen_shards, start_cluster, start_replicated_cluster, ReplicatedCluster, TestCluster,
+};
 pub use metrics::ServerMetrics;
 pub use protocol::{
-    decode_request, decode_response, encode_request, encode_response, FrameError, FrameReader,
-    ProtocolError, Request, Response, MAX_FRAME_BYTES,
+    decode_request, decode_response, encode_request, encode_response, repl_ops, FrameError,
+    FrameReader, ProtocolError, ReplOpRef, ReplOpsBuilder, ReplOpsIter, Request, Response,
+    MAX_FRAME_BYTES,
+};
+pub use replication::{
+    ApplyError, PrimaryReplication, ReplicaState, ReplicationRole, Replicator,
 };
 pub use router::{shard_of, ShardSet};
 pub use server::{Server, ServerConfig};

@@ -46,6 +46,17 @@ pub struct ServerMetrics {
     pub malformed: Arc<Counter>,
     /// Group-commit batches committed.
     pub batches: Arc<Counter>,
+    /// Replication lag: committed sequence minus the slowest counted
+    /// replica's acked sequence, sampled when the primary waits.
+    pub repl_lag: Arc<Gauge>,
+    /// REPL_BATCH frames shipped to replicas (all shippers).
+    pub repl_batches_shipped: Arc<Counter>,
+    /// REPL_ACK frames received from replicas.
+    pub repl_acks: Arc<Counter>,
+    /// Writes answered `ReplicaLag` because the quorum wait timed out.
+    pub repl_lag_timeouts: Arc<Counter>,
+    /// Commit → quorum-ack latency, ns.
+    pub repl_ack_ns: Arc<Histogram>,
 }
 
 impl ServerMetrics {
@@ -65,6 +76,11 @@ impl ServerMetrics {
             sheds: registry.counter("server.sheds"),
             malformed: registry.counter("server.malformed"),
             batches: registry.counter("server.batches"),
+            repl_lag: registry.gauge("server.repl_lag"),
+            repl_batches_shipped: registry.counter("server.repl_batches_shipped"),
+            repl_acks: registry.counter("server.repl_acks"),
+            repl_lag_timeouts: registry.counter("server.repl_lag_timeouts"),
+            repl_ack_ns: registry.histogram("server.repl_ack_ns"),
             events: EventRing::new(EVENT_CAPACITY),
             start: Instant::now(),
             registry,

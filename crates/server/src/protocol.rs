@@ -25,13 +25,15 @@
 //! completion order. Keys, values and messages are length-prefixed with
 //! `u32 LE`. Every multi-byte integer on the wire is little-endian.
 //!
-//! | opcode | request | operands                                  |
-//! |-------:|---------|-------------------------------------------|
-//! | 1      | GET     | key                                       |
-//! | 2      | PUT     | key, value                                |
-//! | 3      | DELETE  | key                                       |
-//! | 4      | SCAN    | start, end, `u32` limit                   |
-//! | 5      | STATS   | —                                         |
+//! | opcode | request        | operands                                  |
+//! |-------:|----------------|-------------------------------------------|
+//! | 1      | GET            | key                                       |
+//! | 2      | PUT            | key, value                                |
+//! | 3      | DELETE         | key                                       |
+//! | 4      | SCAN           | start, end, `u32` limit                   |
+//! | 5      | STATS          | —                                         |
+//! | 6      | REPL_SUBSCRIBE | `u64` replica_id, `u64` from_seq          |
+//! | 7      | REPL_BATCH     | `u64` seq, ops region (see below)         |
 //!
 //! | status | response       | operands                            |
 //! |-------:|----------------|-------------------------------------|
@@ -43,6 +45,17 @@
 //! | 5      | ERROR          | UTF-8 message                       |
 //! | 6      | BUSY           | — (admission control shed; retry)   |
 //! | 7      | SHUTTING_DOWN  | — (server is draining)              |
+//! | 8      | REPL_ACK       | `u64` seq (applied watermark)       |
+//! | 9      | REPLICA_LAG    | — (quorum not reached in time)      |
+//!
+//! ## Replication ops region
+//!
+//! A REPL_BATCH carries the primary's committed group-commit batch as an
+//! *ops region*: `u32` count, then `count` ops, each `[u8 kind][key]`
+//! (kind 2 = delete) or `[u8 kind][key][value]` (kind 1 = put). The
+//! region is forwarded opaquely by [`Request::ReplBatch`] and decoded
+//! lazily through [`ReplOpsIter`], so the shipper encodes once and the
+//! replica validates exactly where it applies.
 
 use std::fmt;
 use std::io::Read;
@@ -81,6 +94,24 @@ pub enum Request {
     },
     /// Server metrics snapshot.
     Stats,
+    /// A replica announcing itself to a primary's shipper connection and
+    /// naming the first sequence it still needs.
+    ReplSubscribe {
+        /// Replica id (index in the primary's replica list).
+        replica_id: u64,
+        /// First replication sequence the replica has *not* applied.
+        from_seq: u64,
+    },
+    /// One sequenced, committed group-commit batch shipped primary →
+    /// replica. `ops` is the raw ops region (see the module docs);
+    /// iterate it with [`repl_ops`].
+    ReplBatch {
+        /// Replication-log sequence of this batch (consecutive; the
+        /// replica rejects gaps).
+        seq: u64,
+        /// Encoded ops region: `u32` count + ops.
+        ops: Vec<u8>,
+    },
 }
 
 /// A request decoded as borrowed views into the frame payload — the
@@ -117,6 +148,21 @@ pub enum RequestRef<'a> {
     },
     /// Server metrics snapshot.
     Stats,
+    /// Replica handshake (see [`Request::ReplSubscribe`]).
+    ReplSubscribe {
+        /// Replica id (index in the primary's replica list).
+        replica_id: u64,
+        /// First replication sequence the replica has *not* applied.
+        from_seq: u64,
+    },
+    /// Sequenced batch frame (see [`Request::ReplBatch`]); `ops` borrows
+    /// the raw ops region straight from the read buffer.
+    ReplBatch {
+        /// Replication-log sequence of this batch.
+        seq: u64,
+        /// Encoded ops region: `u32` count + ops.
+        ops: &'a [u8],
+    },
 }
 
 impl RequestRef<'_> {
@@ -135,6 +181,17 @@ impl RequestRef<'_> {
                 limit,
             },
             RequestRef::Stats => Request::Stats,
+            RequestRef::ReplSubscribe {
+                replica_id,
+                from_seq,
+            } => Request::ReplSubscribe {
+                replica_id,
+                from_seq,
+            },
+            RequestRef::ReplBatch { seq, ops } => Request::ReplBatch {
+                seq,
+                ops: ops.to_vec(),
+            },
         }
     }
 }
@@ -158,6 +215,18 @@ pub enum Response {
     Busy,
     /// The server is draining and takes no new work.
     ShuttingDown,
+    /// Replica → primary: everything up to and including `seq` is applied
+    /// and durable at the replica. Also answers REPL_SUBSCRIBE, telling
+    /// the shipper where to start.
+    ReplAck {
+        /// The replica's applied watermark.
+        seq: u64,
+    },
+    /// The write committed locally but `ack_quorum` replicas did not
+    /// confirm within the primary's ack timeout. The write is durable on
+    /// the primary and *will* reach the replicas; the client learns the
+    /// redundancy guarantee was not met in time.
+    ReplicaLag,
 }
 
 /// A payload-level decode failure (the frame itself was sound, so the
@@ -283,8 +352,145 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
         Request::Stats => {
             out = frame_header(id, 5);
         }
+        Request::ReplSubscribe {
+            replica_id,
+            from_seq,
+        } => {
+            out = frame_header(id, 6);
+            out.extend_from_slice(&replica_id.to_le_bytes());
+            out.extend_from_slice(&from_seq.to_le_bytes());
+        }
+        Request::ReplBatch { seq, ops } => {
+            out = frame_header(id, 7);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(ops);
+        }
     }
     finish_frame(out)
+}
+
+/// Builds the ops region of a REPL_BATCH request: `u32` count + ops. The
+/// count is patched in by [`ReplOpsBuilder::finish`], so the shipper can
+/// stream ops straight out of a committed batch.
+pub struct ReplOpsBuilder {
+    buf: Vec<u8>,
+    count: u32,
+}
+
+impl ReplOpsBuilder {
+    /// An empty region.
+    pub fn new() -> Self {
+        ReplOpsBuilder {
+            buf: vec![0u8; 4],
+            count: 0,
+        }
+    }
+
+    /// Appends a put.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.buf.push(1);
+        put_bytes(&mut self.buf, key);
+        put_bytes(&mut self.buf, value);
+        self.count += 1;
+    }
+
+    /// Appends a delete.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.buf.push(2);
+        put_bytes(&mut self.buf, key);
+        self.count += 1;
+    }
+
+    /// Ops appended so far.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Seals the region.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf[..4].copy_from_slice(&self.count.to_le_bytes());
+        self.buf
+    }
+}
+
+impl Default for ReplOpsBuilder {
+    fn default() -> Self {
+        ReplOpsBuilder::new()
+    }
+}
+
+/// One op decoded from a REPL_BATCH ops region, borrowing the region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplOpRef<'a> {
+    /// Insert or update.
+    Put {
+        /// Key to write.
+        key: &'a [u8],
+        /// Value to associate.
+        value: &'a [u8],
+    },
+    /// Tombstone write.
+    Delete {
+        /// Key to delete.
+        key: &'a [u8],
+    },
+}
+
+/// Lazy, bounds-checked decoder over a REPL_BATCH ops region. Yields
+/// `Err` (and then stops) on any malformed op, so a replica fed garbage
+/// reports a typed error instead of panicking or half-applying.
+pub struct ReplOpsIter<'a> {
+    cur: Cur<'a>,
+    remaining: u32,
+    failed: bool,
+}
+
+/// Opens an ops region for iteration; fails if the region is too short
+/// to carry its count.
+pub fn repl_ops(ops: &[u8]) -> Result<ReplOpsIter<'_>, ProtocolError> {
+    let mut cur = Cur::new(ops);
+    let remaining = cur.u32()?;
+    Ok(ReplOpsIter {
+        cur,
+        remaining,
+        failed: false,
+    })
+}
+
+impl<'a> Iterator for ReplOpsIter<'a> {
+    type Item = Result<ReplOpRef<'a>, ProtocolError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.remaining == 0 {
+            // a count that overshoots the region surfaced as Truncated on
+            // the op that ran out; trailing bytes surface here
+            if !self.failed && self.remaining == 0 {
+                let rest = self.cur.remaining();
+                if rest != 0 {
+                    self.failed = true;
+                    return Some(Err(ProtocolError::TrailingBytes(rest)));
+                }
+            }
+            return None;
+        }
+        self.remaining -= 1;
+        let op = (|| {
+            Ok(match self.cur.u8()? {
+                1 => ReplOpRef::Put {
+                    key: self.cur.bytes_ref()?,
+                    value: self.cur.bytes_ref()?,
+                },
+                2 => ReplOpRef::Delete {
+                    key: self.cur.bytes_ref()?,
+                },
+                other => return Err(ProtocolError::BadTag(other)),
+            })
+        })();
+        if op.is_err() {
+            self.failed = true;
+        }
+        Some(op)
+    }
 }
 
 /// Encodes a response as a complete frame (length prefix included).
@@ -331,6 +537,15 @@ pub fn encode_response_into(out: &mut Vec<u8>, id: u64, resp: &Response) {
         }
         Response::ShuttingDown => {
             let s = begin_frame_at(out, id, 7);
+            end_frame_at(out, s);
+        }
+        Response::ReplAck { seq } => {
+            let s = begin_frame_at(out, id, 8);
+            out.extend_from_slice(&seq.to_le_bytes());
+            end_frame_at(out, s);
+        }
+        Response::ReplicaLag => {
+            let s = begin_frame_at(out, id, 9);
             end_frame_at(out, s);
         }
     }
@@ -441,8 +656,19 @@ impl<'a> Cur<'a> {
         String::from_utf8(self.bytes()?).map_err(|_| ProtocolError::BadUtf8)
     }
 
+    /// Consumes and returns everything left.
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.b[self.p..];
+        self.p = self.b.len();
+        s
+    }
+
+    fn remaining(&self) -> usize {
+        self.b.len() - self.p
+    }
+
     fn finish(self) -> Result<(), ProtocolError> {
-        let rest = self.b.len() - self.p;
+        let rest = self.remaining();
         if rest == 0 {
             Ok(())
         } else {
@@ -485,6 +711,16 @@ pub fn decode_request_ref(payload: &[u8]) -> Result<(u64, RequestRef<'_>), Proto
             limit: c.u32()?,
         },
         5 => RequestRef::Stats,
+        6 => RequestRef::ReplSubscribe {
+            replica_id: c.u64()?,
+            from_seq: c.u64()?,
+        },
+        7 => RequestRef::ReplBatch {
+            seq: c.u64()?,
+            // the ops region is the remainder of the payload; it is
+            // validated lazily by `repl_ops` at apply time
+            ops: c.rest(),
+        },
         other => return Err(ProtocolError::BadTag(other)),
     };
     c.finish()?;
@@ -516,6 +752,8 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError>
         5 => Response::Error(c.string()?),
         6 => Response::Busy,
         7 => Response::ShuttingDown,
+        8 => Response::ReplAck { seq: c.u64()? },
+        9 => Response::ReplicaLag,
         other => return Err(ProtocolError::BadTag(other)),
     };
     c.finish()?;
@@ -658,6 +896,17 @@ mod tests {
             limit: 1000,
         });
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::ReplSubscribe {
+            replica_id: 2,
+            from_seq: u64::MAX,
+        });
+        let mut b = ReplOpsBuilder::new();
+        b.put(b"k", b"v");
+        b.delete(b"gone");
+        roundtrip_request(Request::ReplBatch {
+            seq: 77,
+            ops: b.finish(),
+        });
     }
 
     #[test]
@@ -673,6 +922,61 @@ mod tests {
         roundtrip_response(Response::Error("boom".into()));
         roundtrip_response(Response::Busy);
         roundtrip_response(Response::ShuttingDown);
+        roundtrip_response(Response::ReplAck { seq: 12345 });
+        roundtrip_response(Response::ReplicaLag);
+    }
+
+    #[test]
+    fn repl_ops_roundtrip_and_reject_garbage() {
+        let mut b = ReplOpsBuilder::new();
+        b.put(b"alpha", b"1");
+        b.delete(b"beta");
+        b.put(b"", b"");
+        assert_eq!(b.count(), 3);
+        let region = b.finish();
+        let decoded: Vec<_> = repl_ops(&region).unwrap().map(Result::unwrap).collect();
+        assert_eq!(
+            decoded,
+            vec![
+                ReplOpRef::Put {
+                    key: b"alpha",
+                    value: b"1"
+                },
+                ReplOpRef::Delete { key: b"beta" },
+                ReplOpRef::Put { key: b"", value: b"" },
+            ]
+        );
+
+        // empty region: zero ops, no error
+        assert_eq!(repl_ops(&ReplOpsBuilder::new().finish()).unwrap().count(), 0);
+
+        // too short to carry a count
+        assert!(repl_ops(&[1, 2]).is_err());
+
+        // unknown op kind fails typed, then the iterator fuses
+        let mut bad = 1u32.to_le_bytes().to_vec();
+        bad.push(9);
+        let mut it = repl_ops(&bad).unwrap();
+        assert_eq!(it.next(), Some(Err(ProtocolError::BadTag(9))));
+        assert_eq!(it.next(), None);
+
+        // count promising more ops than the region holds → Truncated
+        let mut short = 2u32.to_le_bytes().to_vec();
+        short.push(2);
+        short.extend_from_slice(&1u32.to_le_bytes());
+        short.push(b'k');
+        let mut it = repl_ops(&short).unwrap();
+        assert!(it.next().unwrap().is_ok());
+        assert_eq!(it.next(), Some(Err(ProtocolError::Truncated)));
+
+        // trailing bytes after the last promised op
+        let mut trailing = ReplOpsBuilder::new();
+        trailing.delete(b"x");
+        let mut region = trailing.finish();
+        region.push(0xEE);
+        let mut it = repl_ops(&region).unwrap();
+        assert!(it.next().unwrap().is_ok());
+        assert_eq!(it.next(), Some(Err(ProtocolError::TrailingBytes(1))));
     }
 
     #[test]

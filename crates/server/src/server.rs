@@ -45,12 +45,13 @@ use lsm_core::Db;
 use lsm_obs::EventKind;
 use lsm_storage::StorageResult;
 
-use crate::batcher::{GroupCommitter, WriteOp, WriteReq};
+use crate::batcher::{GroupCommitter, WriteOp, WriteOutcome, WriteReq};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
     begin_entries_response, encode_response_into, encode_value_response_into, peek_request_id,
     FrameReader, RequestRef, Response, MAX_FRAME_BYTES,
 };
+use crate::replication::{ReplicaState, ReplicationRole, Replicator};
 use crate::router::ShardSet;
 
 /// Pool of response-frame buffers shared by a connection's reader, its
@@ -109,6 +110,9 @@ pub struct ServerConfig {
     pub shed_l0_runs: Option<usize>,
     /// Per-frame payload cap.
     pub max_frame_bytes: usize,
+    /// Replication role: standalone, shipping primary, or read-only
+    /// replica.
+    pub role: ReplicationRole,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +123,7 @@ impl Default for ServerConfig {
             sync_each_batch: true,
             shed_l0_runs: None,
             max_frame_bytes: MAX_FRAME_BYTES,
+            role: ReplicationRole::None,
         }
     }
 }
@@ -132,6 +137,10 @@ struct ServerInner {
     draining: AtomicBool,
     next_conn: AtomicU64,
     metrics: Arc<ServerMetrics>,
+    /// Primary role: the replication log + shipper pool.
+    replicator: Option<Arc<Replicator>>,
+    /// Replica role: the serialized apply path.
+    replica: Option<ReplicaState>,
 }
 
 /// A running server. [`Server::shutdown`] drains gracefully;
@@ -156,6 +165,17 @@ impl Server {
             .iter()
             .map(|db| cfg.shed_l0_runs.unwrap_or(db.config().l0_stall_runs))
             .collect();
+        // a primary's replication log starts at the highest sequence the
+        // shards already applied — 0 for a fresh node, the adopted
+        // watermark for a promoted replica (all shards advance in
+        // lockstep, so the max is the freshest recovered lower bound)
+        let replicator = match &cfg.role {
+            ReplicationRole::Primary(prim) => {
+                let base = shards.iter().map(|db| db.applied_seq()).max().unwrap_or(0);
+                Some(Replicator::start(base, prim.clone(), Arc::clone(&metrics)))
+            }
+            _ => None,
+        };
         let committers = shards
             .iter()
             .map(|db| {
@@ -164,17 +184,25 @@ impl Server {
                     cfg.max_batch,
                     cfg.sync_each_batch,
                     Arc::clone(&metrics),
+                    replicator.clone(),
                 )
             })
             .collect();
+        let shards = ShardSet::new(shards);
+        let replica = match &cfg.role {
+            ReplicationRole::Replica => Some(ReplicaState::new(&shards)),
+            _ => None,
+        };
         let inner = Arc::new(ServerInner {
-            shards: ShardSet::new(shards),
+            shards,
             committers,
             cfg,
             shed_l0,
             draining: AtomicBool::new(false),
             next_conn: AtomicU64::new(0),
             metrics,
+            replicator,
+            replica,
         });
         let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
         let accept = {
@@ -205,10 +233,11 @@ impl Server {
     }
 
     /// Stops accepting, lets in-flight requests finish, commits every
-    /// queued write, flushes all shards to quiescence, and returns the
+    /// queued write, waits for replicas to ack every published batch
+    /// (bounded), flushes all shards to quiescence, and returns the
     /// shard engines.
     pub fn shutdown(mut self) -> StorageResult<Vec<Db>> {
-        let inner = self.stop_serving().expect("server already stopped");
+        let inner = self.stop_serving(true).expect("server already stopped");
         inner.metrics.event(EventKind::ServerDrain {
             phase: "flush",
             connections: 0,
@@ -221,11 +250,11 @@ impl Server {
         Ok(inner.shards.into_dbs())
     }
 
-    /// Stops serving *without* flushing the shards — the in-process
-    /// stand-in for killing the server: whatever the WAL sync policy
-    /// made durable is all a reopen gets.
+    /// Stops serving *without* flushing the shards or waiting on replica
+    /// acks — the in-process stand-in for killing the server: whatever
+    /// the WAL sync policy made durable is all a reopen gets.
     pub fn abort(mut self) -> Vec<Db> {
-        self.stop_serving()
+        self.stop_serving(false)
             .expect("server already stopped")
             .shards
             .into_dbs()
@@ -233,9 +262,16 @@ impl Server {
 
     /// Common teardown: refuse new connections, join every connection
     /// (readers finish their in-flight work against still-live
-    /// committers), then commit the committers' remaining queues.
-    /// Idempotent; `None` after the first call.
-    fn stop_serving(&mut self) -> Option<ServerInner> {
+    /// committers), commit the committers' remaining queues, then stop
+    /// the shipper pool. Idempotent; `None` after the first call.
+    ///
+    /// With `drain_replicas`, the shippers first get a bounded window to
+    /// collect replica acks for every published batch. The committers
+    /// are already down at that point, so the published set is final —
+    /// without this barrier, a batch could be committed + client-acked
+    /// (quorum 0, or a lag timeout) yet still be unshipped when the
+    /// shippers die, and a post-shutdown failover would lose it.
+    fn stop_serving(&mut self, drain_replicas: bool) -> Option<ServerInner> {
         let inner = self.inner.take()?;
         inner.metrics.event(EventKind::ServerDrain {
             phase: "begin",
@@ -261,15 +297,25 @@ impl Server {
         for c in &mut inner.committers {
             c.shutdown();
         }
+        if let Some(rep) = &inner.replicator {
+            if drain_replicas {
+                let phase = if rep.drain() { "repl_acked" } else { "repl_timeout" };
+                inner.metrics.event(EventKind::ServerDrain {
+                    phase,
+                    connections: 0,
+                });
+            }
+            rep.stop();
+        }
         Some(inner)
     }
 }
 
 impl Drop for Server {
-    /// A dropped server still tears down cleanly (no flush — that is
-    /// what [`Server::shutdown`] adds).
+    /// A dropped server still tears down cleanly (no flush, no replica
+    /// drain — those are what [`Server::shutdown`] adds).
     fn drop(&mut self) {
-        let _ = self.stop_serving();
+        let _ = self.stop_serving(false);
     }
 }
 
@@ -485,6 +531,16 @@ fn handle_frame(
             send_pooled(resp_tx, pool, id, &Response::Stats(json))
         }
         RequestRef::Put { key, value } => {
+            if inner.replica.is_some() {
+                // a replica takes writes only through the replication
+                // stream; clients must write to the primary
+                return send_pooled(
+                    resp_tx,
+                    pool,
+                    id,
+                    &Response::Error("replica is read-only".into()),
+                );
+            }
             // the single copy on the write path: key/value leave the read
             // buffer here to cross into the committer's queue
             let op = WriteOp::Put {
@@ -494,9 +550,57 @@ fn handle_frame(
             submit_write(inner, state, resp_tx, pool, id, op)
         }
         RequestRef::Delete { key } => {
+            if inner.replica.is_some() {
+                return send_pooled(
+                    resp_tx,
+                    pool,
+                    id,
+                    &Response::Error("replica is read-only".into()),
+                );
+            }
             let op = WriteOp::Delete { key: key.to_vec() };
             submit_write(inner, state, resp_tx, pool, id, op)
         }
+        RequestRef::ReplSubscribe { .. } => {
+            // the reply tells the shipper where to start: our watermark
+            match &inner.replica {
+                Some(r) => send_pooled(
+                    resp_tx,
+                    pool,
+                    id,
+                    &Response::ReplAck { seq: r.applied() },
+                ),
+                None => send_pooled(
+                    resp_tx,
+                    pool,
+                    id,
+                    &Response::Error("not a replica".into()),
+                ),
+            }
+        }
+        RequestRef::ReplBatch { seq, ops } => match &inner.replica {
+            Some(r) => {
+                let t0 = inner.metrics.now_ns();
+                let resp = match r.apply_batch(&inner.shards, seq, ops) {
+                    Ok(watermark) => Response::ReplAck { seq: watermark },
+                    Err(e) => {
+                        inner.metrics.malformed.inc();
+                        Response::Error(e.to_string())
+                    }
+                };
+                inner
+                    .metrics
+                    .put_ns
+                    .record(inner.metrics.now_ns().saturating_sub(t0));
+                send_pooled(resp_tx, pool, id, &resp)
+            }
+            None => send_pooled(
+                resp_tx,
+                pool,
+                id,
+                &Response::Error("not a replica".into()),
+            ),
+        },
     }
 }
 
@@ -535,10 +639,11 @@ fn submit_write(
     let t0 = metrics.now_ns();
     let submitted = inner.committers[shard].submit(WriteReq {
         op,
-        done: Box::new(move |result| {
-            let resp = match result {
-                Ok(()) => Response::Ok,
-                Err(e) => Response::Error(e.to_string()),
+        done: Box::new(move |outcome| {
+            let resp = match outcome {
+                WriteOutcome::Ok => Response::Ok,
+                WriteOutcome::ReplicaLag => Response::ReplicaLag,
+                WriteOutcome::Err(e) => Response::Error(e.to_string()),
             };
             let h = if is_delete { &metrics.delete_ns } else { &metrics.put_ns };
             h.record(metrics.now_ns().saturating_sub(t0));

@@ -1,0 +1,469 @@
+//! Differential replica-set harness.
+//!
+//! The invariants under test, end to end over real loopback TCP:
+//!
+//! - **Read-your-writes at quorum.** With `ack_quorum == n_replicas`, a
+//!   write acked to the client is already applied *and synced* on every
+//!   replica, so a read routed to any node — primary or replica —
+//!   observes exactly what a `BTreeMap` oracle predicts, even with
+//!   concurrent client threads.
+//! - **Hostile delivery never diverges a replica.** `REPL_BATCH` frames
+//!   delivered out of order, duplicated, gapped, or with truncated ops
+//!   regions must be acked (duplicates), rejected typed (gaps /
+//!   malformed), and never half-applied: after the stream completes, the
+//!   replica's devices are **byte-identical** — tables and manifest — to
+//!   a reference that applied the same batches serially, in order, once.
+//! - **The shutdown drain barrier.** A graceful primary shutdown waits
+//!   for replica acks on every published batch, so a quorum-0 (fully
+//!   asynchronous) deployment still loses nothing a clean handover.
+//! - **Typed lag.** A write whose quorum wait times out answers
+//!   `REPLICA_LAG`, stays durable on the primary, and bumps the timeout
+//!   counter.
+//! - **Promotion.** After the primary dies, a promoted replica serves
+//!   every acked write and accepts new ones.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use lsm_core::{BackgroundMode, LsmConfig};
+use lsm_obs::EventKind;
+use lsm_storage::{DeviceProfile, IoCategory, MemDevice, StorageDevice};
+
+use lsm_server::harness::{reopen_shards, start_cluster, start_replicated_cluster};
+use lsm_server::protocol::{ReplOpsBuilder, Request, Response};
+use lsm_server::{
+    promote_replica, Client, PrimaryReplication, ReplicaState, ReplicationRole, ServerConfig,
+    ShardSet,
+};
+
+/// Tiny deterministic xorshift; good enough to scatter ops.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+fn wal_cfg() -> LsmConfig {
+    LsmConfig {
+        wal: true,
+        ..LsmConfig::small_for_tests()
+    }
+}
+
+/// WAL on and maintenance inline: every engine action happens at a
+/// deterministic point in the apply stream, so two nodes fed the same
+/// batches end up with the same device bytes.
+fn inline_cfg() -> LsmConfig {
+    LsmConfig {
+        wal: true,
+        background: BackgroundMode::Inline,
+        ..LsmConfig::small_for_tests()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: reads routed anywhere agree at full quorum
+// ---------------------------------------------------------------------------
+
+#[test]
+fn quorum_acked_writes_read_identically_from_any_node() {
+    let mut cluster = start_replicated_cluster(2, 2, wal_cfg(), ServerConfig::default(), 2);
+    let primary_addr = cluster.primary.addr();
+    let replica_addrs: Vec<_> = cluster.replicas.iter().map(|r| r.addr()).collect();
+
+    let handles: Vec<_> = (0..3u64)
+        .map(|t| {
+            let raddrs = replica_addrs.clone();
+            std::thread::spawn(move || {
+                let mut primary = Client::connect(primary_addr).unwrap();
+                let mut replicas: Vec<Client> = raddrs
+                    .iter()
+                    .map(|&a| Client::connect(a).unwrap())
+                    .collect();
+                let mut rng = Rng(0x9E37_79B9_7F4A_7C15 ^ (t + 1));
+                let mut oracle: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+                for i in 0..120u32 {
+                    let key = format!("q{t}-{:03}", rng.below(40)).into_bytes();
+                    if rng.below(100) < 25 {
+                        primary.delete(&key).unwrap();
+                        oracle.remove(&key);
+                    } else {
+                        let value = format!("v{t}-{i}").into_bytes();
+                        primary.put(&key, &value).unwrap();
+                        oracle.insert(key, value);
+                    }
+                    // the ack required both replicas: this probe must agree
+                    // with the oracle no matter which node answers it
+                    let probe = format!("q{t}-{:03}", rng.below(40)).into_bytes();
+                    let expect = oracle.get(&probe).cloned();
+                    let got = match rng.below(3) {
+                        0 => primary.get(&probe).unwrap(),
+                        r => replicas[(r - 1) as usize].get(&probe).unwrap(),
+                    };
+                    assert_eq!(got, expect, "divergent read of {probe:?}");
+                }
+                oracle
+            })
+        })
+        .collect();
+
+    let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for h in handles {
+        merged.extend(h.join().unwrap());
+    }
+    let expected: Vec<(Vec<u8>, Vec<u8>)> = merged.into_iter().collect();
+
+    // every node serves the same final scan
+    let mut c = cluster.primary.client();
+    assert_eq!(c.scan(b"q", b"r", 10_000).unwrap(), expected, "primary scan");
+    for (i, r) in cluster.replicas.iter().enumerate() {
+        let mut rc = r.client();
+        assert_eq!(rc.scan(b"q", b"r", 10_000).unwrap(), expected, "replica {i} scan");
+    }
+    drop(c);
+    cluster.primary.server.take().unwrap().shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Hostile delivery: proptest + byte-identical differential
+// ---------------------------------------------------------------------------
+
+/// Encoded ops regions for a batch stream over a small hot keyspace.
+fn gen_batches(rng: &mut Rng) -> Vec<Vec<u8>> {
+    let n = 2 + rng.below(6) as usize;
+    (0..n)
+        .map(|_| {
+            let mut b = ReplOpsBuilder::new();
+            for _ in 0..=rng.below(3) {
+                let key = format!("pk{}", rng.below(10)).into_bytes();
+                if rng.below(4) == 0 {
+                    b.delete(&key);
+                } else {
+                    b.put(&key, format!("pv{}", rng.below(1000)).as_bytes());
+                }
+            }
+            b.finish()
+        })
+        .collect()
+}
+
+/// Full content of every live file on a device, by file id.
+fn fingerprint(dev: &Arc<dyn StorageDevice>) -> BTreeMap<u64, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for id in dev.live_files() {
+        let n = dev.len_blocks(id).unwrap();
+        let bytes = if n == 0 {
+            Vec::new()
+        } else {
+            dev.read(id, 0, n, IoCategory::Misc).unwrap()
+        };
+        out.insert(id.0, bytes);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn hostile_delivery_never_diverges_the_replica(seed in any::<u64>()) {
+        let mut rng = Rng(seed | 1);
+        let batches = gen_batches(&mut rng);
+        let n = batches.len() as u64;
+
+        let server_cfg = ServerConfig {
+            role: ReplicationRole::Replica,
+            ..ServerConfig::default()
+        };
+        let mut cluster = start_cluster(2, inline_cfg(), server_cfg);
+        let mut c = cluster.client();
+        let mut wm = 0u64; // model watermark
+
+        // hostile phase: deliver random sequences — duplicates ack the
+        // watermark, gaps get a typed rejection, in-order ones apply
+        for _ in 0..n * 3 {
+            let seq = 1 + rng.below(n);
+            let resp = c
+                .call(&Request::ReplBatch {
+                    seq,
+                    ops: batches[(seq - 1) as usize].clone(),
+                })
+                .unwrap();
+            if seq <= wm {
+                prop_assert!(
+                    matches!(resp, Response::ReplAck { seq: s } if s == wm),
+                    "duplicate {seq} at watermark {wm}: {resp:?}"
+                );
+            } else if seq == wm + 1 {
+                wm = seq;
+                prop_assert!(
+                    matches!(resp, Response::ReplAck { seq: s } if s == wm),
+                    "in-order {seq}: {resp:?}"
+                );
+            } else {
+                match resp {
+                    Response::Error(m) => prop_assert!(m.contains("gap"), "gap reply: {m}"),
+                    other => prop_assert!(false, "gap {seq} at watermark {wm}: {other:?}"),
+                }
+            }
+        }
+
+        // a truncated ops region at the next expected sequence must be
+        // rejected whole, with the watermark unmoved
+        if wm < n {
+            let good = &batches[wm as usize];
+            let resp = c
+                .call(&Request::ReplBatch {
+                    seq: wm + 1,
+                    ops: good[..good.len() - 1].to_vec(),
+                })
+                .unwrap();
+            match resp {
+                Response::Error(m) => prop_assert!(m.contains("malformed"), "reply: {m}"),
+                other => prop_assert!(false, "truncated batch: {other:?}"),
+            }
+            match c.call(&Request::ReplSubscribe { replica_id: 0, from_seq: 0 }).unwrap() {
+                Response::ReplAck { seq } => prop_assert_eq!(seq, wm),
+                other => prop_assert!(false, "subscribe: {other:?}"),
+            }
+        }
+
+        // recovery phase: the in-order tail completes the stream
+        while wm < n {
+            let seq = wm + 1;
+            let resp = c
+                .call(&Request::ReplBatch {
+                    seq,
+                    ops: batches[(seq - 1) as usize].clone(),
+                })
+                .unwrap();
+            prop_assert!(matches!(resp, Response::ReplAck { seq: s } if s == seq));
+            wm = seq;
+        }
+        drop(c);
+        drop(cluster.server.take().unwrap().shutdown().unwrap());
+
+        // reference: the same batches applied serially, in order, once
+        let cfg = inline_cfg();
+        let ref_devices: Vec<Arc<dyn StorageDevice>> = (0..2)
+            .map(|_| {
+                Arc::new(MemDevice::new(cfg.block_size, DeviceProfile::free()))
+                    as Arc<dyn StorageDevice>
+            })
+            .collect();
+        let shards = ShardSet::new(reopen_shards(&ref_devices, &cfg).unwrap());
+        let state = ReplicaState::new(&shards);
+        for (i, ops) in batches.iter().enumerate() {
+            state.apply_batch(&shards, (i + 1) as u64, ops).unwrap();
+        }
+        shards.flush_all().unwrap();
+        drop(shards);
+
+        // byte-identical per shard: same tables, same manifest
+        for (i, (srv, reference)) in
+            cluster.devices.iter().zip(&ref_devices).enumerate()
+        {
+            prop_assert_eq!(
+                fingerprint(srv),
+                fingerprint(reference),
+                "shard {} devices diverged",
+                i
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown drain barrier
+// ---------------------------------------------------------------------------
+
+/// Regression test for the drain-order bug: `Server::shutdown` used to
+/// flush and return as soon as the committers were drained, so with
+/// `ack_quorum == 0` (fully asynchronous shipping) batches that were
+/// committed and client-acked could still be queued in the shippers when
+/// the process exited — and a failover to the replica would lose them.
+/// The drain barrier now waits for every replica to ack every published
+/// batch before shutdown returns.
+#[test]
+fn shutdown_drain_waits_for_replica_acks() {
+    let mut cluster = start_replicated_cluster(1, 1, wal_cfg(), ServerConfig::default(), 0);
+    let mut c = cluster.primary.client();
+    let ids: Vec<u64> = (0..200u32)
+        .map(|i| {
+            c.send(&Request::Put {
+                key: format!("dr{i:04}").into_bytes(),
+                value: format!("dv{i}").into_bytes(),
+            })
+            .unwrap()
+        })
+        .collect();
+    for id in ids {
+        assert!(matches!(c.wait_for(id).unwrap(), Response::Ok));
+    }
+    drop(c);
+
+    let metrics = cluster.primary.server.as_ref().unwrap().metrics();
+    cluster.primary.server.take().unwrap().shutdown().unwrap();
+    let events = metrics.drain_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ServerDrain { phase: "repl_acked", .. })),
+        "shutdown must report the replica-ack barrier"
+    );
+
+    // nothing was waiting on the replica per-write, yet after a clean
+    // shutdown it has every acked key
+    let mut rc = cluster.replicas[0].client();
+    for i in 0..200u32 {
+        assert_eq!(
+            rc.get(format!("dr{i:04}").as_bytes()).unwrap(),
+            Some(format!("dv{i}").into_bytes()),
+            "write dr{i:04} lost by the shutdown drain"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed lag + role enforcement
+// ---------------------------------------------------------------------------
+
+#[test]
+fn quorum_timeout_answers_replica_lag_and_keeps_the_write() {
+    // a listener that never accepts: the shipper's connect lands in the
+    // OS backlog but no REPL_ACK ever comes back
+    let sink = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let server_cfg = ServerConfig {
+        role: ReplicationRole::Primary(PrimaryReplication {
+            replicas: vec![sink.local_addr().unwrap()],
+            ack_quorum: 1,
+            ack_timeout_ms: 100,
+            drain_timeout_ms: 50,
+        }),
+        ..ServerConfig::default()
+    };
+    let mut cluster = start_cluster(1, wal_cfg(), server_cfg);
+    let mut c = cluster.client();
+    let resp = c
+        .call(&Request::Put {
+            key: b"lag-k".to_vec(),
+            value: b"lag-v".to_vec(),
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::ReplicaLag), "got {resp:?}");
+    // the write is durable on the primary regardless
+    assert_eq!(c.get(b"lag-k").unwrap(), Some(b"lag-v".to_vec()));
+    drop(c);
+
+    let metrics = cluster.server.as_ref().unwrap().metrics();
+    let snap = metrics.snapshot();
+    assert!(
+        snap.counters.get("server.repl_lag_timeouts").copied().unwrap_or(0) >= 1,
+        "timeout counter must move"
+    );
+    drop(cluster.server.take().unwrap().abort());
+}
+
+#[test]
+fn replicas_are_read_only_and_roles_are_enforced() {
+    let mut cluster = start_replicated_cluster(1, 1, wal_cfg(), ServerConfig::default(), 1);
+    let mut c = cluster.primary.client();
+    c.put(b"ro-k", b"ro-v").unwrap();
+
+    let mut rc = cluster.replicas[0].client();
+    assert_eq!(rc.get(b"ro-k").unwrap(), Some(b"ro-v".to_vec()));
+    for req in [
+        Request::Put {
+            key: b"ro-x".to_vec(),
+            value: b"nope".to_vec(),
+        },
+        Request::Delete { key: b"ro-k".to_vec() },
+    ] {
+        match rc.call(&req).unwrap() {
+            Response::Error(m) => assert!(m.contains("read-only"), "reply: {m}"),
+            other => panic!("replica accepted a client write: {other:?}"),
+        }
+    }
+    // the write stream ops are equally meaningless on a primary
+    for req in [
+        Request::ReplSubscribe { replica_id: 9, from_seq: 1 },
+        Request::ReplBatch { seq: 1, ops: ReplOpsBuilder::new().finish() },
+    ] {
+        match c.call(&req).unwrap() {
+            Response::Error(m) => assert!(m.contains("not a replica"), "reply: {m}"),
+            other => panic!("primary accepted a replication op: {other:?}"),
+        }
+    }
+    drop(c);
+    cluster.primary.server.take().unwrap().shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Promotion
+// ---------------------------------------------------------------------------
+
+#[test]
+fn promotion_after_primary_crash_serves_every_acked_write() {
+    let cfg = inline_cfg();
+    let mut cluster = start_replicated_cluster(2, 1, cfg.clone(), ServerConfig::default(), 1);
+    let mut c = cluster.primary.client();
+    let mut oracle: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for i in 0..400u32 {
+        // distinct keys: enough memtable volume per shard that both the
+        // primary and the replica flush, persisting the watermark
+        let key = format!("f{i:04}").into_bytes();
+        let value = format!("fv{i:04}-padding-to-fill-memtables").into_bytes();
+        c.put(&key, &value).unwrap();
+        oracle.insert(key, value);
+        if i % 7 == 3 {
+            let dead = format!("f{:04}", i / 2).into_bytes();
+            c.delete(&dead).unwrap();
+            oracle.remove(&dead);
+        }
+    }
+    drop(c);
+
+    // primary dies; at quorum 1 of 1, the replica acked every write
+    drop(cluster.primary.server.take().unwrap().abort());
+    let replica = &mut cluster.replicas[0];
+    drop(replica.server.take().unwrap().abort());
+
+    let promoted = promote_replica(&replica.devices, &cfg, ServerConfig::default()).unwrap();
+    // enough data moved through to flush, so a persisted watermark was
+    // recovered and adopted
+    assert!(promoted.adopted_seq > 0, "no watermark adopted");
+    let metrics = promoted.server.metrics();
+    assert!(
+        metrics
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Failover { .. })),
+        "promotion must record a failover event"
+    );
+
+    let mut pc = Client::connect(promoted.server.addr()).unwrap();
+    for (k, v) in &oracle {
+        assert_eq!(pc.get(k).unwrap().as_deref(), Some(v.as_slice()));
+    }
+    let expected: Vec<(Vec<u8>, Vec<u8>)> = oracle.into_iter().collect();
+    assert_eq!(pc.scan(b"f", b"g", 10_000).unwrap(), expected);
+
+    // the promoted node is a primary now: it takes writes
+    pc.put(b"f-sentinel", b"alive").unwrap();
+    assert_eq!(pc.get(b"f-sentinel").unwrap(), Some(b"alive".to_vec()));
+    drop(pc);
+    promoted.server.shutdown().unwrap();
+}
+

@@ -25,6 +25,10 @@ echo "==> server suite: protocol fuzz + differential + crash (both background mo
 cargo test -q -p lsm-server
 LSM_BACKGROUND=threaded cargo test -q -p lsm-server
 
+echo "==> replication failover crash sweep (both background modes, seed ${LSM_SEED:-default})"
+cargo test -q --test replication_crash -- --nocapture
+LSM_BACKGROUND=threaded cargo test -q --test replication_crash -- --nocapture
+
 echo "==> allocation-regression battery (counting allocator + borrowed-vs-owned differential)"
 cargo test -q -p lsm-core --release --test alloc_regression
 LSM_BACKGROUND=threaded cargo test -q -p lsm-core --release --test alloc_regression
@@ -38,6 +42,8 @@ LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e20_server_throughput
 cargo run -q -p lsm-bench --release --bin metrics_lint results/e20_server_throughput.metrics.jsonl
 LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e21_hot_path -- --metrics
 cargo run -q -p lsm-bench --release --bin metrics_lint results/e21_hot_path.metrics.jsonl
+LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e22_replication -- --metrics
+cargo run -q -p lsm-bench --release --bin metrics_lint results/e22_replication.metrics.jsonl
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -383,6 +383,7 @@ fn bogus_manifest() -> ManifestState {
         wal_prev: 0,
         vlog: 0,
         next_seqno: 9,
+        applied_seq: 0,
     }
 }
 
