@@ -1907,6 +1907,66 @@ impl DbCore {
             + inner.imm.as_ref().map_or(0, |m| m.len() as u64)
     }
 
+    /// Suggests a key splitting the data in `(lo, hi)` into two roughly
+    /// equal halves by entry count, without reading any data block: the
+    /// candidates are table fence pointers (each weighted by its table's
+    /// entries-per-block, since one fence stands for one block) plus
+    /// memtable keys (weight 1), and the pick is the weighted median.
+    /// `None` when the range holds no candidate strictly inside it — an
+    /// empty or single-key range cannot be split.
+    pub fn suggest_split_key(&self, lo: &[u8], hi: Option<&[u8]>) -> Option<Vec<u8>> {
+        let inner = self.inner.read();
+        let in_range = |k: &[u8]| k > lo && hi.is_none_or(|h| k < h);
+        let mut keys: Vec<(Vec<u8>, u64)> = Vec::new();
+        for level in &inner.version.levels {
+            for run in &level.runs {
+                for t in &run.tables {
+                    let m = t.meta();
+                    let w = (m.num_entries / m.fences.len().max(1) as u64).max(1);
+                    for f in &m.fences {
+                        if in_range(f) {
+                            keys.push((f.clone(), w));
+                        }
+                    }
+                }
+            }
+        }
+        let hi_bound = match hi {
+            Some(h) => Bound::Excluded(h),
+            None => Bound::Unbounded,
+        };
+        for e in inner.mem.range(Bound::Excluded(lo), hi_bound) {
+            keys.push((e.key, 1));
+        }
+        if let Some(imm) = &inner.imm {
+            for e in imm.range(Bound::Excluded(lo), hi_bound) {
+                keys.push((e.key, 1));
+            }
+        }
+        drop(inner);
+        if keys.is_empty() {
+            return None;
+        }
+        keys.sort();
+        // collapse duplicates (a key in several sources), summing weights
+        let mut merged: Vec<(Vec<u8>, u64)> = Vec::with_capacity(keys.len());
+        for (k, w) in keys {
+            match merged.last_mut() {
+                Some(last) if last.0 == k => last.1 += w,
+                _ => merged.push((k, w)),
+            }
+        }
+        let total: u64 = merged.iter().map(|(_, w)| w).sum();
+        let mut cum = 0u64;
+        for (k, w) in &merged {
+            cum += w;
+            if cum * 2 >= total {
+                return Some(k.clone());
+            }
+        }
+        merged.pop().map(|(k, _)| k)
+    }
+
     // ------------------------------------------------------------------
     // Maintenance
     // ------------------------------------------------------------------

@@ -208,6 +208,34 @@ pub enum EventKind {
         /// Replication sequence the promoted node adopted as committed.
         adopted_seq: u64,
     },
+    /// A shard split completed: the parent kept the left half of its
+    /// range and a freshly-named shard took the right half.
+    ShardSplit {
+        /// Stable id of the shard that was split.
+        parent: u64,
+        /// Stable id allocated to the new right-half shard.
+        new_shard: u64,
+        /// Shard-map version the split produced.
+        map_version: u64,
+    },
+    /// A shard merge completed: the right neighbour's range was absorbed
+    /// into the left shard and the absorbed shard retired.
+    ShardMerge {
+        /// Stable id of the absorbed (retired) shard.
+        absorbed: u64,
+        /// Stable id of the shard that took over its range.
+        into: u64,
+        /// Shard-map version the merge produced.
+        map_version: u64,
+    },
+    /// The serving layer atomically switched to a new shard-map version
+    /// (the cut-over point of a split or merge).
+    ShardMapFlip {
+        /// The version now live.
+        map_version: u64,
+        /// Shards in the new map.
+        shards: u64,
+    },
 }
 
 impl EventKind {
@@ -232,6 +260,9 @@ impl EventKind {
             EventKind::ServerDrain { .. } => "server_drain",
             EventKind::ReplicaConnect { .. } => "replica_connect",
             EventKind::Failover { .. } => "failover",
+            EventKind::ShardSplit { .. } => "shard_split",
+            EventKind::ShardMerge { .. } => "shard_merge",
+            EventKind::ShardMapFlip { .. } => "shard_map_flip",
         }
     }
 }
@@ -370,6 +401,28 @@ impl Event {
             EventKind::Failover { adopted_seq } => {
                 obj.u64("adopted_seq", *adopted_seq).finish()
             }
+            EventKind::ShardSplit {
+                parent,
+                new_shard,
+                map_version,
+            } => obj
+                .u64("parent", *parent)
+                .u64("new_shard", *new_shard)
+                .u64("map_version", *map_version)
+                .finish(),
+            EventKind::ShardMerge {
+                absorbed,
+                into,
+                map_version,
+            } => obj
+                .u64("absorbed", *absorbed)
+                .u64("into", *into)
+                .u64("map_version", *map_version)
+                .finish(),
+            EventKind::ShardMapFlip { map_version, shards } => obj
+                .u64("map_version", *map_version)
+                .u64("shards", *shards)
+                .finish(),
         }
     }
 }
@@ -543,6 +596,20 @@ mod tests {
                 from_seq: 33,
             },
             EventKind::Failover { adopted_seq: 32 },
+            EventKind::ShardSplit {
+                parent: 1,
+                new_shard: 4,
+                map_version: 2,
+            },
+            EventKind::ShardMerge {
+                absorbed: 4,
+                into: 1,
+                map_version: 3,
+            },
+            EventKind::ShardMapFlip {
+                map_version: 3,
+                shards: 4,
+            },
         ];
         let ring = EventRing::new(64);
         for (i, k) in kinds.into_iter().enumerate() {
@@ -553,7 +620,7 @@ mod tests {
             .iter()
             .map(|e| e.to_json_line() + "\n")
             .collect();
-        assert_eq!(validate_json_lines(&text).unwrap(), 17);
+        assert_eq!(validate_json_lines(&text).unwrap(), 20);
         assert!(text.contains("\"type\":\"compaction_end\""));
         assert!(text.contains("\"type\":\"subcompaction_end\""));
         assert!(text.contains("\"reason\":\"memtable_rotation\""));
@@ -561,5 +628,8 @@ mod tests {
         assert!(text.contains("\"phase\":\"begin\""));
         assert!(text.contains("\"type\":\"replica_connect\""));
         assert!(text.contains("\"adopted_seq\":32"));
+        assert!(text.contains("\"type\":\"shard_split\""));
+        assert!(text.contains("\"type\":\"shard_merge\""));
+        assert!(text.contains("\"type\":\"shard_map_flip\""));
     }
 }

@@ -16,9 +16,19 @@
 //! requests still queued when the batcher shuts down (those see an
 //! error), so a pipelined connection can always account for its
 //! in-flight writes.
+//!
+//! Two hooks serve live shard migration (see `migrate`):
+//!
+//! - a [`MigrationTap`] tees every *committed* op inside a key range
+//!   into a channel, in commit order, so a migration can replay the
+//!   donor's write tail into the recipient while writes keep flowing;
+//! - [`GroupCommitter::barrier`] round-trips a marker through the queue,
+//!   returning only after everything submitted before it has committed
+//!   (and been tapped) — the cut-over's "drain the in-flight writes"
+//!   step.
 
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use lsm_core::{Db, WriteBatch};
@@ -60,12 +70,49 @@ pub enum WriteOp {
     },
 }
 
+impl WriteOp {
+    fn key(&self) -> &[u8] {
+        match self {
+            WriteOp::Put { key, .. } | WriteOp::Delete { key } => key,
+        }
+    }
+}
+
 /// One queued write and its completion callback.
 pub struct WriteReq {
     /// The operation.
     pub op: WriteOp,
     /// Fired exactly once with the commit outcome.
     pub done: WriteCallback,
+}
+
+/// Tees committed ops inside `[lo, hi)` (`hi` `None` = unbounded) into
+/// `tx` as encoded ops regions, one region per group-commit batch, in
+/// commit order. Installed on a split/merge donor's committer for the
+/// copy + catch-up phases; regions are pushed only after the batch is
+/// durable, so everything the tap delivers is also on the donor's disk.
+pub struct MigrationTap {
+    /// Inclusive lower bound of the migrating range.
+    pub lo: Vec<u8>,
+    /// Exclusive upper bound (`None` = to the end of the keyspace).
+    pub hi: Option<Vec<u8>>,
+    /// Receives one encoded ops region per batch that touched the range.
+    pub tx: Sender<Vec<u8>>,
+}
+
+impl MigrationTap {
+    fn covers(&self, key: &[u8]) -> bool {
+        key >= self.lo.as_slice() && self.hi.as_deref().is_none_or(|h| key < h)
+    }
+}
+
+/// What travels through a committer's queue.
+enum Msg {
+    /// A client write.
+    Req(WriteReq),
+    /// A drain marker: acked once everything queued before it has
+    /// committed, synced, and been tapped.
+    Barrier(Sender<()>),
 }
 
 /// `WriteOutcome` is not `Clone` (its error may carry an `io::Error`);
@@ -88,12 +135,14 @@ fn shutdown_outcome() -> WriteOutcome {
 
 /// A shard's group-commit thread. Dropping (or [`shutdown`]) closes the
 /// queue; the thread drains what is left, fails those callbacks, and
-/// exits.
+/// exits. Shared behind an `Arc` by the server's routing topology and by
+/// in-flight migrations, so every method takes `&self`.
 ///
 /// [`shutdown`]: GroupCommitter::shutdown
 pub struct GroupCommitter {
-    tx: Option<Sender<WriteReq>>,
-    handle: Option<JoinHandle<()>>,
+    tx: Mutex<Option<Sender<Msg>>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    tap: Arc<Mutex<Option<MigrationTap>>>,
 }
 
 impl GroupCommitter {
@@ -107,27 +156,32 @@ impl GroupCommitter {
         metrics: Arc<ServerMetrics>,
         replicator: Option<Arc<Replicator>>,
     ) -> Self {
-        let (tx, rx) = channel::<WriteReq>();
+        let (tx, rx) = channel::<Msg>();
+        let tap: Arc<Mutex<Option<MigrationTap>>> = Arc::default();
+        let tap2 = Arc::clone(&tap);
         let handle = std::thread::Builder::new()
             .name("lsm-server-committer".into())
             .spawn(move || {
-                committer_loop(db, rx, max_batch.max(1), sync_each_batch, metrics, replicator)
+                committer_loop(db, rx, max_batch.max(1), sync_each_batch, metrics, replicator, tap2)
             })
             .expect("spawn committer thread");
         GroupCommitter {
-            tx: Some(tx),
-            handle: Some(handle),
+            tx: Mutex::new(Some(tx)),
+            handle: Mutex::new(Some(handle)),
+            tap,
         }
     }
 
     /// Queues a write. Returns `false` (and fails the callback) if the
     /// committer has already shut down.
     pub fn submit(&self, req: WriteReq) -> bool {
-        match &self.tx {
-            Some(tx) => match tx.send(req) {
+        match &*self.tx.lock().unwrap() {
+            Some(tx) => match tx.send(Msg::Req(req)) {
                 Ok(()) => true,
                 Err(e) => {
-                    (e.0.done)(shutdown_outcome());
+                    if let Msg::Req(r) = e.0 {
+                        (r.done)(shutdown_outcome());
+                    }
                     false
                 }
             },
@@ -138,11 +192,36 @@ impl GroupCommitter {
         }
     }
 
+    /// Blocks until everything submitted before this call has committed,
+    /// synced, and been tapped. Returns `false` if the committer is shut
+    /// down (everything queued still drained — to failure callbacks).
+    pub fn barrier(&self) -> bool {
+        let (ack_tx, ack_rx) = channel();
+        let sent = match &*self.tx.lock().unwrap() {
+            Some(tx) => tx.send(Msg::Barrier(ack_tx)).is_ok(),
+            None => false,
+        };
+        sent && ack_rx.recv().is_ok()
+    }
+
+    /// Installs a [`MigrationTap`]: every batch committed from now on
+    /// has its in-range ops teed to the tap, durably-first. Blocks until
+    /// the in-flight batch (if any) finishes, so a snapshot taken after
+    /// this returns contains every committed-and-untapped write.
+    pub fn install_tap(&self, tap: MigrationTap) {
+        *self.tap.lock().unwrap() = Some(tap);
+    }
+
+    /// Removes the tap (migration finished or abandoned).
+    pub fn clear_tap(&self) {
+        *self.tap.lock().unwrap() = None;
+    }
+
     /// Closes the queue and joins the thread after it commits everything
-    /// already queued.
-    pub fn shutdown(&mut self) {
-        self.tx = None; // disconnects the channel
-        if let Some(h) = self.handle.take() {
+    /// already queued. Idempotent.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().unwrap().take()); // disconnects the channel
+        if let Some(h) = self.handle.lock().unwrap().take() {
             let _ = h.join();
         }
     }
@@ -156,11 +235,12 @@ impl Drop for GroupCommitter {
 
 fn committer_loop(
     db: Db,
-    rx: Receiver<WriteReq>,
+    rx: Receiver<Msg>,
     max_batch: usize,
     sync_each_batch: bool,
     metrics: Arc<ServerMetrics>,
     replicator: Option<Arc<Replicator>>,
+    tap: Arc<Mutex<Option<MigrationTap>>>,
 ) {
     // one batch and one callback list live for the thread's lifetime:
     // commits drain them but keep their capacity, so a busy shard's
@@ -169,21 +249,45 @@ fn committer_loop(
     let mut dones: Vec<WriteCallback> = Vec::new();
     let mut reqs: Vec<WriteReq> = Vec::new();
     while let Ok(first) = rx.recv() {
-        reqs.push(first);
-        while reqs.len() < max_batch {
+        // a barrier with nothing queued before it acks immediately
+        let mut pending_barrier: Option<Sender<()>> = None;
+        match first {
+            Msg::Req(r) => reqs.push(r),
+            Msg::Barrier(ack) => {
+                let _ = ack.send(());
+                continue;
+            }
+        }
+        while reqs.len() < max_batch && pending_barrier.is_none() {
             match rx.try_recv() {
-                Ok(r) => reqs.push(r),
+                Ok(Msg::Req(r)) => reqs.push(r),
+                // stop collecting: the barrier must observe this batch
+                // committed, so commit now and ack after
+                Ok(Msg::Barrier(ack)) => pending_barrier = Some(ack),
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
         }
+        // the tap guard is held across fold + commit + sync + tee, so
+        // install_tap has a clean cut: batches fully before it are
+        // visible to a subsequent snapshot, batches after are tapped
+        let tap_guard = tap.lock().unwrap();
         // when replicating, encode the ops region while folding: the
         // shipped frame is built exactly once per batch, here
         let mut ops = replicator.as_ref().map(|_| ReplOpsBuilder::new());
+        let mut tap_ops = tap_guard.as_ref().map(|_| ReplOpsBuilder::new());
         for r in reqs.drain(..) {
             if let Some(b) = &mut ops {
                 match &r.op {
                     WriteOp::Put { key, value } => b.put(key, value),
                     WriteOp::Delete { key } => b.delete(key),
+                }
+            }
+            if let (Some(b), Some(t)) = (&mut tap_ops, tap_guard.as_ref()) {
+                if t.covers(r.op.key()) {
+                    match &r.op {
+                        WriteOp::Put { key, value } => b.put(key, value),
+                        WriteOp::Delete { key } => b.delete(key),
+                    }
                 }
             }
             match r.op {
@@ -200,6 +304,17 @@ fn committer_loop(
             // batch, not once per operation — the group-commit win
             result = db.sync();
         }
+        if result.is_ok() {
+            // tee to the migration tap only what is committed and synced
+            // locally: the tap's receiver treats every region as durable
+            // on the donor
+            if let (Some(t), Some(ops)) = (tap_guard.as_ref(), tap_ops) {
+                if ops.count() > 0 {
+                    let _ = t.tx.send(ops.finish());
+                }
+            }
+        }
+        drop(tap_guard);
         let outcome = match result {
             Ok(()) => match (&replicator, ops) {
                 (Some(rep), Some(ops)) => {
@@ -223,6 +338,9 @@ fn committer_loop(
         for done in dones.drain(..) {
             done(duplicate(&outcome));
         }
+        if let Some(ack) = pending_barrier {
+            let _ = ack.send(());
+        }
     }
 }
 
@@ -231,7 +349,6 @@ mod tests {
     use super::*;
     use lsm_core::LsmConfig;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
 
     fn put_req(i: u32, acks: &Arc<AtomicUsize>, errs: &Arc<AtomicUsize>) -> WriteReq {
         let acks = Arc::clone(acks);
@@ -262,7 +379,7 @@ mod tests {
         let metrics = ServerMetrics::new();
         let acks = Arc::new(AtomicUsize::new(0));
         let errs = Arc::new(AtomicUsize::new(0));
-        let mut committer = GroupCommitter::start(db.clone(), 64, true, Arc::clone(&metrics), None);
+        let committer = GroupCommitter::start(db.clone(), 64, true, Arc::clone(&metrics), None);
         for i in 0..500u32 {
             assert!(committer.submit(put_req(i, &acks, &errs)));
         }
@@ -292,11 +409,12 @@ mod tests {
         let metrics = ServerMetrics::new();
         let acks = Arc::new(AtomicUsize::new(0));
         let errs = Arc::new(AtomicUsize::new(0));
-        let mut committer = GroupCommitter::start(db, 8, false, metrics, None);
+        let committer = GroupCommitter::start(db, 8, false, metrics, None);
         committer.shutdown();
         assert!(!committer.submit(put_req(0, &acks, &errs)));
         assert_eq!(errs.load(Ordering::SeqCst), 1);
         assert_eq!(acks.load(Ordering::SeqCst), 0);
+        assert!(!committer.barrier(), "barrier on a shut-down committer");
     }
 
     #[test]
@@ -304,7 +422,7 @@ mod tests {
         let db = Db::open_in_memory(LsmConfig::small_for_tests()).unwrap();
         let metrics = ServerMetrics::new();
         let order = Arc::new(Mutex::new(Vec::new()));
-        let mut committer = GroupCommitter::start(db, 16, false, metrics, None);
+        let committer = GroupCommitter::start(db, 16, false, metrics, None);
         for i in 0..200u32 {
             let order = Arc::clone(&order);
             committer.submit(WriteReq {
@@ -319,5 +437,61 @@ mod tests {
         let seen = order.lock().unwrap();
         assert_eq!(seen.len(), 200);
         assert!(seen.windows(2).all(|w| w[0] < w[1]), "acks out of submission order");
+    }
+
+    #[test]
+    fn barrier_observes_everything_submitted_before_it() {
+        let db = Db::open_in_memory(LsmConfig::small_for_tests()).unwrap();
+        let metrics = ServerMetrics::new();
+        let acks = Arc::new(AtomicUsize::new(0));
+        let errs = Arc::new(AtomicUsize::new(0));
+        let committer = GroupCommitter::start(db.clone(), 4, false, metrics, None);
+        for i in 0..100u32 {
+            committer.submit(put_req(i, &acks, &errs));
+        }
+        assert!(committer.barrier());
+        // every write submitted before the barrier is committed and acked
+        assert_eq!(acks.load(Ordering::SeqCst), 100);
+        assert_eq!(db.get(b"bk00099").unwrap(), Some(b"bv99".to_vec()));
+        committer.shutdown();
+    }
+
+    #[test]
+    fn tap_tees_exactly_the_in_range_committed_ops_in_order() {
+        use crate::protocol::{repl_ops, ReplOpRef};
+        let db = Db::open_in_memory(LsmConfig::small_for_tests()).unwrap();
+        let metrics = ServerMetrics::new();
+        let acks = Arc::new(AtomicUsize::new(0));
+        let errs = Arc::new(AtomicUsize::new(0));
+        let committer = GroupCommitter::start(db, 8, false, metrics, None);
+        // pre-tap write: must not be teed
+        committer.submit(put_req(0, &acks, &errs));
+        assert!(committer.barrier());
+        let (tx, rx) = channel();
+        committer.install_tap(MigrationTap {
+            lo: b"bk00050".to_vec(),
+            hi: Some(b"bk00070".to_vec()),
+            tx,
+        });
+        for i in 1..100u32 {
+            committer.submit(put_req(i, &acks, &errs));
+        }
+        assert!(committer.barrier());
+        committer.clear_tap();
+        // post-tap write: must not be teed either
+        committer.submit(put_req(0, &acks, &errs));
+        committer.shutdown();
+        let mut teed = Vec::new();
+        while let Ok(region) = rx.try_recv() {
+            for op in repl_ops(&region).unwrap() {
+                match op.unwrap() {
+                    ReplOpRef::Put { key, .. } => teed.push(key.to_vec()),
+                    ReplOpRef::Delete { key } => teed.push(key.to_vec()),
+                }
+            }
+        }
+        let expect: Vec<Vec<u8>> =
+            (50..70).map(|i| format!("bk{i:05}").into_bytes()).collect();
+        assert_eq!(teed, expect, "tap must tee exactly [lo, hi) in commit order");
     }
 }

@@ -25,6 +25,10 @@ fn frame_to_io(e: FrameError) -> io::Error {
     }
 }
 
+/// A shard-map wire snapshot: the map version plus `(shard_id,
+/// range_start)` entries sorted by start key.
+pub type ShardMapEntries = (u64, Vec<(u64, Vec<u8>)>);
+
 /// A blocking connection to an `lsm-server`.
 pub struct Client {
     stream: TcpStream,
@@ -130,6 +134,16 @@ impl Client {
             limit,
         })? {
             Response::Entries(entries) => Ok(entries),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the server's shard map: `(version, entries)` where each
+    /// entry is `(shard_id, range_start)` sorted by start key. A version
+    /// of `0` with no entries means the server is hash-routed.
+    pub fn shard_map(&mut self) -> io::Result<ShardMapEntries> {
+        match self.call(&Request::ShardMap)? {
+            Response::ShardMap { version, entries } => Ok((version, entries)),
             other => Err(unexpected(other)),
         }
     }

@@ -7,15 +7,17 @@
 //! [`reopen_shards`] to prove recovery — exactly the lifecycle a real
 //! deployment gets from persistent disks, minus the filesystem.
 
+use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use lsm_core::{Db, LsmConfig};
 use lsm_storage::{DeviceProfile, MemDevice, StorageDevice, StorageResult};
 
 use crate::client::Client;
 use crate::replication::{PrimaryReplication, ReplicationRole};
-use crate::server::{Server, ServerConfig};
+use crate::server::{ElasticOptions, RebalancePolicy, Server, ServerConfig};
+use crate::shardmap::{find_cluster_meta, ShardMap};
 
 /// A running loopback cluster plus the handles tests need to poke it.
 pub struct TestCluster {
@@ -70,6 +72,121 @@ impl TestCluster {
     /// Reopens every shard from the kept devices (after an abort).
     pub fn reopen(&self) -> StorageResult<Vec<Db>> {
         reopen_shards(&self.devices, &self.cfg)
+    }
+}
+
+/// Shared shard-id → device registry for elastic clusters. The server's
+/// device factory inserts every shard it creates, so after an abort the
+/// test can reopen exactly the shards the (possibly rebalanced) map
+/// names.
+pub type ShardDeviceRegistry = Arc<Mutex<HashMap<u64, Arc<dyn StorageDevice>>>>;
+
+/// A running elastic (range-routed) loopback cluster.
+pub struct ElasticCluster {
+    /// The server; take it out (`Option::take`) to shut down or abort.
+    pub server: Option<Server>,
+    /// Every shard device ever created, keyed by stable shard id.
+    pub devices: ShardDeviceRegistry,
+    /// The cluster-metadata device holding the persisted shard map.
+    pub meta_dev: Arc<dyn StorageDevice>,
+    /// The engine config every shard was opened with.
+    pub cfg: LsmConfig,
+}
+
+/// A [`crate::server::ShardDeviceFactory`] that mints fresh in-memory
+/// devices and records them in `registry` under the new shard's id.
+pub fn registry_factory(
+    registry: ShardDeviceRegistry,
+    block_size: usize,
+) -> crate::server::ShardDeviceFactory {
+    Box::new(move |shard_id| {
+        let dev: Arc<dyn StorageDevice> =
+            Arc::new(MemDevice::new(block_size, DeviceProfile::free()));
+        registry
+            .lock()
+            .unwrap()
+            .insert(shard_id, Arc::clone(&dev));
+        dev
+    })
+}
+
+/// Starts an elastic cluster serving `map` over fresh in-memory shard
+/// devices (one per map entry, registered by shard id) plus a fresh
+/// metadata device.
+pub fn start_elastic_cluster(
+    map: ShardMap,
+    cfg: LsmConfig,
+    server_cfg: ServerConfig,
+    policy: Option<RebalancePolicy>,
+) -> ElasticCluster {
+    let registry: ShardDeviceRegistry = Arc::new(Mutex::new(HashMap::new()));
+    let factory = registry_factory(Arc::clone(&registry), cfg.block_size);
+    let dbs: Vec<Db> = map
+        .entries
+        .iter()
+        .map(|e| Db::open(factory(e.shard_id), cfg.clone()).expect("open fresh shard"))
+        .collect();
+    let meta_dev: Arc<dyn StorageDevice> =
+        Arc::new(MemDevice::new(cfg.block_size, DeviceProfile::free()));
+    let server = Server::start_elastic(
+        dbs,
+        map,
+        ElasticOptions {
+            meta_dev: Arc::clone(&meta_dev),
+            factory,
+            policy,
+        },
+        server_cfg,
+    )
+    .expect("start elastic loopback server");
+    ElasticCluster {
+        server: Some(server),
+        devices: registry,
+        meta_dev,
+        cfg,
+    }
+}
+
+/// Recovers an elastic cluster's durable state after an abort: reads
+/// the newest parseable shard map from `meta_dev` and reopens each
+/// mapped shard from `registry` (map order). Shards named by the map
+/// but missing from the registry panic — the registry is supposed to
+/// hold every device the factory ever handed out.
+pub fn reopen_elastic(
+    registry: &ShardDeviceRegistry,
+    meta_dev: &Arc<dyn StorageDevice>,
+    cfg: &LsmConfig,
+) -> StorageResult<(ShardMap, Vec<Db>)> {
+    let (_fid, map) = find_cluster_meta(meta_dev)?
+        .expect("elastic cluster metadata survived the crash");
+    let reg = registry.lock().unwrap();
+    let dbs: StorageResult<Vec<Db>> = map
+        .entries
+        .iter()
+        .map(|e| {
+            let dev = reg
+                .get(&e.shard_id)
+                .unwrap_or_else(|| panic!("no device registered for shard {}", e.shard_id));
+            Db::open(Arc::clone(dev), cfg.clone())
+        })
+        .collect();
+    Ok((map, dbs?))
+}
+
+impl ElasticCluster {
+    /// The loopback address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.as_ref().expect("server running").addr()
+    }
+
+    /// A fresh client connection.
+    pub fn client(&self) -> Client {
+        Client::connect(self.addr()).expect("connect loopback client")
+    }
+
+    /// Recovers the durable map + shards from the kept devices.
+    pub fn reopen(&self) -> StorageResult<(ShardMap, Vec<Db>)> {
+        reopen_elastic(&self.devices, &self.meta_dev, &self.cfg)
     }
 }
 

@@ -6,8 +6,12 @@
 //!
 //! - [`protocol`] — the length-prefixed binary wire format (GET / PUT /
 //!   DELETE / SCAN / STATS), request-id'd so clients can pipeline;
-//! - [`router`] — FNV hash partitioning across shards, with cross-shard
-//!   scan stitching;
+//! - [`router`] — shard routing: FNV hash partitioning or a versioned
+//!   range [`shardmap::ShardMap`], with cross-shard scan stitching;
+//! - [`shardmap`] — the versioned, manifest-persisted cluster shard map
+//!   (contiguous key ranges, split/merge edits, crash-safe recovery);
+//! - [`migrate`] — online shard split/merge: snapshot copy plus a
+//!   group-commit tap, with an atomic map flip under the topology lock;
 //! - [`batcher`] — per-shard group commit: concurrent writes coalesce
 //!   into one `Db::write_batch` (one WAL append, one sync) per batch;
 //! - [`server`] — the accept loop, per-connection reader/writer threads
@@ -32,16 +36,20 @@ pub mod client;
 pub mod failover;
 pub mod harness;
 pub mod metrics;
+mod migrate;
 pub mod protocol;
 pub mod replication;
 pub mod router;
 pub mod server;
+pub mod shardmap;
 
-pub use batcher::{GroupCommitter, WriteOp, WriteOutcome, WriteReq};
-pub use client::Client;
+pub use batcher::{GroupCommitter, MigrationTap, WriteOp, WriteOutcome, WriteReq};
+pub use client::{Client, ShardMapEntries};
 pub use failover::{promote_replica, Promotion};
 pub use harness::{
-    reopen_shards, start_cluster, start_replicated_cluster, ReplicatedCluster, TestCluster,
+    registry_factory, reopen_elastic, reopen_shards, start_cluster, start_elastic_cluster,
+    start_replicated_cluster, ElasticCluster, ReplicatedCluster, ShardDeviceRegistry,
+    TestCluster,
 };
 pub use metrics::ServerMetrics;
 pub use protocol::{
@@ -52,5 +60,10 @@ pub use protocol::{
 pub use replication::{
     ApplyError, PrimaryReplication, ReplicaState, ReplicationRole, Replicator,
 };
-pub use router::{shard_of, ShardSet};
-pub use server::{Server, ServerConfig};
+pub use router::{shard_of, Routing, ShardSet};
+pub use server::{
+    ElasticOptions, RebalancePolicy, Server, ServerConfig, ShardDeviceFactory,
+};
+pub use shardmap::{
+    find_cluster_meta, write_cluster_meta, ShardMap, ShardRange, CLUSTER_META_MAGIC,
+};

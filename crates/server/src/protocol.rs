@@ -34,6 +34,7 @@
 //! | 5      | STATS          | —                                         |
 //! | 6      | REPL_SUBSCRIBE | `u64` replica_id, `u64` from_seq          |
 //! | 7      | REPL_BATCH     | `u64` seq, ops region (see below)         |
+//! | 8      | SHARD_MAP      | —                                         |
 //!
 //! | status | response       | operands                            |
 //! |-------:|----------------|-------------------------------------|
@@ -47,6 +48,8 @@
 //! | 7      | SHUTTING_DOWN  | — (server is draining)              |
 //! | 8      | REPL_ACK       | `u64` seq (applied watermark)       |
 //! | 9      | REPLICA_LAG    | — (quorum not reached in time)      |
+//! | 10     | SHARD_MAP      | `u64` version, `u32` count, then    |
+//! |        |                | `u64` shard_id + start key per entry |
 //!
 //! ## Replication ops region
 //!
@@ -112,6 +115,8 @@ pub enum Request {
         /// Encoded ops region: `u32` count + ops.
         ops: Vec<u8>,
     },
+    /// The server's shard map — range-routed topology and its version.
+    ShardMap,
 }
 
 /// A request decoded as borrowed views into the frame payload — the
@@ -163,6 +168,8 @@ pub enum RequestRef<'a> {
         /// Encoded ops region: `u32` count + ops.
         ops: &'a [u8],
     },
+    /// Shard-map query (see [`Request::ShardMap`]).
+    ShardMap,
 }
 
 impl RequestRef<'_> {
@@ -192,6 +199,7 @@ impl RequestRef<'_> {
                 seq,
                 ops: ops.to_vec(),
             },
+            RequestRef::ShardMap => Request::ShardMap,
         }
     }
 }
@@ -227,6 +235,15 @@ pub enum Response {
     /// the primary and *will* reach the replicas; the client learns the
     /// redundancy guarantee was not met in time.
     ReplicaLag,
+    /// The live shard map: its version and `(shard_id, range start)` per
+    /// shard, in key order. Version 0 with no entries means the server
+    /// is hash-routed (no map to report).
+    ShardMap {
+        /// Map version (bumped by every split/merge).
+        version: u64,
+        /// `(stable shard id, inclusive range start)` in key order.
+        entries: Vec<(u64, Vec<u8>)>,
+    },
 }
 
 /// A payload-level decode failure (the frame itself was sound, so the
@@ -364,6 +381,9 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
             out = frame_header(id, 7);
             out.extend_from_slice(&seq.to_le_bytes());
             out.extend_from_slice(ops);
+        }
+        Request::ShardMap => {
+            out = frame_header(id, 8);
         }
     }
     finish_frame(out)
@@ -548,6 +568,16 @@ pub fn encode_response_into(out: &mut Vec<u8>, id: u64, resp: &Response) {
             let s = begin_frame_at(out, id, 9);
             end_frame_at(out, s);
         }
+        Response::ShardMap { version, entries } => {
+            let s = begin_frame_at(out, id, 10);
+            out.extend_from_slice(&version.to_le_bytes());
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (shard_id, start) in entries {
+                out.extend_from_slice(&shard_id.to_le_bytes());
+                put_bytes(out, start);
+            }
+            end_frame_at(out, s);
+        }
     }
 }
 
@@ -721,6 +751,7 @@ pub fn decode_request_ref(payload: &[u8]) -> Result<(u64, RequestRef<'_>), Proto
             // validated lazily by `repl_ops` at apply time
             ops: c.rest(),
         },
+        8 => RequestRef::ShardMap,
         other => return Err(ProtocolError::BadTag(other)),
     };
     c.finish()?;
@@ -754,6 +785,17 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError>
         7 => Response::ShuttingDown,
         8 => Response::ReplAck { seq: c.u64()? },
         9 => Response::ReplicaLag,
+        10 => {
+            let version = c.u64()?;
+            let count = c.u32()? as usize;
+            let mut entries = Vec::with_capacity(count.min(payload.len() / 8 + 1));
+            for _ in 0..count {
+                let shard_id = c.u64()?;
+                let start = c.bytes()?;
+                entries.push((shard_id, start));
+            }
+            Response::ShardMap { version, entries }
+        }
         other => return Err(ProtocolError::BadTag(other)),
     };
     c.finish()?;
@@ -907,6 +949,7 @@ mod tests {
             seq: 77,
             ops: b.finish(),
         });
+        roundtrip_request(Request::ShardMap);
     }
 
     #[test]
@@ -924,6 +967,14 @@ mod tests {
         roundtrip_response(Response::ShuttingDown);
         roundtrip_response(Response::ReplAck { seq: 12345 });
         roundtrip_response(Response::ReplicaLag);
+        roundtrip_response(Response::ShardMap {
+            version: 0,
+            entries: Vec::new(),
+        });
+        roundtrip_response(Response::ShardMap {
+            version: 9,
+            entries: vec![(0, Vec::new()), (3, vec![64]), (2, vec![128, 0])],
+        });
     }
 
     #[test]

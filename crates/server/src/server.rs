@@ -1,5 +1,6 @@
 //! The TCP server: accept loop, per-connection reader/writer threads,
-//! bounded pipelining, admission control, and graceful drain.
+//! bounded pipelining, admission control, elastic topology, and graceful
+//! drain.
 //!
 //! ## Thread model
 //!
@@ -10,7 +11,9 @@
 //! socket). Write completions are callbacks fired by the committer, so a
 //! connection can keep `pipeline_depth` writes in flight while the
 //! reader keeps decoding — that queue depth is precisely what the
-//! group-commit batcher converts into batch size.
+//! group-commit batcher converts into batch size. An elastic server adds
+//! one **rebalancer** thread that watches per-shard write rates and
+//! triggers splits and merges (see [`RebalancePolicy`]).
 //!
 //! ## Ordering contract
 //!
@@ -21,6 +24,19 @@
 //! connection gets **read-your-writes**: a GET/SCAN blocks until every
 //! write this connection has submitted is acked, so a client that
 //! pipelines `PUT k` then issues `GET k` observes its own write.
+//!
+//! ## Routing topology
+//!
+//! The shard set, the per-shard committers, and the shed lines live in
+//! one [`Topology`] behind an `RwLock`. Every request touches it through
+//! a read lock held for just the routing decision and the engine call;
+//! a migration cut-over takes the write lock, which is what makes a
+//! shard-map flip atomic with respect to every connection: no request
+//! can route between the metadata write and the in-memory swap, and a
+//! scan never sees two map versions. Read-your-writes survives the flip
+//! because a write submitted under the old map is drained into the
+//! recipient (via the migration tap and a committer barrier) *before*
+//! the write lock is released.
 //!
 //! ## Admission control
 //!
@@ -34,16 +50,17 @@
 //! slowdown band still applies inside `write_batch` — the server sheds
 //! where the engine would stall, and delays where it would slow down.
 
+use std::collections::HashMap;
 use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
 
 use lsm_core::Db;
 use lsm_obs::EventKind;
-use lsm_storage::StorageResult;
+use lsm_storage::{FileId, StorageDevice, StorageResult};
 
 use crate::batcher::{GroupCommitter, WriteOp, WriteOutcome, WriteReq};
 use crate::metrics::ServerMetrics;
@@ -53,6 +70,7 @@ use crate::protocol::{
 };
 use crate::replication::{ReplicaState, ReplicationRole, Replicator};
 use crate::router::ShardSet;
+use crate::shardmap::{find_cluster_meta, write_cluster_meta, ShardMap};
 
 /// Pool of response-frame buffers shared by a connection's reader, its
 /// write-completion callbacks, and its writer thread. A buffer makes one
@@ -128,19 +146,83 @@ impl Default for ServerConfig {
     }
 }
 
-struct ServerInner {
-    shards: ShardSet,
-    committers: Vec<GroupCommitter>,
-    cfg: ServerConfig,
+/// When to split a hot shard and when to merge cold neighbours, judged
+/// every `interval_ms` from the per-shard engine stats the obs layer
+/// already maintains.
+#[derive(Clone, Debug)]
+pub struct RebalancePolicy {
+    /// Sampling period for per-shard write-rate deltas.
+    pub interval_ms: u64,
+    /// Split the hottest shard when its puts-per-interval reach this.
+    pub split_puts_per_interval: u64,
+    /// Merge two adjacent shards when *both* stay at or under this.
+    pub merge_puts_per_interval: u64,
+    /// Never split past this many shards.
+    pub max_shards: usize,
+    /// Never merge below this many shards.
+    pub min_shards: usize,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy {
+            interval_ms: 50,
+            split_puts_per_interval: 2_000,
+            merge_puts_per_interval: 20,
+            max_shards: 8,
+            min_shards: 1,
+        }
+    }
+}
+
+/// Maps a stable shard id to the storage device its engine lives on.
+/// Called for every shard a split creates; the caller keeps the device
+/// registry so a crash test can reopen the same devices.
+pub type ShardDeviceFactory = Box<dyn Fn(u64) -> Arc<dyn StorageDevice> + Send + Sync>;
+
+/// Wiring for an elastic (range-routed, split/merge-capable) server.
+pub struct ElasticOptions {
+    /// Device holding the cluster-metadata (shard map) file.
+    pub meta_dev: Arc<dyn StorageDevice>,
+    /// Supplies a device for each freshly-named shard.
+    pub factory: ShardDeviceFactory,
+    /// Automatic rebalancing; `None` = splits/merges only on explicit
+    /// [`Server::split_shard`] / [`Server::merge_shards`] calls.
+    pub policy: Option<RebalancePolicy>,
+}
+
+/// The routable state every request goes through: the shard engines,
+/// their committers, and their shed lines, index-aligned. Swapped as a
+/// unit (under the write lock) at a migration cut-over.
+pub(crate) struct Topology {
+    pub(crate) shards: ShardSet,
+    pub(crate) committers: Vec<Arc<GroupCommitter>>,
     /// Per-shard shed line.
-    shed_l0: Vec<usize>,
-    draining: AtomicBool,
+    pub(crate) shed_l0: Vec<usize>,
+}
+
+/// Elastic-mode state hanging off the server.
+pub(crate) struct ElasticCtx {
+    pub(crate) meta_dev: Arc<dyn StorageDevice>,
+    /// Current cluster-metadata file (superseded on every flip).
+    pub(crate) meta_file: Mutex<Option<FileId>>,
+    pub(crate) factory: ShardDeviceFactory,
+    /// Serializes migrations: one split or merge at a time.
+    pub(crate) mig_lock: Mutex<()>,
+}
+
+pub(crate) struct ServerInner {
+    pub(crate) topo: RwLock<Topology>,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) draining: AtomicBool,
     next_conn: AtomicU64,
-    metrics: Arc<ServerMetrics>,
+    pub(crate) metrics: Arc<ServerMetrics>,
     /// Primary role: the replication log + shipper pool.
     replicator: Option<Arc<Replicator>>,
     /// Replica role: the serialized apply path.
     replica: Option<ReplicaState>,
+    /// `Some` when the server is elastic.
+    pub(crate) elastic: Option<ElasticCtx>,
 }
 
 /// A running server. [`Server::shutdown`] drains gracefully;
@@ -151,12 +233,64 @@ pub struct Server {
     inner: Option<Arc<ServerInner>>,
     addr: SocketAddr,
     accept: Option<std::thread::JoinHandle<()>>,
+    rebalancer: Option<std::thread::JoinHandle<()>>,
     conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
+fn io_err(e: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::other(e.to_string())
+}
+
 impl Server {
-    /// Binds `127.0.0.1:0` and starts serving `shards`.
+    /// Binds `127.0.0.1:0` and starts serving `shards` under FNV hash
+    /// routing (static topology).
     pub fn start(shards: Vec<Db>, cfg: ServerConfig) -> std::io::Result<Server> {
+        Server::launch(shards, None, cfg, None, None)
+    }
+
+    /// Binds `127.0.0.1:0` and starts serving `shards` under range
+    /// routing: `shards[i]` owns `map` entry `i`. The map is persisted
+    /// to the cluster-metadata device (superseding any older version
+    /// found there), and splits/merges become available — automatic when
+    /// `elastic.policy` is set, and always via [`Server::split_shard`] /
+    /// [`Server::merge_shards`]. Elastic topology does not compose with
+    /// replication roles yet.
+    pub fn start_elastic(
+        shards: Vec<Db>,
+        map: ShardMap,
+        elastic: ElasticOptions,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        assert!(
+            matches!(cfg.role, ReplicationRole::None),
+            "elastic topology does not compose with replication roles"
+        );
+        // make the starting map the durable newest: adopt the file when
+        // it already encodes exactly this map, supersede it otherwise
+        let meta_file = match find_cluster_meta(&elastic.meta_dev).map_err(io_err)? {
+            Some((fid, m)) if m == map => Some(fid),
+            other => Some(
+                write_cluster_meta(&elastic.meta_dev, &map, other.map(|(fid, _)| fid))
+                    .map_err(io_err)?,
+            ),
+        };
+        let policy = elastic.policy.clone();
+        let ctx = ElasticCtx {
+            meta_dev: elastic.meta_dev,
+            meta_file: Mutex::new(meta_file),
+            factory: elastic.factory,
+            mig_lock: Mutex::new(()),
+        };
+        Server::launch(shards, Some(map), cfg, Some(ctx), policy)
+    }
+
+    fn launch(
+        shards: Vec<Db>,
+        map: Option<ShardMap>,
+        cfg: ServerConfig,
+        elastic: Option<ElasticCtx>,
+        policy: Option<RebalancePolicy>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -176,33 +310,39 @@ impl Server {
             }
             _ => None,
         };
-        let committers = shards
+        let committers: Vec<Arc<GroupCommitter>> = shards
             .iter()
             .map(|db| {
-                GroupCommitter::start(
+                Arc::new(GroupCommitter::start(
                     db.clone(),
                     cfg.max_batch,
                     cfg.sync_each_batch,
                     Arc::clone(&metrics),
                     replicator.clone(),
-                )
+                ))
             })
             .collect();
-        let shards = ShardSet::new(shards);
+        let shards = match map {
+            Some(map) => ShardSet::with_map(shards, map),
+            None => ShardSet::new(shards),
+        };
         let replica = match &cfg.role {
             ReplicationRole::Replica => Some(ReplicaState::new(&shards)),
             _ => None,
         };
         let inner = Arc::new(ServerInner {
-            shards,
-            committers,
+            topo: RwLock::new(Topology {
+                shards,
+                committers,
+                shed_l0,
+            }),
             cfg,
-            shed_l0,
             draining: AtomicBool::new(false),
             next_conn: AtomicU64::new(0),
             metrics,
             replicator,
             replica,
+            elastic,
         });
         let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
         let accept = {
@@ -213,10 +353,18 @@ impl Server {
                 .spawn(move || accept_loop(listener, inner, conns))
                 .expect("spawn accept thread")
         };
+        let rebalancer = policy.map(|policy| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("lsm-server-rebalance".into())
+                .spawn(move || rebalance_loop(inner, policy))
+                .expect("spawn rebalancer thread")
+        });
         Ok(Server {
             inner: Some(inner),
             addr,
             accept: Some(accept),
+            rebalancer,
             conns,
         })
     }
@@ -232,22 +380,44 @@ impl Server {
         Arc::clone(&self.inner.as_ref().expect("server running").metrics)
     }
 
+    /// The live shard map (`None` when hash-routed or stopped).
+    pub fn shard_map(&self) -> Option<ShardMap> {
+        self.inner.as_ref()?.topo.read().unwrap().shards.map().cloned()
+    }
+
+    /// Splits shard `idx` at `boundary` — or, when `None`, at the
+    /// donor's suggested fence-pointer median — migrating the right half
+    /// to a freshly-named shard while serving continues. Returns the new
+    /// shard's stable id. Elastic servers only.
+    pub fn split_shard(&self, idx: usize, boundary: Option<Vec<u8>>) -> Result<u64, String> {
+        let inner = self.inner.as_ref().ok_or("server stopped")?;
+        crate::migrate::split_shard(inner, idx, boundary)
+    }
+
+    /// Merges shard `idx + 1` into shard `idx`, migrating its range and
+    /// retiring it. Returns the absorbed shard's stable id. Elastic
+    /// servers only.
+    pub fn merge_shards(&self, idx: usize) -> Result<u64, String> {
+        let inner = self.inner.as_ref().ok_or("server stopped")?;
+        crate::migrate::merge_shards(inner, idx)
+    }
+
     /// Stops accepting, lets in-flight requests finish, commits every
     /// queued write, waits for replicas to ack every published batch
     /// (bounded), flushes all shards to quiescence, and returns the
     /// shard engines.
     pub fn shutdown(mut self) -> StorageResult<Vec<Db>> {
-        let inner = self.stop_serving(true).expect("server already stopped");
-        inner.metrics.event(EventKind::ServerDrain {
+        let (topo, metrics) = self.stop_serving(true).expect("server already stopped");
+        metrics.event(EventKind::ServerDrain {
             phase: "flush",
             connections: 0,
         });
-        inner.shards.flush_all()?;
-        inner.metrics.event(EventKind::ServerDrain {
+        topo.shards.flush_all()?;
+        metrics.event(EventKind::ServerDrain {
             phase: "done",
             connections: 0,
         });
-        Ok(inner.shards.into_dbs())
+        Ok(topo.shards.into_dbs())
     }
 
     /// Stops serving *without* flushing the shards or waiting on replica
@@ -256,14 +426,17 @@ impl Server {
     pub fn abort(mut self) -> Vec<Db> {
         self.stop_serving(false)
             .expect("server already stopped")
+            .0
             .shards
             .into_dbs()
     }
 
     /// Common teardown: refuse new connections, join every connection
     /// (readers finish their in-flight work against still-live
-    /// committers), commit the committers' remaining queues, then stop
-    /// the shipper pool. Idempotent; `None` after the first call.
+    /// committers), join the rebalancer (any migration it is mid-way
+    /// through completes first), commit the committers' remaining
+    /// queues, then stop the shipper pool. Idempotent; `None` after the
+    /// first call.
     ///
     /// With `drain_replicas`, the shippers first get a bounded window to
     /// collect replica acks for every published batch. The committers
@@ -271,7 +444,7 @@ impl Server {
     /// without this barrier, a batch could be committed + client-acked
     /// (quorum 0, or a lag timeout) yet still be unshipped when the
     /// shippers die, and a post-shutdown failover would lose it.
-    fn stop_serving(&mut self, drain_replicas: bool) -> Option<ServerInner> {
+    fn stop_serving(&mut self, drain_replicas: bool) -> Option<(Topology, Arc<ServerMetrics>)> {
         let inner = self.inner.take()?;
         inner.metrics.event(EventKind::ServerDrain {
             phase: "begin",
@@ -290,11 +463,15 @@ impl Server {
                 let _ = h.join();
             }
         }
-        let mut inner = match Arc::try_unwrap(inner) {
+        if let Some(h) = self.rebalancer.take() {
+            let _ = h.join();
+        }
+        let inner = match Arc::try_unwrap(inner) {
             Ok(inner) => inner,
             Err(_) => unreachable!("all server threads joined but inner still shared"),
         };
-        for c in &mut inner.committers {
+        let topo = inner.topo.into_inner().unwrap();
+        for c in &topo.committers {
             c.shutdown();
         }
         if let Some(rep) = &inner.replicator {
@@ -307,7 +484,7 @@ impl Server {
             }
             rep.stop();
         }
-        Some(inner)
+        Some((topo, inner.metrics))
     }
 }
 
@@ -316,6 +493,65 @@ impl Drop for Server {
     /// drain — those are what [`Server::shutdown`] adds).
     fn drop(&mut self) {
         let _ = self.stop_serving(false);
+    }
+}
+
+/// Watches per-shard write-rate deltas and splits the hottest shard or
+/// merges the coldest adjacent pair under [`RebalancePolicy`]. Runs
+/// until drain; a failed attempt (no interior split candidate yet, a
+/// concurrent explicit migration) just waits for the next tick.
+fn rebalance_loop(inner: Arc<ServerInner>, policy: RebalancePolicy) {
+    // previous puts reading per stable shard id (ids survive re-indexing)
+    let mut last: HashMap<u64, u64> = HashMap::new();
+    while !inner.draining.load(Ordering::Acquire) {
+        let mut slept = 0u64;
+        while slept < policy.interval_ms && !inner.draining.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(policy.interval_ms.clamp(1, 5)));
+            slept += policy.interval_ms.clamp(1, 5);
+        }
+        if inner.draining.load(Ordering::Acquire) {
+            break;
+        }
+        // sample (index, stable id, total puts) under a short read lock
+        let sample: Vec<(usize, u64, u64)> = {
+            let topo = inner.topo.read().unwrap();
+            let Some(map) = topo.shards.map() else { return };
+            map.entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, e.shard_id, topo.shards.db(i).stats().snapshot().puts))
+                .collect()
+        };
+        // a shard seen for the first time contributes delta 0 this tick
+        let deltas: Vec<(usize, u64)> = sample
+            .iter()
+            .map(|&(i, id, puts)| (i, puts.saturating_sub(*last.get(&id).unwrap_or(&puts))))
+            .collect();
+        last = sample.iter().map(|&(_, id, puts)| (id, puts)).collect();
+        let n = deltas.len();
+        if n < policy.max_shards {
+            if let Some(&(idx, d)) = deltas.iter().max_by_key(|&&(_, d)| d) {
+                if d >= policy.split_puts_per_interval
+                    && crate::migrate::split_shard(&inner, idx, None).is_ok()
+                {
+                    continue;
+                }
+            }
+        }
+        if n > policy.min_shards {
+            // coldest adjacent pair where both sides are idle enough
+            let best = deltas
+                .windows(2)
+                .filter(|w| {
+                    w[0].1 <= policy.merge_puts_per_interval
+                        && w[1].1 <= policy.merge_puts_per_interval
+                })
+                .min_by_key(|w| w[0].1 + w[1].1)
+                .map(|w| w[0].0);
+            if let Some(idx) = best {
+                let _ = crate::migrate::merge_shards(&inner, idx);
+            }
+        }
     }
 }
 
@@ -487,9 +723,11 @@ fn handle_frame(
             state.wait_until(0); // read-your-writes
             let t0 = inner.metrics.now_ns();
             // the value bytes go straight from the engine's borrowed view
-            // (cached block / memtable arena) into the wire buffer
+            // (cached block / memtable arena) into the wire buffer; the
+            // routing read lock pins one map version for the lookup
             let mut buf = pool.take();
-            match inner
+            let topo = inner.topo.read().unwrap();
+            match topo
                 .shards
                 .get_with(key, |v| encode_value_response_into(&mut buf, id, v))
             {
@@ -500,6 +738,7 @@ fn handle_frame(
                     encode_response_into(&mut buf, id, &Response::Error(e.to_string()));
                 }
             }
+            drop(topo);
             inner.metrics.get_ns.record(inner.metrics.now_ns().saturating_sub(t0));
             resp_tx.send(buf).is_ok()
         }
@@ -507,10 +746,13 @@ fn handle_frame(
             state.wait_until(0);
             let t0 = inner.metrics.now_ns();
             // stream entries off the merge cursor into the wire buffer;
-            // the count is patched in when the scan completes
+            // the count is patched in when the scan completes. One read
+            // lock for the whole scan = one map version for the whole
+            // scan, so a concurrent flip cannot tear it
             let mut buf = pool.take();
             let mut enc = begin_entries_response(&mut buf, id);
-            match inner
+            let topo = inner.topo.read().unwrap();
+            match topo
                 .shards
                 .scan_with(start, end, limit as usize, |k, v| enc.push(k, v))
             {
@@ -520,6 +762,7 @@ fn handle_frame(
                     encode_response_into(&mut buf, id, &Response::Error(e.to_string()));
                 }
             }
+            drop(topo);
             inner.metrics.scan_ns.record(inner.metrics.now_ns().saturating_sub(t0));
             resp_tx.send(buf).is_ok()
         }
@@ -529,6 +772,26 @@ fn handle_frame(
                 .snapshot()
                 .to_json_line_tagged(&[("scope", "server")]);
             send_pooled(resp_tx, pool, id, &Response::Stats(json))
+        }
+        RequestRef::ShardMap => {
+            // hash-routed servers report version 0 with no entries
+            let topo = inner.topo.read().unwrap();
+            let resp = match topo.shards.map() {
+                Some(m) => Response::ShardMap {
+                    version: m.version,
+                    entries: m
+                        .entries
+                        .iter()
+                        .map(|e| (e.shard_id, e.start.clone()))
+                        .collect(),
+                },
+                None => Response::ShardMap {
+                    version: 0,
+                    entries: Vec::new(),
+                },
+            };
+            drop(topo);
+            send_pooled(resp_tx, pool, id, &resp)
         }
         RequestRef::Put { key, value } => {
             if inner.replica.is_some() {
@@ -581,13 +844,15 @@ fn handle_frame(
         RequestRef::ReplBatch { seq, ops } => match &inner.replica {
             Some(r) => {
                 let t0 = inner.metrics.now_ns();
-                let resp = match r.apply_batch(&inner.shards, seq, ops) {
+                let topo = inner.topo.read().unwrap();
+                let resp = match r.apply_batch(&topo.shards, seq, ops) {
                     Ok(watermark) => Response::ReplAck { seq: watermark },
                     Err(e) => {
                         inner.metrics.malformed.inc();
                         Response::Error(e.to_string())
                     }
                 };
+                drop(topo);
                 inner
                     .metrics
                     .put_ns
@@ -612,14 +877,24 @@ fn submit_write(
     id: u64,
     op: WriteOp,
 ) -> bool {
+    // bounded pipelining: cap this connection's in-flight writes. Waits
+    // happen BEFORE the routing lock so a slow connection can never
+    // stall a migration cut-over
+    state.wait_until(inner.cfg.pipeline_depth.saturating_sub(1));
     let key = match &op {
         WriteOp::Put { key, .. } => key,
         WriteOp::Delete { key } => key,
     };
-    let shard = inner.shards.shard_index(key);
+    // route + shed + submit under one read lock: the write lands in the
+    // committer of the map version it was routed by, and the cut-over
+    // barrier (which needs the write lock first) is guaranteed to drain
+    // it into the recipient
+    let topo = inner.topo.read().unwrap();
+    let shard = topo.shards.shard_index(key);
     // admission control: shed where the engine would hard-stall
-    let l0 = inner.shards.db(shard).l0_run_count();
-    if l0 >= inner.shed_l0[shard] {
+    let l0 = topo.shards.db(shard).l0_run_count();
+    if l0 >= topo.shed_l0[shard] {
+        drop(topo);
         inner.metrics.sheds.inc();
         inner.metrics.event(EventKind::ServerShed {
             shard: shard as u32,
@@ -627,8 +902,6 @@ fn submit_write(
         });
         return send_pooled(resp_tx, pool, id, &Response::Busy);
     }
-    // bounded pipelining: cap this connection's in-flight writes
-    state.wait_until(inner.cfg.pipeline_depth.saturating_sub(1));
     state.incr();
     inner.metrics.inflight.add(1);
     let is_delete = matches!(op, WriteOp::Delete { .. });
@@ -637,7 +910,7 @@ fn submit_write(
     let resp_tx2 = resp_tx.clone();
     let pool2 = Arc::clone(pool);
     let t0 = metrics.now_ns();
-    let submitted = inner.committers[shard].submit(WriteReq {
+    let submitted = topo.committers[shard].submit(WriteReq {
         op,
         done: Box::new(move |outcome| {
             let resp = match outcome {
@@ -654,6 +927,7 @@ fn submit_write(
             state2.decr();
         }),
     });
+    drop(topo);
     // on a shut-down committer the callback already fired with an error
     submitted || !inner.draining.load(Ordering::Acquire)
 }

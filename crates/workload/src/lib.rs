@@ -9,6 +9,8 @@
 //! - [`keyspace`]: key encodings between u64 ids and fixed-width byte keys;
 //! - [`generator`]: seeded operation streams over key distributions ×
 //!   operation mixes;
+//! - [`hotspot`]: a shifting contiguous hot range — the adversarial
+//!   pattern for static range partitioning;
 //! - [`ycsb`]: the YCSB A–F presets;
 //! - [`trace`]: record/replay so an identical operation sequence can be
 //!   run against different engine configurations;
@@ -17,6 +19,7 @@
 //!   measured instead of coordinated away.
 
 pub mod generator;
+pub mod hotspot;
 pub mod keyspace;
 pub mod openloop;
 pub mod trace;
@@ -24,6 +27,7 @@ pub mod ycsb;
 pub mod zipf;
 
 pub use generator::{KeyDistribution, Operation, OpMix, WorkloadGenerator, WorkloadSpec};
+pub use hotspot::{HotspotSpec, ShiftingHotspot};
 pub use keyspace::{decode_key, encode_key, KEY_LEN};
 pub use openloop::{Arrivals, OpenLoopSchedule};
 pub use trace::Trace;

@@ -29,6 +29,10 @@ echo "==> replication failover crash sweep (both background modes, seed ${LSM_SE
 cargo test -q --test replication_crash -- --nocapture
 LSM_BACKGROUND=threaded cargo test -q --test replication_crash -- --nocapture
 
+echo "==> live-split migration crash sweep (both background modes, seed ${LSM_SEED:-default})"
+cargo test -q --test migration_crash -- --nocapture
+LSM_BACKGROUND=threaded cargo test -q --test migration_crash -- --nocapture
+
 echo "==> allocation-regression battery (counting allocator + borrowed-vs-owned differential)"
 cargo test -q -p lsm-core --release --test alloc_regression
 LSM_BACKGROUND=threaded cargo test -q -p lsm-core --release --test alloc_regression
@@ -44,6 +48,8 @@ LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e21_hot_path -- --met
 cargo run -q -p lsm-bench --release --bin metrics_lint results/e21_hot_path.metrics.jsonl
 LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e22_replication -- --metrics
 cargo run -q -p lsm-bench --release --bin metrics_lint results/e22_replication.metrics.jsonl
+LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e23_elastic -- --metrics
+cargo run -q -p lsm-bench --release --bin metrics_lint results/e23_elastic.metrics.jsonl
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
