@@ -110,6 +110,7 @@ fn hotspot_spec(total_ops: u64, conns: u64, seed: u64) -> HotspotSpec {
             read: 0.0,
             scan: 0.2,
             delete: 0.0,
+            rmw: 0.0,
         },
         value_len: 64,
         scan_len: 100,
@@ -165,8 +166,9 @@ fn drive(
                     limit: limit as u32,
                 }
             }
-            // the put/scan mix generates no gets or deletes
+            // the put/scan mix generates no gets, deletes, or rmws
             Operation::Get { key } | Operation::Delete { key } => Request::Get { key },
+            Operation::ReadModifyWrite { key, .. } => Request::Get { key },
         };
         let rid = c.send(&req).expect("bench send");
         pending.insert(rid, at);

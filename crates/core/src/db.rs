@@ -116,6 +116,163 @@ struct Inner {
     manifest: Option<FileId>,
     /// Round-robin partial-compaction cursors, one per level.
     rr_cursors: Vec<usize>,
+    /// OCC bookkeeping: snapshot seqnos of live [`crate::Txn`] handles
+    /// (value = handle count at that floor). Non-empty iff a transaction
+    /// is active; write paths consult it to decide whether to maintain
+    /// `txn_recent`, so the plain write path pays nothing when no
+    /// transaction is running.
+    txn_floors: std::collections::BTreeMap<u64, usize>,
+    /// key → seqno of the last committed write to it, maintained only
+    /// while `txn_floors` is non-empty. Commit validation checks each
+    /// read-set key here: an entry newer than the transaction's snapshot
+    /// floor means a first-committer already won. Pruned to the oldest
+    /// live floor and cleared when the last transaction ends.
+    txn_recent: std::collections::HashMap<Vec<u8>, u64>,
+}
+
+impl Inner {
+    /// Records a committed write for OCC validation, iff any transaction
+    /// is live. Split out (static, field-wise) so write paths can call it
+    /// while other `Inner` fields are mutably borrowed.
+    #[inline]
+    fn txn_record(
+        floors: &std::collections::BTreeMap<u64, usize>,
+        recent: &mut std::collections::HashMap<Vec<u8>, u64>,
+        key: &[u8],
+        seqno: u64,
+    ) {
+        if floors.is_empty() {
+            return;
+        }
+        match recent.get_mut(key) {
+            Some(s) => *s = seqno,
+            None => {
+                recent.insert(key.to_vec(), seqno);
+            }
+        }
+    }
+}
+
+/// Prune `Inner::txn_recent` on transaction end once it exceeds this
+/// many keys (below the oldest live snapshot floor nothing can conflict).
+const TXN_RECENT_PRUNE_LEN: usize = 1024;
+
+/// Global commit-stamp source for transaction commits. The stamp is
+/// fetched while every involved engine's write lock is held, so stamp
+/// order is consistent with each engine's apply order — replaying
+/// committed transactions in stamp order reproduces the exact final
+/// state (the serializability oracle in
+/// `crates/server/tests/transactions.rs` relies on this).
+static TXN_STAMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// One engine's slice of a transaction commit (built by
+/// [`crate::txn::Txn::commit`] and the server's cross-shard commit path).
+pub(crate) struct TxnApplyPart<'a> {
+    /// The engine this part applies to. Parts must target distinct
+    /// engines — the commit takes each engine's write lock once.
+    pub db: &'a DbCore,
+    /// The sub-transaction's snapshot floor on `db`.
+    pub snap_seqno: u64,
+    /// Keys read through the snapshot, validated first-committer-wins.
+    pub read_set: Vec<Vec<u8>>,
+    /// Buffered writes, folded into one atomic WAL group on success.
+    pub write_set: WriteBatch,
+}
+
+/// Validates and applies a transaction atomically across its parts.
+///
+/// All involved engines' write locks are taken in one stable global
+/// order (by engine address — two concurrent multi-engine commits can
+/// never deadlock), every part's read-set is validated against
+/// `Inner::txn_recent`, and only if **all** parts validate clean are the
+/// write-sets applied — each as one [`Wal::append_atomic`] group, so a
+/// crash can never expose a partial write-set on any single engine.
+/// Memtable-full maintenance is deferred to after the locks drop
+/// ([`DbCore::post_commit_maintenance`]) so a multi-engine commit never
+/// flushes while holding several engines' locks.
+///
+/// Returns `Ok(Err(conflict))` when validation fails (the transaction
+/// must abort and retry) and `Ok(Ok(stamp))` with the global commit
+/// stamp on success.
+pub(crate) fn commit_txn_parts(
+    parts: &mut [TxnApplyPart<'_>],
+) -> StorageResult<Result<u64, crate::txn::Conflict>> {
+    // Backpressure and background-error checks happen before any lock is
+    // taken, exactly like the plain write path.
+    for p in parts.iter() {
+        if p.db.threaded() {
+            p.db.check_bg_error()?;
+            p.db.backpressure();
+        }
+    }
+    let dbs: Vec<&DbCore> = parts.iter().map(|p| p.db).collect();
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    order.sort_by_key(|&i| dbs[i] as *const DbCore as usize);
+    debug_assert!(
+        order
+            .windows(2)
+            .all(|w| !std::ptr::eq(dbs[w[0]], dbs[w[1]])),
+        "txn parts must target distinct engines"
+    );
+    let mut guards: Vec<(usize, RwLockWriteGuard<'_, Inner>)> = Vec::with_capacity(order.len());
+    for &i in &order {
+        guards.push((i, dbs[i].inner.write()));
+    }
+    // First-committer-wins validation: every read key must be unchanged
+    // since its sub-transaction's snapshot. All guards are held, so a
+    // clean validation cannot be invalidated before the apply below.
+    let mut conflict: Option<(usize, crate::txn::Conflict)> = None;
+    'validate: for (i, guard) in &guards {
+        let p = &parts[*i];
+        for key in &p.read_set {
+            if let Some(&seqno) = guard.txn_recent.get(key) {
+                if seqno > p.snap_seqno {
+                    conflict = Some((
+                        *i,
+                        crate::txn::Conflict {
+                            key: key.clone(),
+                            snap_seqno: p.snap_seqno,
+                            conflict_seqno: seqno,
+                        },
+                    ));
+                    break 'validate;
+                }
+            }
+        }
+    }
+    if let Some((i, c)) = conflict {
+        drop(guards);
+        dbs[i].obs.txn_conflicts.inc();
+        dbs[i].obs.event(EventKind::TxnConflict {
+            snap_seqno: c.snap_seqno,
+            conflict_seqno: c.conflict_seqno,
+        });
+        return Ok(Err(c));
+    }
+    // Validation clean on every engine: apply the write-sets. Per-part
+    // sizes are captured first (apply drains the batch) for the events.
+    let counts: Vec<(u64, u64)> = parts
+        .iter()
+        .map(|p| (p.write_set.len() as u64, p.read_set.len() as u64))
+        .collect();
+    for (i, guard) in guards.iter_mut() {
+        let p = &mut parts[*i];
+        dbs[*i].apply_txn_part_locked(guard, &mut p.write_set)?;
+    }
+    let stamp = TXN_STAMP.fetch_add(1, Ordering::AcqRel) + 1;
+    drop(guards);
+    for (i, (writes, reads)) in counts.into_iter().enumerate() {
+        dbs[i].obs.txn_commits.inc();
+        dbs[i].obs.event(EventKind::TxnCommit {
+            stamp,
+            writes,
+            reads,
+        });
+    }
+    for db in &dbs {
+        db.post_commit_maintenance()?;
+    }
+    Ok(Ok(stamp))
 }
 
 /// A configurable LSM-tree storage engine handle. Cloning is cheap (an
@@ -223,6 +380,8 @@ impl Db {
             applied_seq: 0,
             manifest: None,
             rr_cursors: vec![0; 32],
+            txn_floors: std::collections::BTreeMap::new(),
+            txn_recent: std::collections::HashMap::new(),
         };
         // Recovery: try every manifest on the device, newest first. A crash
         // mid-rewrite can leave the newest manifest referencing files that
@@ -659,6 +818,10 @@ impl DbCore {
             DbStats::bump(&self.stats.wal_appends);
         }
         inner.mem.insert(&key, seqno, kind, &stored);
+        {
+            let inner = &mut *inner;
+            Inner::txn_record(&inner.txn_floors, &mut inner.txn_recent, &key, seqno);
+        }
         self.obs.memtable_bytes_gauge.set(inner.mem.bytes() as i64);
         if inner.mem.bytes() >= self.cfg.buffer_bytes {
             if self.threaded() {
@@ -786,6 +949,8 @@ impl DbCore {
         }
         for (seqno, kind, key, stored) in &records {
             inner.mem.insert(key, *seqno, *kind, stored);
+            let inner = &mut *inner;
+            Inner::txn_record(&inner.txn_floors, &mut inner.txn_recent, key, *seqno);
         }
         if let Some(seq) = replicated_seq {
             inner.applied_seq = inner.applied_seq.max(seq);
@@ -1738,6 +1903,142 @@ impl DbCore {
             kv_separation: self.cfg.kv_separation.is_some(),
             pin: crate::snapshot::SnapshotPin::new(Arc::clone(&self.snapshot_count)),
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Optimistic transactions (see `crate::txn` for the handle API)
+    // ------------------------------------------------------------------
+
+    /// Begins an optimistic transaction on this engine: registers its
+    /// snapshot floor in `txn_floors` and captures the snapshot **under
+    /// the same lock acquisition**, so every write committed after the
+    /// floor is guaranteed to be recorded in `txn_recent` (writers check
+    /// `txn_floors` while holding the write lock).
+    pub(crate) fn txn_begin(&self) -> StorageResult<(crate::snapshot::Snapshot, u64)> {
+        let mut inner = self.inner.write();
+        if let Some(vlog) = &mut inner.vlog {
+            vlog.sync()?;
+        }
+        let snap_seqno = inner.next_seqno - 1;
+        *inner.txn_floors.entry(snap_seqno).or_insert(0) += 1;
+        let snap = crate::snapshot::Snapshot {
+            mem: inner.mem.clone(),
+            imm: inner.imm.clone(),
+            version: Arc::clone(&inner.version),
+            cache: self.cache.clone(),
+            device: Arc::clone(&self.device),
+            kv_separation: self.cfg.kv_separation.is_some(),
+            pin: crate::snapshot::SnapshotPin::new(Arc::clone(&self.snapshot_count)),
+        };
+        drop(inner);
+        self.obs.txn_begins.inc();
+        self.obs.event(EventKind::TxnBegin { snap_seqno });
+        Ok((snap, snap_seqno))
+    }
+
+    /// Deregisters a transaction's snapshot floor. When the last live
+    /// transaction ends the OCC map is dropped wholesale; otherwise it is
+    /// pruned below the oldest surviving floor (entries at or below every
+    /// live floor can never produce a conflict), so `txn_recent` is
+    /// bounded by the write traffic within the oldest live transaction's
+    /// lifetime — not by total history.
+    pub(crate) fn txn_end(&self, snap_seqno: u64) {
+        let mut inner = self.inner.write();
+        if let Some(c) = inner.txn_floors.get_mut(&snap_seqno) {
+            *c -= 1;
+            if *c == 0 {
+                inner.txn_floors.remove(&snap_seqno);
+            }
+        }
+        if inner.txn_floors.is_empty() {
+            inner.txn_recent = std::collections::HashMap::new();
+        } else if inner.txn_recent.len() > TXN_RECENT_PRUNE_LEN {
+            let min = *inner
+                .txn_floors
+                .keys()
+                .next()
+                .expect("floors checked non-empty");
+            inner.txn_recent.retain(|_, s| *s > min);
+        }
+    }
+
+    /// Re-checks memtable fullness after a transaction commit released
+    /// the write lock (the commit's apply defers flush so a multi-shard
+    /// commit never runs maintenance while holding several engines'
+    /// locks). Mirrors the tail of `write_batch_inner`.
+    pub(crate) fn post_commit_maintenance(&self) -> StorageResult<()> {
+        let mut inner = self.inner.write();
+        if inner.mem.bytes() >= self.cfg.buffer_bytes {
+            if self.threaded() {
+                return self.freeze_or_wait(inner);
+            }
+            self.flush_active_locked(&mut inner)?;
+            self.maybe_compact_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Applies one validated transaction write-set under an already-held
+    /// write guard: the lean core of `write_batch_inner` (seqnos, kv
+    /// separation, WAL, memtable, OCC recording) with two deliberate
+    /// differences — the WAL append is an **atomic group**
+    /// ([`Wal::append_atomic`]: recovery replays all of it or none), and
+    /// memtable-full maintenance is deferred to
+    /// [`DbCore::post_commit_maintenance`].
+    fn apply_txn_part_locked(
+        &self,
+        inner: &mut Inner,
+        batch: &mut WriteBatch,
+    ) -> StorageResult<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut records: Vec<(u64, ValueKind, Vec<u8>, Vec<u8>)> =
+            Vec::with_capacity(batch.ops.len());
+        for (key, kind, value) in batch.ops.drain(..) {
+            let seqno = inner.next_seqno;
+            inner.next_seqno += 1;
+            match kind {
+                ValueKind::Put => {
+                    DbStats::bump(&self.stats.puts);
+                    self.stats
+                        .add(&self.stats.bytes_ingested, (key.len() + value.len()) as u64);
+                }
+                ValueKind::Delete => {
+                    DbStats::bump(&self.stats.deletes);
+                    self.stats.add(&self.stats.bytes_ingested, key.len() as u64);
+                }
+            }
+            let stored = match (self.cfg.kv_separation, kind) {
+                (Some(sep), ValueKind::Put) => {
+                    if value.len() >= sep.min_value_bytes {
+                        let vlog = inner.vlog.as_mut().ok_or_else(|| {
+                            StorageError::Corruption(
+                                "kv separation enabled but no value log is open".into(),
+                            )
+                        })?;
+                        let ptr = vlog.append(&key, &value)?;
+                        DbStats::bump(&self.stats.vlog_values);
+                        encode_pointer(ptr)
+                    } else {
+                        encode_inline(&value)
+                    }
+                }
+                (Some(_), ValueKind::Delete) => Vec::new(),
+                (None, _) => value,
+            };
+            records.push((seqno, kind, key, stored));
+        }
+        if let Some(wal) = &mut inner.wal {
+            wal.append_atomic(&records)?;
+            DbStats::bump(&self.stats.wal_appends);
+        }
+        for (seqno, kind, key, stored) in &records {
+            inner.mem.insert(key, *seqno, *kind, stored);
+            Inner::txn_record(&inner.txn_floors, &mut inner.txn_recent, key, *seqno);
+        }
+        self.obs.memtable_bytes_gauge.set(inner.mem.bytes() as i64);
+        Ok(())
     }
 
     /// A streaming iterator over live entries with `start ≤ key < end`

@@ -60,6 +60,7 @@ pub mod partitioned;
 pub mod snapshot;
 pub mod sstable;
 pub mod stats;
+pub mod txn;
 pub mod version;
 pub mod wal;
 
@@ -69,6 +70,7 @@ pub use config::{
 pub use db::{Db, DbCore, DbIterator, WriteBatch};
 pub use partitioned::PartitionedDb;
 pub use snapshot::Snapshot;
+pub use txn::{commit_parts, Conflict, Txn, TxnError, TxnPart};
 pub use entry::{InternalEntry, ValueKind};
 pub use stats::DbStats;
 pub use version::{SortedRun, Version};

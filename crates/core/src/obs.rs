@@ -82,6 +82,12 @@ pub struct EngineMetrics {
     pub l0_runs_gauge: Arc<lsm_obs::Gauge>,
     pub memtable_bytes_gauge: Arc<lsm_obs::Gauge>,
 
+    /// Optimistic-transaction outcome counters (conflict rate =
+    /// `txn.conflicts / (txn.commits + txn.conflicts)`).
+    pub txn_begins: Arc<lsm_obs::Counter>,
+    pub txn_commits: Arc<lsm_obs::Counter>,
+    pub txn_conflicts: Arc<lsm_obs::Counter>,
+
     /// Monotone ids so `FlushStart`/`FlushEnd` (and compaction pairs) can
     /// be correlated in the trace.
     next_flush_id: AtomicU64,
@@ -114,6 +120,9 @@ impl EngineMetrics {
         let compaction_ns = registry.histogram("latency.compaction_ns");
         let l0_runs_gauge = registry.gauge("engine.l0_runs");
         let memtable_bytes_gauge = registry.gauge("engine.memtable_bytes");
+        let txn_begins = registry.counter("txn.begins");
+        let txn_commits = registry.counter("txn.commits");
+        let txn_conflicts = registry.counter("txn.conflicts");
         EngineMetrics {
             registry,
             events: EventRing::new(event_capacity),
@@ -125,6 +134,9 @@ impl EngineMetrics {
             compaction_ns,
             l0_runs_gauge,
             memtable_bytes_gauge,
+            txn_begins,
+            txn_commits,
+            txn_conflicts,
             next_flush_id: AtomicU64::new(1),
             next_compaction_id: AtomicU64::new(1),
             next_subcompaction_id: AtomicU64::new(1),

@@ -14,6 +14,10 @@ use lsm_storage::{FileId, ImmutableFile, IoCategory, StorageDevice, StorageResul
 use crate::entry::{get_varint, put_varint, ValueKind};
 
 const RECORD_MARKER: u8 = 0xA7;
+/// Marks an all-or-nothing record group ([`Wal::append_atomic`]): one
+/// length + checksum covers every record inside, so recovery either
+/// replays the whole group or drops it wholesale.
+const ATOMIC_MARKER: u8 = 0xA9;
 
 /// One recovered WAL record.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -97,6 +101,37 @@ impl Wal {
         for (seqno, kind, key, value) in records {
             encode_frame(&mut self.scratch, *seqno, *kind, key, value);
         }
+        self.file.append(&self.scratch)?;
+        self.records += records.len() as u64;
+        Ok(())
+    }
+
+    /// Appends a group of records that recovery treats as **atomic**: the
+    /// group is framed with one length and one checksum over every record
+    /// inside, so a crash either persists the whole group or none of it —
+    /// never a prefix. This is the WAL primitive behind transaction
+    /// commits, whose write-set must not be partially visible; the plain
+    /// [`Wal::append_batch`] keeps prefix-durability semantics (its
+    /// records are independent writes that happen to share one append).
+    pub fn append_atomic(
+        &mut self,
+        records: &[(u64, ValueKind, Vec<u8>, Vec<u8>)],
+    ) -> StorageResult<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        self.scratch.clear();
+        self.scratch.push(ATOMIC_MARKER);
+        // encode the inner frame stream after a placeholder header, then
+        // patch length + checksum in, mirroring `encode_frame`
+        let mut inner = Vec::new();
+        for (seqno, kind, key, value) in records {
+            encode_frame(&mut inner, *seqno, *kind, key, value);
+        }
+        put_varint(&mut self.scratch, inner.len() as u64);
+        self.scratch
+            .extend_from_slice(&checksum(&inner).to_le_bytes());
+        self.scratch.extend_from_slice(&inner);
         self.file.append(&self.scratch)?;
         self.records += records.len() as u64;
         Ok(())
@@ -200,6 +235,65 @@ pub fn recover(device: Arc<dyn StorageDevice>, id: FileId) -> StorageResult<Vec<
         if bytes[off] == 0 {
             // sync padding: resume at the next block boundary
             off = (off / bs + 1) * bs;
+            continue;
+        }
+        if bytes[off] == ATOMIC_MARKER {
+            // an all-or-nothing group: one length + checksum over a nested
+            // frame stream; a torn group drops wholesale (no partial
+            // transaction write-set may survive recovery)
+            off += 1;
+            let Some((glen, n)) = get_varint(&bytes[off..]) else {
+                break; // torn: group length cut off at the persisted end
+            };
+            off += n;
+            if off + 4 + glen as usize > bytes.len() {
+                break; // torn group: drop it entirely
+            }
+            let stored_sum =
+                u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]);
+            off += 4;
+            let group = &bytes[off..off + glen as usize];
+            if checksum(group) != stored_sum {
+                device.stats().record_corruption();
+                break;
+            }
+            off += glen as usize;
+            // the group checksummed clean, so every inner frame must
+            // parse; stage into a scratch vec so a malformed group is
+            // dropped wholesale, never replayed partially
+            let mut g = 0usize;
+            let mut ok = true;
+            let mut staged = Vec::new();
+            while g < group.len() {
+                if group[g] != RECORD_MARKER {
+                    ok = false;
+                    break;
+                }
+                g += 1;
+                let Some((plen, n)) = get_varint(&group[g..]) else {
+                    ok = false;
+                    break;
+                };
+                g += n;
+                if g + 4 + plen as usize > group.len() {
+                    ok = false;
+                    break;
+                }
+                g += 4; // the group checksum covers the payloads already
+                match decode_payload(&group[g..g + plen as usize]) {
+                    Some(record) => staged.push(record),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+                g += plen as usize;
+            }
+            if !ok {
+                device.stats().record_corruption();
+                break;
+            }
+            records.extend(staged);
             continue;
         }
         if bytes[off] != RECORD_MARKER {
@@ -401,6 +495,70 @@ mod tests {
         let mut w3 = Wal::create(batched).unwrap();
         w3.append_batch(&[]).unwrap();
         assert_eq!(w3.records(), 0);
+    }
+
+    #[test]
+    fn atomic_group_roundtrips_and_interleaves_with_plain_records() {
+        let dev = device();
+        let mut wal = Wal::create(dev.clone()).unwrap();
+        wal.append(1, ValueKind::Put, b"before", b"v1").unwrap();
+        let group: Vec<(u64, ValueKind, Vec<u8>, Vec<u8>)> = (2..7u64)
+            .map(|i| (i, ValueKind::Put, format!("txn{i}").into_bytes(), b"tv".to_vec()))
+            .collect();
+        wal.append_atomic(&group).unwrap();
+        wal.append(7, ValueKind::Delete, b"after", b"").unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.records(), 7);
+        let records = recover(dev, wal.id()).unwrap();
+        assert_eq!(records.len(), 7);
+        assert_eq!(records[0].key, b"before".to_vec());
+        assert_eq!(records[3].key, b"txn4".to_vec());
+        assert_eq!(records[6].kind, ValueKind::Delete);
+    }
+
+    #[test]
+    fn torn_atomic_group_drops_wholesale() {
+        let dev = device();
+        let mut wal = Wal::create(dev.clone()).unwrap();
+        wal.append(1, ValueKind::Put, b"synced", b"v1").unwrap();
+        wal.sync().unwrap();
+        // a group spanning several 512-byte blocks, never synced: the
+        // full blocks persist but the tail is lost, so the whole group
+        // must vanish — a partial transaction write-set would otherwise
+        // become visible after recovery
+        let group: Vec<(u64, ValueKind, Vec<u8>, Vec<u8>)> = (2..60u64)
+            .map(|i| (i, ValueKind::Put, format!("txn{i:04}").into_bytes(), vec![b'x'; 20]))
+            .collect();
+        wal.append_atomic(&group).unwrap();
+        let records = recover(dev.clone(), wal.id()).unwrap();
+        assert_eq!(records.len(), 1, "torn atomic group must drop wholesale");
+        assert_eq!(records[0].key, b"synced".to_vec());
+        assert_eq!(
+            dev.stats().snapshot().corruption_detected,
+            0,
+            "a torn group is the expected crash artifact, not corruption"
+        );
+    }
+
+    #[test]
+    fn corrupt_atomic_group_counts_corruption_and_stops() {
+        let dev: Arc<MemDevice> = Arc::new(MemDevice::new(512, DeviceProfile::free()));
+        let dev_dyn: Arc<dyn StorageDevice> = dev.clone();
+        let mut wal = Wal::create(dev_dyn.clone()).unwrap();
+        let group: Vec<(u64, ValueKind, Vec<u8>, Vec<u8>)> = (1..4u64)
+            .map(|i| (i, ValueKind::Put, format!("txn{i}").into_bytes(), b"payload".to_vec()))
+            .collect();
+        wal.append_atomic(&group).unwrap();
+        wal.sync().unwrap();
+        let id = wal.id();
+        let mut blocks = dev.read(id, 0, 1, IoCategory::Wal).unwrap();
+        blocks[20] ^= 0x01; // flip a byte inside the group
+        let id2 = dev.create().unwrap();
+        dev.append(id2, &blocks, IoCategory::Wal).unwrap();
+        let before = dev_dyn.stats().snapshot().corruption_detected;
+        let records = recover(dev_dyn.clone(), id2).unwrap();
+        assert!(records.is_empty(), "corrupt group must not replay partially");
+        assert_eq!(dev_dyn.stats().snapshot().corruption_detected, before + 1);
     }
 
     #[test]

@@ -115,6 +115,109 @@ fn snapshot_resolves_separated_values_without_the_engine() {
 }
 
 #[test]
+fn txn_reads_consistently_across_rotation_and_compaction() {
+    // small buffer: the churn below rotates the memtable many times
+    let db = Db::open_in_memory(LsmConfig {
+        buffer_bytes: 2 << 10,
+        layout: MergeLayout::Leveled,
+        ..LsmConfig::small_for_tests()
+    })
+    .unwrap();
+    for i in 0..400u32 {
+        db.put(key(i), format!("v1-{i}").into_bytes()).unwrap();
+    }
+    let mut txn = db.begin_txn().unwrap();
+    for i in (0..400u32).step_by(11) {
+        assert_eq!(
+            txn.get(&key(i)).unwrap(),
+            Some(format!("v1-{i}").into_bytes())
+        );
+    }
+    // churn the live engine hard enough to flush and fully compact away
+    // every file the transaction's snapshot reads
+    for gen in 2..5u32 {
+        for i in 0..400u32 {
+            db.put(key(i), format!("v{gen}-{i}").into_bytes()).unwrap();
+        }
+    }
+    db.flush().unwrap();
+    db.major_compact().unwrap();
+    // the transaction still reads its snapshot, not the churned state
+    for i in (0..400u32).step_by(11) {
+        assert_eq!(
+            txn.get(&key(i)).unwrap(),
+            Some(format!("v1-{i}").into_bytes()),
+            "key {i} moved under the transaction"
+        );
+    }
+    // …but first-committer-wins knows those reads are stale
+    match txn.commit() {
+        Err(lsm_core::TxnError::Conflict(_)) => {}
+        other => panic!("stale txn must conflict, got {other:?}"),
+    }
+    assert_eq!(db.get(&key(0)).unwrap(), Some(b"v4-0".to_vec()));
+}
+
+#[test]
+fn dropping_the_last_txn_releases_its_snapshot_pin() {
+    let db = Db::open_in_memory(LsmConfig {
+        kv_separation: Some(KvSeparation {
+            min_value_bytes: 64,
+        }),
+        ..LsmConfig::small_for_tests()
+    })
+    .unwrap();
+    let big = vec![0x5A; 300];
+    for i in 0..100u32 {
+        db.put(key(i), big.clone()).unwrap();
+    }
+    let mut a = db.begin_txn().unwrap();
+    let mut b = db.begin_txn().unwrap();
+    assert_eq!(a.get(&key(7)).unwrap(), Some(big.clone()));
+    assert_eq!(b.get(&key(7)).unwrap(), Some(big.clone()));
+    // rewrite everything: the old value-log slots are now garbage — but
+    // pinned garbage while either transaction lives
+    for i in 0..100u32 {
+        db.put(key(i), vec![0xB6; 300]).unwrap();
+    }
+    assert!(db.gc_value_log().is_err(), "GC must refuse with live txns");
+    drop(a);
+    assert!(
+        db.gc_value_log().is_err(),
+        "one dropped txn is not enough — b still pins the snapshot"
+    );
+    b.abort();
+    let (live, dead) = db.gc_value_log().unwrap();
+    assert!(live + dead > 0, "GC must run once the last txn drops");
+    assert_eq!(db.get(&key(3)).unwrap(), Some(vec![0xB6; 300]));
+}
+
+#[test]
+fn committing_a_txn_releases_its_snapshot_pin() {
+    let db = Db::open_in_memory(LsmConfig {
+        kv_separation: Some(KvSeparation {
+            min_value_bytes: 64,
+        }),
+        ..LsmConfig::small_for_tests()
+    })
+    .unwrap();
+    for i in 0..50u32 {
+        db.put(key(i), vec![0x11; 200]).unwrap();
+    }
+    let mut txn = db.begin_txn().unwrap();
+    assert_eq!(txn.get(&key(9)).unwrap(), Some(vec![0x11; 200]));
+    txn.put(key(9), vec![0x22; 200]);
+    assert!(db.gc_value_log().is_err(), "GC must refuse mid-txn");
+    txn.commit().expect("uncontended commit");
+    for i in 0..50u32 {
+        db.put(key(i), vec![0x33; 200]).unwrap();
+    }
+    db.gc_value_log()
+        .expect("commit must release the snapshot pin");
+    assert_eq!(db.get(&key(9)).unwrap(), Some(vec![0x33; 200]));
+}
+
+#[test]
 fn many_concurrent_snapshots() {
     let db = Db::open_in_memory(LsmConfig::small_for_tests()).unwrap();
     let mut snaps = Vec::new();

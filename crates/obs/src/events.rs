@@ -236,6 +236,30 @@ pub enum EventKind {
         /// Shards in the new map.
         shards: u64,
     },
+    /// An optimistic transaction began: it pinned a snapshot and will
+    /// validate its read-set against this sequence floor at commit.
+    TxnBegin {
+        /// Highest sequence number visible to the transaction's snapshot.
+        snap_seqno: u64,
+    },
+    /// An optimistic transaction committed: its read-set validated clean
+    /// and its write-set applied as one atomic group.
+    TxnCommit {
+        /// Globally-ordered commit stamp (the serialization point).
+        stamp: u64,
+        /// Operations in the applied write-set.
+        writes: u64,
+        /// Keys in the validated read-set.
+        reads: u64,
+    },
+    /// An optimistic transaction failed first-committer-wins validation:
+    /// a read key was overwritten after the transaction's snapshot.
+    TxnConflict {
+        /// The transaction's snapshot sequence floor.
+        snap_seqno: u64,
+        /// Sequence number of the committed write that invalidated it.
+        conflict_seqno: u64,
+    },
 }
 
 impl EventKind {
@@ -263,6 +287,9 @@ impl EventKind {
             EventKind::ShardSplit { .. } => "shard_split",
             EventKind::ShardMerge { .. } => "shard_merge",
             EventKind::ShardMapFlip { .. } => "shard_map_flip",
+            EventKind::TxnBegin { .. } => "txn_begin",
+            EventKind::TxnCommit { .. } => "txn_commit",
+            EventKind::TxnConflict { .. } => "txn_conflict",
         }
     }
 }
@@ -422,6 +449,19 @@ impl Event {
             EventKind::ShardMapFlip { map_version, shards } => obj
                 .u64("map_version", *map_version)
                 .u64("shards", *shards)
+                .finish(),
+            EventKind::TxnBegin { snap_seqno } => obj.u64("snap_seqno", *snap_seqno).finish(),
+            EventKind::TxnCommit { stamp, writes, reads } => obj
+                .u64("stamp", *stamp)
+                .u64("writes", *writes)
+                .u64("reads", *reads)
+                .finish(),
+            EventKind::TxnConflict {
+                snap_seqno,
+                conflict_seqno,
+            } => obj
+                .u64("snap_seqno", *snap_seqno)
+                .u64("conflict_seqno", *conflict_seqno)
                 .finish(),
         }
     }
@@ -610,6 +650,16 @@ mod tests {
                 map_version: 3,
                 shards: 4,
             },
+            EventKind::TxnBegin { snap_seqno: 41 },
+            EventKind::TxnCommit {
+                stamp: 9,
+                writes: 3,
+                reads: 2,
+            },
+            EventKind::TxnConflict {
+                snap_seqno: 41,
+                conflict_seqno: 44,
+            },
         ];
         let ring = EventRing::new(64);
         for (i, k) in kinds.into_iter().enumerate() {
@@ -620,7 +670,7 @@ mod tests {
             .iter()
             .map(|e| e.to_json_line() + "\n")
             .collect();
-        assert_eq!(validate_json_lines(&text).unwrap(), 20);
+        assert_eq!(validate_json_lines(&text).unwrap(), 23);
         assert!(text.contains("\"type\":\"compaction_end\""));
         assert!(text.contains("\"type\":\"subcompaction_end\""));
         assert!(text.contains("\"reason\":\"memtable_rotation\""));
@@ -631,5 +681,10 @@ mod tests {
         assert!(text.contains("\"type\":\"shard_split\""));
         assert!(text.contains("\"type\":\"shard_merge\""));
         assert!(text.contains("\"type\":\"shard_map_flip\""));
+        assert!(text.contains("\"type\":\"txn_begin\""));
+        assert!(text.contains("\"type\":\"txn_commit\""));
+        assert!(text.contains("\"stamp\":9"));
+        assert!(text.contains("\"type\":\"txn_conflict\""));
+        assert!(text.contains("\"conflict_seqno\":44"));
     }
 }

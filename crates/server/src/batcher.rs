@@ -86,6 +86,36 @@ pub struct WriteReq {
     pub done: WriteCallback,
 }
 
+/// How a submitted transaction commit ended.
+pub enum TxnOutcome {
+    /// Validated, applied, durable per the sync policy (and replica-acked
+    /// when replicating); carries the global commit stamp.
+    Committed(u64),
+    /// Committed and durable locally, but the replica quorum did not ack
+    /// within the timeout.
+    CommittedLag(u64),
+    /// First-committer-wins validation failed; nothing was applied.
+    Conflict(lsm_core::Conflict),
+    /// The commit failed; nothing is promised.
+    Err(StorageError),
+}
+
+/// Completion callback for a transaction commit.
+pub type TxnCallback = Box<dyn FnOnce(TxnOutcome) + Send + 'static>;
+
+/// A transaction commit job: validate + apply the parts atomically via
+/// [`lsm_core::commit_parts`], *inside* the committer thread, so the
+/// commit serializes with the shard's group-commit batches — the
+/// migration tap tee and the replication publish stay in true commit
+/// order. Parts may span engines (cross-shard) only when the server is
+/// neither elastic nor replicated; the routing layer enforces that.
+pub struct TxnCommitReq {
+    /// One part per involved engine.
+    pub parts: Vec<lsm_core::TxnPart>,
+    /// Fired exactly once with the outcome.
+    pub done: TxnCallback,
+}
+
 /// Tees committed ops inside `[lo, hi)` (`hi` `None` = unbounded) into
 /// `tx` as encoded ops regions, one region per group-commit batch, in
 /// commit order. Installed on a split/merge donor's committer for the
@@ -113,6 +143,8 @@ enum Msg {
     /// A drain marker: acked once everything queued before it has
     /// committed, synced, and been tapped.
     Barrier(Sender<()>),
+    /// A transaction commit, executed between batches.
+    Txn(TxnCommitReq),
 }
 
 /// `WriteOutcome` is not `Clone` (its error may carry an `io::Error`);
@@ -129,6 +161,12 @@ fn duplicate(out: &WriteOutcome) -> WriteOutcome {
 
 fn shutdown_outcome() -> WriteOutcome {
     WriteOutcome::Err(StorageError::Io(std::io::Error::other(
+        "write batcher is shut down",
+    )))
+}
+
+fn txn_shutdown_outcome() -> TxnOutcome {
+    TxnOutcome::Err(StorageError::Io(std::io::Error::other(
         "write batcher is shut down",
     )))
 }
@@ -187,6 +225,27 @@ impl GroupCommitter {
             },
             None => {
                 (req.done)(shutdown_outcome());
+                false
+            }
+        }
+    }
+
+    /// Queues a transaction commit. Returns `false` (and fails the
+    /// callback, releasing the parts' snapshot floors) if the committer
+    /// has already shut down.
+    pub fn submit_txn(&self, req: TxnCommitReq) -> bool {
+        match &*self.tx.lock().unwrap() {
+            Some(tx) => match tx.send(Msg::Txn(req)) {
+                Ok(()) => true,
+                Err(e) => {
+                    if let Msg::Txn(t) = e.0 {
+                        (t.done)(txn_shutdown_outcome());
+                    }
+                    false
+                }
+            },
+            None => {
+                (req.done)(txn_shutdown_outcome());
                 false
             }
         }
@@ -251,19 +310,26 @@ fn committer_loop(
     while let Ok(first) = rx.recv() {
         // a barrier with nothing queued before it acks immediately
         let mut pending_barrier: Option<Sender<()>> = None;
+        let mut pending_txn: Option<TxnCommitReq> = None;
         match first {
             Msg::Req(r) => reqs.push(r),
             Msg::Barrier(ack) => {
                 let _ = ack.send(());
                 continue;
             }
+            Msg::Txn(t) => {
+                run_txn_commit(t, sync_each_batch, &metrics, &replicator, &tap);
+                continue;
+            }
         }
-        while reqs.len() < max_batch && pending_barrier.is_none() {
+        while reqs.len() < max_batch && pending_barrier.is_none() && pending_txn.is_none() {
             match rx.try_recv() {
                 Ok(Msg::Req(r)) => reqs.push(r),
                 // stop collecting: the barrier must observe this batch
                 // committed, so commit now and ack after
                 Ok(Msg::Barrier(ack)) => pending_barrier = Some(ack),
+                // likewise: the txn commit must serialize after this batch
+                Ok(Msg::Txn(t)) => pending_txn = Some(t),
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
         }
@@ -341,7 +407,91 @@ fn committer_loop(
         if let Some(ack) = pending_barrier {
             let _ = ack.send(());
         }
+        if let Some(t) = pending_txn {
+            run_txn_commit(t, sync_each_batch, &metrics, &replicator, &tap);
+        }
     }
+}
+
+/// Executes one transaction commit inside the committer thread:
+/// validate-and-apply atomically, sync per the durability policy, then
+/// tee the write-set to the migration tap and publish it to the
+/// replicator — exactly the order a group-commit batch follows, under
+/// the same tap guard, so a migration or a replica observes txn writes
+/// in true commit order relative to plain writes on this shard.
+fn run_txn_commit(
+    req: TxnCommitReq,
+    sync_each_batch: bool,
+    metrics: &Arc<ServerMetrics>,
+    replicator: &Option<Arc<Replicator>>,
+    tap: &Arc<Mutex<Option<MigrationTap>>>,
+) {
+    let TxnCommitReq { parts, done } = req;
+    // capture the involved engines and the flattened write-set before
+    // commit_parts consumes the parts
+    let dbs: Vec<Db> = parts.iter().map(|p| p.db().clone()).collect();
+    let writes: Vec<(Vec<u8>, Option<Vec<u8>>)> = parts
+        .iter()
+        .flat_map(|p| p.writes().iter().cloned())
+        .collect();
+    let tap_guard = tap.lock().unwrap();
+    let outcome = match lsm_core::commit_parts(parts) {
+        Ok(stamp) => {
+            let mut synced = Ok(());
+            if sync_each_batch {
+                for d in &dbs {
+                    if let Err(e) = d.sync() {
+                        synced = Err(e);
+                        break;
+                    }
+                }
+            }
+            match synced {
+                Ok(()) => {
+                    // tee only what is committed and synced locally, same
+                    // contract as the batch path
+                    if let Some(t) = tap_guard.as_ref() {
+                        let mut b = ReplOpsBuilder::new();
+                        for (k, v) in writes.iter().filter(|(k, _)| t.covers(k)) {
+                            match v {
+                                Some(v) => b.put(k, v),
+                                None => b.delete(k),
+                            }
+                        }
+                        if b.count() > 0 {
+                            let _ = t.tx.send(b.finish());
+                        }
+                    }
+                    match replicator {
+                        Some(rep) if !writes.is_empty() => {
+                            let mut b = ReplOpsBuilder::new();
+                            for (k, v) in &writes {
+                                match v {
+                                    Some(v) => b.put(k, v),
+                                    None => b.delete(k),
+                                }
+                            }
+                            let t0 = metrics.now_ns();
+                            let seq = rep.publish(b.finish());
+                            if rep.wait_quorum(seq) {
+                                metrics.repl_ack_ns.record(metrics.now_ns().saturating_sub(t0));
+                                TxnOutcome::Committed(stamp)
+                            } else {
+                                metrics.repl_lag_timeouts.inc();
+                                TxnOutcome::CommittedLag(stamp)
+                            }
+                        }
+                        _ => TxnOutcome::Committed(stamp),
+                    }
+                }
+                Err(e) => TxnOutcome::Err(e),
+            }
+        }
+        Err(lsm_core::TxnError::Conflict(c)) => TxnOutcome::Conflict(c),
+        Err(lsm_core::TxnError::Storage(e)) => TxnOutcome::Err(e),
+    };
+    drop(tap_guard);
+    done(outcome);
 }
 
 #[cfg(test)]

@@ -29,6 +29,17 @@ fn frame_to_io(e: FrameError) -> io::Error {
 /// range_start)` entries sorted by start key.
 pub type ShardMapEntries = (u64, Vec<(u64, Vec<u8>)>);
 
+/// Typed outcome of [`Client::txn_commit`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxnCommitStatus {
+    /// Validated and applied; carries the global commit stamp (replaying
+    /// committed transactions in stamp order reproduces the final state).
+    Committed(u64),
+    /// First-committer-wins validation failed on this key; the
+    /// transaction left no trace. Retry with a fresh transaction.
+    Conflict(Vec<u8>),
+}
+
 /// A blocking connection to an `lsm-server`.
 pub struct Client {
     stream: TcpStream,
@@ -148,6 +159,66 @@ impl Client {
         }
     }
 
+    /// Opens an optimistic transaction on this connection. Fails if one
+    /// is already active.
+    pub fn txn_begin(&mut self) -> io::Result<()> {
+        match self.call(&Request::TxnBegin)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Transactional read through the transaction's snapshot (and its
+    /// own buffered writes); the key joins the read-set.
+    pub fn txn_get(&mut self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        match self.call(&Request::TxnGet { key: key.to_vec() })? {
+            Response::Value(v) => Ok(Some(v)),
+            Response::NotFound => Ok(None),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Buffers a put in the open transaction (nothing reaches the engine
+    /// until commit).
+    pub fn txn_put(&mut self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        match self.call(&Request::TxnPut {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Buffers a delete in the open transaction.
+    pub fn txn_delete(&mut self, key: &[u8]) -> io::Result<()> {
+        match self.call(&Request::TxnDelete { key: key.to_vec() })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Commits the open transaction: [`TxnCommitStatus::Committed`] with
+    /// the global stamp, or [`TxnCommitStatus::Conflict`] when
+    /// first-committer-wins validation failed (the transaction is gone
+    /// either way).
+    pub fn txn_commit(&mut self) -> io::Result<TxnCommitStatus> {
+        match self.call(&Request::TxnCommit)? {
+            Response::TxnCommitted { stamp } => Ok(TxnCommitStatus::Committed(stamp)),
+            Response::TxnConflict { key } => Ok(TxnCommitStatus::Conflict(key)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Discards the open transaction; idempotent (aborting with none
+    /// open is still `Ok`).
+    pub fn txn_abort(&mut self) -> io::Result<()> {
+        match self.call(&Request::TxnAbort)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Server metrics snapshot as a JSON line.
     pub fn stats(&mut self) -> io::Result<String> {
         match self.call(&Request::Stats)? {
@@ -170,6 +241,10 @@ fn unexpected(resp: Response) -> io::Error {
             "replica quorum not reached in time (write durable on primary)".to_string()
         }
         Response::ShuttingDown => "server shutting down".to_string(),
+        Response::NoTxn => {
+            "no transaction active on this connection (never begun, finished, or timed out)"
+                .to_string()
+        }
         other => format!("unexpected response: {other:?}"),
     };
     io::Error::other(msg)

@@ -43,8 +43,10 @@ pub mod router;
 pub mod server;
 pub mod shardmap;
 
-pub use batcher::{GroupCommitter, MigrationTap, WriteOp, WriteOutcome, WriteReq};
-pub use client::{Client, ShardMapEntries};
+pub use batcher::{
+    GroupCommitter, MigrationTap, TxnCommitReq, TxnOutcome, WriteOp, WriteOutcome, WriteReq,
+};
+pub use client::{Client, ShardMapEntries, TxnCommitStatus};
 pub use failover::{promote_replica, Promotion};
 pub use harness::{
     registry_factory, reopen_elastic, reopen_shards, start_cluster, start_elastic_cluster,

@@ -57,6 +57,19 @@ pub struct ServerMetrics {
     pub repl_lag_timeouts: Arc<Counter>,
     /// Commit → quorum-ack latency, ns.
     pub repl_ack_ns: Arc<Histogram>,
+    /// TXN_BEGIN requests that opened a transaction.
+    pub txn_begins: Arc<Counter>,
+    /// Transactions that validated and committed.
+    pub txn_commits: Arc<Counter>,
+    /// Commits (or mid-txn ops) refused by first-committer-wins
+    /// validation or a shard-map flip; conflict rate =
+    /// `txn_conflicts / (txn_commits + txn_conflicts)`.
+    pub txn_conflicts: Arc<Counter>,
+    /// Idle transactions reaped by the sweeper (snapshot pins released;
+    /// the client's next txn op answers `NO_TXN`).
+    pub txn_timeouts: Arc<Counter>,
+    /// TXN_COMMIT service time (request decoded → outcome queued), ns.
+    pub txn_commit_ns: Arc<Histogram>,
 }
 
 impl ServerMetrics {
@@ -81,6 +94,11 @@ impl ServerMetrics {
             repl_acks: registry.counter("server.repl_acks"),
             repl_lag_timeouts: registry.counter("server.repl_lag_timeouts"),
             repl_ack_ns: registry.histogram("server.repl_ack_ns"),
+            txn_begins: registry.counter("server.txn_begins"),
+            txn_commits: registry.counter("server.txn_commits"),
+            txn_conflicts: registry.counter("server.txn_conflicts"),
+            txn_timeouts: registry.counter("server.txn_timeouts"),
+            txn_commit_ns: registry.histogram("server.txn_commit_ns"),
             events: EventRing::new(EVENT_CAPACITY),
             start: Instant::now(),
             registry,

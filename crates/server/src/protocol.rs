@@ -35,6 +35,12 @@
 //! | 6      | REPL_SUBSCRIBE | `u64` replica_id, `u64` from_seq          |
 //! | 7      | REPL_BATCH     | `u64` seq, ops region (see below)         |
 //! | 8      | SHARD_MAP      | —                                         |
+//! | 9      | TXN_BEGIN      | —                                         |
+//! | 10     | TXN_GET        | key                                       |
+//! | 11     | TXN_PUT        | key, value                                |
+//! | 12     | TXN_DELETE     | key                                       |
+//! | 13     | TXN_COMMIT     | —                                         |
+//! | 14     | TXN_ABORT      | —                                         |
 //!
 //! | status | response       | operands                            |
 //! |-------:|----------------|-------------------------------------|
@@ -50,6 +56,16 @@
 //! | 9      | REPLICA_LAG    | — (quorum not reached in time)      |
 //! | 10     | SHARD_MAP      | `u64` version, `u32` count, then    |
 //! |        |                | `u64` shard_id + start key per entry |
+//! | 11     | TXN_CONFLICT   | conflicting read key                |
+//! | 12     | TXN_COMMITTED  | `u64` commit stamp                  |
+//! | 13     | NO_TXN         | — (no live transaction: never begun, |
+//! |        |                | already finished, or idle-aborted)  |
+//!
+//! Transaction state is **per connection**: TXN_BEGIN opens one
+//! transaction on the issuing connection, TXN_GET/TXN_PUT/TXN_DELETE
+//! operate on it, and TXN_COMMIT/TXN_ABORT close it. A server-side idle
+//! timeout aborts abandoned transactions so a stalled client cannot pin
+//! snapshots forever; subsequent txn ops then answer NO_TXN.
 //!
 //! ## Replication ops region
 //!
@@ -117,6 +133,30 @@ pub enum Request {
     },
     /// The server's shard map — range-routed topology and its version.
     ShardMap,
+    /// Opens an optimistic transaction on this connection.
+    TxnBegin,
+    /// Transactional read through the connection's open transaction:
+    /// joins the read-set, sees the transaction's own buffered writes.
+    TxnGet {
+        /// Key to look up.
+        key: Vec<u8>,
+    },
+    /// Buffers an insert/update in the open transaction.
+    TxnPut {
+        /// Key to write.
+        key: Vec<u8>,
+        /// Value to associate.
+        value: Vec<u8>,
+    },
+    /// Buffers a tombstone in the open transaction.
+    TxnDelete {
+        /// Key to delete.
+        key: Vec<u8>,
+    },
+    /// Validates and atomically applies the open transaction.
+    TxnCommit,
+    /// Discards the open transaction (no trace remains).
+    TxnAbort,
 }
 
 /// A request decoded as borrowed views into the frame payload — the
@@ -170,6 +210,29 @@ pub enum RequestRef<'a> {
     },
     /// Shard-map query (see [`Request::ShardMap`]).
     ShardMap,
+    /// Opens an optimistic transaction (see [`Request::TxnBegin`]).
+    TxnBegin,
+    /// Transactional read (see [`Request::TxnGet`]).
+    TxnGet {
+        /// Key to look up.
+        key: &'a [u8],
+    },
+    /// Buffered transactional write (see [`Request::TxnPut`]).
+    TxnPut {
+        /// Key to write.
+        key: &'a [u8],
+        /// Value to associate.
+        value: &'a [u8],
+    },
+    /// Buffered transactional delete (see [`Request::TxnDelete`]).
+    TxnDelete {
+        /// Key to delete.
+        key: &'a [u8],
+    },
+    /// Commit request (see [`Request::TxnCommit`]).
+    TxnCommit,
+    /// Abort request (see [`Request::TxnAbort`]).
+    TxnAbort,
 }
 
 impl RequestRef<'_> {
@@ -200,6 +263,15 @@ impl RequestRef<'_> {
                 ops: ops.to_vec(),
             },
             RequestRef::ShardMap => Request::ShardMap,
+            RequestRef::TxnBegin => Request::TxnBegin,
+            RequestRef::TxnGet { key } => Request::TxnGet { key: key.to_vec() },
+            RequestRef::TxnPut { key, value } => Request::TxnPut {
+                key: key.to_vec(),
+                value: value.to_vec(),
+            },
+            RequestRef::TxnDelete { key } => Request::TxnDelete { key: key.to_vec() },
+            RequestRef::TxnCommit => Request::TxnCommit,
+            RequestRef::TxnAbort => Request::TxnAbort,
         }
     }
 }
@@ -244,6 +316,24 @@ pub enum Response {
         /// `(stable shard id, inclusive range start)` in key order.
         entries: Vec<(u64, Vec<u8>)>,
     },
+    /// TXN_COMMIT validation failed first-committer-wins: `key` was
+    /// overwritten after the transaction's snapshot. The transaction is
+    /// gone (nothing was applied); the client retries with a fresh one.
+    TxnConflict {
+        /// The read-set key that was invalidated.
+        key: Vec<u8>,
+    },
+    /// TXN_COMMIT succeeded; `stamp` is the global commit stamp (the
+    /// serialization point — replaying committed transactions in stamp
+    /// order reproduces the database state).
+    TxnCommitted {
+        /// Global commit stamp.
+        stamp: u64,
+    },
+    /// A txn op arrived with no transaction active on this connection —
+    /// never begun, already committed/aborted, or reaped by the server's
+    /// idle-transaction timeout.
+    NoTxn,
 }
 
 /// A payload-level decode failure (the frame itself was sound, so the
@@ -384,6 +474,28 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
         }
         Request::ShardMap => {
             out = frame_header(id, 8);
+        }
+        Request::TxnBegin => {
+            out = frame_header(id, 9);
+        }
+        Request::TxnGet { key } => {
+            out = frame_header(id, 10);
+            put_bytes(&mut out, key);
+        }
+        Request::TxnPut { key, value } => {
+            out = frame_header(id, 11);
+            put_bytes(&mut out, key);
+            put_bytes(&mut out, value);
+        }
+        Request::TxnDelete { key } => {
+            out = frame_header(id, 12);
+            put_bytes(&mut out, key);
+        }
+        Request::TxnCommit => {
+            out = frame_header(id, 13);
+        }
+        Request::TxnAbort => {
+            out = frame_header(id, 14);
         }
     }
     finish_frame(out)
@@ -578,6 +690,20 @@ pub fn encode_response_into(out: &mut Vec<u8>, id: u64, resp: &Response) {
             }
             end_frame_at(out, s);
         }
+        Response::TxnConflict { key } => {
+            let s = begin_frame_at(out, id, 11);
+            put_bytes(out, key);
+            end_frame_at(out, s);
+        }
+        Response::TxnCommitted { stamp } => {
+            let s = begin_frame_at(out, id, 12);
+            out.extend_from_slice(&stamp.to_le_bytes());
+            end_frame_at(out, s);
+        }
+        Response::NoTxn => {
+            let s = begin_frame_at(out, id, 13);
+            end_frame_at(out, s);
+        }
     }
 }
 
@@ -752,6 +878,15 @@ pub fn decode_request_ref(payload: &[u8]) -> Result<(u64, RequestRef<'_>), Proto
             ops: c.rest(),
         },
         8 => RequestRef::ShardMap,
+        9 => RequestRef::TxnBegin,
+        10 => RequestRef::TxnGet { key: c.bytes_ref()? },
+        11 => RequestRef::TxnPut {
+            key: c.bytes_ref()?,
+            value: c.bytes_ref()?,
+        },
+        12 => RequestRef::TxnDelete { key: c.bytes_ref()? },
+        13 => RequestRef::TxnCommit,
+        14 => RequestRef::TxnAbort,
         other => return Err(ProtocolError::BadTag(other)),
     };
     c.finish()?;
@@ -796,6 +931,9 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError>
             }
             Response::ShardMap { version, entries }
         }
+        11 => Response::TxnConflict { key: c.bytes()? },
+        12 => Response::TxnCommitted { stamp: c.u64()? },
+        13 => Response::NoTxn,
         other => return Err(ProtocolError::BadTag(other)),
     };
     c.finish()?;
@@ -950,6 +1088,15 @@ mod tests {
             ops: b.finish(),
         });
         roundtrip_request(Request::ShardMap);
+        roundtrip_request(Request::TxnBegin);
+        roundtrip_request(Request::TxnGet { key: b"k".to_vec() });
+        roundtrip_request(Request::TxnPut {
+            key: b"key".to_vec(),
+            value: vec![9, 0, 42],
+        });
+        roundtrip_request(Request::TxnDelete { key: Vec::new() });
+        roundtrip_request(Request::TxnCommit);
+        roundtrip_request(Request::TxnAbort);
     }
 
     #[test]
@@ -975,6 +1122,9 @@ mod tests {
             version: 9,
             entries: vec![(0, Vec::new()), (3, vec![64]), (2, vec![128, 0])],
         });
+        roundtrip_response(Response::TxnConflict { key: b"hot".to_vec() });
+        roundtrip_response(Response::TxnCommitted { stamp: u64::MAX });
+        roundtrip_response(Response::NoTxn);
     }
 
     #[test]
@@ -1097,6 +1247,15 @@ mod tests {
                 limit: 1000,
             },
             Request::Stats,
+            Request::TxnBegin,
+            Request::TxnGet { key: b"tk".to_vec() },
+            Request::TxnPut {
+                key: b"tk".to_vec(),
+                value: b"tv".to_vec(),
+            },
+            Request::TxnDelete { key: b"tk".to_vec() },
+            Request::TxnCommit,
+            Request::TxnAbort,
         ];
         for req in reqs {
             let frame = encode_request(9, &req);

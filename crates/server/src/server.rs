@@ -56,13 +56,13 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lsm_core::Db;
 use lsm_obs::EventKind;
 use lsm_storage::{FileId, StorageDevice, StorageResult};
 
-use crate::batcher::{GroupCommitter, WriteOp, WriteOutcome, WriteReq};
+use crate::batcher::{GroupCommitter, TxnCommitReq, TxnOutcome, WriteOp, WriteOutcome, WriteReq};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
     begin_entries_response, encode_response_into, encode_value_response_into, peek_request_id,
@@ -131,6 +131,11 @@ pub struct ServerConfig {
     /// Replication role: standalone, shipping primary, or read-only
     /// replica.
     pub role: ReplicationRole,
+    /// Abort a connection's open transaction after this long without any
+    /// txn request on it, releasing its snapshot pin (so a stalled client
+    /// cannot block memtable releases or value-log GC forever). The
+    /// client's next txn op answers `NO_TXN`.
+    pub txn_idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -142,6 +147,7 @@ impl Default for ServerConfig {
             shed_l0_runs: None,
             max_frame_bytes: MAX_FRAME_BYTES,
             role: ReplicationRole::None,
+            txn_idle_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -223,6 +229,36 @@ pub(crate) struct ServerInner {
     replica: Option<ReplicaState>,
     /// `Some` when the server is elastic.
     pub(crate) elastic: Option<ElasticCtx>,
+    /// Every connection's transaction slot, keyed by connection id, so
+    /// the idle-txn sweeper can reap stalled transactions while their
+    /// reader threads are parked on the socket.
+    txns: Mutex<HashMap<u64, Arc<Mutex<TxnSlot>>>>,
+}
+
+/// A connection's open transaction: its shard-map version at begin plus
+/// one lazily-created engine sub-transaction per shard its keys routed
+/// to. Dropping it releases every snapshot pin and validation floor.
+struct ConnTxn {
+    /// Shard-map version when the txn began (0 = hash-routed); any flip
+    /// since then aborts the txn with a conflict.
+    map_version: u64,
+    /// Sub-transaction per routed shard index.
+    parts: HashMap<usize, lsm_core::Txn>,
+}
+
+/// The per-connection transaction slot, shared between the reader thread
+/// and the sweeper.
+enum TxnSlot {
+    /// No transaction open.
+    Idle,
+    /// An open transaction and the last time a txn request touched it.
+    Active {
+        txn: ConnTxn,
+        last_active: Instant,
+    },
+    /// Reaped by the sweeper: the next txn op answers `NoTxn` and resets
+    /// the slot to `Idle`.
+    TimedOut,
 }
 
 /// A running server. [`Server::shutdown`] drains gracefully;
@@ -234,6 +270,7 @@ pub struct Server {
     addr: SocketAddr,
     accept: Option<std::thread::JoinHandle<()>>,
     rebalancer: Option<std::thread::JoinHandle<()>>,
+    sweeper: Option<std::thread::JoinHandle<()>>,
     conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
@@ -343,6 +380,7 @@ impl Server {
             replicator,
             replica,
             elastic,
+            txns: Mutex::new(HashMap::new()),
         });
         let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
         let accept = {
@@ -360,11 +398,19 @@ impl Server {
                 .spawn(move || rebalance_loop(inner, policy))
                 .expect("spawn rebalancer thread")
         });
+        let sweeper = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("lsm-server-txn-sweeper".into())
+                .spawn(move || txn_sweeper_loop(inner))
+                .expect("spawn txn sweeper thread")
+        };
         Ok(Server {
             inner: Some(inner),
             addr,
             accept: Some(accept),
             rebalancer,
+            sweeper: Some(sweeper),
             conns,
         })
     }
@@ -466,6 +512,9 @@ impl Server {
         if let Some(h) = self.rebalancer.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.sweeper.take() {
+            let _ = h.join();
+        }
         let inner = match Arc::try_unwrap(inner) {
             Ok(inner) => inner,
             Err(_) => unreachable!("all server threads joined but inner still shared"),
@@ -555,6 +604,28 @@ fn rebalance_loop(inner: Arc<ServerInner>, policy: RebalancePolicy) {
     }
 }
 
+/// Reaps transactions idle past `txn_idle_timeout`: the slot flips to
+/// `TimedOut` (dropping the `ConnTxn` releases its snapshot pins and
+/// validation floors immediately), `server.txn_timeouts` counts it, and
+/// the connection's next txn op answers `NoTxn`. Runs until drain.
+fn txn_sweeper_loop(inner: Arc<ServerInner>) {
+    let timeout = inner.cfg.txn_idle_timeout;
+    while !inner.draining.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(5));
+        let slots: Vec<Arc<Mutex<TxnSlot>>> =
+            inner.txns.lock().unwrap().values().cloned().collect();
+        for slot in slots {
+            let mut g = slot.lock().unwrap();
+            if let TxnSlot::Active { last_active, .. } = &*g {
+                if last_active.elapsed() >= timeout {
+                    *g = TxnSlot::TimedOut;
+                    inner.metrics.txn_timeouts.inc();
+                }
+            }
+        }
+    }
+}
+
 fn accept_loop(
     listener: TcpListener,
     inner: Arc<ServerInner>,
@@ -571,7 +642,7 @@ fn accept_loop(
                 let handle = std::thread::Builder::new()
                     .name(format!("lsm-server-conn-{conn_id}"))
                     .spawn(move || {
-                        serve_conn(inner2, stream);
+                        serve_conn(inner2, stream, conn_id);
                     })
                     .expect("spawn connection reader");
                 conns.lock().unwrap().push(handle);
@@ -638,7 +709,7 @@ fn writer_loop(stream: TcpStream, rx: Receiver<Vec<u8>>, pool: Arc<BufPool>) {
     let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
 }
 
-fn serve_conn(inner: Arc<ServerInner>, stream: TcpStream) {
+fn serve_conn(inner: Arc<ServerInner>, stream: TcpStream, conn_id: u64) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
     let (resp_tx, resp_rx) = channel::<Vec<u8>>();
@@ -661,12 +732,20 @@ fn serve_conn(inner: Arc<ServerInner>, stream: TcpStream) {
         pending: Mutex::new(0),
         cv: Condvar::new(),
     });
+    // the txn slot is registered so the sweeper can reap it while this
+    // thread is parked on the socket
+    let txn_slot = Arc::new(Mutex::new(TxnSlot::Idle));
+    inner
+        .txns
+        .lock()
+        .unwrap()
+        .insert(conn_id, Arc::clone(&txn_slot));
     let mut reader = FrameReader::new(stream, inner.cfg.max_frame_bytes);
     loop {
         let keep_waiting = || !inner.draining.load(Ordering::Acquire);
         match reader.next_frame_ref(keep_waiting) {
             Ok(Some(payload)) => {
-                if !handle_frame(&inner, &state, &resp_tx, &pool, payload) {
+                if !handle_frame(&inner, &state, &resp_tx, &pool, &txn_slot, payload) {
                     break;
                 }
             }
@@ -681,6 +760,10 @@ fn serve_conn(inner: Arc<ServerInner>, stream: TcpStream) {
             }
         }
     }
+    // a dead connection abandons its transaction: dropping the slot's
+    // ConnTxn releases every snapshot pin and floor
+    inner.txns.lock().unwrap().remove(&conn_id);
+    *txn_slot.lock().unwrap() = TxnSlot::Idle;
     // finish in-flight writes so their acks reach the wire before close
     state.wait_until(0);
     drop(resp_tx); // writer drains and exits once callbacks release theirs
@@ -702,6 +785,7 @@ fn handle_frame(
     state: &Arc<ConnState>,
     resp_tx: &Sender<Vec<u8>>,
     pool: &Arc<BufPool>,
+    txn_slot: &Arc<Mutex<TxnSlot>>,
     payload: &[u8],
 ) -> bool {
     inner.metrics.requests.inc();
@@ -866,7 +950,301 @@ fn handle_frame(
                 &Response::Error("not a replica".into()),
             ),
         },
+        RequestRef::TxnBegin => {
+            if inner.replica.is_some() {
+                return send_pooled(
+                    resp_tx,
+                    pool,
+                    id,
+                    &Response::Error("replica is read-only".into()),
+                );
+            }
+            // read-your-writes: the snapshot must cover every write this
+            // connection has already been acked for
+            state.wait_until(0);
+            let mut g = txn_slot.lock().unwrap();
+            if matches!(&*g, TxnSlot::Active { .. }) {
+                drop(g);
+                return send_pooled(
+                    resp_tx,
+                    pool,
+                    id,
+                    &Response::Error("transaction already active on this connection".into()),
+                );
+            }
+            let map_version = {
+                let topo = inner.topo.read().unwrap();
+                topo.shards.map().map_or(0, |m| m.version)
+            };
+            *g = TxnSlot::Active {
+                txn: ConnTxn {
+                    map_version,
+                    parts: HashMap::new(),
+                },
+                last_active: Instant::now(),
+            };
+            drop(g);
+            inner.metrics.txn_begins.inc();
+            send_pooled(resp_tx, pool, id, &Response::Ok)
+        }
+        RequestRef::TxnGet { key } => {
+            let mut g = txn_slot.lock().unwrap();
+            match &mut *g {
+                TxnSlot::Active { txn: ct, last_active } => {
+                    *last_active = Instant::now();
+                    let topo = inner.topo.read().unwrap();
+                    let resp = match txn_route(inner, ct, &topo, key) {
+                        Ok(shard) => match txn_shard(ct, &topo, shard)
+                            .and_then(|t| t.get(key))
+                        {
+                            Ok(Some(v)) => Response::Value(v),
+                            Ok(None) => Response::NotFound,
+                            Err(e) => Response::Error(e.to_string()),
+                        },
+                        Err(resp) => {
+                            *g = TxnSlot::Idle; // map flip: abort the txn
+                            resp
+                        }
+                    };
+                    drop(g);
+                    send_pooled(resp_tx, pool, id, &resp)
+                }
+                TxnSlot::TimedOut => {
+                    *g = TxnSlot::Idle;
+                    drop(g);
+                    send_pooled(resp_tx, pool, id, &Response::NoTxn)
+                }
+                TxnSlot::Idle => {
+                    drop(g);
+                    send_pooled(resp_tx, pool, id, &Response::NoTxn)
+                }
+            }
+        }
+        RequestRef::TxnPut { key, value } => {
+            txn_buffer(inner, txn_slot, resp_tx, pool, id, key, Some(value))
+        }
+        RequestRef::TxnDelete { key } => {
+            txn_buffer(inner, txn_slot, resp_tx, pool, id, key, None)
+        }
+        RequestRef::TxnCommit => txn_commit(inner, state, resp_tx, pool, txn_slot, id),
+        RequestRef::TxnAbort => {
+            // idempotent: aborting with nothing open is still Ok
+            let mut g = txn_slot.lock().unwrap();
+            let was = std::mem::replace(&mut *g, TxnSlot::Idle);
+            drop(g);
+            drop(was); // releases the snapshot pins, if any
+            send_pooled(resp_tx, pool, id, &Response::Ok)
+        }
     }
+}
+
+/// Routes `key` for an open transaction: the shard index under the
+/// current map, or the typed conflict reply when the shard map has
+/// flipped since the transaction began (its routing assumptions — and
+/// possibly its sub-transactions' engines — are stale).
+fn txn_route(
+    inner: &Arc<ServerInner>,
+    ct: &ConnTxn,
+    topo: &Topology,
+    key: &[u8],
+) -> Result<usize, Response> {
+    let version = topo.shards.map().map_or(0, |m| m.version);
+    if version != ct.map_version {
+        inner.metrics.txn_conflicts.inc();
+        return Err(Response::TxnConflict { key: key.to_vec() });
+    }
+    Ok(topo.shards.shard_index(key))
+}
+
+/// The transaction's sub-txn for `shard`, beginning one on first touch.
+fn txn_shard<'a>(
+    ct: &'a mut ConnTxn,
+    topo: &Topology,
+    shard: usize,
+) -> lsm_storage::StorageResult<&'a mut lsm_core::Txn> {
+    use std::collections::hash_map::Entry;
+    match ct.parts.entry(shard) {
+        Entry::Occupied(e) => Ok(e.into_mut()),
+        Entry::Vacant(v) => Ok(v.insert(topo.shards.db(shard).begin_txn()?)),
+    }
+}
+
+/// Buffers a transactional put (`Some`) or delete (`None`). The ack only
+/// means "buffered in the transaction" — durability comes at commit.
+fn txn_buffer(
+    inner: &Arc<ServerInner>,
+    txn_slot: &Arc<Mutex<TxnSlot>>,
+    resp_tx: &Sender<Vec<u8>>,
+    pool: &Arc<BufPool>,
+    id: u64,
+    key: &[u8],
+    value: Option<&[u8]>,
+) -> bool {
+    let mut g = txn_slot.lock().unwrap();
+    match &mut *g {
+        TxnSlot::Active { txn: ct, last_active } => {
+            *last_active = Instant::now();
+            let topo = inner.topo.read().unwrap();
+            let resp = match txn_route(inner, ct, &topo, key) {
+                Ok(shard) => match txn_shard(ct, &topo, shard) {
+                    Ok(t) => {
+                        match value {
+                            Some(v) => t.put(key.to_vec(), v.to_vec()),
+                            None => t.delete(key.to_vec()),
+                        }
+                        Response::Ok
+                    }
+                    Err(e) => Response::Error(e.to_string()),
+                },
+                Err(resp) => {
+                    *g = TxnSlot::Idle;
+                    resp
+                }
+            };
+            drop(g);
+            send_pooled(resp_tx, pool, id, &resp)
+        }
+        TxnSlot::TimedOut => {
+            *g = TxnSlot::Idle;
+            drop(g);
+            send_pooled(resp_tx, pool, id, &Response::NoTxn)
+        }
+        TxnSlot::Idle => {
+            drop(g);
+            send_pooled(resp_tx, pool, id, &Response::NoTxn)
+        }
+    }
+}
+
+/// Executes TXN_COMMIT: takes the transaction out of the slot, re-checks
+/// the shard map and admission control, then hands the parts to a
+/// committer thread — the owning shard's for a single-shard transaction
+/// (the fast path: its commit serializes with that shard's batches, so
+/// migration taps and replication stay in commit order), or the
+/// lowest-involved shard's for a cross-shard one. Cross-shard commits
+/// are refused on elastic or replicated servers, where out-of-band
+/// engine applies would race the tap tee / publish ordering.
+fn txn_commit(
+    inner: &Arc<ServerInner>,
+    state: &Arc<ConnState>,
+    resp_tx: &Sender<Vec<u8>>,
+    pool: &Arc<BufPool>,
+    txn_slot: &Arc<Mutex<TxnSlot>>,
+    id: u64,
+) -> bool {
+    state.wait_until(inner.cfg.pipeline_depth.saturating_sub(1));
+    let t0 = inner.metrics.now_ns();
+    let ct = {
+        let mut g = txn_slot.lock().unwrap();
+        match std::mem::replace(&mut *g, TxnSlot::Idle) {
+            TxnSlot::Active { txn, .. } => txn,
+            TxnSlot::TimedOut | TxnSlot::Idle => {
+                drop(g);
+                return send_pooled(resp_tx, pool, id, &Response::NoTxn);
+            }
+        }
+    };
+    if ct.parts.is_empty() {
+        // a transaction that neither read nor wrote serializes anywhere;
+        // stamp 0 marks "empty" (real stamps start at 1)
+        inner.metrics.txn_commits.inc();
+        inner
+            .metrics
+            .txn_commit_ns
+            .record(inner.metrics.now_ns().saturating_sub(t0));
+        return send_pooled(resp_tx, pool, id, &Response::TxnCommitted { stamp: 0 });
+    }
+    let topo = inner.topo.read().unwrap();
+    // the map must not have flipped: shard indices captured by the
+    // sub-txns would be stale
+    let version = topo.shards.map().map_or(0, |m| m.version);
+    if version != ct.map_version {
+        drop(topo);
+        drop(ct); // releases pins + floors
+        inner.metrics.txn_conflicts.inc();
+        return send_pooled(
+            resp_tx,
+            pool,
+            id,
+            &Response::TxnConflict { key: Vec::new() },
+        );
+    }
+    let mut shards: Vec<usize> = ct.parts.keys().copied().collect();
+    shards.sort_unstable();
+    if shards.len() > 1 && (inner.replicator.is_some() || inner.elastic.is_some()) {
+        drop(topo);
+        drop(ct);
+        return send_pooled(
+            resp_tx,
+            pool,
+            id,
+            &Response::Error(
+                "cross-shard transactions are not supported on elastic or replicated servers"
+                    .into(),
+            ),
+        );
+    }
+    // admission control, same shed line as plain writes, per shard
+    for &s in &shards {
+        let l0 = topo.shards.db(s).l0_run_count();
+        if l0 >= topo.shed_l0[s] {
+            drop(topo);
+            // the transaction survives a shed: the client may retry the
+            // commit after backing off
+            *txn_slot.lock().unwrap() = TxnSlot::Active {
+                txn: ct,
+                last_active: Instant::now(),
+            };
+            inner.metrics.sheds.inc();
+            inner.metrics.event(EventKind::ServerShed {
+                shard: s as u32,
+                l0_runs: l0 as u64,
+            });
+            return send_pooled(resp_tx, pool, id, &Response::Busy);
+        }
+    }
+    let target = shards[0];
+    let parts: Vec<lsm_core::TxnPart> = {
+        let mut by_shard: Vec<(usize, lsm_core::Txn)> = ct.parts.into_iter().collect();
+        by_shard.sort_unstable_by_key(|(s, _)| *s);
+        by_shard.into_iter().map(|(_, t)| t.into_part()).collect()
+    };
+    state.incr();
+    inner.metrics.inflight.add(1);
+    let metrics = Arc::clone(&inner.metrics);
+    let state2 = Arc::clone(state);
+    let resp_tx2 = resp_tx.clone();
+    let pool2 = Arc::clone(pool);
+    let submitted = topo.committers[target].submit_txn(TxnCommitReq {
+        parts,
+        done: Box::new(move |outcome| {
+            let resp = match outcome {
+                TxnOutcome::Committed(stamp) => {
+                    metrics.txn_commits.inc();
+                    Response::TxnCommitted { stamp }
+                }
+                TxnOutcome::CommittedLag(_) => {
+                    // durable + committed locally; the client learns the
+                    // redundancy guarantee was not met in time
+                    metrics.txn_commits.inc();
+                    Response::ReplicaLag
+                }
+                TxnOutcome::Conflict(c) => {
+                    metrics.txn_conflicts.inc();
+                    Response::TxnConflict { key: c.key }
+                }
+                TxnOutcome::Err(e) => Response::Error(e.to_string()),
+            };
+            metrics
+                .txn_commit_ns
+                .record(metrics.now_ns().saturating_sub(t0));
+            metrics.inflight.add(-1);
+            let _ = send_pooled(&resp_tx2, &pool2, id, &resp);
+            state2.decr();
+        }),
+    });
+    drop(topo);
+    submitted || !inner.draining.load(Ordering::Acquire)
 }
 
 fn submit_write(

@@ -61,6 +61,7 @@ fn hotspot_worker(mut c: Client, thread: usize, ops: usize) -> Oracle {
             read: 0.2,
             scan: 0.15,
             delete: 0.15,
+            rmw: 0.0,
         },
         value_len: 24,
         scan_len: 1000,
@@ -115,6 +116,18 @@ fn hotspot_worker(mut c: Client, thread: usize, ops: usize) -> Oracle {
                     .map(|(k, v)| (k.clone(), v.clone()))
                     .collect();
                 assert_eq!(got, want, "thread {thread} op {n}: scan diverged mid-churn");
+            }
+            Operation::ReadModifyWrite { key, value } => {
+                let k = rekey(&key);
+                c.get(&k).unwrap();
+                let id = c
+                    .send(&Request::Put {
+                        key: k.clone(),
+                        value: value.clone(),
+                    })
+                    .unwrap();
+                inflight.push(id);
+                oracle.insert(k, value);
             }
         }
         if inflight.len() >= 16 {

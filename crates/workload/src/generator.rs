@@ -40,6 +40,10 @@ pub struct OpMix {
     pub scan: f64,
     /// Deletes.
     pub delete: f64,
+    /// Read-modify-writes (YCSB-F): read a key, write a derived value
+    /// back. Transactional runners execute these atomically (read +
+    /// conditional write in one txn); plain runners as get-then-put.
+    pub rmw: f64,
 }
 
 impl OpMix {
@@ -51,6 +55,7 @@ impl OpMix {
             read: 0.0,
             scan: 0.0,
             delete: 0.0,
+            rmw: 0.0,
         }
     }
 
@@ -62,11 +67,12 @@ impl OpMix {
             read: 1.0,
             scan: 0.0,
             delete: 0.0,
+            rmw: 0.0,
         }
     }
 
     fn total(&self) -> f64 {
-        self.insert + self.update + self.read + self.scan + self.delete
+        self.insert + self.update + self.read + self.scan + self.delete + self.rmw
     }
 }
 
@@ -96,6 +102,15 @@ pub enum Operation {
     Delete {
         /// The key.
         key: Vec<u8>,
+    },
+    /// Read `key`, then write `value` back to it. A transactional runner
+    /// executes both inside one optimistic transaction (retrying on
+    /// conflict); a plain runner degrades to get-then-put.
+    ReadModifyWrite {
+        /// The key to read and rewrite.
+        key: Vec<u8>,
+        /// The replacement value.
+        value: Vec<u8>,
     },
 }
 
@@ -232,9 +247,15 @@ impl WorkloadGenerator {
                 start: encode_key(self.draw_id()),
                 limit: self.spec.scan_len,
             }
-        } else {
+        } else if r < mix.insert + mix.update + mix.read + mix.scan + mix.delete {
             Operation::Delete {
                 key: encode_key(self.draw_id()),
+            }
+        } else {
+            let id = self.draw_id();
+            Operation::ReadModifyWrite {
+                key: encode_key(id),
+                value: make_value(id ^ 0xBEEF, self.spec.value_len),
             }
         }
     }
@@ -260,6 +281,7 @@ mod tests {
                 Operation::Get { .. } => g += 1,
                 Operation::Scan { .. } => s += 1,
                 Operation::Delete { .. } => d += 1,
+                Operation::ReadModifyWrite { .. } => {}
             }
         }
         (p, g, s, d)
@@ -274,6 +296,7 @@ mod tests {
                 read: 0.4,
                 scan: 0.1,
                 delete: 0.1,
+                rmw: 0.0,
             },
             distribution: KeyDistribution::Zipfian { theta: 0.99 },
             ..Default::default()
@@ -292,6 +315,7 @@ mod tests {
                 read: 0.5,
                 scan: 0.0,
                 delete: 0.0,
+                rmw: 0.0,
             },
             ..Default::default()
         };
@@ -354,6 +378,7 @@ mod tests {
                 read: 0.5,
                 scan: 0.0,
                 delete: 0.0,
+                rmw: 0.0,
             },
             key_space: 1_000_000,
             ..Default::default()
@@ -394,6 +419,7 @@ mod tests {
                 read: 0.0,
                 scan: 1.0,
                 delete: 0.0,
+                rmw: 0.0,
             },
             scan_len: 42,
             ..Default::default()

@@ -198,6 +198,7 @@ mod tests {
                 read: 0.5,
                 scan: 0.0,
                 delete: 0.0,
+                rmw: 0.0,
             },
             ..Default::default()
         };

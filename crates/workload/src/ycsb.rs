@@ -17,7 +17,7 @@ pub enum YcsbWorkload {
     D,
     /// E: short ranges — 95% scans, 5% inserts, zipfian.
     E,
-    /// F: read-modify-write — 50% reads, 50% RMW (update), zipfian.
+    /// F: read-modify-write — 50% reads, 50% RMW, zipfian.
     F,
 }
 
@@ -55,6 +55,7 @@ impl YcsbWorkload {
                     read: 0.5,
                     scan: 0.0,
                     delete: 0.0,
+                    rmw: 0.0,
                 },
                 zipf,
             ),
@@ -65,6 +66,7 @@ impl YcsbWorkload {
                     read: 0.95,
                     scan: 0.0,
                     delete: 0.0,
+                    rmw: 0.0,
                 },
                 zipf,
             ),
@@ -76,6 +78,7 @@ impl YcsbWorkload {
                     read: 0.95,
                     scan: 0.0,
                     delete: 0.0,
+                    rmw: 0.0,
                 },
                 KeyDistribution::Latest { theta: 0.99 },
             ),
@@ -86,16 +89,18 @@ impl YcsbWorkload {
                     read: 0.0,
                     scan: 0.95,
                     delete: 0.0,
+                    rmw: 0.0,
                 },
                 zipf,
             ),
             YcsbWorkload::F => (
                 OpMix {
                     insert: 0.0,
-                    update: 0.5,
+                    update: 0.0,
                     read: 0.5,
                     scan: 0.0,
                     delete: 0.0,
+                    rmw: 0.5,
                 },
                 zipf,
             ),
@@ -143,6 +148,22 @@ mod tests {
             .filter(|op| matches!(op, Operation::Put { .. }))
             .count();
         assert!((1700..2300).contains(&puts), "{puts} puts");
+    }
+
+    #[test]
+    fn f_is_half_read_modify_write() {
+        let spec = YcsbWorkload::F.spec(1000, 1);
+        let ops = WorkloadGenerator::new(spec).take(4000);
+        let rmws = ops
+            .iter()
+            .filter(|op| matches!(op, Operation::ReadModifyWrite { .. }))
+            .count();
+        let reads = ops
+            .iter()
+            .filter(|op| matches!(op, Operation::Get { .. }))
+            .count();
+        assert!((1700..2300).contains(&rmws), "{rmws} rmws");
+        assert_eq!(rmws + reads, 4000, "F generates only reads and RMWs");
     }
 
     #[test]

@@ -30,6 +30,7 @@ proptest! {
                 read: 0.3,
                 scan: 0.1,
                 delete: 0.1,
+                rmw: 0.0,
             },
             value_len: 16,
             scan_len: 10,
@@ -62,6 +63,7 @@ proptest! {
                 read: 0.3,
                 scan: 0.05,
                 delete: 0.05,
+                rmw: 0.0,
             },
             seed,
             ..WorkloadSpec::default()
@@ -70,7 +72,8 @@ proptest! {
             let key = match &op {
                 Operation::Put { key, .. }
                 | Operation::Get { key }
-                | Operation::Delete { key } => key,
+                | Operation::Delete { key }
+                | Operation::ReadModifyWrite { key, .. } => key,
                 Operation::Scan { start, .. } => start,
             };
             let id = decode_key(key).expect("generated keys must decode");
@@ -116,17 +119,19 @@ fn mix_fidelity_over_long_streams() {
             read: 0.5,
             scan: 0.1,
             delete: 0.1,
+            rmw: 0.0,
         },
         ..WorkloadSpec::default()
     };
     let ops = WorkloadGenerator::new(spec).take(40_000);
-    let mut counts = [0usize; 4];
+    let mut counts = [0usize; 5];
     for op in &ops {
         match op {
             Operation::Put { .. } => counts[0] += 1,
             Operation::Get { .. } => counts[1] += 1,
             Operation::Scan { .. } => counts[2] += 1,
             Operation::Delete { .. } => counts[3] += 1,
+            Operation::ReadModifyWrite { .. } => counts[4] += 1,
         }
     }
     let frac = |c: usize| c as f64 / 40_000.0;

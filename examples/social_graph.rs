@@ -53,6 +53,7 @@ fn run(name: &str, cfg: LsmConfig) -> Result<(), Box<dyn std::error::Error>> {
             read: 0.95,
             scan: 0.0,
             delete: 0.0,
+            rmw: 0.0,
         },
         value_len: 128,
         seed: 11,

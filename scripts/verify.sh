@@ -33,6 +33,10 @@ echo "==> live-split migration crash sweep (both background modes, seed ${LSM_SE
 cargo test -q --test migration_crash -- --nocapture
 LSM_BACKGROUND=threaded cargo test -q --test migration_crash -- --nocapture
 
+echo "==> transaction-commit crash sweep (both background modes, seed ${LSM_SEED:-default})"
+cargo test -q --test txn_crash -- --nocapture
+LSM_BACKGROUND=threaded cargo test -q --test txn_crash -- --nocapture
+
 echo "==> allocation-regression battery (counting allocator + borrowed-vs-owned differential)"
 cargo test -q -p lsm-core --release --test alloc_regression
 LSM_BACKGROUND=threaded cargo test -q -p lsm-core --release --test alloc_regression
@@ -50,6 +54,8 @@ LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e22_replication -- --
 cargo run -q -p lsm-bench --release --bin metrics_lint results/e22_replication.metrics.jsonl
 LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e23_elastic -- --metrics
 cargo run -q -p lsm-bench --release --bin metrics_lint results/e23_elastic.metrics.jsonl
+LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e24_transactions -- --metrics
+cargo run -q -p lsm-bench --release --bin metrics_lint results/e24_transactions.metrics.jsonl
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -19,6 +19,10 @@ fn drive(db: &Db, ops: impl IntoIterator<Item = Operation>) {
                 db.scan(start..end, limit).unwrap();
             }
             Operation::Delete { key } => db.delete(key).unwrap(),
+            Operation::ReadModifyWrite { key, value } => {
+                db.get(&key).unwrap();
+                db.put(key, value).unwrap();
+            }
         }
     }
 }
@@ -63,6 +67,7 @@ fn identical_traces_give_identical_io_on_identical_configs() {
                 read: 0.3,
                 scan: 0.05,
                 delete: 0.05,
+                rmw: 0.0,
             },
             value_len: 48,
             seed: 99,

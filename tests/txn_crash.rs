@@ -1,0 +1,225 @@
+//! Transaction-commit crash sweep: kill the engine at every I/O ordinal
+//! of a run that commits a sequence of multi-key optimistic
+//! transactions, then recover and prove commit atomicity.
+//!
+//! Each scripted transaction writes a **disjoint key-set** (its own
+//! `t<NN>-k<M>` keys) plus one **shared cursor key** it reads and
+//! overwrites with its own ordinal. Transactions run sequentially and
+//! each acked commit is followed by an acked `sync`, so the committed
+//! history is a strict prefix of the script. After the crash and reopen
+//! the sweep asserts:
+//!
+//! * **prefix**: the recovered state is exactly the replay of the first
+//!   `j` transactions for some `j` — the cursor key names `j`, every
+//!   transaction `≤ j` is **fully** visible and every transaction `> j`
+//!   left **zero trace** (the atomic WAL group is all-or-nothing; a torn
+//!   tail group must vanish wholesale, never a partial write-set);
+//! * **durability**: `j` covers at least every acked commit (commit `Ok`
+//!   **and** the following `sync` `Ok`);
+//! * **consistency**: a full scan agrees with point gets.
+//!
+//! The maintenance mode follows `LSM_BACKGROUND` (the sweep runs in both
+//! modes under `scripts/verify.sh`), and `LSM_SEED` reseeds the fault
+//! device; both are printed so failures reproduce.
+
+use std::sync::Arc;
+
+use lsm_core::{Db, LsmConfig, TxnError};
+use lsm_storage::{DeviceProfile, FaultDevice, FaultKind, MemDevice, StorageDevice};
+
+/// Scripted transactions per run.
+const TXNS: usize = 28;
+/// Exclusive keys written by each transaction.
+const KEYS_PER_TXN: usize = 4;
+const CURSOR: &[u8] = b"txn-cursor";
+
+fn sweep_seed() -> u64 {
+    std::env::var("LSM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x7C5B_0A11)
+}
+
+/// Engine config; the maintenance mode comes from `LSM_BACKGROUND` via
+/// `small_for_tests`, so one binary sweeps both modes. The 1 KiB buffer
+/// makes the scripted write volume cross memtable rotations, so crash
+/// ordinals land inside flush and manifest I/O, not just the WAL.
+fn node_cfg() -> LsmConfig {
+    LsmConfig {
+        wal: true,
+        buffer_bytes: 1 << 10,
+        ..LsmConfig::small_for_tests()
+    }
+}
+
+fn fault_device(seed: u64) -> Arc<FaultDevice> {
+    let mem: Arc<dyn StorageDevice> = Arc::new(MemDevice::new(512, DeviceProfile::free()));
+    Arc::new(FaultDevice::new(mem, seed))
+}
+
+fn erased(dev: &Arc<FaultDevice>) -> Arc<dyn StorageDevice> {
+    Arc::clone(dev) as Arc<dyn StorageDevice>
+}
+
+fn txn_key(t: usize, m: usize) -> Vec<u8> {
+    format!("t{t:02}-k{m}").into_bytes()
+}
+
+fn txn_value(t: usize, m: usize) -> Vec<u8> {
+    // varying lengths so commits straddle block boundaries
+    let len = 12 + (t * 7 + m * 13) % 70;
+    let mut v = format!("v{t:02}-{m}-").into_bytes();
+    v.resize(len, b'a' + ((t + m) % 26) as u8);
+    v
+}
+
+/// Runs the scripted transactions until the device dies (or the script
+/// ends). Returns the number of **acked** commits: commit `Ok` and the
+/// following `sync` `Ok`.
+fn scripted_txns(db: &Db) -> usize {
+    let mut acked = 0;
+    for t in 1..=TXNS {
+        let mut txn = match db.begin_txn() {
+            Ok(txn) => txn,
+            Err(_) => break,
+        };
+        // read-modify-write of the shared cursor; single-threaded, so
+        // validation always passes on a live device
+        match txn.get(CURSOR) {
+            Ok(cur) => {
+                let prev: usize = cur
+                    .and_then(|v| String::from_utf8(v).ok())
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                assert_eq!(prev, t - 1, "cursor must walk the prefix in order");
+            }
+            Err(_) => break,
+        }
+        txn.put(CURSOR.to_vec(), t.to_string().into_bytes());
+        for m in 0..KEYS_PER_TXN {
+            txn.put(txn_key(t, m), txn_value(t, m));
+        }
+        match txn.commit() {
+            Ok(stamp) => assert!(stamp > 0, "committed txn must draw a stamp"),
+            Err(TxnError::Conflict(c)) => {
+                panic!("sequential txns cannot conflict: {c:?}")
+            }
+            Err(TxnError::Storage(_)) => break,
+        }
+        if db.sync().is_ok() {
+            acked = t;
+        } else {
+            break;
+        }
+    }
+    acked
+}
+
+/// Post-recovery check: state == replay of the first `j` txns, `j ≥
+/// acked`, all-or-nothing per transaction, scan agrees with gets.
+fn verify(db: &Db, acked: usize, context: &str) {
+    let cursor = db.get(CURSOR).unwrap_or_else(|e| panic!("{context}: cursor get failed: {e}"));
+    let j: usize = match cursor {
+        Some(v) => String::from_utf8(v)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("{context}: cursor corrupt")),
+        None => 0,
+    };
+    assert!(
+        j >= acked,
+        "{context}: acked commit lost — cursor names txn {j}, but {acked} commits were acked"
+    );
+    assert!(j <= TXNS, "{context}: cursor {j} past the script");
+    let mut expected_scan: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    if j > 0 {
+        expected_scan.push((CURSOR.to_vec(), j.to_string().into_bytes()));
+    }
+    for t in 1..=TXNS {
+        for m in 0..KEYS_PER_TXN {
+            let got = db
+                .get(&txn_key(t, m))
+                .unwrap_or_else(|e| panic!("{context}: get t{t}-k{m} failed: {e}"));
+            if t <= j {
+                assert_eq!(
+                    got,
+                    Some(txn_value(t, m)),
+                    "{context}: txn {t} committed (cursor {j}) but key {m} is missing or \
+                     wrong — partial write-set"
+                );
+                expected_scan.push((txn_key(t, m), txn_value(t, m)));
+            } else {
+                assert_eq!(
+                    got,
+                    None,
+                    "{context}: txn {t} did not commit (cursor {j}) but key {m} survived — \
+                     torn group leaked"
+                );
+            }
+        }
+    }
+    expected_scan.sort();
+    let scanned = db
+        .scan(b"t".to_vec()..b"u".to_vec(), usize::MAX)
+        .unwrap_or_else(|e| panic!("{context}: scan failed: {e}"));
+    assert_eq!(scanned, expected_scan, "{context}: scan disagrees with point gets");
+}
+
+/// Fault-free run; its I/O count bounds the sweep range.
+fn clean_run_total(seed: u64) -> u64 {
+    let fault = fault_device(seed);
+    let db = Db::open(erased(&fault), node_cfg()).expect("clean open");
+    let acked = scripted_txns(&db);
+    assert_eq!(acked, TXNS, "fault-free run must ack every commit");
+    db.wait_background_idle();
+    verify(&db, acked, "fault-free");
+    drop(db);
+    fault.ops_performed()
+}
+
+/// One case: crash at ordinal `at`, drop the handle while dead (process
+/// death), heal, reopen, verify. Returns whether the fault fired.
+fn crash_case(seed: u64, at: u64) -> bool {
+    let fault = fault_device(seed ^ at);
+    fault.schedule(at, FaultKind::Crash);
+    let mut acked = 0;
+    if let Ok(db) = Db::open(erased(&fault), node_cfg()) {
+        acked = scripted_txns(&db);
+        db.wait_background_idle();
+        drop(db);
+    }
+    let fired = fault.pending_faults().is_empty();
+    fault.heal();
+    let db = Db::open(erased(&fault), node_cfg())
+        .unwrap_or_else(|e| panic!("reopen after crash at ordinal {at} failed: {e}"));
+    verify(&db, acked, &format!("crash at ordinal {at}"));
+    // recovered engine keeps committing transactions
+    let mut txn = db.begin_txn().expect("begin after recovery");
+    txn.put(b"post-crash".to_vec(), b"alive".to_vec());
+    txn.commit().expect("commit after recovery");
+    assert_eq!(db.get(b"post-crash").unwrap(), Some(b"alive".to_vec()));
+    fired
+}
+
+#[test]
+fn crash_at_every_io_point_during_txn_commits() {
+    let seed = sweep_seed();
+    let mode = lsm_core::BackgroundMode::from_env();
+    eprintln!("txn crash sweep: LSM_SEED={seed} mode={}", mode.label());
+    let total = clean_run_total(seed);
+    assert!(total > 100, "workload too small to exercise recovery ({total} I/Os)");
+    let mut fired = 0u64;
+    for at in 0..total {
+        if crash_case(seed, at) {
+            fired += 1;
+        }
+    }
+    eprintln!("txn sweep: {fired}/{total} crash points fired (LSM_SEED={seed})");
+    // threaded worker timing can shift ordinals so a scheduled fault
+    // never fires; those cases degrade to clean roundtrips (still
+    // verified), but a mostly-vacuous sweep proves nothing
+    assert!(
+        fired * 2 >= total,
+        "only {fired}/{total} crash points fired; sweep is mostly vacuous (LSM_SEED={seed})"
+    );
+}
