@@ -1,74 +1,28 @@
 //! E11 — Navigating the design space with cost models (tutorial
 //! Module III.1; design continuum / Cosine).
 //!
-//! For each workload, the analytical navigator ranks a candidate grid;
-//! every candidate is then *built and measured* on the same trace.
-//! Expected shape: the model's ranking agrees with the measured ranking at
-//! the top (the navigator picks a measured-near-optimal design), even
-//! though absolute modeled I/O differs from measured I/O.
+//! For each workload, a deterministic operation trace is synthesized,
+//! the *shared* workload estimator ([`lsm_tuner::WorkloadEstimate`] —
+//! the same code path the online tuner runs over metrics deltas)
+//! recovers the mix from the trace, the analytical navigator ranks a
+//! candidate grid over that estimate, and every candidate is then
+//! *built and measured* on the same trace. Expected shape: the model's
+//! ranking agrees with the measured ranking at the top (the navigator
+//! picks a measured-near-optimal design), even though absolute modeled
+//! I/O differs from measured I/O.
 
 use lsm_bench::*;
-use lsm_core::{Db, FilterAllocation, LsmConfig, MergeLayout};
 use lsm_model::navigator::Environment;
-use lsm_model::{navigate, Candidate, DesignSpace, MergePolicy, WorkloadProfile};
-use lsm_workload::encode_key;
+use lsm_model::{navigate, DesignSpace, MergePolicy, WorkloadProfile};
 
 const N: u64 = 50_000;
-
-fn engine_for(c: &Candidate) -> LsmConfig {
-    let mut cfg = base_config();
-    cfg.layout = match c.design.policy {
-        MergePolicy::Leveling => MergeLayout::Leveled,
-        MergePolicy::Tiering => MergeLayout::Tiered,
-        MergePolicy::LazyLeveling => MergeLayout::LazyLeveled,
-    };
-    cfg.size_ratio = c.design.size_ratio as usize;
-    cfg.buffer_bytes = (c.design.buffer_entries as usize * 80).max(cfg.block_size * 4);
-    cfg.bits_per_key = c.design.bits_per_key;
-    cfg.filter_allocation = if c.design.monkey {
-        FilterAllocation::Monkey
-    } else {
-        FilterAllocation::Uniform
-    };
-    cfg
-}
-
-/// Measured cost of one candidate on a workload trace, in device blocks
-/// per operation.
-fn measured_cost(c: &Candidate, w: &WorkloadProfile) -> f64 {
-    let db = Db::open_in_memory(engine_for(c)).unwrap();
-    fill_scattered(&db, N, 64);
-    let io0 = db.io_stats();
-    let ops = 20_000u64;
-    let wn = w.normalized();
-    for i in 0..ops {
-        let r = (i as f64 * 0.61803398875) % 1.0;
-        let id = i.wrapping_mul(48271) % N;
-        if r < wn.writes {
-            db.put(encode_key(id), value_of(id, 64)).unwrap();
-        } else if r < wn.writes + wn.point_reads {
-            db.get(&encode_key(id)).unwrap();
-        } else if r < wn.writes + wn.point_reads + wn.empty_point_reads {
-            let mut k = encode_key(id);
-            k.push(b'!');
-            db.get(&k).unwrap();
-        } else {
-            let mut end = encode_key(N * 2);
-            end.push(b'z');
-            db.scan(encode_key(id)..end, wn.range_entries as usize)
-                .unwrap();
-        }
-    }
-    let io = db.io_stats().delta_since(&io0);
-    (io.total_read_blocks() + io.total_written_blocks()) as f64 / ops as f64
-}
 
 fn main() {
     println!("E11: model-guided navigation vs measurement — {N} keys\n");
     let env = Environment {
         num_entries: N,
-        entry_bytes: 80,
-        entries_per_block: 1024 / 80,
+        entry_bytes: MODEL_ENTRY_BYTES as u64,
+        entries_per_block: 1024 / MODEL_ENTRY_BYTES as u64,
         total_memory_bytes: 256 << 10,
     };
     // a small candidate grid (kept coarse so every cell can be measured)
@@ -105,13 +59,19 @@ fn main() {
             range_entries: 200.0,
         }),
     ];
-    for (name, w) in workloads {
+    for (name, intended) in workloads {
         println!("workload: {name}");
+        // synthesize the trace from the intended mix, then let the
+        // shared estimator recover the profile the navigator consumes —
+        // exactly what the online tuner does with a metrics delta
+        let trace = synth_trace(&intended, 20_000, N, 64);
+        let est = estimate_of(&trace);
+        let w = est.profile();
         let ranked = navigate(&space, &env, &w);
         let t = TablePrinter::new(&["design", "T", "model cost", "measured blk/op"]);
         let mut measured: Vec<(String, f64, f64)> = Vec::new();
         for c in &ranked {
-            let m = measured_cost(c, &w);
+            let m = measured_trace_cost(c, &trace, N);
             measured.push((
                 c.design.policy.label().to_string(),
                 c.cost,
@@ -129,6 +89,13 @@ fn main() {
             .iter()
             .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
             .unwrap();
+        println!(
+            "  estimated mix: {:.0}% writes / {:.0}% reads / {:.0}% scans ({:.0}% of lookups empty)",
+            w.writes * 100.0,
+            (w.point_reads + w.empty_point_reads) * 100.0,
+            w.range_reads * 100.0,
+            est.empty_read_fraction() * 100.0,
+        );
         println!(
             "  model picked {} ({:.3} blk/op); measured best {} ({:.3}); regret {:.1}%\n",
             model_best.0,

@@ -2,81 +2,40 @@
 //! Endure, VLDB '22).
 //!
 //! The nominal navigator tunes for the expected workload; the robust
-//! navigator minimizes worst-case modeled cost over a drift neighborhood.
-//! Both tunings are then measured on the expected workload *and* on
-//! drifted workloads. Expected shape: nominal wins (slightly) when the
+//! navigator minimizes worst-case modeled cost over a drift
+//! neighborhood. Both tunings are then measured on the expected
+//! workload *and* on drifted workloads, each synthesized as a
+//! deterministic trace and estimated through the *shared* workload
+//! estimator (the same [`lsm_tuner::WorkloadEstimate`] code path the
+//! online tuner runs). Expected shape: nominal wins (slightly) when the
 //! forecast holds; robust loses less when it doesn't.
 
 use lsm_bench::*;
-use lsm_core::{Db, FilterAllocation, LsmConfig, MergeLayout};
 use lsm_model::navigator::Environment;
 use lsm_model::robust::{robust_navigate, WorkloadNeighborhood};
-use lsm_model::{Candidate, DesignSpace, MergePolicy, WorkloadProfile};
-use lsm_workload::encode_key;
+use lsm_model::{DesignSpace, MergePolicy, WorkloadProfile};
 
 const N: u64 = 50_000;
-
-fn engine_for(c: &Candidate) -> LsmConfig {
-    let mut cfg = base_config();
-    cfg.layout = match c.design.policy {
-        MergePolicy::Leveling => MergeLayout::Leveled,
-        MergePolicy::Tiering => MergeLayout::Tiered,
-        MergePolicy::LazyLeveling => MergeLayout::LazyLeveled,
-    };
-    cfg.size_ratio = c.design.size_ratio as usize;
-    cfg.buffer_bytes = (c.design.buffer_entries as usize * 80).max(cfg.block_size * 4);
-    cfg.bits_per_key = c.design.bits_per_key;
-    cfg.filter_allocation = if c.design.monkey {
-        FilterAllocation::Monkey
-    } else {
-        FilterAllocation::Uniform
-    };
-    cfg
-}
-
-fn measured_cost(c: &Candidate, w: &WorkloadProfile) -> f64 {
-    let db = Db::open_in_memory(engine_for(c)).unwrap();
-    fill_scattered(&db, N, 64);
-    let io0 = db.io_stats();
-    let ops = 15_000u64;
-    let wn = w.normalized();
-    for i in 0..ops {
-        let r = (i as f64 * 0.61803398875) % 1.0;
-        let id = i.wrapping_mul(48271) % N;
-        if r < wn.writes {
-            db.put(encode_key(id), value_of(id, 64)).unwrap();
-        } else if r < wn.writes + wn.point_reads {
-            db.get(&encode_key(id)).unwrap();
-        } else if r < wn.writes + wn.point_reads + wn.empty_point_reads {
-            let mut k = encode_key(id);
-            k.push(b'!');
-            db.get(&k).unwrap();
-        } else {
-            let mut end = encode_key(N * 2);
-            end.push(b'z');
-            db.scan(encode_key(id)..end, wn.range_entries.max(1.0) as usize)
-                .unwrap();
-        }
-    }
-    let io = db.io_stats().delta_since(&io0);
-    (io.total_read_blocks() + io.total_written_blocks()) as f64 / ops as f64
-}
 
 fn main() {
     println!("E12: robust vs nominal tuning under drift — {N} keys\n");
     // expectation: write-heavy with occasional scans; reality may drift
-    // toward the scans (tiering's weak spot)
-    let center = WorkloadProfile {
+    // toward the scans (tiering's weak spot). The forecast itself is a
+    // synthesized trace run through the shared estimator, so the
+    // navigator here and the online tuner consume identical inputs.
+    let intended = WorkloadProfile {
         writes: 0.93,
         point_reads: 0.03,
         empty_point_reads: 0.03,
         range_reads: 0.01,
         range_entries: 300.0,
     };
+    let forecast_trace = synth_trace(&intended, 15_000, N, 64);
+    let center = estimate_of(&forecast_trace).profile();
     let env = Environment {
         num_entries: N,
-        entry_bytes: 80,
-        entries_per_block: 1024 / 80,
+        entry_bytes: MODEL_ENTRY_BYTES as u64,
+        entries_per_block: 1024 / MODEL_ENTRY_BYTES as u64,
         total_memory_bytes: 256 << 10,
     };
     let space = DesignSpace {
@@ -99,7 +58,7 @@ fn main() {
         robust.design.size_ratio
     );
     let drifted = [
-        ("as forecast (93% writes)", center),
+        ("as forecast (93% writes)", intended),
         ("drift: balanced", WorkloadProfile {
             writes: 0.5,
             point_reads: 0.15,
@@ -119,8 +78,9 @@ fn main() {
     let mut worst_nominal = 0.0f64;
     let mut worst_robust = 0.0f64;
     for (name, w) in drifted {
-        let cn = measured_cost(&nominal, &w);
-        let cr = measured_cost(&robust, &w);
+        let trace = synth_trace(&w, 15_000, N, 64);
+        let cn = measured_trace_cost(&nominal, &trace, N);
+        let cr = measured_trace_cost(&robust, &trace, N);
         worst_nominal = worst_nominal.max(cn);
         worst_robust = worst_robust.max(cr);
         t.print(&[name.to_string(), f3(cn), f3(cr)]);

@@ -10,9 +10,11 @@
 //! blocks read per lookup, write amplification, hit rates, and simulated
 //! device time.
 
-use lsm_core::{Db, LsmConfig};
+use lsm_core::{Db, FilterAllocation, LsmConfig, MergeLayout};
+use lsm_model::{Candidate, MergePolicy, WorkloadProfile};
 use lsm_storage::IoCategory;
-use lsm_workload::{encode_key, ZipfSampler};
+use lsm_tuner::WorkloadEstimate;
+use lsm_workload::{encode_key, Operation, Trace, ZipfSampler, KEY_LEN};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -110,6 +112,106 @@ pub fn write_metrics_artifact(db: &Db, bin: &str, tags: &[(&str, &str)]) {
 /// Deterministic value payload.
 pub fn value_of(id: u64, len: usize) -> Vec<u8> {
     lsm_workload::keyspace::make_value(id, len)
+}
+
+/// The modeled per-entry footprint used when mapping navigator designs
+/// onto engine configurations (key + value + per-entry overhead).
+pub const MODEL_ENTRY_BYTES: usize = 80;
+
+/// Maps a navigator candidate onto a runnable engine configuration
+/// (shared by E11, E12, and E25 so the model→engine translation cannot
+/// drift between experiments).
+pub fn engine_for(c: &Candidate) -> LsmConfig {
+    let mut cfg = base_config();
+    cfg.layout = match c.design.policy {
+        MergePolicy::Leveling => MergeLayout::Leveled,
+        MergePolicy::Tiering => MergeLayout::Tiered,
+        MergePolicy::LazyLeveling => MergeLayout::LazyLeveled,
+    };
+    cfg.size_ratio = c.design.size_ratio as usize;
+    cfg.buffer_bytes = (c.design.buffer_entries as usize * MODEL_ENTRY_BYTES).max(cfg.block_size * 4);
+    cfg.bits_per_key = c.design.bits_per_key;
+    cfg.filter_allocation = if c.design.monkey {
+        FilterAllocation::Monkey
+    } else {
+        FilterAllocation::Uniform
+    };
+    cfg
+}
+
+/// Synthesizes a deterministic operation trace matching a workload
+/// profile: the golden-ratio stride walks the mix fractions exactly
+/// (no sampling noise), ids stride the key space, and absent keys are a
+/// real key plus a `'!'` suffix so fences cannot prune them.
+pub fn synth_trace(w: &WorkloadProfile, ops: u64, n_keyspace: u64, value_len: usize) -> Trace {
+    let wn = w.normalized();
+    let mut out = Vec::with_capacity(ops as usize);
+    for i in 0..ops {
+        let r = (i as f64 * 0.61803398875) % 1.0;
+        let id = i.wrapping_mul(48271) % n_keyspace;
+        if r < wn.writes {
+            out.push(Operation::Put {
+                key: encode_key(id),
+                value: value_of(id, value_len),
+            });
+        } else if r < wn.writes + wn.point_reads {
+            out.push(Operation::Get { key: encode_key(id) });
+        } else if r < wn.writes + wn.point_reads + wn.empty_point_reads {
+            let mut k = encode_key(id);
+            k.push(b'!');
+            out.push(Operation::Get { key: k });
+        } else {
+            out.push(Operation::Scan {
+                start: encode_key(id),
+                limit: wn.range_entries.max(1.0) as usize,
+            });
+        }
+    }
+    Trace::from_ops(out)
+}
+
+/// The shared offline estimate of a trace: the same
+/// [`WorkloadEstimate`] the online tuner builds from metrics, here
+/// classified by key shape (fixed-width keys were loaded; suffixed keys
+/// are the synthesized absent probes).
+pub fn estimate_of(trace: &Trace) -> WorkloadEstimate {
+    WorkloadEstimate::from_trace_with(trace, |k| k.len() == KEY_LEN)
+}
+
+/// Replays a trace against an engine (scan end bound chosen past the
+/// loaded key space, matching the synthesized scans).
+pub fn replay_trace(db: &Db, trace: &Trace, n_keyspace: u64) {
+    for op in trace.ops() {
+        match op {
+            Operation::Put { key, value } => db.put(key.clone(), value.clone()).unwrap(),
+            Operation::Delete { key } => db.delete(key.clone()).unwrap(),
+            Operation::Get { key } => {
+                db.get(key).unwrap();
+            }
+            Operation::Scan { start, limit } => {
+                let mut end = encode_key(n_keyspace * 2);
+                end.push(b'z');
+                db.scan(start.clone()..end, *limit).unwrap();
+            }
+            Operation::ReadModifyWrite { key, value } => {
+                db.get(key).unwrap();
+                db.put(key.clone(), value.clone()).unwrap();
+            }
+        }
+    }
+}
+
+/// Builds a candidate's engine, loads `n_keyspace` keys, replays the
+/// trace, and returns total device blocks moved per operation — the
+/// measured counterpart of the navigator's modeled cost.
+pub fn measured_trace_cost(c: &Candidate, trace: &Trace, n_keyspace: u64) -> f64 {
+    let db = Db::open_in_memory(engine_for(c)).unwrap();
+    fill_scattered(&db, n_keyspace, 64);
+    let io0 = db.io_stats();
+    replay_trace(&db, trace, n_keyspace);
+    let io = db.io_stats().delta_since(&io0);
+    (io.total_read_blocks() + io.total_written_blocks()) as f64
+        / trace.ops().len().max(1) as f64
 }
 
 /// Loads `n` keys in scattered (hash) order with `value_len`-byte values.

@@ -165,7 +165,7 @@ pub struct KvSeparation {
 }
 
 /// Full engine configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LsmConfig {
     /// Storage block size in bytes.
     pub block_size: usize,

@@ -31,6 +31,7 @@ use crate::compaction::scheduler::{CompactionScheduler, JobIoReport, JobPriority
 use crate::compaction::subcompact::{self, ShardExec};
 use crate::compaction::{self, exec::merge_tables, exec::MergeResult, picker::pick_file, CompactionTask};
 use crate::config::{BackgroundMode, CompactionGranularity, FilterAllocation, LsmConfig};
+use crate::dynamic::{DynamicConfig, DynamicSnapshot, DynamicUpdate};
 use crate::entry::{InternalEntry, ValueKind};
 use crate::kv_sep::{
     decode_value, encode_inline, encode_pointer, read_pointer_from_device, ValueLog,
@@ -316,6 +317,10 @@ impl std::ops::Deref for Db {
 pub struct DbCore {
     device: Arc<dyn StorageDevice>,
     cfg: LsmConfig,
+    /// Online-retunable override overlay (see [`crate::dynamic`]):
+    /// filter budget, merge layout, size ratio, and L0 thresholds can
+    /// change on the running engine; everything else is boot-fixed.
+    dynamic: DynamicConfig,
     cache: Option<Arc<ShardedCache<Block>>>,
     stats: DbStats,
     heat: Mutex<HeatMap>,
@@ -347,6 +352,11 @@ pub struct DbCore {
 }
 
 impl Db {
+    /// Whether two handles refer to the same engine instance.
+    pub fn same_engine(&self, other: &Db) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
+    }
+
     /// Opens (or recovers) an engine on `device`. The device's block size
     /// must match `cfg.block_size`.
     pub fn open(device: Arc<dyn StorageDevice>, cfg: LsmConfig) -> StorageResult<Db> {
@@ -469,6 +479,7 @@ impl Db {
             core: Arc::new(DbCore {
                 device,
                 cfg,
+                dynamic: DynamicConfig::new(),
                 cache,
                 stats: DbStats::default(),
                 heat: Mutex::new(HeatMap::new(1024, 100_000)),
@@ -591,9 +602,45 @@ impl DbCore {
         Ok((version, mem, next_seqno))
     }
 
-    /// The engine configuration.
+    /// The engine configuration as booted. Maintenance decisions run
+    /// under [`DbCore::effective_config`], which layers the dynamic
+    /// overrides on top.
     pub fn config(&self) -> &LsmConfig {
         &self.cfg
+    }
+
+    /// The boot configuration with every staged dynamic override applied
+    /// — what compaction planning, filter sizing, and backpressure
+    /// currently run under.
+    pub fn effective_config(&self) -> LsmConfig {
+        self.dynamic.effective(&self.cfg)
+    }
+
+    /// Currently staged dynamic overrides (`None` fields = boot value).
+    pub fn dynamic_overrides(&self) -> DynamicSnapshot {
+        self.dynamic.snapshot()
+    }
+
+    /// Stages a validated dynamic-config update. Changes take effect at
+    /// the next decision point that reads the knob: filter budgets at the
+    /// next table build, layout/size-ratio at the next compaction-planning
+    /// pass, L0 thresholds at the next write. Existing data is never
+    /// rewritten eagerly. Errors (an update whose merged config fails
+    /// [`LsmConfig::validate`]) leave the overlay untouched.
+    pub fn set_dynamic(&self, update: &DynamicUpdate) -> Result<(), String> {
+        self.dynamic.apply(&self.cfg, update)?;
+        // Let the threaded picker notice a newly-violated invariant
+        // without waiting for the next write.
+        if self.threaded() {
+            self.bg.schedule_compact();
+        }
+        Ok(())
+    }
+
+    /// Appends an externally-generated event (e.g. a tuner decision) to
+    /// the engine's trace ring, stamped with the engine clock.
+    pub fn record_event(&self, kind: EventKind) {
+        self.obs.event(kind);
     }
 
     /// The storage device (for I/O statistics and simulated time).
@@ -750,13 +797,14 @@ impl DbCore {
     /// so delayed writers never hold any engine lock — readers proceed
     /// untouched while a writer sleeps or stalls.
     fn backpressure(&self) {
+        let (dyn_slow, dyn_stall) = self.dynamic.l0_thresholds();
+        let slowdown = dyn_slow.unwrap_or(self.cfg.l0_slowdown_runs);
+        let stall = dyn_stall.unwrap_or(self.cfg.l0_stall_runs);
         let l0 = self.l0_runs.load(Ordering::Acquire);
-        self.obs
-            .backpressure_band(l0, self.cfg.l0_slowdown_runs, self.cfg.l0_stall_runs);
-        if l0 >= self.cfg.l0_stall_runs {
+        self.obs.backpressure_band(l0, slowdown, stall);
+        if l0 >= stall {
             self.device.stats().record_write_stall();
             self.bg.schedule_compact();
-            let stall = self.cfg.l0_stall_runs;
             self.bg
                 .wait_progress_until(|| self.l0_runs.load(Ordering::Acquire) < stall);
             // Compaction drained L0 below the stall line while we slept;
@@ -764,10 +812,10 @@ impl DbCore {
             // rather than on some later write.
             self.obs.backpressure_band(
                 self.l0_runs.load(Ordering::Acquire),
-                self.cfg.l0_slowdown_runs,
-                self.cfg.l0_stall_runs,
+                slowdown,
+                stall,
             );
-        } else if l0 >= self.cfg.l0_slowdown_runs {
+        } else if l0 >= slowdown {
             self.device.stats().record_write_slowdown();
             self.bg.schedule_compact();
             std::thread::sleep(std::time::Duration::from_micros(self.cfg.slowdown_micros));
@@ -1360,8 +1408,9 @@ impl DbCore {
     /// Whether the planner sees work to do (used by the background worker
     /// to close the quiesce-vs-new-flush race).
     pub(crate) fn compaction_needed(&self) -> bool {
+        let cfg = self.effective_config();
         let inner = self.inner.read();
-        compaction::plan(&inner.version, &self.cfg).is_some()
+        compaction::plan(&inner.version, &cfg).is_some()
     }
 
     /// Runs the compaction cascade to quiescence, taking `inner` only
@@ -1375,8 +1424,11 @@ impl DbCore {
                 return Ok(());
             }
             let prep = {
+                // re-read per step so a retune staged mid-cascade is
+                // picked up by the next planning pass
+                let cfg = self.effective_config();
                 let mut inner = self.inner.write();
-                let Some(task) = compaction::plan(&inner.version, &self.cfg) else {
+                let Some(task) = compaction::plan(&inner.version, &cfg) else {
                     return Ok(());
                 };
                 match self.prepare_compaction(&mut inner, task)? {
@@ -2273,8 +2325,16 @@ impl DbCore {
     // ------------------------------------------------------------------
 
     fn bits_for_level(&self, version: &Version, level: usize) -> f64 {
-        match self.cfg.filter_allocation {
-            FilterAllocation::Uniform => self.cfg.bits_per_key,
+        // Read through the dynamic overlay: a retuned filter budget or
+        // allocation strategy applies to the next table build, here.
+        let bits_per_key = self.dynamic.bits_per_key().unwrap_or(self.cfg.bits_per_key);
+        let allocation = self
+            .dynamic
+            .filter_allocation()
+            .unwrap_or(self.cfg.filter_allocation);
+        let size_ratio = self.dynamic.size_ratio().unwrap_or(self.cfg.size_ratio);
+        match allocation {
+            FilterAllocation::Uniform => bits_per_key,
             FilterAllocation::Monkey => {
                 let mut counts = version.entries_per_level();
                 if counts.len() <= level {
@@ -2282,27 +2342,27 @@ impl DbCore {
                 }
                 let total: u64 = counts.iter().sum();
                 if total == 0 {
-                    return self.cfg.bits_per_key;
+                    return bits_per_key;
                 }
                 // project sizes for currently-empty levels from the tree's
                 // geometry, so a fresh L0 table still receives the high
                 // bits/key Monkey assigns small levels
                 let last = counts.iter().rposition(|&c| c > 0).unwrap_or(level);
                 let bottom = counts[last].max(1);
-                let t = self.cfg.size_ratio.max(2) as u64;
+                let t = size_ratio.max(2) as u64;
                 for (i, c) in counts.iter_mut().enumerate() {
                     if *c == 0 {
                         let depth = last.abs_diff(i) as u32;
                         *c = (bottom / t.saturating_pow(depth)).max(1);
                     }
                 }
-                let budget = self.cfg.bits_per_key * total as f64;
+                let budget = bits_per_key * total as f64;
                 let alloc = monkey_allocation(&counts, budget);
                 alloc
                     .bits_per_key
                     .get(level)
                     .copied()
-                    .unwrap_or(self.cfg.bits_per_key)
+                    .unwrap_or(bits_per_key)
             }
         }
     }
@@ -2390,7 +2450,8 @@ impl DbCore {
         // a generous bound: each step strictly reduces pressure, so hitting
         // it means a planner bug, not a big workload
         for _ in 0..10_000 {
-            let Some(task) = compaction::plan(&inner.version, &self.cfg) else {
+            let cfg = self.effective_config();
+            let Some(task) = compaction::plan(&inner.version, &cfg) else {
                 return Ok(());
             };
             let Some(prep) = self.prepare_compaction(inner, task)? else {

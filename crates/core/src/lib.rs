@@ -50,6 +50,7 @@ pub mod background;
 pub mod compaction;
 pub mod config;
 pub mod db;
+pub mod dynamic;
 pub mod entry;
 pub mod iter;
 pub mod kv_sep;
@@ -68,6 +69,7 @@ pub use config::{
     BackgroundMode, CompactionGranularity, FilePicker, FilterAllocation, LsmConfig, MergeLayout,
 };
 pub use db::{Db, DbCore, DbIterator, WriteBatch};
+pub use dynamic::{DynamicConfig, DynamicSnapshot, DynamicUpdate};
 pub use partitioned::PartitionedDb;
 pub use snapshot::Snapshot;
 pub use txn::{commit_parts, Conflict, Txn, TxnError, TxnPart};

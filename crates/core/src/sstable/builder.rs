@@ -230,6 +230,15 @@ impl TableBuilder {
             filter,
             range_filter,
             filter_partitions,
+            filter_kind_tag: match self.filter_kind {
+                FilterKind::None => 0,
+                FilterKind::Bloom => FILTER_TAG_BLOOM,
+                FilterKind::BlockedBloom => FILTER_TAG_BLOCKED,
+                FilterKind::Cuckoo => FILTER_TAG_CUCKOO,
+                FilterKind::Xor => FILTER_TAG_XOR,
+                FilterKind::Ribbon => FILTER_TAG_RIBBON,
+            },
+            filter_bits_milli: (self.bits_per_key * 1000.0).round().max(0.0) as u64,
         };
         self.file.set_category(IoCategory::Index);
         let meta_bytes = meta.to_bytes();
@@ -320,6 +329,24 @@ mod tests {
         let (_, meta) = b.finish().unwrap();
         assert_eq!(meta.num_tombstones, 2);
         assert_eq!(meta.max_seqno, 3);
+    }
+
+    #[test]
+    fn footer_records_filter_parameters() {
+        let dev = device(512);
+        let mut b = TableBuilder::new(dev, &cfg(), 7.25).unwrap();
+        b.add(b"a", 1, ValueKind::Put, b"v").unwrap();
+        let (_, meta) = b.finish().unwrap();
+        assert_eq!(meta.filter_kind_tag, FILTER_TAG_BLOOM);
+        assert_eq!(meta.filter_bits_milli, 7250);
+
+        let dev = device(512);
+        let mut config = cfg();
+        config.filter = FilterKind::None;
+        let mut b = TableBuilder::new(dev, &config, 10.0).unwrap();
+        b.add(b"a", 1, ValueKind::Put, b"v").unwrap();
+        let (_, meta) = b.finish().unwrap();
+        assert_eq!(meta.filter_kind_tag, 0);
     }
 
     #[test]

@@ -63,6 +63,15 @@ pub struct TableMeta {
     /// (empty = monolithic filter). Partition `i` guards data block `i`;
     /// partitions are laid out back to back from the section start.
     pub filter_partitions: Vec<u32>,
+    /// Serialized filter tag this table was built with (one of the
+    /// `FILTER_TAG_*` constants; 0 = no point filter). Readers trust this,
+    /// not the global config, so tables built under different dynamic
+    /// configurations stay readable side by side.
+    pub filter_kind_tag: u8,
+    /// Filter bits per key the builder used, in milli-bits (×1000).
+    /// Purely informational for readers, but lets tooling and the tuner
+    /// audit what allocation each table actually carries.
+    pub filter_bits_milli: u64,
 }
 
 impl TableMeta {
@@ -92,6 +101,8 @@ impl TableMeta {
         for &len in &self.filter_partitions {
             put_varint(&mut out, len as u64);
         }
+        put_varint(&mut out, self.filter_kind_tag as u64);
+        put_varint(&mut out, self.filter_bits_milli);
         out
     }
 
@@ -141,6 +152,8 @@ impl TableMeta {
         for _ in 0..n_parts {
             filter_partitions.push(read_varint(bytes, &mut off)? as u32);
         }
+        let filter_kind_tag = u8::try_from(read_varint(bytes, &mut off)?).ok()?;
+        let filter_bits_milli = read_varint(bytes, &mut off)?;
         Some(TableMeta {
             min_key,
             max_key,
@@ -152,6 +165,8 @@ impl TableMeta {
             filter: sections[0],
             range_filter: sections[1],
             filter_partitions,
+            filter_kind_tag,
+            filter_bits_milli,
         })
     }
 
@@ -214,6 +229,8 @@ mod tests {
             },
             range_filter: Section::default(),
             filter_partitions: vec![600, 634],
+            filter_kind_tag: 1,
+            filter_bits_milli: 10_500,
         }
     }
 

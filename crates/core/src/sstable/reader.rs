@@ -199,6 +199,19 @@ impl Table {
         &self.meta
     }
 
+    /// Filter tag byte recorded in the footer at build time (0 = none).
+    /// Reflects what this table actually carries, independent of whatever
+    /// the engine's current (possibly retuned) config says.
+    pub fn filter_kind_tag(&self) -> u8 {
+        self.meta.filter_kind_tag
+    }
+
+    /// Bits per key the builder used for this table's filters, recovered
+    /// from the footer (not from global config).
+    pub fn filter_bits_per_key(&self) -> f64 {
+        self.meta.filter_bits_milli as f64 / 1000.0
+    }
+
     /// Lookups served since open (drives the "coldest" file picker).
     pub fn accesses(&self) -> u64 {
         self.accesses.load(Ordering::Relaxed)

@@ -260,6 +260,36 @@ pub enum EventKind {
         /// Sequence number of the committed write that invalidated it.
         conflict_seqno: u64,
     },
+    /// The self-tuner actuated a knob change on the running engine.
+    /// Every actuation is auditable: decision ordinal, the knob, both
+    /// settings, and the model's predicted relative gain.
+    Retune {
+        /// Tuner decision ordinal, monotone per tuner lifetime.
+        decision: u64,
+        /// Knob name (`bloom_bits`, `layout`, `size_ratio`,
+        /// `l0_thresholds`).
+        knob: &'static str,
+        /// Setting before the change, rendered as a short string.
+        from: String,
+        /// Setting after the change.
+        to: String,
+        /// Model-predicted relative I/O-cost reduction, in per-mille
+        /// (e.g. 125 = the model expects 12.5% fewer blocks per op).
+        predicted_gain_milli: i64,
+    },
+    /// Follow-up audit for an earlier [`EventKind::Retune`]: the measured
+    /// cost delta over the tick after actuation, against the prediction.
+    RetuneObserved {
+        /// Decision ordinal of the retune being audited.
+        decision: u64,
+        /// Knob that was changed.
+        knob: &'static str,
+        /// The prediction from the paired `Retune`, in per-mille.
+        predicted_gain_milli: i64,
+        /// Measured relative change in blocks per operation, per-mille
+        /// (positive = the engine got cheaper, as predicted).
+        observed_gain_milli: i64,
+    },
 }
 
 impl EventKind {
@@ -290,6 +320,8 @@ impl EventKind {
             EventKind::TxnBegin { .. } => "txn_begin",
             EventKind::TxnCommit { .. } => "txn_commit",
             EventKind::TxnConflict { .. } => "txn_conflict",
+            EventKind::Retune { .. } => "retune",
+            EventKind::RetuneObserved { .. } => "retune_observed",
         }
     }
 }
@@ -462,6 +494,30 @@ impl Event {
             } => obj
                 .u64("snap_seqno", *snap_seqno)
                 .u64("conflict_seqno", *conflict_seqno)
+                .finish(),
+            EventKind::Retune {
+                decision,
+                knob,
+                from,
+                to,
+                predicted_gain_milli,
+            } => obj
+                .u64("decision", *decision)
+                .str("knob", knob)
+                .str("from", from)
+                .str("to", to)
+                .i64("predicted_gain_milli", *predicted_gain_milli)
+                .finish(),
+            EventKind::RetuneObserved {
+                decision,
+                knob,
+                predicted_gain_milli,
+                observed_gain_milli,
+            } => obj
+                .u64("decision", *decision)
+                .str("knob", knob)
+                .i64("predicted_gain_milli", *predicted_gain_milli)
+                .i64("observed_gain_milli", *observed_gain_milli)
                 .finish(),
         }
     }
@@ -660,6 +716,19 @@ mod tests {
                 snap_seqno: 41,
                 conflict_seqno: 44,
             },
+            EventKind::Retune {
+                decision: 1,
+                knob: "bloom_bits",
+                from: "10.0".into(),
+                to: "14.5".into(),
+                predicted_gain_milli: 125,
+            },
+            EventKind::RetuneObserved {
+                decision: 1,
+                knob: "bloom_bits",
+                predicted_gain_milli: 125,
+                observed_gain_milli: -40,
+            },
         ];
         let ring = EventRing::new(64);
         for (i, k) in kinds.into_iter().enumerate() {
@@ -670,7 +739,7 @@ mod tests {
             .iter()
             .map(|e| e.to_json_line() + "\n")
             .collect();
-        assert_eq!(validate_json_lines(&text).unwrap(), 23);
+        assert_eq!(validate_json_lines(&text).unwrap(), 25);
         assert!(text.contains("\"type\":\"compaction_end\""));
         assert!(text.contains("\"type\":\"subcompaction_end\""));
         assert!(text.contains("\"reason\":\"memtable_rotation\""));
@@ -686,5 +755,10 @@ mod tests {
         assert!(text.contains("\"stamp\":9"));
         assert!(text.contains("\"type\":\"txn_conflict\""));
         assert!(text.contains("\"conflict_seqno\":44"));
+        assert!(text.contains("\"type\":\"retune\""));
+        assert!(text.contains("\"knob\":\"bloom_bits\""));
+        assert!(text.contains("\"predicted_gain_milli\":125"));
+        assert!(text.contains("\"type\":\"retune_observed\""));
+        assert!(text.contains("\"observed_gain_milli\":-40"));
     }
 }

@@ -227,6 +227,16 @@ impl Client {
         }
     }
 
+    /// Ticks the server's per-shard self-tuners (if configured) and
+    /// returns each shard's tuner status as `(shard_id, JSON)`. An empty
+    /// list means the server runs without a tuner.
+    pub fn tune_status(&mut self) -> io::Result<Vec<(u64, String)>> {
+        match self.call(&Request::TuneStatus)? {
+            Response::TuneStatus(entries) => Ok(entries),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Raw access for tests that need to write arbitrary bytes.
     pub fn stream_mut(&mut self) -> &mut TcpStream {
         &mut self.stream

@@ -41,6 +41,7 @@
 //! | 12     | TXN_DELETE     | key                                       |
 //! | 13     | TXN_COMMIT     | —                                         |
 //! | 14     | TXN_ABORT      | —                                         |
+//! | 15     | TUNE_STATUS    | —                                         |
 //!
 //! | status | response       | operands                            |
 //! |-------:|----------------|-------------------------------------|
@@ -60,6 +61,8 @@
 //! | 12     | TXN_COMMITTED  | `u64` commit stamp                  |
 //! | 13     | NO_TXN         | — (no live transaction: never begun, |
 //! |        |                | already finished, or idle-aborted)  |
+//! | 14     | TUNE_STATUS    | `u32` count, then `u64` shard_id +  |
+//! |        |                | JSON status text per entry          |
 //!
 //! Transaction state is **per connection**: TXN_BEGIN opens one
 //! transaction on the issuing connection, TXN_GET/TXN_PUT/TXN_DELETE
@@ -157,6 +160,8 @@ pub enum Request {
     TxnCommit,
     /// Discards the open transaction (no trace remains).
     TxnAbort,
+    /// Ticks the server's per-shard tuners and returns their status.
+    TuneStatus,
 }
 
 /// A request decoded as borrowed views into the frame payload — the
@@ -233,6 +238,8 @@ pub enum RequestRef<'a> {
     TxnCommit,
     /// Abort request (see [`Request::TxnAbort`]).
     TxnAbort,
+    /// Tuner status query (see [`Request::TuneStatus`]).
+    TuneStatus,
 }
 
 impl RequestRef<'_> {
@@ -272,6 +279,7 @@ impl RequestRef<'_> {
             RequestRef::TxnDelete { key } => Request::TxnDelete { key: key.to_vec() },
             RequestRef::TxnCommit => Request::TxnCommit,
             RequestRef::TxnAbort => Request::TxnAbort,
+            RequestRef::TuneStatus => Request::TuneStatus,
         }
     }
 }
@@ -334,6 +342,9 @@ pub enum Response {
     /// never begun, already committed/aborted, or reaped by the server's
     /// idle-transaction timeout.
     NoTxn,
+    /// Per-shard tuner status: `(shard_id, one-line JSON)` in shard
+    /// order. Empty when the server runs without a tuner.
+    TuneStatus(Vec<(u64, String)>),
 }
 
 /// A payload-level decode failure (the frame itself was sound, so the
@@ -496,6 +507,9 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
         }
         Request::TxnAbort => {
             out = frame_header(id, 14);
+        }
+        Request::TuneStatus => {
+            out = frame_header(id, 15);
         }
     }
     finish_frame(out)
@@ -704,6 +718,15 @@ pub fn encode_response_into(out: &mut Vec<u8>, id: u64, resp: &Response) {
             let s = begin_frame_at(out, id, 13);
             end_frame_at(out, s);
         }
+        Response::TuneStatus(entries) => {
+            let s = begin_frame_at(out, id, 14);
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (shard_id, json) in entries {
+                out.extend_from_slice(&shard_id.to_le_bytes());
+                put_bytes(out, json.as_bytes());
+            }
+            end_frame_at(out, s);
+        }
     }
 }
 
@@ -887,6 +910,7 @@ pub fn decode_request_ref(payload: &[u8]) -> Result<(u64, RequestRef<'_>), Proto
         12 => RequestRef::TxnDelete { key: c.bytes_ref()? },
         13 => RequestRef::TxnCommit,
         14 => RequestRef::TxnAbort,
+        15 => RequestRef::TuneStatus,
         other => return Err(ProtocolError::BadTag(other)),
     };
     c.finish()?;
@@ -934,6 +958,16 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError>
         11 => Response::TxnConflict { key: c.bytes()? },
         12 => Response::TxnCommitted { stamp: c.u64()? },
         13 => Response::NoTxn,
+        14 => {
+            let count = c.u32()? as usize;
+            let mut entries = Vec::with_capacity(count.min(payload.len() / 8 + 1));
+            for _ in 0..count {
+                let shard_id = c.u64()?;
+                let json = c.string()?;
+                entries.push((shard_id, json));
+            }
+            Response::TuneStatus(entries)
+        }
         other => return Err(ProtocolError::BadTag(other)),
     };
     c.finish()?;
@@ -1097,6 +1131,7 @@ mod tests {
         roundtrip_request(Request::TxnDelete { key: Vec::new() });
         roundtrip_request(Request::TxnCommit);
         roundtrip_request(Request::TxnAbort);
+        roundtrip_request(Request::TuneStatus);
     }
 
     #[test]
@@ -1125,6 +1160,11 @@ mod tests {
         roundtrip_response(Response::TxnConflict { key: b"hot".to_vec() });
         roundtrip_response(Response::TxnCommitted { stamp: u64::MAX });
         roundtrip_response(Response::NoTxn);
+        roundtrip_response(Response::TuneStatus(Vec::new()));
+        roundtrip_response(Response::TuneStatus(vec![
+            (0, "{\"ticks\":3}".into()),
+            (7, "{\"decisions\":1}".into()),
+        ]));
     }
 
     #[test]

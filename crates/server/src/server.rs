@@ -136,6 +136,11 @@ pub struct ServerConfig {
     /// cannot block memtable releases or value-log GC forever). The
     /// client's next txn op answers `NO_TXN`.
     pub txn_idle_timeout: Duration,
+    /// `Some` runs a self-tuner per shard. Tuners are *pulled*: each
+    /// `TUNE_STATUS` request ticks every shard's tuner once, so tuning
+    /// cadence is the caller's choice and stays deterministic (no timer
+    /// thread).
+    pub tuner: Option<lsm_tuner::TunerConfig>,
 }
 
 impl Default for ServerConfig {
@@ -148,6 +153,7 @@ impl Default for ServerConfig {
             max_frame_bytes: MAX_FRAME_BYTES,
             role: ReplicationRole::None,
             txn_idle_timeout: Duration::from_secs(10),
+            tuner: None,
         }
     }
 }
@@ -233,6 +239,10 @@ pub(crate) struct ServerInner {
     /// the idle-txn sweeper can reap stalled transactions while their
     /// reader threads are parked on the socket.
     txns: Mutex<HashMap<u64, Arc<Mutex<TxnSlot>>>>,
+    /// Per-shard self-tuners (`cfg.tuner` is `Some`), ticked by
+    /// `TUNE_STATUS` requests. Index-aligned with the shard set; rebuilt
+    /// (tuning history reset) when a split/merge changes the topology.
+    tuners: Mutex<Vec<lsm_tuner::Tuner>>,
 }
 
 /// A connection's open transaction: its shard-map version at begin plus
@@ -367,6 +377,7 @@ impl Server {
             ReplicationRole::Replica => Some(ReplicaState::new(&shards)),
             _ => None,
         };
+        let tuners = Mutex::new(build_tuners(&cfg.tuner, shards.dbs()));
         let inner = Arc::new(ServerInner {
             topo: RwLock::new(Topology {
                 shards,
@@ -381,6 +392,7 @@ impl Server {
             replica,
             elastic,
             txns: Mutex::new(HashMap::new()),
+            tuners,
         });
         let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
         let accept = {
@@ -771,6 +783,23 @@ fn serve_conn(inner: Arc<ServerInner>, stream: TcpStream, conn_id: u64) {
     inner.metrics.connections.add(-1);
 }
 
+/// One tuner per shard engine, each with a distinct (but deterministic)
+/// seed so exact-cost ties don't march every shard to the same design.
+fn build_tuners(cfg: &Option<lsm_tuner::TunerConfig>, dbs: &[Db]) -> Vec<lsm_tuner::Tuner> {
+    match cfg {
+        None => Vec::new(),
+        Some(tc) => dbs
+            .iter()
+            .enumerate()
+            .map(|(i, db)| {
+                let mut tc = tc.clone();
+                tc.seed = tc.seed.wrapping_add(i as u64);
+                lsm_tuner::Tuner::new(db.clone(), tc)
+            })
+            .collect(),
+    }
+}
+
 /// Encodes `resp` into a pooled buffer and queues it for the writer.
 fn send_pooled(resp_tx: &Sender<Vec<u8>>, pool: &BufPool, id: u64, resp: &Response) -> bool {
     let mut buf = pool.take();
@@ -875,6 +904,38 @@ fn handle_frame(
                 },
             };
             drop(topo);
+            send_pooled(resp_tx, pool, id, &resp)
+        }
+        RequestRef::TuneStatus => {
+            // pull-model tuning: the request itself is the tick, so the
+            // decision sequence is a deterministic function of the
+            // request stream (no timer thread to race)
+            let resp = if inner.cfg.tuner.is_none() {
+                Response::TuneStatus(Vec::new())
+            } else {
+                let topo = inner.topo.read().unwrap();
+                let mut tuners = inner.tuners.lock().unwrap();
+                // a split/merge since the last tick leaves stale engine
+                // handles behind; restart tuning on the new topology
+                let stale = tuners.len() != topo.shards.dbs().len()
+                    || tuners
+                        .iter()
+                        .zip(topo.shards.dbs())
+                        .any(|(t, db)| !t.db().same_engine(db));
+                if stale {
+                    *tuners = build_tuners(&inner.cfg.tuner, topo.shards.dbs());
+                }
+                let entries = tuners
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        t.tick();
+                        (i as u64, t.status_json())
+                    })
+                    .collect();
+                drop(topo);
+                Response::TuneStatus(entries)
+            };
             send_pooled(resp_tx, pool, id, &resp)
         }
         RequestRef::Put { key, value } => {

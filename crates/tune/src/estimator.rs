@@ -1,0 +1,259 @@
+//! The shared workload estimator: one struct, two sources.
+//!
+//! The offline path (E11/E12) estimates the workload from a recorded
+//! [`Trace`]; the online tuner estimates it from a [`MetricsSnapshot`]
+//! delta. Both produce a [`WorkloadEstimate`], and both feed the same
+//! [`WorkloadProfile`] into the navigator — one code path, so the tuner
+//! can never disagree with the offline experiments about what a
+//! workload *is*.
+
+use lsm_model::WorkloadProfile;
+use lsm_obs::MetricsSnapshot;
+use lsm_workload::{Operation, Trace};
+
+/// Operation counts observed over some window, plus derived shape
+/// statistics. All fields are raw counts (not fractions) so estimates
+/// from consecutive windows can be summed.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkloadEstimate {
+    /// Writes (puts + deletes).
+    pub writes: u64,
+    /// Point lookups that found a live value.
+    pub point_reads: u64,
+    /// Point lookups on absent keys.
+    pub empty_point_reads: u64,
+    /// Range scans.
+    pub range_reads: u64,
+    /// Entries returned across all scans.
+    pub range_entries: u64,
+    /// Key-skew proxy in `[0, 1]`: the fraction of block-cache accesses
+    /// that hit. A skewed key distribution concentrates accesses on few
+    /// blocks and drives this toward 1; uniform access drives it toward
+    /// the cache's capacity fraction. 0 when no cache is configured.
+    pub skew: f64,
+}
+
+impl WorkloadEstimate {
+    /// Estimates from a metrics *delta* (a [`MetricsSnapshot::delta_since`]
+    /// between two engine snapshots): `db.*` operation counters give the
+    /// mix, `db.gets` vs `db.gets_found` the empty-read fraction, and
+    /// `cache.*` the skew proxy.
+    pub fn from_metrics_snapshot(delta: &MetricsSnapshot) -> Self {
+        let c = |name: &str| delta.counters.get(name).copied().unwrap_or(0);
+        let gets = c("db.gets");
+        let found = c("db.gets_found").min(gets);
+        let hits = c("cache.hits");
+        let misses = c("cache.misses");
+        let skew = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        WorkloadEstimate {
+            writes: c("db.puts") + c("db.deletes"),
+            point_reads: found,
+            empty_point_reads: gets - found,
+            range_reads: c("db.scans"),
+            range_entries: c("db.scan_entries"),
+            skew,
+        }
+    }
+
+    /// Estimates from a recorded trace. The trace does not know which
+    /// lookups will miss, so every `Get` counts as a found point read;
+    /// use [`WorkloadEstimate::from_trace_with`] when the caller can
+    /// classify keys. Scans contribute their requested limit as the
+    /// selectivity estimate.
+    pub fn from_trace(trace: &Trace) -> Self {
+        Self::from_trace_with(trace, |_| true)
+    }
+
+    /// Estimates from a recorded trace with a key classifier: `is_known`
+    /// returns whether a `Get` for that key is expected to find a value
+    /// (the offline analogue of the engine's `gets_found` counter).
+    pub fn from_trace_with(trace: &Trace, is_known: impl Fn(&[u8]) -> bool) -> Self {
+        let mut est = WorkloadEstimate::default();
+        for op in trace.ops() {
+            match op {
+                Operation::Put { .. } | Operation::Delete { .. } => est.writes += 1,
+                Operation::ReadModifyWrite { .. } => {
+                    // one lookup plus one write
+                    est.writes += 1;
+                    est.point_reads += 1;
+                }
+                Operation::Get { key } => {
+                    if is_known(key) {
+                        est.point_reads += 1;
+                    } else {
+                        est.empty_point_reads += 1;
+                    }
+                }
+                Operation::Scan { limit, .. } => {
+                    est.range_reads += 1;
+                    est.range_entries += *limit as u64;
+                }
+            }
+        }
+        est
+    }
+
+    /// Total operations in the window.
+    pub fn total_ops(&self) -> u64 {
+        self.writes + self.point_reads + self.empty_point_reads + self.range_reads
+    }
+
+    /// Empty-read fraction among point lookups (0 when there were none).
+    pub fn empty_read_fraction(&self) -> f64 {
+        let lookups = self.point_reads + self.empty_point_reads;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.empty_point_reads as f64 / lookups as f64
+        }
+    }
+
+    /// Average entries per scan (0 when there were no scans).
+    pub fn entries_per_scan(&self) -> f64 {
+        if self.range_reads == 0 {
+            0.0
+        } else {
+            self.range_entries as f64 / self.range_reads as f64
+        }
+    }
+
+    /// The cost-model workload description: normalized fractions plus
+    /// the average scan selectivity. This is the single hand-off point
+    /// between estimation and the navigator.
+    pub fn profile(&self) -> WorkloadProfile {
+        let total = self.total_ops().max(1) as f64;
+        WorkloadProfile {
+            writes: self.writes as f64 / total,
+            point_reads: self.point_reads as f64 / total,
+            empty_point_reads: self.empty_point_reads as f64 / total,
+            range_reads: self.range_reads as f64 / total,
+            range_entries: self.entries_per_scan(),
+        }
+    }
+
+    /// Sums another window into this one.
+    pub fn merge(&mut self, other: &WorkloadEstimate) {
+        let (a, b) = (self.total_ops(), other.total_ops());
+        self.writes += other.writes;
+        self.point_reads += other.point_reads;
+        self.empty_point_reads += other.empty_point_reads;
+        self.range_reads += other.range_reads;
+        self.range_entries += other.range_entries;
+        // ops-weighted skew
+        if a + b > 0 {
+            self.skew = (self.skew * a as f64 + other.skew * b as f64) / (a + b) as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_workload::{KeyDistribution, OpMix, WorkloadSpec};
+
+    #[test]
+    fn trace_and_metrics_paths_agree_on_the_mix() {
+        // record a trace, replay it on a real engine, and estimate from
+        // both sides: the derived profiles must agree on the mix.
+        let spec = WorkloadSpec {
+            key_space: 2_000,
+            mix: OpMix {
+                insert: 0.5,
+                update: 0.0,
+                read: 0.4,
+                scan: 0.1,
+                delete: 0.0,
+                rmw: 0.0,
+            },
+            distribution: KeyDistribution::Uniform,
+            value_len: 32,
+            scan_len: 20,
+            seed: 42,
+        };
+        let trace = Trace::record(spec, 5_000);
+        let offline = WorkloadEstimate::from_trace(&trace);
+
+        let db = lsm_core::Db::open_in_memory(lsm_core::LsmConfig::small_for_tests()).unwrap();
+        let before = db.metrics();
+        for op in trace.ops() {
+            match op {
+                Operation::Put { key, value } => db.put(key.clone(), value.clone()).unwrap(),
+                Operation::Get { key } => {
+                    db.get(key).unwrap();
+                }
+                Operation::Scan { start, limit } => {
+                    let mut end = start.clone();
+                    end.extend_from_slice(&[0xFF; 8]);
+                    db.scan(start.clone()..end, *limit).unwrap();
+                }
+                Operation::Delete { key } => db.delete(key.clone()).unwrap(),
+                Operation::ReadModifyWrite { key, value } => {
+                    db.get(key).unwrap();
+                    db.put(key.clone(), value.clone()).unwrap();
+                }
+            }
+        }
+        let online = WorkloadEstimate::from_metrics_snapshot(&db.metrics().delta_since(&before));
+
+        assert_eq!(offline.writes, online.writes);
+        assert_eq!(
+            offline.point_reads + offline.empty_point_reads,
+            online.point_reads + online.empty_point_reads
+        );
+        assert_eq!(offline.range_reads, online.range_reads);
+        let (a, b) = (offline.profile(), online.profile());
+        assert!((a.writes - b.writes).abs() < 1e-9);
+        assert!((a.range_reads - b.range_reads).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_reads_classified() {
+        let trace = Trace::from_ops(vec![
+            Operation::Get { key: b"known".to_vec() },
+            Operation::Get { key: b"absent!".to_vec() },
+            Operation::Get { key: b"absent!".to_vec() },
+        ]);
+        let est = WorkloadEstimate::from_trace_with(&trace, |k| !k.ends_with(b"!"));
+        assert_eq!(est.point_reads, 1);
+        assert_eq!(est.empty_point_reads, 2);
+        assert!((est.empty_read_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_normalizes() {
+        let est = WorkloadEstimate {
+            writes: 60,
+            point_reads: 20,
+            empty_point_reads: 10,
+            range_reads: 10,
+            range_entries: 500,
+            skew: 0.0,
+        };
+        let p = est.profile();
+        assert!((p.writes - 0.6).abs() < 1e-12);
+        assert!((p.range_reads - 0.1).abs() < 1e-12);
+        assert!((p.range_entries - 50.0).abs() < 1e-12);
+        assert_eq!(est.total_ops(), 100);
+    }
+
+    #[test]
+    fn merge_sums_windows() {
+        let mut a = WorkloadEstimate {
+            writes: 10,
+            skew: 1.0,
+            ..Default::default()
+        };
+        let b = WorkloadEstimate {
+            point_reads: 30,
+            skew: 0.0,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total_ops(), 40);
+        assert!((a.skew - 0.25).abs() < 1e-12);
+    }
+}

@@ -11,6 +11,8 @@
 //!   operation mixes;
 //! - [`hotspot`]: a shifting contiguous hot range — the adversarial
 //!   pattern for static range partitioning;
+//! - [`mixshift`]: the operation mix flips at fixed op counts — the
+//!   workload-drift pattern a self-tuning engine must chase;
 //! - [`ycsb`]: the YCSB A–F presets;
 //! - [`trace`]: record/replay so an identical operation sequence can be
 //!   run against different engine configurations;
@@ -21,6 +23,7 @@
 pub mod generator;
 pub mod hotspot;
 pub mod keyspace;
+pub mod mixshift;
 pub mod openloop;
 pub mod trace;
 pub mod ycsb;
@@ -29,6 +32,7 @@ pub mod zipf;
 pub use generator::{KeyDistribution, Operation, OpMix, WorkloadGenerator, WorkloadSpec};
 pub use hotspot::{HotspotSpec, ShiftingHotspot};
 pub use keyspace::{decode_key, encode_key, KEY_LEN};
+pub use mixshift::{MixPhase, MixShift, MixShiftSpec};
 pub use openloop::{Arrivals, OpenLoopSchedule};
 pub use trace::Trace;
 pub use ycsb::YcsbWorkload;

@@ -1,0 +1,255 @@
+//! Workload-drift generator: the operation *mix* flips at fixed op
+//! counts while the key distribution stays put.
+//!
+//! [`crate::hotspot::ShiftingHotspot`] moves *where* the load lands;
+//! `MixShift` moves *what* the load does — e.g. write-heavy →
+//! read-heavy → scan-heavy — which is exactly the drift a self-tuning
+//! engine must chase: each phase has a different optimal (size ratio,
+//! merge policy, filter budget) point, so no static configuration wins
+//! every phase. Phase boundaries are fixed op counts and the stream is
+//! a pure function of (spec, seed), so experiments are reproducible and
+//! a tuner's decisions can be asserted byte-for-byte.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generator::{OpMix, Operation};
+use crate::keyspace::{encode_key, make_value};
+
+/// One phase of a [`MixShiftSpec`]: an operation mix held for a fixed
+/// number of operations.
+#[derive(Clone, Debug)]
+pub struct MixPhase {
+    /// Short label for reporting (`"write_heavy"`, ...).
+    pub name: &'static str,
+    /// Operation mix during the phase.
+    pub mix: OpMix,
+    /// Operations before the next phase takes over.
+    pub ops: u64,
+}
+
+/// Full description of a mix-shift workload.
+#[derive(Clone, Debug)]
+pub struct MixShiftSpec {
+    /// Size of the id space keys draw from (uniformly).
+    pub key_space: u64,
+    /// The phase schedule, applied in order; the last phase repeats
+    /// forever once reached.
+    pub phases: Vec<MixPhase>,
+    /// Value size in bytes.
+    pub value_len: usize,
+    /// Scan length in entries.
+    pub scan_len: usize,
+    /// RNG seed: identical specs + seeds generate identical streams.
+    pub seed: u64,
+}
+
+impl Default for MixShiftSpec {
+    /// The E25 drift schedule: write-heavy → read-heavy → scan-heavy.
+    fn default() -> Self {
+        MixShiftSpec {
+            key_space: 100_000,
+            phases: vec![
+                MixPhase {
+                    name: "write_heavy",
+                    mix: OpMix {
+                        insert: 0.85,
+                        update: 0.0,
+                        read: 0.10,
+                        scan: 0.0,
+                        delete: 0.05,
+                        rmw: 0.0,
+                    },
+                    ops: 20_000,
+                },
+                MixPhase {
+                    name: "read_heavy",
+                    mix: OpMix {
+                        insert: 0.05,
+                        update: 0.0,
+                        read: 0.90,
+                        scan: 0.05,
+                        delete: 0.0,
+                        rmw: 0.0,
+                    },
+                    ops: 20_000,
+                },
+                MixPhase {
+                    name: "scan_heavy",
+                    mix: OpMix {
+                        insert: 0.05,
+                        update: 0.0,
+                        read: 0.15,
+                        scan: 0.80,
+                        delete: 0.0,
+                        rmw: 0.0,
+                    },
+                    ops: 20_000,
+                },
+            ],
+            value_len: 64,
+            scan_len: 50,
+            seed: 0x5E1F_D21E,
+        }
+    }
+}
+
+/// An infinite, deterministic mix-shift operation stream.
+pub struct MixShift {
+    spec: MixShiftSpec,
+    rng: StdRng,
+    emitted: u64,
+}
+
+impl MixShift {
+    /// Creates a generator from a spec (which must have ≥ 1 phase).
+    pub fn new(spec: MixShiftSpec) -> Self {
+        assert!(!spec.phases.is_empty(), "mix-shift needs at least one phase");
+        let rng = StdRng::seed_from_u64(spec.seed);
+        MixShift {
+            spec,
+            rng,
+            emitted: 0,
+        }
+    }
+
+    /// The spec this generator runs.
+    pub fn spec(&self) -> &MixShiftSpec {
+        &self.spec
+    }
+
+    /// Operations emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Index of the phase the *next* operation belongs to (the last
+    /// phase repeats once the schedule is exhausted).
+    pub fn phase(&self) -> usize {
+        let mut seen = 0u64;
+        for (i, p) in self.spec.phases.iter().enumerate() {
+            seen += p.ops.max(1);
+            if self.emitted < seen {
+                return i;
+            }
+        }
+        self.spec.phases.len() - 1
+    }
+
+    /// The phase the *next* operation belongs to.
+    pub fn current_phase(&self) -> &MixPhase {
+        &self.spec.phases[self.phase()]
+    }
+
+    /// Generates the next operation.
+    pub fn next_op(&mut self) -> Operation {
+        let mix = self.spec.phases[self.phase()].mix;
+        self.emitted += 1;
+        let id = self.rng.gen_range(0..self.spec.key_space.max(1));
+        let total = mix.insert + mix.update + mix.read + mix.scan + mix.delete;
+        debug_assert!(total > 0.0, "operation mix must have positive weight");
+        let r = self.rng.gen::<f64>() * total;
+        if r < mix.insert + mix.update {
+            Operation::Put {
+                key: encode_key(id),
+                value: make_value(id, self.spec.value_len),
+            }
+        } else if r < mix.insert + mix.update + mix.read {
+            Operation::Get {
+                key: encode_key(id),
+            }
+        } else if r < mix.insert + mix.update + mix.read + mix.scan {
+            Operation::Scan {
+                start: encode_key(id),
+                limit: self.spec.scan_len,
+            }
+        } else {
+            Operation::Delete {
+                key: encode_key(id),
+            }
+        }
+    }
+
+    /// Generates a batch of `n` operations.
+    pub fn take(&mut self, n: usize) -> Vec<Operation> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(ops: &[Operation]) -> (usize, usize, usize) {
+        let puts = ops
+            .iter()
+            .filter(|o| matches!(o, Operation::Put { .. }))
+            .count();
+        let gets = ops
+            .iter()
+            .filter(|o| matches!(o, Operation::Get { .. }))
+            .count();
+        let scans = ops
+            .iter()
+            .filter(|o| matches!(o, Operation::Scan { .. }))
+            .count();
+        (puts, gets, scans)
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let spec = MixShiftSpec::default();
+        let a = MixShift::new(spec.clone()).take(30_000);
+        let b = MixShift::new(spec).take(30_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phases_flip_at_fixed_op_counts() {
+        let mut gen = MixShift::new(MixShiftSpec::default());
+        assert_eq!(gen.current_phase().name, "write_heavy");
+        let (puts, _, _) = count(&gen.take(20_000));
+        assert!(puts * 10 > 20_000 * 7, "{puts} puts in write phase");
+        assert_eq!(gen.phase(), 1);
+        assert_eq!(gen.current_phase().name, "read_heavy");
+        let (_, gets, _) = count(&gen.take(20_000));
+        assert!(gets * 10 > 20_000 * 8, "{gets} gets in read phase");
+        assert_eq!(gen.current_phase().name, "scan_heavy");
+        let (_, _, scans) = count(&gen.take(20_000));
+        assert!(scans * 10 > 20_000 * 7, "{scans} scans in scan phase");
+    }
+
+    #[test]
+    fn last_phase_repeats_forever() {
+        let spec = MixShiftSpec {
+            phases: vec![
+                MixPhase {
+                    name: "w",
+                    mix: OpMix::write_only(),
+                    ops: 10,
+                },
+                MixPhase {
+                    name: "r",
+                    mix: OpMix::read_only(),
+                    ops: 10,
+                },
+            ],
+            ..Default::default()
+        };
+        let mut gen = MixShift::new(spec);
+        let _ = gen.take(1000);
+        assert_eq!(gen.phase(), 1);
+        assert!(matches!(gen.next_op(), Operation::Get { .. }));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = MixShift::new(MixShiftSpec::default()).take(100);
+        let b = MixShift::new(MixShiftSpec {
+            seed: 7,
+            ..Default::default()
+        })
+        .take(100);
+        assert_ne!(a, b);
+    }
+}

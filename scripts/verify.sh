@@ -37,6 +37,14 @@ echo "==> transaction-commit crash sweep (both background modes, seed ${LSM_SEED
 cargo test -q --test txn_crash -- --nocapture
 LSM_BACKGROUND=threaded cargo test -q --test txn_crash -- --nocapture
 
+echo "==> self-tuner suite (both background modes)"
+cargo test -q -p lsm-tuner
+LSM_BACKGROUND=threaded cargo test -q -p lsm-tuner
+
+echo "==> retune crash sweep (both background modes, seed ${LSM_SEED:-default})"
+cargo test -q --test retune_crash -- --nocapture
+LSM_BACKGROUND=threaded cargo test -q --test retune_crash -- --nocapture
+
 echo "==> allocation-regression battery (counting allocator + borrowed-vs-owned differential)"
 cargo test -q -p lsm-core --release --test alloc_regression
 LSM_BACKGROUND=threaded cargo test -q -p lsm-core --release --test alloc_regression
@@ -56,6 +64,10 @@ LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e23_elastic -- --metr
 cargo run -q -p lsm-bench --release --bin metrics_lint results/e23_elastic.metrics.jsonl
 LSM_BENCH_N=3000 cargo run -q -p lsm-bench --release --bin e24_transactions -- --metrics
 cargo run -q -p lsm-bench --release --bin metrics_lint results/e24_transactions.metrics.jsonl
+# e25 floors its own scale at DEFAULT_N (it asserts adaptive-beats-static,
+# which needs a real tree), so no LSM_BENCH_N shrink here
+cargo run -q -p lsm-bench --release --bin e25_self_tuning -- --metrics
+cargo run -q -p lsm-bench --release --bin metrics_lint results/e25_self_tuning.metrics.jsonl
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
